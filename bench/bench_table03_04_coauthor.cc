@@ -1,0 +1,132 @@
+// Tables III & IV — emerging / disappearing co-author groups.
+//
+// Runs DCSGreedy (average degree) and NewSEA (graph affinity) on the
+// DBLP-analog difference graphs in the Weighted and Discrete settings, both
+// orientations. Prints:
+//  * Table III analog — the member list of each group found, with simplex
+//    weights for affinity results and the matching planted group;
+//  * Table IV analog — #authors, positive-clique flag, average-degree /
+//    affinity / edge-density differences and the approximation ratio β.
+//
+// Paper shape to reproduce: both measures find planted groups; affinity
+// results are positive cliques and small; the average-degree approximation
+// ratio stays near 2; Weighted and Discrete settings can pick different
+// groups (heavy edges dominate the Weighted setting).
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "bench_util.h"
+#include "core/dcs_greedy.h"
+#include "core/newsea.h"
+#include "graph/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dcs;
+using namespace dcs::bench;
+
+std::string MatchPlanted(const std::vector<VertexId>& found,
+                         const CoauthorData& data) {
+  const std::set<VertexId> f(found.begin(), found.end());
+  std::string best = "(background)";
+  double best_score = 0.25;  // require non-trivial overlap
+  auto consider = [&](const PlantedGroup& group) {
+    size_t inter = 0;
+    for (VertexId v : group.members) inter += f.contains(v) ? 1 : 0;
+    const double jaccard =
+        static_cast<double>(inter) /
+        static_cast<double>(f.size() + group.members.size() - inter);
+    if (jaccard > best_score) {
+      best_score = jaccard;
+      best = group.name;
+    }
+  };
+  for (const auto& group : data.emerging) consider(group);
+  for (const auto& group : data.disappearing) consider(group);
+  return best;
+}
+
+std::string MemberList(const std::vector<VertexId>& members,
+                       const Embedding* x, size_t limit = 10) {
+  std::string out = "{";
+  for (size_t i = 0; i < members.size() && i < limit; ++i) {
+    if (i) out += ", ";
+    out += "a" + std::to_string(members[i]);
+    if (x != nullptr) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "(%.3f)", x->x[members[i]]);
+      out += buf;
+    }
+  }
+  if (members.size() > limit) out += ", ...";
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t seed = 20180416;
+  std::printf("seed = %llu\n\n", static_cast<unsigned long long>(seed));
+  const CoauthorData data = MakeDblpAnalog(seed);
+
+  TablePrinter groups("Table III analog: co-author groups found",
+                      {"Setting", "GD Type", "Density", "Members",
+                       "Matched planted group"});
+  TablePrinter info(
+      "Table IV analog: information of co-author groups",
+      {"Setting", "GD Type", "Density", "#Authors", "Pos.Clique?",
+       "AveDeg Diff", "Approx.Ratio", "Affinity Diff", "EdgeDensity Diff"});
+
+  for (const bool discrete : {false, true}) {
+    for (const bool disappearing : {false, true}) {
+      Graph gd = disappearing ? MustDiff(data.g2, data.g1)
+                              : MustDiff(data.g1, data.g2);
+      if (discrete) gd = MustDiscretize(gd);
+      const char* setting = discrete ? "Discrete" : "Weighted";
+      const char* type = disappearing ? "Disappearing" : "Emerging";
+
+      // Average degree: DCSGreedy (Algorithm 2).
+      Result<DcsadResult> ad = RunDcsGreedy(gd);
+      DCS_CHECK(ad.ok());
+      groups.AddRow({setting, type, "Average Degree",
+                     MemberList(ad->subset, nullptr),
+                     MatchPlanted(ad->subset, data)});
+      info.AddRow({setting, type, "Average Degree",
+                   TablePrinter::Fmt(uint64_t{ad->subset.size()}),
+                   TablePrinter::YesNo(IsPositiveClique(gd, ad->subset)),
+                   TablePrinter::Fmt(ad->density, 2),
+                   TablePrinter::Fmt(ad->ratio_bound, 2), "—",
+                   TablePrinter::Fmt(EdgeDensity(gd, ad->subset), 3)});
+
+      // Graph affinity: NewSEA (Algorithm 5).
+      Result<DcsgaResult> ga = RunNewSea(gd.PositivePart());
+      DCS_CHECK(ga.ok());
+      groups.AddRow({setting, type, "Graph Affinity",
+                     MemberList(ga->support, &ga->x),
+                     MatchPlanted(ga->support, data)});
+      info.AddRow({setting, type, "Graph Affinity",
+                   TablePrinter::Fmt(uint64_t{ga->support.size()}),
+                   TablePrinter::YesNo(IsPositiveClique(gd, ga->support)),
+                   TablePrinter::Fmt(AverageDegreeDensity(gd, ga->support), 2),
+                   "—", TablePrinter::Fmt(ga->affinity, 3),
+                   TablePrinter::Fmt(EdgeDensity(gd, ga->support), 3)});
+    }
+  }
+  groups.Print();
+  info.Print();
+
+  std::printf("planted ground truth:\n");
+  for (const auto& group : data.emerging) {
+    std::printf("  %s: %s\n", group.name.c_str(),
+                MemberList(group.members, nullptr).c_str());
+  }
+  for (const auto& group : data.disappearing) {
+    std::printf("  %s: %s\n", group.name.c_str(),
+                MemberList(group.members, nullptr).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table XIV — DCS w.r.t. graph affinity on the large DBLP-C and Actor
+// analogs, in the Weighted and Discrete settings.
+//
+// Paper shape to reproduce: in the Weighted setting a few very heavy edges
+// dominate and the affinity DCS is tiny (2–3 vertices with a huge affinity
+// difference); the Discrete setting (or weight clamping, for Actor) caps
+// those edges and yields a larger clique with moderate affinity.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/newsea.h"
+#include "graph/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace dcs;
+  using namespace dcs::bench;
+  const uint64_t seed = 20180416;
+  std::printf("seed = %llu\n\n", static_cast<unsigned long long>(seed));
+
+  TablePrinter table(
+      "Table XIV analog: affinity DCS on DBLP-C and Actor data",
+      {"Data", "Setting", "#Vertices", "Affinity Diff", "EdgeDensity Diff",
+       "NewSEA time (s)"});
+
+  const CoauthorData dblp_c = MakeDblpCAnalog(seed + 4);
+  const Graph dblp_weighted = MustDiff(dblp_c.g1, dblp_c.g2);
+  const Graph dblp_discrete = MustDiscretize(dblp_weighted);
+  const Graph actor_weighted = MakeActorAnalog(seed + 5);
+  const Graph actor_discrete = actor_weighted.WeightsClampedAbove(10.0);
+
+  struct Row {
+    const char* data;
+    const char* setting;
+    const Graph* gd;
+  };
+  const Row rows[] = {
+      {"DBLP-C", "Weighted", &dblp_weighted},
+      {"DBLP-C", "Discrete", &dblp_discrete},
+      {"Actor", "Weighted", &actor_weighted},
+      {"Actor", "Discrete", &actor_discrete},
+  };
+  for (const Row& row : rows) {
+    WallTimer timer;
+    Result<DcsgaResult> result = RunNewSea(row.gd->PositivePart());
+    const double seconds = timer.Seconds();
+    DCS_CHECK(result.ok());
+    table.AddRow({row.data, row.setting,
+                  TablePrinter::Fmt(uint64_t{result->support.size()}),
+                  TablePrinter::Fmt(result->affinity, 3),
+                  TablePrinter::Fmt(EdgeDensity(*row.gd, result->support), 3),
+                  TablePrinter::Fmt(seconds, 3)});
+    std::fflush(stdout);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Anomaly detection against historical expectation — the §I application of
+// "detecting current anomalies against historical data" (traffic hotspot
+// clutters, emerging communities, dark networks).
+//
+// We model a sensor grid: G1 holds the *expected* pairwise co-activity of
+// road sensors (from history), G2 the *observed* co-activity today. A clutter
+// of sensors around an incident lights up together far above expectation;
+// DCS mining on G2 − G1 localizes it.
+//
+// Run:  ./build/examples/anomaly_detection [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "core/dcs_greedy.h"
+#include "core/newsea.h"
+#include "gen/random_graphs.h"
+#include "graph/difference.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  Rng rng(seed);
+
+  // A 20x20 grid of sensors; neighbors co-activate.
+  constexpr int kSide = 20;
+  constexpr VertexId kNumSensors = kSide * kSide;
+  auto at = [](int r, int c) { return static_cast<VertexId>(r * kSide + c); };
+
+  GraphBuilder expected(kNumSensors), observed(kNumSensors);
+  for (int r = 0; r < kSide; ++r) {
+    for (int c = 0; c < kSide; ++c) {
+      // Expected co-activity with right and down neighbors.
+      const double base = 2.0 + rng.Uniform(0.0, 1.0);
+      if (c + 1 < kSide) {
+        expected.AddEdgeUnchecked(at(r, c), at(r, c + 1), base);
+        observed.AddEdgeUnchecked(at(r, c), at(r, c + 1),
+                                  base + rng.Uniform(-0.4, 0.4));
+      }
+      if (r + 1 < kSide) {
+        expected.AddEdgeUnchecked(at(r, c), at(r + 1, c), base);
+        observed.AddEdgeUnchecked(at(r, c), at(r + 1, c),
+                                  base + rng.Uniform(-0.4, 0.4));
+      }
+    }
+  }
+
+  // Incident: a 3x3 block near the center co-activates wildly, including
+  // diagonal pairs that normally never co-fire.
+  std::vector<VertexId> incident;
+  for (int r = 9; r < 12; ++r) {
+    for (int c = 9; c < 12; ++c) incident.push_back(at(r, c));
+  }
+  for (size_t i = 0; i < incident.size(); ++i) {
+    for (size_t j = i + 1; j < incident.size(); ++j) {
+      observed.AddEdgeUnchecked(incident[i], incident[j],
+                                5.0 + rng.Uniform(0.0, 2.0));
+    }
+  }
+
+  Result<Graph> g1 = expected.Build();
+  Result<Graph> g2 = observed.Build();
+  if (!g1.ok() || !g2.ok()) return 1;
+  Result<Graph> gd = BuildDifferenceGraph(*g1, *g2);
+  if (!gd.ok()) return 1;
+
+  std::printf("observed-vs-expected difference graph: %s\n\n",
+              gd->DebugString().c_str());
+
+  Result<DcsadResult> hotspot = RunDcsGreedy(*gd);
+  if (!hotspot.ok()) return 1;
+  std::printf("DCSAD hotspot: %zu sensors, density anomaly %.2f\n",
+              hotspot->subset.size(), hotspot->density);
+
+  Result<DcsgaResult> core = RunNewSea(gd->PositivePart());
+  if (!core.ok()) return 1;
+  std::printf("DCSGA hotspot core: %zu sensors, affinity anomaly %.2f\n\n",
+              core->support.size(), core->affinity);
+
+  // Score recovery against the planted incident block.
+  std::set<VertexId> truth(incident.begin(), incident.end());
+  auto overlap = [&](const std::vector<VertexId>& found) {
+    size_t hits = 0;
+    for (VertexId v : found) hits += truth.contains(v) ? 1 : 0;
+    return std::pair<size_t, size_t>(hits, found.size());
+  };
+  auto [ad_hits, ad_size] = overlap(hotspot->subset);
+  auto [ga_hits, ga_size] = overlap(core->support);
+  std::printf("incident block: 9 sensors at rows/cols 9-11\n");
+  std::printf("  DCSAD  recovered %zu/9 (subset size %zu)\n", ad_hits, ad_size);
+  std::printf("  DCSGA  recovered %zu/9 (support size %zu)\n", ga_hits,
+              ga_size);
+  std::printf("\ngrid map of the DCSGA hotspot ('#' = flagged):\n");
+  std::set<VertexId> flagged(core->support.begin(), core->support.end());
+  for (int r = 8; r < 13; ++r) {
+    std::printf("  ");
+    for (int c = 8; c < 13; ++c) {
+      std::printf("%c", flagged.contains(at(r, c)) ? '#' : '.');
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Emerging / disappearing co-author group mining — the §VI-B experiment as a
+// runnable example, on the synthetic DBLP analog.
+//
+// Demonstrates the Weighted vs Discrete difference-graph settings and both
+// density measures, printing Table IV-style rows with planted-group recovery.
+//
+// Run:  ./build/examples/coauthor_groups [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "core/dcs_greedy.h"
+#include "core/newsea.h"
+#include "gen/coauthor.h"
+#include "graph/difference.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dcs;
+
+// Which planted group does a found vertex set match best?
+std::string BestMatch(const std::vector<VertexId>& found,
+                      const CoauthorData& data) {
+  const std::set<VertexId> f(found.begin(), found.end());
+  std::string best_name = "(none)";
+  double best_score = 0.0;
+  auto consider = [&](const PlantedGroup& group) {
+    size_t inter = 0;
+    for (VertexId v : group.members) inter += f.contains(v) ? 1 : 0;
+    const double score =
+        static_cast<double>(inter) /
+        static_cast<double>(f.size() + group.members.size() - inter);
+    if (score > best_score) {
+      best_score = score;
+      best_name = group.name;
+    }
+  };
+  for (const auto& group : data.emerging) consider(group);
+  for (const auto& group : data.disappearing) consider(group);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s (J=%.2f)", best_name.c_str(),
+                best_score);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2018;
+  Rng rng(seed);
+
+  CoauthorConfig config;
+  config.num_authors = 8000;
+  Result<CoauthorData> data = GenerateCoauthorData(config, &rng);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+
+  TablePrinter table("Co-author contrast groups (synthetic DBLP analog)",
+                     {"Setting", "GD Type", "Density", "#Authors",
+                      "Pos.Clique?", "Density Diff", "Matched planted group"});
+
+  for (const bool discrete : {false, true}) {
+    for (const bool disappearing : {false, true}) {
+      Result<Graph> gd_raw =
+          disappearing ? BuildDifferenceGraph(data->g2, data->g1)
+                       : BuildDifferenceGraph(data->g1, data->g2);
+      if (!gd_raw.ok()) return 1;
+      Graph gd = *gd_raw;
+      if (discrete) {
+        Result<Graph> d = DiscretizeWeights(gd, DiscretizeSpec{});
+        if (!d.ok()) return 1;
+        gd = *d;
+      }
+      const char* setting = discrete ? "Discrete" : "Weighted";
+      const char* type = disappearing ? "Disappearing" : "Emerging";
+
+      Result<DcsadResult> ad = RunDcsGreedy(gd);
+      if (!ad.ok()) return 1;
+      table.AddRow({setting, type, "Average Degree",
+                    TablePrinter::Fmt(uint64_t{ad->subset.size()}),
+                    TablePrinter::YesNo(IsPositiveClique(gd, ad->subset)),
+                    TablePrinter::Fmt(ad->density, 2),
+                    BestMatch(ad->subset, *data)});
+
+      Result<DcsgaResult> ga = RunNewSea(gd.PositivePart());
+      if (!ga.ok()) return 1;
+      table.AddRow({setting, type, "Graph Affinity",
+                    TablePrinter::Fmt(uint64_t{ga->support.size()}),
+                    TablePrinter::YesNo(IsPositiveClique(gd, ga->support)),
+                    TablePrinter::Fmt(ga->affinity, 3),
+                    BestMatch(ga->support, *data)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Streaming contrast monitoring — §I's "real-time story identification"
+// scenario on a live keyword-association stream.
+//
+// A StreamingDcsMonitor receives co-occurrence weight updates (G1 = the
+// historical association strengths, G2 = the live window) and is queried
+// after every batch. Watch the affinity DCS lock onto a breaking story as
+// its keyword clique builds up, then fade as the story is absorbed into the
+// baseline.
+//
+// Run:  ./build/examples/streaming_monitor [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/streaming.h"
+#include "gen/random_graphs.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 99;
+  Rng rng(seed);
+
+  const VertexId kVocabulary = 400;
+  const std::vector<std::string> story_words{"earthquake", "coast", "tsunami",
+                                             "warning"};
+  const VertexId story_base = kVocabulary;  // ids 400..403
+  StreamingDcsMonitor monitor(kVocabulary + 4);
+
+  // Historical baseline: background keyword chatter, mirrored into the live
+  // window at roughly the same strength (so the contrast starts flat).
+  Result<Graph> chatter = ErdosRenyiWeighted(kVocabulary, 0.02, 0.2, 1.5, &rng);
+  if (!chatter.ok()) return 1;
+  for (const Edge& e : chatter->UndirectedEdges()) {
+    if (!monitor.ApplyUpdate(StreamSide::kG1, e.u, e.v, e.weight).ok() ||
+        !monitor
+             .ApplyUpdate(StreamSide::kG2, e.u, e.v,
+                          e.weight + rng.Uniform(-0.1, 0.1))
+             .ok()) {
+      return 1;
+    }
+  }
+
+  std::printf("tick | story pair-weight | DCS affinity | DCS keywords\n");
+  std::printf("-----|-------------------|--------------|-------------\n");
+  for (int tick = 1; tick <= 8; ++tick) {
+    // Ticks 2-5: the story breaks — its keywords co-occur harder each tick.
+    // Ticks 6-8: the story also enters the historical baseline (absorbed).
+    if (tick >= 2 && tick <= 5) {
+      for (VertexId i = 0; i < 4; ++i) {
+        for (VertexId j = i + 1; j < 4; ++j) {
+          if (!monitor
+                   .ApplyUpdate(StreamSide::kG2, story_base + i,
+                                story_base + j, 1.5)
+                   .ok()) {
+            return 1;
+          }
+        }
+      }
+    }
+    if (tick >= 6) {
+      for (VertexId i = 0; i < 4; ++i) {
+        for (VertexId j = i + 1; j < 4; ++j) {
+          if (!monitor
+                   .ApplyUpdate(StreamSide::kG1, story_base + i,
+                                story_base + j, 2.0)
+                   .ok()) {
+            return 1;
+          }
+        }
+      }
+    }
+
+    Result<DcsgaResult> dcs = monitor.MineDcsga();
+    if (!dcs.ok()) return 1;
+    double story_weight = 0.0;
+    {
+      Result<Graph> gd = monitor.DifferenceSnapshot();
+      if (!gd.ok()) return 1;
+      story_weight = gd->EdgeWeight(story_base, story_base + 1);
+    }
+    std::string keywords;
+    for (VertexId v : dcs->support) {
+      if (!keywords.empty()) keywords += " ";
+      keywords += v >= story_base ? story_words[v - story_base]
+                                  : "kw" + std::to_string(v);
+    }
+    std::printf("%4d | %17.2f | %12.3f | %s\n", tick, story_weight,
+                dcs->affinity, keywords.c_str());
+  }
+  std::printf(
+      "\nupdates applied: %llu, snapshot rebuilds: %llu (lazy: one per "
+      "queried tick)\n",
+      static_cast<unsigned long long>(monitor.num_updates()),
+      static_cast<unsigned long long>(monitor.num_rebuilds()));
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Trend mining: the paper's §I motivating application.
+//
+// Simulates two eras of data-mining paper titles, builds the two keyword
+// association graphs, and mines emerging and disappearing research topics
+// with DCSGA — reproducing the workflow behind Tables V/VI. Also shows why
+// single-graph dense-subgraph mining is NOT enough: the top topics of G2
+// alone are dominated by stable evergreen topics.
+//
+// Run:  ./build/examples/trend_mining [seed]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/newsea.h"
+#include "gen/keywords.h"
+#include "graph/difference.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dcs;
+
+std::string TopicString(const KeywordData& data, const CliqueRecord& clique) {
+  std::string out = "{";
+  for (size_t i = 0; i < clique.members.size(); ++i) {
+    if (i) out += ", ";
+    out += data.vocabulary[clique.members[i]];
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), " (%.2f)", clique.weights[i]);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+// Mines the top-k topics of a difference graph by collecting all positive
+// cliques found by the all-initializations driver (the paper's method for
+// Table V).
+void PrintTopTopics(const KeywordData& data, const Graph& gd, const char* tag,
+                    size_t k) {
+  DcsgaOptions options;
+  options.collect_cliques = true;
+  Result<DcsgaResult> result = RunDcsgaAllInits(gd.PositivePart(), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "driver failed: %s\n",
+                 result.status().ToString().c_str());
+    return;
+  }
+  std::vector<CliqueRecord> cliques = FilterMaximalCliques(result->cliques);
+  std::sort(cliques.begin(), cliques.end(),
+            [](const CliqueRecord& a, const CliqueRecord& b) {
+              return a.affinity > b.affinity;
+            });
+  std::printf("%s\n", tag);
+  for (size_t i = 0; i < std::min(k, cliques.size()); ++i) {
+    std::printf("  %zu. %s   affinity diff = %.3f\n", i + 1,
+                TopicString(data, cliques[i]).c_str(), cliques[i].affinity);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  Rng rng(seed);
+
+  KeywordConfig config;
+  config.noise_vocabulary = 1500;
+  config.titles_per_era = 20'000;
+  Result<KeywordData> data = GenerateKeywordData(config, &rng);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("era-1 association graph: %s\n", data->g1.DebugString().c_str());
+  std::printf("era-2 association graph: %s\n\n",
+              data->g2.DebugString().c_str());
+
+  // Emerging topics: dense in G2, not in G1.
+  Result<Graph> gd_emerging = BuildDifferenceGraph(data->g1, data->g2);
+  // Disappearing topics: the flipped difference.
+  Result<Graph> gd_disappearing = BuildDifferenceGraph(data->g2, data->g1);
+  if (!gd_emerging.ok() || !gd_disappearing.ok()) {
+    std::fprintf(stderr, "difference construction failed\n");
+    return 1;
+  }
+  PrintTopTopics(*data, *gd_emerging, "Top emerging topics (DCSGA on G2−G1):",
+                 5);
+  PrintTopTopics(*data, *gd_disappearing,
+                 "Top disappearing topics (DCSGA on G1−G2):", 5);
+
+  // The cautionary comparison of §VI-C: mining G2 alone surfaces evergreen
+  // topics ("time series"), not trends.
+  std::printf("For contrast — mining G2 alone (no contrast), top topics:\n");
+  PrintTopTopics(*data, data->g2, "", 5);
+  return 0;
+}

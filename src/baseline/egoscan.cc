@@ -1,0 +1,137 @@
+#include "baseline/egoscan.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/stats.h"
+
+namespace dcs {
+namespace {
+
+// Local-search state: membership bitmap + each vertex's induced degree
+// deg_in(v) = Σ_{u in S} D(u,v), maintained incrementally.
+class TotalWeightSearch {
+ public:
+  explicit TotalWeightSearch(const Graph& gd)
+      : gd_(gd), member_(gd.NumVertices(), 0), deg_in_(gd.NumVertices(), 0.0) {}
+
+  void Reset() {
+    for (VertexId v : members_) {
+      member_[v] = 0;
+      for (const Neighbor& nb : gd_.NeighborsOf(v)) deg_in_[nb.to] = 0.0;
+      deg_in_[v] = 0.0;
+    }
+    members_.clear();
+    total_weight_ = 0.0;
+  }
+
+  void Add(VertexId v) {
+    member_[v] = 1;
+    members_.push_back(v);
+    total_weight_ += 2.0 * deg_in_[v];
+    for (const Neighbor& nb : gd_.NeighborsOf(v)) deg_in_[nb.to] += nb.weight;
+  }
+
+  void Remove(VertexId v) {
+    member_[v] = 0;
+    members_.erase(std::find(members_.begin(), members_.end(), v));
+    for (const Neighbor& nb : gd_.NeighborsOf(v)) deg_in_[nb.to] -= nb.weight;
+    total_weight_ -= 2.0 * deg_in_[v];
+  }
+
+  bool IsMember(VertexId v) const { return member_[v] != 0; }
+  double DegIn(VertexId v) const { return deg_in_[v]; }
+  double total_weight() const { return total_weight_; }
+  const std::vector<VertexId>& members() const { return members_; }
+
+ private:
+  const Graph& gd_;
+  std::vector<char> member_;
+  std::vector<double> deg_in_;
+  std::vector<VertexId> members_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace
+
+Result<EgoScanResult> RunEgoScan(const Graph& gd,
+                                 const EgoScanOptions& options) {
+  const VertexId n = gd.NumVertices();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (options.num_seeds == 0) {
+    return Status::InvalidArgument("num_seeds must be >= 1");
+  }
+
+  // Seed order: descending positive weighted degree.
+  std::vector<double> positive_degree(n, 0.0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : gd.NeighborsOf(u)) {
+      if (nb.weight > 0.0) positive_degree[u] += nb.weight;
+    }
+  }
+  std::vector<VertexId> seeds(n);
+  std::iota(seeds.begin(), seeds.end(), VertexId{0});
+  std::sort(seeds.begin(), seeds.end(), [&](VertexId a, VertexId b) {
+    return positive_degree[a] > positive_degree[b];
+  });
+  seeds.resize(std::min<size_t>(seeds.size(), options.num_seeds));
+
+  EgoScanResult result;
+  result.subset = {0};
+  result.total_weight = 0.0;
+  TotalWeightSearch search(gd);
+  for (VertexId seed : seeds) {
+    if (positive_degree[seed] <= 0.0) break;  // no positive ego net left
+    search.Reset();
+    // Initial set: the seed plus its positively connected neighbors.
+    search.Add(seed);
+    for (const Neighbor& nb : gd.NeighborsOf(seed)) {
+      if (nb.weight > 0.0) search.Add(nb.to);
+    }
+    // Alternate greedy add / remove until a local optimum of W_D(S).
+    for (uint32_t round = 0; round < options.max_rounds; ++round) {
+      bool changed = false;
+      // Add pass: any outside vertex with positive induced degree raises
+      // W_D(S) by 2·deg_in. Collect the frontier first: only neighbors of S
+      // can have deg_in != 0.
+      std::vector<VertexId> frontier;
+      for (VertexId v : search.members()) {
+        for (const Neighbor& nb : gd.NeighborsOf(v)) {
+          if (!search.IsMember(nb.to) && search.DegIn(nb.to) > 0.0) {
+            frontier.push_back(nb.to);
+          }
+        }
+      }
+      std::sort(frontier.begin(), frontier.end());
+      frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                     frontier.end());
+      for (VertexId v : frontier) {
+        ++result.vertices_examined;
+        if (!search.IsMember(v) && search.DegIn(v) > 0.0) {
+          search.Add(v);
+          changed = true;
+        }
+      }
+      // Remove pass: dropping v with deg_in(v) < 0 raises W_D(S).
+      const std::vector<VertexId> snapshot = search.members();
+      for (VertexId v : snapshot) {
+        ++result.vertices_examined;
+        if (search.members().size() > 1 && search.DegIn(v) < 0.0) {
+          search.Remove(v);
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    if (search.total_weight() > result.total_weight) {
+      result.total_weight = search.total_weight();
+      result.subset = search.members();
+    }
+  }
+  std::sort(result.subset.begin(), result.subset.end());
+  result.total_weight = TotalDegree(gd, result.subset);
+  result.density = AverageDegreeDensity(gd, result.subset);
+  return result;
+}
+
+}  // namespace dcs

@@ -1,0 +1,149 @@
+#include "baseline/quasi_clique.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/stats.h"
+
+namespace dcs {
+namespace {
+
+// Incremental local-search state over membership + induced degrees.
+// f_α(S ∪ {v}) − f_α(S)  =  deg_in(v) − α·|S|
+// f_α(S \ {v}) − f_α(S)  = −deg_in(v) + α·(|S|−1)
+class OqcState {
+ public:
+  OqcState(const Graph& graph, double alpha)
+      : graph_(graph),
+        alpha_(alpha),
+        member_(graph.NumVertices(), 0),
+        deg_in_(graph.NumVertices(), 0.0) {}
+
+  void Reset() {
+    for (VertexId v : members_) {
+      member_[v] = 0;
+      for (const Neighbor& nb : graph_.NeighborsOf(v)) deg_in_[nb.to] = 0.0;
+      deg_in_[v] = 0.0;
+    }
+    members_.clear();
+    edge_weight_ = 0.0;
+  }
+
+  void Add(VertexId v) {
+    member_[v] = 1;
+    members_.push_back(v);
+    edge_weight_ += deg_in_[v];
+    for (const Neighbor& nb : graph_.NeighborsOf(v)) deg_in_[nb.to] += nb.weight;
+  }
+
+  void Remove(VertexId v) {
+    member_[v] = 0;
+    members_.erase(std::find(members_.begin(), members_.end(), v));
+    for (const Neighbor& nb : graph_.NeighborsOf(v)) deg_in_[nb.to] -= nb.weight;
+    edge_weight_ -= deg_in_[v];
+  }
+
+  double AddGain(VertexId v) const {
+    return deg_in_[v] - alpha_ * static_cast<double>(members_.size());
+  }
+  double RemoveGain(VertexId v) const {
+    return -deg_in_[v] + alpha_ * static_cast<double>(members_.size() - 1);
+  }
+
+  bool IsMember(VertexId v) const { return member_[v] != 0; }
+  double objective() const {
+    const double size = static_cast<double>(members_.size());
+    return edge_weight_ - alpha_ * size * (size - 1.0) / 2.0;
+  }
+  double edge_weight() const { return edge_weight_; }
+  const std::vector<VertexId>& members() const { return members_; }
+  const Graph& graph() const { return graph_; }
+
+ private:
+  const Graph& graph_;
+  double alpha_;
+  std::vector<char> member_;
+  std::vector<double> deg_in_;
+  std::vector<VertexId> members_;
+  double edge_weight_ = 0.0;
+};
+
+}  // namespace
+
+double QuasiCliqueObjective(const Graph& graph,
+                            std::span<const VertexId> subset, double alpha) {
+  const double size = static_cast<double>(subset.size());
+  // TotalDegree counts each edge twice (Table I convention); w(S) is half.
+  return 0.5 * TotalDegree(graph, subset) - alpha * size * (size - 1.0) / 2.0;
+}
+
+Result<QuasiCliqueResult> RunQuasiCliqueSearch(
+    const Graph& graph, const QuasiCliqueOptions& options) {
+  if (graph.NumVertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  if (options.alpha < 0.0 || options.num_seeds == 0) {
+    return Status::InvalidArgument("alpha must be >= 0, num_seeds >= 1");
+  }
+  const VertexId n = graph.NumVertices();
+  std::vector<double> positive_degree(n, 0.0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : graph.NeighborsOf(u)) {
+      if (nb.weight > 0.0) positive_degree[u] += nb.weight;
+    }
+  }
+  std::vector<VertexId> seeds(n);
+  std::iota(seeds.begin(), seeds.end(), VertexId{0});
+  std::sort(seeds.begin(), seeds.end(), [&](VertexId a, VertexId b) {
+    return positive_degree[a] > positive_degree[b];
+  });
+  seeds.resize(std::min<size_t>(seeds.size(), options.num_seeds));
+
+  QuasiCliqueResult best;
+  best.subset = {seeds.empty() ? VertexId{0} : seeds[0]};
+  best.objective = 0.0;
+  OqcState state(graph, options.alpha);
+  for (VertexId seed : seeds) {
+    state.Reset();
+    state.Add(seed);
+    for (uint32_t round = 0; round < options.max_rounds; ++round) {
+      bool changed = false;
+      // Best-improvement add pass over the frontier.
+      std::vector<VertexId> frontier;
+      for (VertexId v : state.members()) {
+        for (const Neighbor& nb : graph.NeighborsOf(v)) {
+          if (!state.IsMember(nb.to)) frontier.push_back(nb.to);
+        }
+      }
+      std::sort(frontier.begin(), frontier.end());
+      frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                     frontier.end());
+      for (VertexId v : frontier) {
+        if (!state.IsMember(v) && state.AddGain(v) > 1e-12) {
+          state.Add(v);
+          changed = true;
+        }
+      }
+      // Remove pass.
+      const std::vector<VertexId> snapshot = state.members();
+      for (VertexId v : snapshot) {
+        if (state.members().size() > 1 && state.RemoveGain(v) > 1e-12) {
+          state.Remove(v);
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    if (state.objective() > best.objective) {
+      best.objective = state.objective();
+      best.edge_weight = state.edge_weight();
+      best.subset = state.members();
+    }
+  }
+  std::sort(best.subset.begin(), best.subset.end());
+  best.objective = QuasiCliqueObjective(graph, best.subset, options.alpha);
+  best.edge_weight = 0.5 * TotalDegree(graph, best.subset);
+  return best;
+}
+
+}  // namespace dcs

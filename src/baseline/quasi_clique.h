@@ -1,0 +1,51 @@
+// Optimal quasi-clique (OQC) local search — Tsourakakis et al. [24], the
+// objective §III-D relates the α-scaled DCS problem to.
+//
+// OQC maximizes  f_α(S) = w(S) − α·|S|(|S|−1)/2,  where w(S) is the sum of
+// (undirected) edge weights inside S: density minus a quadratic size
+// penalty. On a *difference* graph this mines "contrast quasi-cliques" —
+// subgraphs whose gained weight beats what a random α-dense subgraph of the
+// same size would gain. Implemented with the standard add/remove/swap local
+// search of [24]; serves as a third contrast notion next to DCSAD/DCSGA in
+// comparisons and tests.
+
+#ifndef DCS_BASELINE_QUASI_CLIQUE_H_
+#define DCS_BASELINE_QUASI_CLIQUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// Options of the OQC local search.
+struct QuasiCliqueOptions {
+  /// Size-penalty coefficient α of [24] (1/3 is their recommended default).
+  double alpha = 1.0 / 3.0;
+  /// Number of highest-positive-degree seeds to try.
+  uint32_t num_seeds = 16;
+  /// Cap on add/remove passes per seed.
+  uint32_t max_rounds = 100;
+};
+
+/// Outcome of the search.
+struct QuasiCliqueResult {
+  std::vector<VertexId> subset;  ///< maximizer found (ascending ids)
+  double objective = 0.0;        ///< f_α(S) = w(S) − α·C(|S|,2)
+  double edge_weight = 0.0;      ///< w(S): sum of undirected edge weights
+};
+
+/// \brief Computes f_α(S) for a given subset (utility for tests/benches).
+double QuasiCliqueObjective(const Graph& graph,
+                            std::span<const VertexId> subset, double alpha);
+
+/// \brief Runs the OQC local search on a (possibly signed) graph.
+/// Fails on an empty vertex set or alpha < 0.
+Result<QuasiCliqueResult> RunQuasiCliqueSearch(
+    const Graph& graph, const QuasiCliqueOptions& options = {});
+
+}  // namespace dcs
+
+#endif  // DCS_BASELINE_QUASI_CLIQUE_H_

@@ -1,0 +1,179 @@
+#include "core/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dcs {
+
+Embedding Embedding::UnitVector(VertexId n, VertexId u) {
+  DCS_CHECK(u < n);
+  Embedding e = Zeros(n);
+  e.x[u] = 1.0;
+  return e;
+}
+
+Embedding Embedding::UniformOn(VertexId n, std::span<const VertexId> members) {
+  DCS_CHECK(!members.empty());
+  Embedding e = Zeros(n);
+  const double share = 1.0 / static_cast<double>(members.size());
+  for (VertexId v : members) {
+    DCS_CHECK(v < n);
+    e.x[v] = share;
+  }
+  return e;
+}
+
+std::vector<VertexId> Embedding::Support() const {
+  std::vector<VertexId> support;
+  for (VertexId v = 0; v < size(); ++v) {
+    if (x[v] > 0.0) support.push_back(v);
+  }
+  return support;
+}
+
+double Embedding::Affinity(const Graph& graph) const {
+  DCS_CHECK(graph.NumVertices() == size());
+  double f = 0.0;
+  for (VertexId u = 0; u < size(); ++u) {
+    if (x[u] <= 0.0) continue;
+    double row = 0.0;
+    for (const Neighbor& nb : graph.NeighborsOf(u)) row += nb.weight * x[nb.to];
+    f += x[u] * row;
+  }
+  return f;
+}
+
+double Embedding::Sum() const {
+  double total = 0.0;
+  for (double v : x) total += v;
+  return total;
+}
+
+bool Embedding::IsOnSimplex(double eps) const {
+  for (double v : x) {
+    if (v < 0.0) return false;
+  }
+  return std::fabs(Sum() - 1.0) <= eps;
+}
+
+AffinityState::AffinityState(const Graph& graph)
+    : graph_(&graph),
+      x_(graph.NumVertices(), 0.0),
+      dx_(graph.NumVertices(), 0.0),
+      support_pos_(graph.NumVertices(), kNotInSupport) {}
+
+void AffinityState::ResetToVertex(VertexId u) {
+  DCS_CHECK(u < NumVertices());
+  // Clear the sparse residue of the previous run.
+  for (VertexId v : support_) {
+    for (const Neighbor& nb : graph_->NeighborsOf(v)) dx_[nb.to] = 0.0;
+    x_[v] = 0.0;
+    support_pos_[v] = kNotInSupport;
+  }
+  support_.clear();
+  SetX(u, 1.0);
+}
+
+Status AffinityState::ResetToEmbedding(const Embedding& embedding) {
+  if (embedding.size() != NumVertices()) {
+    return Status::InvalidArgument("embedding size mismatch");
+  }
+  if (!embedding.IsOnSimplex()) {
+    return Status::InvalidArgument("embedding is not on the simplex");
+  }
+  ResetToVertex(0);
+  SetX(0, 0.0);
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    if (embedding.x[v] > 0.0) SetX(v, embedding.x[v]);
+  }
+  return Status::OK();
+}
+
+double AffinityState::Affinity() const {
+  double f = 0.0;
+  for (VertexId v : support_) f += x_[v] * dx_[v];
+  return f;
+}
+
+void AffinityState::AddToSupport(VertexId v) {
+  if (support_pos_[v] != kNotInSupport) return;
+  support_pos_[v] = static_cast<uint32_t>(support_.size());
+  support_.push_back(v);
+}
+
+void AffinityState::RemoveFromSupport(VertexId v) {
+  const uint32_t pos = support_pos_[v];
+  if (pos == kNotInSupport) return;
+  const VertexId last = support_.back();
+  support_[pos] = last;
+  support_pos_[last] = pos;
+  support_.pop_back();
+  support_pos_[v] = kNotInSupport;
+}
+
+void AffinityState::SetX(VertexId v, double value) {
+  DCS_CHECK(v < NumVertices());
+  DCS_CHECK(value >= 0.0) << "negative embedding entry " << value
+                          << " at vertex " << v;
+  const double delta = value - x_[v];
+  if (delta == 0.0) {
+    return;
+  }
+  x_[v] = value;
+  if (value > 0.0) {
+    AddToSupport(v);
+  } else {
+    RemoveFromSupport(v);
+  }
+  for (const Neighbor& nb : graph_->NeighborsOf(v)) {
+    dx_[nb.to] += nb.weight * delta;
+  }
+}
+
+void AffinityState::Renormalize() {
+  double total = 0.0;
+  for (VertexId v : support_) total += x_[v];
+  if (total <= 0.0 || total == 1.0) return;
+  const double inv = 1.0 / total;
+  for (VertexId v : support_) x_[v] *= inv;
+  // dx[w] = Σ_{v in support} w(v,w)·x_v is linear in x, so the same uniform
+  // rescale applies; only entries adjacent to the support are non-zero.
+  std::vector<char> seen(NumVertices(), 0);
+  for (VertexId v : support_) {
+    for (const Neighbor& nb : graph_->NeighborsOf(v)) {
+      if (!seen[nb.to]) {
+        seen[nb.to] = 1;
+        dx_[nb.to] *= inv;
+      }
+    }
+  }
+}
+
+Embedding AffinityState::ToEmbedding() const {
+  Embedding e = Embedding::Zeros(NumVertices());
+  e.x = x_;
+  return e;
+}
+
+bool AffinityState::ComputeExtremes(std::span<const VertexId> candidates,
+                                    GradientExtremes* out) const {
+  bool has_max = false, has_min = false;
+  for (VertexId k : candidates) {
+    const double grad = 2.0 * dx_[k];
+    if (x_[k] < 1.0 && (!has_max || grad > out->max_grad)) {
+      out->argmax = k;
+      out->max_grad = grad;
+      has_max = true;
+    }
+    if (x_[k] > 0.0 && (!has_min || grad < out->min_grad)) {
+      out->argmin = k;
+      out->min_grad = grad;
+      has_min = true;
+    }
+  }
+  return has_max && has_min;
+}
+
+}  // namespace dcs

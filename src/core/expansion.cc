@@ -1,0 +1,89 @@
+#include "core/expansion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dcs {
+
+std::vector<VertexId> ComputeExpansionSet(const AffinityState& state,
+                                          double margin,
+                                          bool include_support) {
+  const double f = state.Affinity();
+  const Graph& graph = state.graph();
+  std::vector<VertexId> z;
+  std::vector<char> considered(graph.NumVertices(), 0);
+  for (VertexId u : state.support()) {
+    considered[u] = 1;
+    if (include_support && state.dx(u) > f + margin) z.push_back(u);
+  }
+  for (VertexId u : state.support()) {
+    for (const Neighbor& nb : graph.NeighborsOf(u)) {
+      const VertexId v = nb.to;
+      if (considered[v]) continue;
+      considered[v] = 1;
+      if (state.dx(v) > f + margin) z.push_back(v);
+    }
+  }
+  return z;
+}
+
+ExpansionResult SeaExpand(AffinityState* state, double margin,
+                          bool include_support) {
+  ExpansionResult result;
+  result.f_before = state->Affinity();
+  result.f_after = result.f_before;
+  const std::vector<VertexId> z =
+      ComputeExpansionSet(*state, margin, include_support);
+  if (z.empty()) return result;
+
+  const double f = result.f_before;
+  double s = 0.0, zeta = 0.0;
+  std::vector<double> gamma(z.size());
+  // Map vertex -> gamma for the ω accumulation.
+  const Graph& graph = state->graph();
+  std::vector<double> gamma_of(graph.NumVertices(), 0.0);
+  std::vector<char> in_z(graph.NumVertices(), 0);
+  for (size_t idx = 0; idx < z.size(); ++idx) {
+    gamma[idx] = state->dx(z[idx]) - f;
+    s += gamma[idx];
+    zeta += gamma[idx] * gamma[idx];
+    gamma_of[z[idx]] = gamma[idx];
+    in_z[z[idx]] = 1;
+  }
+  double omega = 0.0;  // Σ_{i,j∈Z} γ_i γ_j D(i,j): ordered pairs over edges
+  for (VertexId i : z) {
+    for (const Neighbor& nb : graph.NeighborsOf(i)) {
+      omega += gamma_of[i] * gamma_of[nb.to] * nb.weight;  // 0 outside Z
+    }
+  }
+  DCS_CHECK(s > 0.0);
+  // Δf(τ) = −a·τ² + 2ζ·τ with a = f·s² + 2sζ − ω (exact when Z ∩ Sx = ∅;
+  // an approximation otherwise — the source of the baseline's errors).
+  const double a = f * s * s + 2.0 * s * zeta - omega;
+  double tau = 1.0 / s;
+  if (a > 0.0) tau = std::min(tau, zeta / a);
+
+  // Apply x ← x + τ·b with b_i = γ_i on Z and b_i = −x_i·s on Sx \ Z.
+  // Snapshot the support first: SetX mutates it.
+  const std::vector<VertexId> old_support(state->support().begin(),
+                                          state->support().end());
+  const double shrink_factor = 1.0 - tau * s;
+  DCS_CHECK(shrink_factor >= -1e-12);
+  for (VertexId v : old_support) {
+    if (in_z[v]) continue;
+    state->SetX(v, std::max(0.0, state->x(v) * shrink_factor));
+  }
+  for (size_t idx = 0; idx < z.size(); ++idx) {
+    state->SetX(z[idx], state->x(z[idx]) + tau * gamma[idx]);
+  }
+  state->Renormalize();
+
+  result.expanded = true;
+  result.num_added = z.size();
+  result.f_after = state->Affinity();
+  return result;
+}
+
+}  // namespace dcs

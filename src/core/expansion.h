@@ -1,0 +1,61 @@
+// The SEA Expansion operation (paper Appendix A, used by Algorithm 3).
+//
+// Given an embedding x that is a local KKT point on its support, expansion
+// finds Z = {i : (Dx)_i > f(x)} — the vertices whose inclusion can raise the
+// objective — and moves x along the direction
+//   b_i = −x_i·s (i in Sx),   b_i = γ_i (i in Z),
+// where γ_i = (Dx)_i − f(x) and s = Σ_{i∈Z} γ_i, by the step τ that
+// maximizes f(x + τb) subject to x + τb ∈ Δn.
+//
+// Derivation note (documented in DESIGN.md): with ζ = Σ γ_i² and
+// ω = Σ_{i,j∈Z} γ_i γ_j D(i,j), one gets bᵀDx = ζ and
+// bᵀDb = −(f·s² + 2sζ − ω) = −a, hence Δf(τ) = −a·τ² + 2ζ·τ, maximized at
+// τ* = ζ/a when a > 0 and at the simplex boundary τ = 1/s otherwise. The
+// appendix's printed "Δf = −aτ² − 2ζτ" and "τ = min{1/s, −1/a}" are typos:
+// they would make expansion strictly decrease f, contradicting Theorem 4.
+
+#ifndef DCS_CORE_EXPANSION_H_
+#define DCS_CORE_EXPANSION_H_
+
+#include <vector>
+
+#include "core/embedding.h"
+#include "graph/graph.h"
+
+namespace dcs {
+
+/// Outcome of one expansion attempt.
+struct ExpansionResult {
+  /// False iff Z was empty, i.e. x already satisfies the global KKT
+  /// conditions and the SEA loop should stop.
+  bool expanded = false;
+  /// |Z|.
+  size_t num_added = 0;
+  /// Objective before/after (equal when expanded == false).
+  double f_before = 0.0;
+  double f_after = 0.0;
+};
+
+/// \brief Computes Z for the current state. Only vertices adjacent to the
+/// support can qualify; `margin` guards against re-adding vertices whose
+/// gradient exceeds λ by numerical noise only.
+///
+/// The paper defines Z = {i ∈ V : ∇_i f > λ}, which at a local KKT point
+/// never intersects the support. When the Shrink stage stopped *short* of a
+/// local KKT point (the replicator baseline's loose test), support vertices
+/// can qualify too; `include_support` keeps them, faithful to the published
+/// definition — this is exactly what makes the baseline's expansion able to
+/// decrease the objective ("errors in SEA", Table VII). The SEACD path uses
+/// include_support = false, which is equivalent at a local KKT point and
+/// provably monotone everywhere.
+std::vector<VertexId> ComputeExpansionSet(const AffinityState& state,
+                                          double margin = 1e-9,
+                                          bool include_support = false);
+
+/// \brief Performs one Expansion step on `state` (no-op if Z is empty).
+ExpansionResult SeaExpand(AffinityState* state, double margin = 1e-9,
+                          bool include_support = false);
+
+}  // namespace dcs
+
+#endif  // DCS_CORE_EXPANSION_H_

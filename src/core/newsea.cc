@@ -1,0 +1,218 @@
+#include "core/newsea.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/refinement.h"
+#include "graph/kcore.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+Status ValidateNonNegative(const Graph& gd_plus) {
+  for (VertexId u = 0; u < gd_plus.NumVertices(); ++u) {
+    for (const Neighbor& nb : gd_plus.NeighborsOf(u)) {
+      if (nb.weight < 0.0) {
+        return Status::InvalidArgument(
+            "DCSGA drivers run on GD+; found a negative edge weight");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Hash of a sorted vertex set, for clique deduplication.
+uint64_t HashMembers(const std::vector<VertexId>& members) {
+  uint64_t h = 0x9E3779B97F4A7C15ull;
+  for (VertexId v : members) {
+    uint64_t state = h ^ (static_cast<uint64_t>(v) + 0x517CC1B727220A95ull);
+    h = SplitMix64(&state);
+  }
+  return h;
+}
+
+// Shared multi-init machinery: one AffinityState reused across seeds.
+class MultiInitDriver {
+ public:
+  MultiInitDriver(const Graph& gd_plus, const DcsgaOptions& options)
+      : gd_plus_(gd_plus), options_(options), state_(gd_plus) {}
+
+  // Runs one initialization from e_seed: Shrink/Expand then Refinement.
+  // Updates the running best and (optionally) the clique collection.
+  void RunSeed(VertexId seed, DcsgaResult* result) {
+    ++result->initializations;
+    state_.ResetToVertex(seed);
+    if (options_.shrink == ShrinkKind::kCoordinateDescent) {
+      const SeacdRunStats stats = RunSeacdInPlace(&state_, options_.seacd);
+      result->cd_iterations += stats.cd_iterations;
+    } else {
+      const SeaRunStats stats = RunSeaInPlace(&state_, options_.sea);
+      result->replicator_sweeps += stats.replicator_sweeps;
+      result->expansion_errors += stats.expansion_errors;
+    }
+    const RefinementRunStats refined =
+        RefineInPlace(&state_, options_.refinement_descent);
+    result->cd_iterations += refined.cd_iterations;
+
+    if (refined.affinity > result->affinity) {
+      result->affinity = refined.affinity;
+      result->x = state_.ToEmbedding();
+      result->support = result->x.Support();
+    }
+    if (options_.collect_cliques) {
+      std::vector<VertexId> members(state_.support().begin(),
+                                    state_.support().end());
+      std::sort(members.begin(), members.end());
+      const uint64_t key = HashMembers(members);
+      if (seen_cliques_.insert(key).second) {
+        CliqueRecord record;
+        record.weights.reserve(members.size());
+        for (VertexId v : members) record.weights.push_back(state_.x(v));
+        record.members = std::move(members);
+        record.affinity = refined.affinity;
+        result->cliques.push_back(std::move(record));
+      }
+    }
+  }
+
+ private:
+  const Graph& gd_plus_;
+  const DcsgaOptions& options_;
+  AffinityState state_;
+  std::unordered_set<uint64_t> seen_cliques_;
+};
+
+// Fallback solution when the graph has no positive edge: a single vertex,
+// affinity 0 (§III-B).
+DcsgaResult TrivialResult(const Graph& gd_plus) {
+  DcsgaResult result;
+  result.x = Embedding::UnitVector(gd_plus.NumVertices(), 0);
+  result.support = {0};
+  result.affinity = 0.0;
+  return result;
+}
+
+}  // namespace
+
+SmartInitBounds ComputeSmartInitBounds(const Graph& gd_plus) {
+  const VertexId n = gd_plus.NumVertices();
+  SmartInitBounds bounds;
+  // Step 1: max incident weight per vertex.
+  const std::vector<double> max_incident = gd_plus.MaxIncidentWeightPerVertex();
+  // Step 2: w_u = max over the closed neighborhood T_u of max_incident —
+  // an upper bound on the heaviest edge with an endpoint in T_u.
+  bounds.w.assign(n, -std::numeric_limits<double>::infinity());
+  for (VertexId u = 0; u < n; ++u) {
+    bounds.w[u] = max_incident[u];
+    for (const Neighbor& nb : gd_plus.NeighborsOf(u)) {
+      bounds.w[u] = std::max(bounds.w[u], max_incident[nb.to]);
+    }
+  }
+  // Step 3: τ_u (core numbers) and μ_u = τ_u·w_u/(τ_u+1) (Theorem 6 with the
+  // clique size bound k_u ≤ τ_u + 1).
+  bounds.tau = CoreNumbers(gd_plus);
+  bounds.mu.assign(n, 0.0);
+  for (VertexId u = 0; u < n; ++u) {
+    if (bounds.tau[u] == 0 || !std::isfinite(bounds.w[u])) {
+      bounds.mu[u] = 0.0;  // isolated in GD+: best possible affinity is 0
+    } else {
+      const double tau = static_cast<double>(bounds.tau[u]);
+      bounds.mu[u] = tau * bounds.w[u] / (tau + 1.0);
+    }
+  }
+  return bounds;
+}
+
+Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
+                              const DcsgaOptions& options) {
+  DCS_RETURN_NOT_OK(ValidateNonNegative(gd_plus));
+  const VertexId n = gd_plus.NumVertices();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (gd_plus.NumEdges() == 0) return TrivialResult(gd_plus);
+
+  const SmartInitBounds bounds = ComputeSmartInitBounds(gd_plus);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return bounds.mu[a] > bounds.mu[b];
+  });
+
+  DcsgaResult result = TrivialResult(gd_plus);
+  DcsgaOptions inner = options;
+  inner.shrink = ShrinkKind::kCoordinateDescent;  // NewSEA is CD by definition
+  MultiInitDriver driver(gd_plus, inner);
+  for (VertexId u : order) {
+    if (bounds.mu[u] <= result.affinity) break;  // Theorem 6 early stop
+    driver.RunSeed(u, &result);
+  }
+  return result;
+}
+
+Result<DcsgaResult> RunDcsgaAllInits(const Graph& gd_plus,
+                                     const DcsgaOptions& options) {
+  DCS_RETURN_NOT_OK(ValidateNonNegative(gd_plus));
+  const VertexId n = gd_plus.NumVertices();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (gd_plus.NumEdges() == 0) return TrivialResult(gd_plus);
+
+  DcsgaResult result = TrivialResult(gd_plus);
+  MultiInitDriver driver(gd_plus, options);
+  for (VertexId u = 0; u < n; ++u) {
+    // Isolated vertices cannot improve on the trivial solution.
+    if (gd_plus.Degree(u) == 0) continue;
+    driver.RunSeed(u, &result);
+  }
+  return result;
+}
+
+std::vector<CliqueRecord> FilterMaximalCliques(std::vector<CliqueRecord> in) {
+  // Sort indices by size descending so that possible supersets come first.
+  std::vector<size_t> order(in.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return in[a].members.size() > in[b].members.size();
+  });
+  // For every kept clique, index it by its smallest member: any superset of
+  // a clique C contains C's first vertex, so looking up that one bucket
+  // suffices for the subset test.
+  std::unordered_map<VertexId, std::vector<size_t>> kept_by_vertex;
+  std::vector<char> kept(in.size(), 0);
+  for (size_t idx : order) {
+    const std::vector<VertexId>& members = in[idx].members;
+    bool subsumed = false;
+    if (!members.empty()) {
+      for (VertexId v : members) {
+        auto it = kept_by_vertex.find(v);
+        if (it == kept_by_vertex.end()) continue;
+        for (size_t candidate : it->second) {
+          const std::vector<VertexId>& big = in[candidate].members;
+          if (big.size() < members.size()) continue;
+          if (std::includes(big.begin(), big.end(), members.begin(),
+                            members.end())) {
+            subsumed = true;
+            break;
+          }
+        }
+        break;  // one bucket is enough: supersets contain every member
+      }
+    }
+    if (!subsumed) {
+      kept[idx] = 1;
+      for (VertexId v : in[idx].members) kept_by_vertex[v].push_back(idx);
+    }
+  }
+  std::vector<CliqueRecord> out;
+  out.reserve(in.size());
+  for (size_t idx = 0; idx < in.size(); ++idx) {
+    if (kept[idx]) out.push_back(std::move(in[idx]));
+  }
+  return out;
+}
+
+}  // namespace dcs

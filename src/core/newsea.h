@@ -1,0 +1,104 @@
+// NewSEA (Algorithm 5) and the multi-initialization DCSGA drivers of §VI-A.
+//
+// Three solver configurations from the paper's experiments:
+//  * NewSEA            — SEACD + Refinement + the smart initialization order
+//                        of §V-D: for each vertex u, μ_u = τ_u·w_u/(τ_u+1)
+//                        upper-bounds (Theorem 6) the affinity of any clique
+//                        embedding containing u, where w_u bounds the max
+//                        edge weight of u's ego net and τ_u is u's core
+//                        number in GD+; vertices are tried in descending μ_u
+//                        and the loop stops once μ_u ≤ f(best).
+//  * SEACD + Refine    — same inner solver, initialized from *every* vertex
+//                        (ShrinkKind::kCoordinateDescent, smart init off).
+//  * SEA + Refine      — replicator-dynamics SEA [18] from every vertex
+//                        (ShrinkKind::kReplicator); counts expansion errors.
+//
+// All three run on GD+: Theorem 5 shows an optimal DCSGA solution is a
+// positive clique of GD, i.e. a clique of GD+.
+
+#ifndef DCS_CORE_NEWSEA_H_
+#define DCS_CORE_NEWSEA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coordinate_descent.h"
+#include "core/embedding.h"
+#include "core/replicator.h"
+#include "core/seacd.h"
+#include "core/sea.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// Which Shrink stage the multi-init driver uses.
+enum class ShrinkKind {
+  kCoordinateDescent,  ///< SEACD (Algorithm 3)
+  kReplicator,         ///< original SEA [18]
+};
+
+/// A positive clique discovered by one initialization (support + value).
+/// Stored sparsely: `weights[i]` is the embedding mass of `members[i]`.
+struct CliqueRecord {
+  std::vector<VertexId> members;  ///< ascending vertex ids
+  std::vector<double> weights;    ///< parallel to members; sums to 1
+  double affinity = 0.0;
+};
+
+/// Options shared by NewSEA and the all-inits drivers.
+struct DcsgaOptions {
+  ShrinkKind shrink = ShrinkKind::kCoordinateDescent;
+  SeacdOptions seacd;
+  SeaOptions sea;
+  CoordinateDescentOptions refinement_descent;
+  /// Collect every distinct positive clique found across initializations
+  /// (needed by the topic tables and Fig. 3; costs memory).
+  bool collect_cliques = false;
+};
+
+/// Result of a multi-initialization DCSGA solve.
+struct DcsgaResult {
+  Embedding x;                      ///< best embedding found
+  std::vector<VertexId> support;    ///< its support (a clique of GD+)
+  double affinity = 0.0;            ///< f(x) = xᵀD+x = xᵀDx on the support
+  uint64_t initializations = 0;     ///< seeds actually tried
+  uint32_t expansion_errors = 0;    ///< replicator baseline only
+  uint64_t cd_iterations = 0;       ///< coordinate-descent iterations total
+  uint64_t replicator_sweeps = 0;   ///< replicator sweeps total
+  std::vector<CliqueRecord> cliques;///< if collect_cliques: dedup'd records
+};
+
+/// \brief Per-vertex smart-initialization upper bounds of §V-D.
+struct SmartInitBounds {
+  std::vector<double> w;    ///< w_u: max edge weight touching the ego net T_u
+  std::vector<uint32_t> tau;///< τ_u: core number in GD+
+  std::vector<double> mu;   ///< μ_u = τ_u·w_u/(τ_u+1)
+};
+
+/// Computes w_u, τ_u and μ_u for every vertex of `gd_plus` in O(m + n).
+SmartInitBounds ComputeSmartInitBounds(const Graph& gd_plus);
+
+/// \brief NewSEA (Algorithm 5): smart-ordered initializations with the
+/// μ_u ≤ f(best) early stop; each initialization runs SEACD then Refinement.
+///
+/// `gd_plus` must have no negative edge weights (pass Graph::PositivePart()
+/// of the difference graph). A graph without positive edges yields the
+/// trivial single-vertex solution of affinity 0.
+Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
+                              const DcsgaOptions& options = {});
+
+/// \brief The SEACD+Refine / SEA+Refine baselines: one initialization per
+/// vertex of `gd_plus`, no smart ordering, no pruning. Selects Shrink by
+/// `options.shrink`.
+Result<DcsgaResult> RunDcsgaAllInits(const Graph& gd_plus,
+                                     const DcsgaOptions& options = {});
+
+/// \brief Drops exact duplicates and cliques fully contained in another
+/// collected clique (the paper's post-processing for the topic tables and
+/// Fig. 3). Keeps the input order among survivors.
+std::vector<CliqueRecord> FilterMaximalCliques(std::vector<CliqueRecord> in);
+
+}  // namespace dcs
+
+#endif  // DCS_CORE_NEWSEA_H_

@@ -1,0 +1,97 @@
+#include "core/refinement.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dcs {
+namespace {
+
+// Finds a pair (u, v) in the support with no GD+ edge between them; returns
+// false when the support is a clique. O(Σ deg over support) using two small
+// scratch sets (support is typically tiny, so no O(n) bitmap).
+bool FindNonAdjacentPair(const AffinityState& state, VertexId* out_u,
+                         VertexId* out_v) {
+  const Graph& graph = state.graph();
+  std::span<const VertexId> support = state.support();
+  if (support.size() <= 1) return false;
+  std::vector<VertexId> sorted_support(support.begin(), support.end());
+  std::sort(sorted_support.begin(), sorted_support.end());
+  std::vector<VertexId> adjacent_in_support;
+  for (VertexId u : sorted_support) {
+    adjacent_in_support.clear();
+    for (const Neighbor& nb : graph.NeighborsOf(u)) {
+      if (std::binary_search(sorted_support.begin(), sorted_support.end(),
+                             nb.to)) {
+        adjacent_in_support.push_back(nb.to);
+      }
+    }
+    if (adjacent_in_support.size() + 1 == sorted_support.size()) continue;
+    // adjacent_in_support is sorted (adjacency rows are sorted): walk both
+    // lists to find the first support member missing from it.
+    size_t a = 0;
+    for (VertexId v : sorted_support) {
+      if (v == u) continue;
+      if (a < adjacent_in_support.size() && adjacent_in_support[a] == v) {
+        ++a;
+        continue;
+      }
+      *out_u = u;
+      *out_v = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+RefinementRunStats RefineInPlace(
+    AffinityState* state, const CoordinateDescentOptions& descent_options) {
+  RefinementRunStats stats;
+  VertexId u = 0, v = 0;
+  while (FindNonAdjacentPair(*state, &u, &v)) {
+    // D(u,v) = 0, so the pair subproblem is linear in x_u: all mass goes to
+    // the endpoint with the larger gradient (objective never decreases; at a
+    // KKT point the gradients tie and the move is neutral, per Theorem 5).
+    VertexId keep = u, drop = v;
+    if (state->dx(v) > state->dx(u)) std::swap(keep, drop);
+    const double mass = state->x(keep) + state->x(drop);
+    state->SetX(drop, 0.0);
+    state->SetX(keep, mass);
+    ++stats.merges;
+    // Re-descend to a local KKT point on the shrunken support.
+    std::vector<VertexId> support(state->support().begin(),
+                                  state->support().end());
+    const CoordinateDescentStats cd =
+        DescendToLocalKkt(state, support, descent_options);
+    stats.cd_iterations += cd.iterations;
+  }
+  stats.affinity = state->Affinity();
+  return stats;
+}
+
+Result<RefinementResult> RefineToPositiveClique(
+    const Graph& gd_plus, const Embedding& x0,
+    const CoordinateDescentOptions& descent_options) {
+  for (VertexId u = 0; u < gd_plus.NumVertices(); ++u) {
+    for (const Neighbor& nb : gd_plus.NeighborsOf(u)) {
+      if (nb.weight < 0.0) {
+        return Status::InvalidArgument(
+            "RefineToPositiveClique expects GD+ (no negative weights)");
+      }
+    }
+  }
+  AffinityState state(gd_plus);
+  DCS_RETURN_NOT_OK(state.ResetToEmbedding(x0));
+  const RefinementRunStats stats = RefineInPlace(&state, descent_options);
+  RefinementResult result;
+  result.x = state.ToEmbedding();
+  result.affinity = stats.affinity;
+  result.merges = stats.merges;
+  result.cd_iterations = stats.cd_iterations;
+  return result;
+}
+
+}  // namespace dcs

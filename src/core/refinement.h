@@ -1,0 +1,58 @@
+// Refinement of a KKT point to a positive-clique solution (Algorithm 4,
+// Theorem 5).
+//
+// A KKT point of DCSGA whose support is not a positive clique can always be
+// improved (or kept equal) by merging the mass of one non-adjacent /
+// negatively-connected pair into a single vertex and re-descending to a
+// local KKT point; the support strictly shrinks each round, so the loop
+// terminates with GD+(Sy) a clique. Positive-clique outputs are the
+// interpretability guarantee of DCSGA (§V-C): every pair inside the reported
+// subgraph strengthened its connection from G1 to G2.
+
+#ifndef DCS_CORE_REFINEMENT_H_
+#define DCS_CORE_REFINEMENT_H_
+
+#include <cstdint>
+
+#include "core/coordinate_descent.h"
+#include "core/embedding.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// Outcome of a refinement run.
+struct RefinementResult {
+  Embedding x;              ///< refined embedding; support is a clique
+  double affinity = 0.0;    ///< f after refinement (>= f before)
+  uint32_t merges = 0;      ///< vertices squeezed out of the support
+  uint64_t cd_iterations = 0;
+};
+
+/// Lightweight statistics of an in-place refinement.
+struct RefinementRunStats {
+  double affinity = 0.0;
+  uint32_t merges = 0;
+  uint64_t cd_iterations = 0;
+};
+
+/// \brief Runs Algorithm 4 on `state` in place.
+///
+/// Precondition (checked only by the RefineToPositiveClique wrapper): the
+/// state's graph has no negative weights.
+RefinementRunStats RefineInPlace(
+    AffinityState* state, const CoordinateDescentOptions& descent_options = {});
+
+/// \brief Runs Algorithm 4 on `x0` over `gd_plus`.
+///
+/// `gd_plus` must contain no negative edge weights (it is GD+; Algorithm 4's
+/// D(i,j) < 0 case is subsumed by running on the positive part — see the
+/// discussion after Theorem 5). Fails if x0 is off the simplex or a negative
+/// edge is found.
+Result<RefinementResult> RefineToPositiveClique(
+    const Graph& gd_plus, const Embedding& x0,
+    const CoordinateDescentOptions& descent_options = {});
+
+}  // namespace dcs
+
+#endif  // DCS_CORE_REFINEMENT_H_

@@ -1,0 +1,57 @@
+#include "core/replicator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dcs {
+
+ReplicatorStats ReplicatorShrink(AffinityState* state,
+                                 const ReplicatorOptions& options) {
+  ReplicatorStats stats;
+  double f = state->Affinity();
+  while (stats.sweeps < options.max_sweeps) {
+    if (!(f > 1e-100) || !std::isfinite(f)) {
+      // A (numerically) zero objective — e.g. a single-vertex support — is a
+      // fixed point of the dynamics' stopping rule: no multiplicative update
+      // can move it. The underflow guard matters: dividing by a denormal f
+      // overflows x to inf and then poisons the state with NaNs.
+      stats.converged = true;
+      return stats;
+    }
+    ++stats.sweeps;
+    // One synchronous sweep: x_i ← x_i (Dx)_i / f over the current support.
+    const std::vector<VertexId> support(state->support().begin(),
+                                        state->support().end());
+    std::vector<double> new_x(support.size());
+    const double inv_f = 1.0 / f;
+    for (size_t idx = 0; idx < support.size(); ++idx) {
+      const VertexId v = support[idx];
+      double updated = state->x(v) * state->dx(v) * inv_f;
+      if (updated < 0.0) {
+        // dx can dip a hair below zero from floating-point cancellation even
+        // on non-negative graphs; anything materially negative means the
+        // caller violated the non-negative-weights precondition.
+        DCS_CHECK(updated > -1e-9)
+            << "replicator requires non-negative weights";
+        updated = 0.0;
+      }
+      new_x[idx] = updated;
+    }
+    for (size_t idx = 0; idx < support.size(); ++idx) {
+      state->SetX(support[idx], new_x[idx]);
+    }
+    state->Renormalize();
+    const double f_new = state->Affinity();
+    const double gain = f_new - f;
+    f = f_new;
+    if (gain <= options.objective_tolerance) {
+      stats.converged = true;
+      return stats;
+    }
+  }
+  return stats;
+}
+
+}  // namespace dcs

@@ -1,0 +1,46 @@
+// Replicator-dynamics Shrink stage of the original SEA algorithm
+// (Liu et al. [18]; paper Appendix A).
+//
+//   x_i(t+1) = x_i(t) · (Dx)_i / xᵀDx ,   i in S,
+//
+// valid only for non-negative D (run on GD+). The baseline deliberately uses
+// the paper's *loose* convergence test — stop when the objective improves by
+// less than `objective_tolerance` (1e-6) in one sweep — which §V-C/§VI show
+// may stop short of a local KKT point and cause the subsequent Expansion to
+// *decrease* the objective ("errors in expansion", Table VII and Fig. 2b).
+
+#ifndef DCS_CORE_REPLICATOR_H_
+#define DCS_CORE_REPLICATOR_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/embedding.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// Options of the replicator Shrink stage.
+struct ReplicatorOptions {
+  /// Stop when one sweep improves f by no more than this (paper: 1e-6).
+  double objective_tolerance = 1e-6;
+  /// Hard cap on sweeps per Shrink call.
+  uint64_t max_sweeps = 200'000;
+};
+
+/// Statistics of one replicator Shrink run.
+struct ReplicatorStats {
+  uint64_t sweeps = 0;
+  bool converged = false;  ///< false iff max_sweeps was exhausted
+};
+
+/// \brief Runs replicator sweeps on the support of `state` until the
+/// objective stalls. Requires a graph with non-negative weights; entries
+/// outside the current support stay 0 (the dynamics cannot revive them).
+ReplicatorStats ReplicatorShrink(AffinityState* state,
+                                 const ReplicatorOptions& options = {});
+
+}  // namespace dcs
+
+#endif  // DCS_CORE_REPLICATOR_H_

@@ -1,0 +1,56 @@
+#include "core/sea.h"
+
+#include "core/expansion.h"
+
+namespace dcs {
+
+SeaRunStats RunSeaInPlace(AffinityState* state, const SeaOptions& options) {
+  SeaRunStats stats;
+  while (stats.rounds < options.max_rounds) {
+    ++stats.rounds;
+    const ReplicatorStats shrink = ReplicatorShrink(state, options.replicator);
+    stats.replicator_sweeps += shrink.sweeps;
+    // Faithful to the published SEA: Z = {i ∈ V : ∇_i f > λ} may intersect
+    // the support when the loose shrink test stopped short of a local KKT
+    // point — the mechanism behind the baseline's expansion errors.
+    const ExpansionResult expansion =
+        SeaExpand(state, /*margin=*/1e-9, /*include_support=*/true);
+    if (!expansion.expanded) {
+      stats.converged = true;
+      break;
+    }
+    // The expansion derivation assumes a local KKT point; the loose
+    // replicator stopping rule sometimes hands it less than that, in which
+    // case the "ascent" direction can point downhill.
+    if (expansion.f_after < expansion.f_before - 1e-12) {
+      ++stats.expansion_errors;
+    }
+  }
+  stats.affinity = state->Affinity();
+  return stats;
+}
+
+Result<SeaRunResult> RunSea(const Graph& gd_plus, const Embedding& x0,
+                            const SeaOptions& options) {
+  for (VertexId u = 0; u < gd_plus.NumVertices(); ++u) {
+    for (const Neighbor& nb : gd_plus.NeighborsOf(u)) {
+      if (nb.weight < 0.0) {
+        return Status::InvalidArgument(
+            "RunSea requires non-negative weights (run on GD+)");
+      }
+    }
+  }
+  AffinityState state(gd_plus);
+  DCS_RETURN_NOT_OK(state.ResetToEmbedding(x0));
+  const SeaRunStats stats = RunSeaInPlace(&state, options);
+  SeaRunResult result;
+  result.x = state.ToEmbedding();
+  result.affinity = stats.affinity;
+  result.rounds = stats.rounds;
+  result.replicator_sweeps = stats.replicator_sweeps;
+  result.expansion_errors = stats.expansion_errors;
+  result.converged = stats.converged;
+  return result;
+}
+
+}  // namespace dcs

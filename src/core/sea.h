@@ -1,0 +1,69 @@
+// The original SEA algorithm of Liu et al. [18] (paper Appendix A), used as
+// the experimental baseline "SEA+Refine" (§VI-A, Table VII, Fig. 2).
+//
+// Identical Shrink/Expand structure to SEACD (Algorithm 3), but the Shrink
+// stage is the replicator dynamics with the paper-faithful *loose*
+// convergence condition (objective gain ≤ 1e-6). Because that condition can
+// stop short of a local KKT point, the Expansion step — whose correctness
+// assumes a local KKT point — sometimes *reduces* the objective. Those events
+// are counted as `expansion_errors`, reproducing the "#Errors in SEA" column
+// of Table VII and the error-rate plot of Fig. 2b.
+
+#ifndef DCS_CORE_SEA_H_
+#define DCS_CORE_SEA_H_
+
+#include <cstdint>
+
+#include "core/embedding.h"
+#include "core/replicator.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// Options of a replicator-based SEA run.
+struct SeaOptions {
+  ReplicatorOptions replicator;
+  /// Hard cap on Shrink+Expand rounds. Because the loose shrink test lets
+  /// the expansion set keep re-including support vertices, the baseline can
+  /// oscillate for a long time before Z empties; the cap bounds that (the
+  /// run is still reported as not converged).
+  uint32_t max_rounds = 2'000;
+};
+
+/// Outcome of a replicator-based SEA run.
+struct SeaRunResult {
+  Embedding x;
+  double affinity = 0.0;
+  uint32_t rounds = 0;
+  uint64_t replicator_sweeps = 0;
+  /// Number of Expansion steps that decreased the objective — the Shrink
+  /// stage had not actually reached a local KKT point.
+  uint32_t expansion_errors = 0;
+  bool converged = false;
+};
+
+/// Lightweight statistics of an in-place SEA run.
+struct SeaRunStats {
+  double affinity = 0.0;
+  uint32_t rounds = 0;
+  uint64_t replicator_sweeps = 0;
+  uint32_t expansion_errors = 0;
+  bool converged = false;
+};
+
+/// \brief Runs SEA on `state` starting from its current embedding.
+///
+/// Precondition (checked only by the RunSea wrapper, for speed in
+/// multi-initialization loops): the state's graph has no negative weights.
+SeaRunStats RunSeaInPlace(AffinityState* state, const SeaOptions& options = {});
+
+/// \brief Runs SEA (replicator Shrink + Expansion) from `x0` on a
+/// non-negatively weighted graph (GD+). Fails if x0 is off the simplex or
+/// the graph has negative weights (the replicator dynamics would diverge).
+Result<SeaRunResult> RunSea(const Graph& gd_plus, const Embedding& x0,
+                            const SeaOptions& options = {});
+
+}  // namespace dcs
+
+#endif  // DCS_CORE_SEA_H_

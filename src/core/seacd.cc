@@ -1,0 +1,55 @@
+#include "core/seacd.h"
+
+#include <vector>
+
+#include "core/expansion.h"
+
+namespace dcs {
+
+SeacdRunStats RunSeacdInPlace(AffinityState* state,
+                              const SeacdOptions& options) {
+  SeacdRunStats stats;
+  std::vector<VertexId> working_set(state->support().begin(),
+                                    state->support().end());
+  while (stats.rounds < options.max_rounds) {
+    ++stats.rounds;
+    // Shrink: local KKT point on the working set.
+    const CoordinateDescentStats cd =
+        DescendToLocalKkt(state, working_set, options.descent);
+    stats.cd_iterations += cd.iterations;
+    // Expand: inject all vertices with gradient above λ.
+    const ExpansionResult expansion = SeaExpand(state);
+    if (!expansion.expanded) {
+      stats.converged = true;
+      break;
+    }
+    working_set.assign(state->support().begin(), state->support().end());
+  }
+  stats.affinity = state->Affinity();
+  return stats;
+}
+
+Result<SeacdResult> RunSeacd(const Graph& graph, const Embedding& x0,
+                             const SeacdOptions& options) {
+  AffinityState state(graph);
+  DCS_RETURN_NOT_OK(state.ResetToEmbedding(x0));
+  const SeacdRunStats stats = RunSeacdInPlace(&state, options);
+  SeacdResult result;
+  result.x = state.ToEmbedding();
+  result.affinity = stats.affinity;
+  result.rounds = stats.rounds;
+  result.cd_iterations = stats.cd_iterations;
+  result.converged = stats.converged;
+  return result;
+}
+
+Result<SeacdResult> RunSeacdFromVertex(const Graph& graph, VertexId seed,
+                                       const SeacdOptions& options) {
+  if (seed >= graph.NumVertices()) {
+    return Status::OutOfRange("seed vertex out of range");
+  }
+  return RunSeacd(graph, Embedding::UnitVector(graph.NumVertices(), seed),
+                  options);
+}
+
+}  // namespace dcs

@@ -1,0 +1,67 @@
+// SEACD — Coordinate-Descent Shrink-and-Expansion (Algorithm 3).
+//
+// Alternates (a) 2-coordinate descent to a local KKT point on the current
+// support (Shrink) with (b) the SEA Expansion step that injects every vertex
+// whose gradient exceeds λ = 2f (Expand), until the expansion set is empty —
+// at which point x satisfies the global KKT conditions of Eq. 7 (Theorem 4).
+
+#ifndef DCS_CORE_SEACD_H_
+#define DCS_CORE_SEACD_H_
+
+#include <cstdint>
+
+#include "core/coordinate_descent.h"
+#include "core/embedding.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// Options of the SEACD loop.
+struct SeacdOptions {
+  CoordinateDescentOptions descent;
+  /// Hard cap on Shrink+Expand rounds (the loop converges long before this).
+  uint32_t max_rounds = 10'000;
+};
+
+/// Outcome of a SEACD run.
+struct SeacdResult {
+  Embedding x;               ///< KKT point reached
+  double affinity = 0.0;     ///< f(x) = xᵀDx
+  uint32_t rounds = 0;       ///< Shrink+Expand rounds executed
+  uint64_t cd_iterations = 0;///< total coordinate-descent iterations
+  bool converged = false;    ///< true iff the expansion set emptied
+};
+
+/// Lightweight statistics of an in-place SEACD run (the embedding lives in
+/// the caller's AffinityState; nothing of size O(n) is copied).
+struct SeacdRunStats {
+  double affinity = 0.0;
+  uint32_t rounds = 0;
+  uint64_t cd_iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Runs Algorithm 3 on `state` starting from its current embedding.
+///
+/// The multi-initialization drivers (NewSEA, SEACD+Refine) call this with a
+/// single reused state — resetting and re-running costs O(support edges),
+/// not O(n), per initialization.
+SeacdRunStats RunSeacdInPlace(AffinityState* state,
+                              const SeacdOptions& options = {});
+
+/// \brief Runs Algorithm 3 from the initial embedding `x0`.
+///
+/// `graph` is typically GD+ (per §V-C the DCSGA optimum lives there), but any
+/// signed graph is accepted — coordinate descent handles negative entries.
+/// Fails if x0 is not on the simplex.
+Result<SeacdResult> RunSeacd(const Graph& graph, const Embedding& x0,
+                             const SeacdOptions& options = {});
+
+/// \brief Convenience: RunSeacd started from the unit vector e_seed.
+Result<SeacdResult> RunSeacdFromVertex(const Graph& graph, VertexId seed,
+                                       const SeacdOptions& options = {});
+
+}  // namespace dcs
+
+#endif  // DCS_CORE_SEACD_H_

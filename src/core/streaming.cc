@@ -1,0 +1,93 @@
+#include "core/streaming.h"
+
+#include <cmath>
+#include <string>
+
+#include "core/refinement.h"
+#include "util/logging.h"
+#include "core/seacd.h"
+#include "graph/graph_builder.h"
+
+namespace dcs {
+
+StreamingDcsMonitor::StreamingDcsMonitor(VertexId num_vertices, double alpha)
+    : num_vertices_(num_vertices), alpha_(alpha) {
+  DCS_CHECK(std::isfinite(alpha) && alpha > 0.0) << "alpha must be positive";
+}
+
+Status StreamingDcsMonitor::ApplyUpdate(StreamSide side, VertexId u,
+                                        VertexId v, double delta) {
+  if (u == v) {
+    return Status::InvalidArgument("self-loop update on vertex " +
+                                   std::to_string(u));
+  }
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    return Status::OutOfRange("update endpoint out of range");
+  }
+  if (!std::isfinite(delta)) {
+    return Status::InvalidArgument("non-finite update delta");
+  }
+  const double signed_delta =
+      side == StreamSide::kG2 ? delta : -alpha_ * delta;
+  double& weight = difference_weights_[PairKey(u, v)];
+  weight += signed_delta;
+  if (weight == 0.0) difference_weights_.erase(PairKey(u, v));
+  ++num_updates_;
+  dirty_ = true;
+  return Status::OK();
+}
+
+Result<Graph> StreamingDcsMonitor::DifferenceSnapshot() {
+  if (!dirty_) return snapshot_;
+  GraphBuilder builder(num_vertices_);
+  for (const auto& [key, weight] : difference_weights_) {
+    const VertexId u = static_cast<VertexId>(key >> 32);
+    const VertexId v = static_cast<VertexId>(key & 0xFFFFFFFFull);
+    DCS_RETURN_NOT_OK(builder.AddEdge(u, v, weight));
+  }
+  DCS_ASSIGN_OR_RETURN(snapshot_, builder.Build());
+  dirty_ = false;
+  ++num_rebuilds_;
+  return snapshot_;
+}
+
+Result<DcsadResult> StreamingDcsMonitor::MineDcsad() {
+  DCS_ASSIGN_OR_RETURN(Graph gd, DifferenceSnapshot());
+  return RunDcsGreedy(gd);
+}
+
+Result<DcsgaResult> StreamingDcsMonitor::MineDcsga(
+    const DcsgaOptions& options) {
+  DCS_ASSIGN_OR_RETURN(Graph gd, DifferenceSnapshot());
+  const Graph gd_plus = gd.PositivePart();
+
+  // Warm start: re-descend from the previous support (if still meaningful)
+  // so a drifting story is tracked without a full restart.
+  DcsgaResult warm;
+  warm.x = Embedding::UnitVector(std::max<VertexId>(gd_plus.NumVertices(), 1), 0);
+  warm.affinity = 0.0;
+  if (!last_support_.empty()) {
+    bool valid = true;
+    for (VertexId v : last_support_) valid &= v < gd_plus.NumVertices();
+    if (valid) {
+      AffinityState state(gd_plus);
+      Status reset = state.ResetToEmbedding(
+          Embedding::UniformOn(gd_plus.NumVertices(), last_support_));
+      if (reset.ok()) {
+        RunSeacdInPlace(&state, options.seacd);
+        RefineInPlace(&state, options.refinement_descent);
+        warm.affinity = state.Affinity();
+        warm.x = state.ToEmbedding();
+        warm.support = warm.x.Support();
+      }
+    }
+  }
+
+  DCS_ASSIGN_OR_RETURN(DcsgaResult fresh, RunNewSea(gd_plus, options));
+  DcsgaResult best = fresh.affinity >= warm.affinity ? std::move(fresh)
+                                                     : std::move(warm);
+  last_support_ = best.support;
+  return best;
+}
+
+}  // namespace dcs

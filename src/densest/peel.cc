@@ -1,0 +1,65 @@
+#include "densest/peel.h"
+
+#include "util/logging.h"
+#include "util/segment_tree.h"
+
+namespace dcs {
+
+PeelResult GreedyPeel(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  PeelResult result;
+  if (n == 0) return result;
+
+  std::vector<double> degrees(n);
+  double total_degree = 0.0;  // W(S) for the current S
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = graph.WeightedDegree(v);
+    total_degree += degrees[v];
+  }
+  MinSegmentTree tree(degrees);
+
+  // Best prefix: after removing the first `t` vertices of peel_order the
+  // density is density_after[t]; t = 0 is the full vertex set.
+  double best_density = total_degree / static_cast<double>(n);
+  size_t best_removed = 0;
+
+  result.peel_order.reserve(n);
+  std::vector<char> removed(n, 0);
+  for (VertexId remaining = n; remaining > 1; --remaining) {
+    const MinSegmentTree::MinEntry min_entry = tree.Min();
+    DCS_CHECK(min_entry.index != MinSegmentTree::kNoIndex);
+    const VertexId victim = static_cast<VertexId>(min_entry.index);
+    // Removing `victim` subtracts its current induced degree from every
+    // neighbor and removes it twice over from W(S) (its row and its column).
+    total_degree -= 2.0 * min_entry.value;
+    tree.Erase(victim);
+    removed[victim] = 1;
+    result.peel_order.push_back(victim);
+    for (const Neighbor& nb : graph.NeighborsOf(victim)) {
+      if (!removed[nb.to]) tree.Add(nb.to, -nb.weight);
+    }
+    const double density =
+        total_degree / static_cast<double>(remaining - 1);
+    if (density > best_density) {
+      best_density = density;
+      best_removed = result.peel_order.size();
+    }
+  }
+  // Complete the peel order for callers that want the full permutation.
+  {
+    const MinSegmentTree::MinEntry last = tree.Min();
+    if (last.index != MinSegmentTree::kNoIndex) {
+      result.peel_order.push_back(static_cast<VertexId>(last.index));
+    }
+  }
+
+  result.density = best_density;
+  std::vector<char> in_best(n, 1);
+  for (size_t t = 0; t < best_removed; ++t) in_best[result.peel_order[t]] = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_best[v]) result.subset.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace dcs

@@ -1,0 +1,127 @@
+#include "gen/coauthor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "gen/random_graphs.h"
+#include "graph/graph_builder.h"
+
+namespace dcs {
+namespace {
+
+// Adds planted-group collaborations: roughly Poisson(pairwise mean) papers
+// per pair, at least 1 so the group is an actual clique in its hot era.
+Status AddGroupEra(GraphBuilder* builder, const PlantedGroup& group,
+                   double mean_pairs, Rng* rng) {
+  if (mean_pairs <= 0.0) return Status::OK();
+  for (size_t i = 0; i < group.members.size(); ++i) {
+    for (size_t j = i + 1; j < group.members.size(); ++j) {
+      const double papers =
+          1.0 + static_cast<double>(rng->Poisson(mean_pairs - 1.0));
+      DCS_RETURN_NOT_OK(
+          builder->AddEdge(group.members[i], group.members[j], papers));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CoauthorData> GenerateCoauthorData(const CoauthorConfig& config,
+                                          Rng* rng) {
+  const VertexId n = config.num_authors;
+  size_t planted_total = 0;
+  for (uint32_t s : config.emerging_sizes) planted_total += s;
+  for (uint32_t s : config.disappearing_sizes) planted_total += s;
+  if (planted_total > n) {
+    return Status::InvalidArgument(
+        "planted groups need more authors than available");
+  }
+  for (uint32_t s : config.emerging_sizes) {
+    if (s < 2) return Status::InvalidArgument("group size must be >= 2");
+  }
+  for (uint32_t s : config.disappearing_sizes) {
+    if (s < 2) return Status::InvalidArgument("group size must be >= 2");
+  }
+
+  // Disjoint member sets for all planted groups.
+  std::vector<uint32_t> pool = rng->SampleWithoutReplacement(
+      n, static_cast<uint32_t>(planted_total));
+  size_t cursor = 0;
+  auto take_group = [&](const char* prefix, size_t index,
+                        uint32_t size) -> PlantedGroup {
+    PlantedGroup group;
+    group.name = std::string(prefix) + " group #" + std::to_string(index + 1);
+    group.members.assign(pool.begin() + cursor, pool.begin() + cursor + size);
+    std::sort(group.members.begin(), group.members.end());
+    cursor += size;
+    return group;
+  };
+
+  CoauthorData data;
+  for (size_t g = 0; g < config.emerging_sizes.size(); ++g) {
+    PlantedGroup group =
+        take_group("Emerging", g, config.emerging_sizes[g]);
+    group.pairwise_papers = config.planted_pairwise_papers;
+    data.emerging.push_back(std::move(group));
+  }
+  for (size_t g = 0; g < config.disappearing_sizes.size(); ++g) {
+    PlantedGroup group =
+        take_group("Disappearing", g, config.disappearing_sizes[g]);
+    group.pairwise_papers = config.planted_pairwise_papers;
+    data.disappearing.push_back(std::move(group));
+  }
+
+  // Backbone: one Chung–Lu collaboration structure; each edge appears in
+  // era 1 and/or era 2 with correlated paper counts.
+  ChungLuParams backbone_params;
+  backbone_params.n = n;
+  backbone_params.average_degree = config.backbone_average_degree;
+  backbone_params.exponent = config.backbone_exponent;
+  backbone_params.weight_geometric_p = 1.0;  // weights re-drawn below
+  DCS_ASSIGN_OR_RETURN(Graph backbone, ChungLu(backbone_params, rng));
+
+  GraphBuilder builder1(n);
+  GraphBuilder builder2(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : backbone.NeighborsOf(u)) {
+      if (u >= nb.to) continue;
+      const double base_papers =
+          1.0 + static_cast<double>(rng->Geometric(config.backbone_weight_p));
+      bool in_era1 = rng->Bernoulli(0.75);
+      bool in_era2 = in_era1 ? rng->Bernoulli(config.era_persistence)
+                             : rng->Bernoulli(0.75);
+      if (!in_era1 && !in_era2) in_era1 = true;  // every backbone edge exists
+      if (in_era1) {
+        const double jitter = static_cast<double>(rng->UniformInt(0, 1));
+        DCS_RETURN_NOT_OK(builder1.AddEdge(u, nb.to, base_papers + jitter));
+      }
+      if (in_era2) {
+        const double jitter = static_cast<double>(rng->UniformInt(0, 1));
+        DCS_RETURN_NOT_OK(builder2.AddEdge(u, nb.to, base_papers + jitter));
+      }
+    }
+  }
+
+  // Planted groups: heavy clique in the hot era, light/no presence in the
+  // cold era.
+  for (const PlantedGroup& group : data.emerging) {
+    DCS_RETURN_NOT_OK(AddGroupEra(&builder2, group,
+                                  config.planted_pairwise_papers, rng));
+    DCS_RETURN_NOT_OK(
+        AddGroupEra(&builder1, group, config.planted_cold_papers, rng));
+  }
+  for (const PlantedGroup& group : data.disappearing) {
+    DCS_RETURN_NOT_OK(AddGroupEra(&builder1, group,
+                                  config.planted_pairwise_papers, rng));
+    DCS_RETURN_NOT_OK(
+        AddGroupEra(&builder2, group, config.planted_cold_papers, rng));
+  }
+
+  DCS_ASSIGN_OR_RETURN(data.g1, builder1.Build());
+  DCS_ASSIGN_OR_RETURN(data.g2, builder2.Build());
+  return data;
+}
+
+}  // namespace dcs

@@ -1,0 +1,71 @@
+// Interest-vs-social network-pair generator — synthetic analog of the
+// paper's Douban Movie/Book experiments (§B-2 of the appendix; substitution
+// documented in DESIGN.md §3).
+//
+// Produces a social graph G1 and an interest-similarity graph G2 over the
+// same users, both uniformly weighted (weight 1) like the paper's Douban
+// construction:
+//  * users belong to latent taste clusters; interest edges connect users of
+//    a cluster with probability `interest_density`;
+//  * social edges follow a Chung–Lu backbone plus intra-cluster friendship
+//    bias (`social_cluster_bias`) — interest and social structure overlap
+//    but do not coincide;
+//  * planted interest-only cliques (high interest, no friendship) and
+//    social-only cliques give the Interest−Social and Social−Interest
+//    difference graphs unambiguous positive cliques — the structures Fig. 3
+//    counts.
+// A "movie-like" profile has denser interest similarity than a "book-like"
+// profile (the paper's Movie vs Book contrast).
+
+#ifndef DCS_GEN_INTEREST_SOCIAL_H_
+#define DCS_GEN_INTEREST_SOCIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// Configuration of the interest/social generator.
+struct InterestSocialConfig {
+  VertexId num_users = 15'000;
+  /// Latent taste clusters. (Cluster size 30 with densities ≤ ~0.3 keeps
+  /// *incidental* 6-cliques inside clusters rare, so the Fig. 3 clique
+  /// census is dominated by the planted structure.)
+  uint32_t num_clusters = 120;
+  uint32_t cluster_size = 30;
+  /// Edge probability among same-cluster users in the interest graph.
+  double interest_density = 0.30;
+  /// Extra probability of friendship among same-cluster users.
+  double social_cluster_bias = 0.18;
+  /// Social backbone.
+  double social_average_degree = 9.0;
+  double social_exponent = 2.3;
+  /// Planted cliques present only in the interest graph / only in the
+  /// social graph (sizes).
+  std::vector<uint32_t> interest_only_cliques = {12, 10, 9};
+  std::vector<uint32_t> social_only_cliques = {11, 9};
+};
+
+/// Canned profiles mirroring the paper's two interests.
+InterestSocialConfig MovieLikeConfig();
+InterestSocialConfig BookLikeConfig();
+
+/// Output of the generator.
+struct InterestSocialData {
+  Graph social;    ///< G1 (unit weights)
+  Graph interest;  ///< G2 (unit weights)
+  std::vector<std::vector<VertexId>> interest_only_cliques;
+  std::vector<std::vector<VertexId>> social_only_cliques;
+};
+
+/// \brief Generates the user pair of graphs.
+Result<InterestSocialData> GenerateInterestSocialData(
+    const InterestSocialConfig& config, Rng* rng);
+
+}  // namespace dcs
+
+#endif  // DCS_GEN_INTEREST_SOCIAL_H_

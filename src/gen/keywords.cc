@@ -1,0 +1,173 @@
+#include "gen/keywords.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace dcs {
+namespace {
+
+// Sparse pair-count accumulator keyed by (min_id << 32 | max_id).
+using PairCounts = std::unordered_map<uint64_t, uint32_t>;
+
+void CountPairs(const std::vector<VertexId>& title_words, PairCounts* counts) {
+  for (size_t i = 0; i < title_words.size(); ++i) {
+    for (size_t j = i + 1; j < title_words.size(); ++j) {
+      VertexId a = title_words[i], b = title_words[j];
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+      ++(*counts)[key];
+    }
+  }
+}
+
+Result<Graph> CountsToGraph(const PairCounts& counts, VertexId n,
+                            uint32_t num_titles) {
+  GraphBuilder builder(n);
+  const double per_title = 100.0 / static_cast<double>(num_titles);
+  for (const auto& [key, count] : counts) {
+    const VertexId a = static_cast<VertexId>(key >> 32);
+    const VertexId b = static_cast<VertexId>(key & 0xFFFFFFFFull);
+    DCS_RETURN_NOT_OK(
+        builder.AddEdge(a, b, per_title * static_cast<double>(count)));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+std::vector<Topic> DefaultDataMiningTopics() {
+  auto topic = [](std::string label, std::vector<std::string> kws,
+                  TopicTrend trend, double popularity) {
+    Topic t;
+    t.label = std::move(label);
+    t.keywords = std::move(kws);
+    t.trend = trend;
+    t.popularity = popularity;
+    return t;
+  };
+  return {
+      // Emerging topics (Table V, left column).
+      topic("social networks", {"social", "networks"}, TopicTrend::kEmerging,
+            5.0),
+      topic("large scale", {"large", "scale"}, TopicTrend::kEmerging, 3.6),
+      topic("matrix factorization", {"matrix", "factorization"},
+            TopicTrend::kEmerging, 3.2),
+      topic("semi-supervised learning", {"semi", "supervised", "learning"},
+            TopicTrend::kEmerging, 2.8),
+      topic("unsupervised feature selection",
+            {"unsupervised", "feature", "selection"}, TopicTrend::kEmerging,
+            2.4),
+      // Disappearing topics (Table V, right column).
+      topic("association rules", {"mining", "association", "rules"},
+            TopicTrend::kDisappearing, 5.0),
+      topic("knowledge discovery", {"knowledge", "discovery"},
+            TopicTrend::kDisappearing, 3.6),
+      topic("support vector machines", {"support", "vector", "machines"},
+            TopicTrend::kDisappearing, 3.2),
+      topic("inductive logic programming", {"logic", "inductive", "programming"},
+            TopicTrend::kDisappearing, 2.8),
+      topic("intrusion detection", {"intrusion", "detection"},
+            TopicTrend::kDisappearing, 2.4),
+      // Stable distractors (Table VI: hot in both eras, hence *not* DCS).
+      topic("time series", {"time", "series"}, TopicTrend::kStable, 6.0),
+      topic("feature selection", {"feature", "selection"}, TopicTrend::kStable,
+            4.0),
+      topic("decision trees", {"decision", "trees"}, TopicTrend::kStable, 2.5),
+      topic("nearest neighbor", {"nearest", "neighbor"}, TopicTrend::kStable,
+            2.0),
+      topic("clustering", {"clustering", "algorithms"}, TopicTrend::kStable,
+            1.8),
+  };
+}
+
+Result<KeywordData> GenerateKeywordData(const KeywordConfig& config,
+                                        Rng* rng) {
+  if (config.titles_per_era == 0) {
+    return Status::InvalidArgument("titles_per_era must be >= 1");
+  }
+  KeywordData data;
+  data.topics = config.topics.empty() ? DefaultDataMiningTopics() : config.topics;
+
+  // Assign vertex ids: planted keywords first (deduplicated), then noise.
+  std::unordered_map<std::string, VertexId> word_id;
+  for (const Topic& t : data.topics) {
+    if (t.keywords.size() < 2) {
+      return Status::InvalidArgument("topic '" + t.label +
+                                     "' needs >= 2 keywords");
+    }
+    for (const std::string& kw : t.keywords) {
+      if (!word_id.contains(kw)) {
+        const VertexId id = static_cast<VertexId>(data.vocabulary.size());
+        word_id[kw] = id;
+        data.vocabulary.push_back(kw);
+      }
+    }
+  }
+  const VertexId first_noise_id = static_cast<VertexId>(data.vocabulary.size());
+  for (uint32_t i = 0; i < config.noise_vocabulary; ++i) {
+    data.vocabulary.push_back("kw" + std::to_string(i));
+  }
+  const VertexId n = static_cast<VertexId>(data.vocabulary.size());
+  for (const Topic& t : data.topics) {
+    std::vector<VertexId> members;
+    for (const std::string& kw : t.keywords) members.push_back(word_id[kw]);
+    std::sort(members.begin(), members.end());
+    data.topic_members.push_back(std::move(members));
+  }
+
+  // Per-era topic sampling weights.
+  auto era_weight = [&](const Topic& t, int era) {
+    const bool hot = t.trend == TopicTrend::kStable ||
+                     (era == 1 && t.trend == TopicTrend::kDisappearing) ||
+                     (era == 2 && t.trend == TopicTrend::kEmerging);
+    return hot ? t.popularity : t.popularity * config.cold_popularity_fraction;
+  };
+
+  for (int era = 1; era <= 2; ++era) {
+    std::vector<double> cumulative;
+    double total = 0.0;
+    for (const Topic& t : data.topics) {
+      total += era_weight(t, era);
+      cumulative.push_back(total);
+    }
+    PairCounts counts;
+    std::vector<VertexId> title;
+    for (uint32_t i = 0; i < config.titles_per_era; ++i) {
+      title.clear();
+      if (!rng->Bernoulli(config.topicless_fraction)) {
+        const double pick = rng->Uniform(0.0, total);
+        const size_t idx = static_cast<size_t>(
+            std::lower_bound(cumulative.begin(), cumulative.end(), pick) -
+            cumulative.begin());
+        for (VertexId v : data.topic_members[std::min(
+                 idx, data.topic_members.size() - 1)]) {
+          title.push_back(v);
+        }
+      }
+      for (uint32_t w = 0; w < config.noise_words_per_title; ++w) {
+        if (config.noise_vocabulary <= config.num_stop_words) break;
+        // Sample a Zipf rank and discard the top ranks (stop words): the
+        // remaining ranks keep their relative frequencies.
+        const VertexId rank = static_cast<VertexId>(
+            rng->Zipf(config.noise_vocabulary, config.noise_zipf_exponent));
+        if (rank < config.num_stop_words) continue;  // stop word removed
+        title.push_back(first_noise_id + rank);
+      }
+      CountPairs(title, &counts);
+    }
+    DCS_ASSIGN_OR_RETURN(Graph g, CountsToGraph(counts, n,
+                                                config.titles_per_era));
+    if (era == 1) {
+      data.g1 = std::move(g);
+    } else {
+      data.g2 = std::move(g);
+    }
+  }
+  return data;
+}
+
+}  // namespace dcs

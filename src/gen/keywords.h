@@ -1,0 +1,82 @@
+// Two-era keyword co-occurrence generator — synthetic analog of the paper's
+// "DM" dataset of data-mining paper titles (§VI-C; substitution documented
+// in DESIGN.md §3).
+//
+// Titles are simulated per era: each title samples one topic (a small set of
+// keywords that co-occur) according to era-specific topic popularity, plus
+// background noise words. Edge weights follow the paper's recipe: 100 × the
+// fraction of titles in which both keywords appear. Planted topics use the
+// actual vocabulary of the paper's Tables V/VI ("social networks", "matrix
+// factorization", "association rules", ...), so the reproduction tables read
+// like the originals.
+
+#ifndef DCS_GEN_KEYWORDS_H_
+#define DCS_GEN_KEYWORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// How a planted topic's popularity evolves between the eras.
+enum class TopicTrend {
+  kEmerging,      ///< popular in era 2 only
+  kDisappearing,  ///< popular in era 1 only
+  kStable,        ///< popular in both (the "time series" distractor)
+};
+
+/// One topic with its keyword strings and per-era popularity weight.
+struct Topic {
+  std::string label;                   ///< e.g. "social networks"
+  std::vector<std::string> keywords;
+  TopicTrend trend = TopicTrend::kStable;
+  double popularity = 1.0;             ///< relative sampling weight when hot
+};
+
+/// Configuration of the keyword generator.
+struct KeywordConfig {
+  /// Background vocabulary size (ids beyond the planted keywords).
+  uint32_t noise_vocabulary = 3000;
+  /// Titles per era.
+  uint32_t titles_per_era = 30'000;
+  /// Noise words appended to each title.
+  uint32_t noise_words_per_title = 4;
+  /// Zipf exponent of noise-word usage.
+  double noise_zipf_exponent = 1.3;
+  /// The most frequent `num_stop_words` noise ranks are treated as stop
+  /// words and removed from titles, mirroring the paper's preprocessing
+  /// ("we removed all stop words"). Without this, an ultra-frequent filler
+  /// word co-occurs with every hot topic and leaks into the contrast.
+  uint32_t num_stop_words = 3;
+  /// Popularity of a topic in its cold era, as a fraction of its hot
+  /// popularity.
+  double cold_popularity_fraction = 0.12;
+  /// Fraction of titles that carry no topic at all (pure noise).
+  double topicless_fraction = 0.35;
+  /// Topics; empty selects DefaultDataMiningTopics().
+  std::vector<Topic> topics;
+};
+
+/// Output of the keyword generator.
+struct KeywordData {
+  Graph g1;  ///< era-1 association graph (weight = 100·co-occurrence rate)
+  Graph g2;  ///< era-2 association graph
+  std::vector<std::string> vocabulary;  ///< keyword string per vertex id
+  std::vector<Topic> topics;            ///< with resolved keyword ids below
+  std::vector<std::vector<VertexId>> topic_members;  ///< per topic
+};
+
+/// The planted topic set modeled on Tables V/VI of the paper.
+std::vector<Topic> DefaultDataMiningTopics();
+
+/// \brief Simulates both eras and builds the two association graphs.
+Result<KeywordData> GenerateKeywordData(const KeywordConfig& config, Rng* rng);
+
+}  // namespace dcs
+
+#endif  // DCS_GEN_KEYWORDS_H_

@@ -1,0 +1,162 @@
+#include "gen/random_graphs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace dcs {
+namespace {
+
+Status ValidateProbability(double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("probability out of [0,1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Graph> ErdosRenyi(VertexId n, double p, Rng* rng) {
+  return ErdosRenyiWeighted(n, p, 1.0, 1.0, rng);
+}
+
+Result<Graph> ErdosRenyiWeighted(VertexId n, double p, double weight_lo,
+                                 double weight_hi, Rng* rng) {
+  DCS_RETURN_NOT_OK(ValidateProbability(p));
+  if (weight_lo > weight_hi) {
+    return Status::InvalidArgument("weight_lo > weight_hi");
+  }
+  GraphBuilder builder(n);
+  if (p > 0.0 && n > 1) {
+    // Skip-sampling over the (u < v) pair sequence: geometric jumps between
+    // successful trials, O(n + m) in expectation.
+    const uint64_t total_pairs =
+        static_cast<uint64_t>(n) * (n - 1) / 2;
+    uint64_t index = rng->Geometric(p);
+    while (index < total_pairs) {
+      // Decode linear index -> (u, v), u < v.
+      const double ud =
+          std::floor((2.0 * static_cast<double>(n) - 1.0 -
+                      std::sqrt((2.0 * n - 1.0) * (2.0 * n - 1.0) -
+                                8.0 * static_cast<double>(index))) /
+                     2.0);
+      VertexId u = static_cast<VertexId>(ud);
+      // Guard the float decode against off-by-one at block boundaries.
+      auto block_start = [&](VertexId a) {
+        return static_cast<uint64_t>(a) * (2ull * n - a - 1) / 2;
+      };
+      while (u > 0 && block_start(u) > index) --u;
+      while (block_start(u + 1) <= index) ++u;
+      const VertexId v =
+          static_cast<VertexId>(u + 1 + (index - block_start(u)));
+      const double w = weight_lo == weight_hi
+                           ? weight_lo
+                           : rng->Uniform(weight_lo, weight_hi);
+      if (w != 0.0) DCS_RETURN_NOT_OK(builder.AddEdge(u, v, w));
+      index += 1 + rng->Geometric(p);
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> ChungLu(const ChungLuParams& params, Rng* rng) {
+  const VertexId n = params.n;
+  if (n == 0) return Status::InvalidArgument("n must be >= 1");
+  if (params.exponent <= 1.0) {
+    return Status::InvalidArgument("exponent must exceed 1");
+  }
+  if (!(params.weight_geometric_p > 0.0 && params.weight_geometric_p <= 1.0)) {
+    return Status::InvalidArgument("weight_geometric_p out of (0,1]");
+  }
+  // Power-law weights θ_i ∝ (i+1)^{−1/(γ−1)}, rescaled to the target average
+  // degree, then sorted descending (they already are).
+  std::vector<double> theta(n);
+  const double power = -1.0 / (params.exponent - 1.0);
+  double theta_sum = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    theta[i] = std::pow(static_cast<double>(i + 1), power);
+    theta_sum += theta[i];
+  }
+  const double scale =
+      params.average_degree * static_cast<double>(n) / theta_sum;
+  for (double& t : theta) t *= scale;
+  theta_sum *= scale;
+  // Cap θ at sqrt(Σθ) so that θ_u·θ_v/Σθ stays a probability.
+  const double cap = std::sqrt(theta_sum);
+  for (double& t : theta) t = std::min(t, cap);
+
+  GraphBuilder builder(n);
+  // Miller–Hagberg: for each u, walk v > u with geometric skips computed at
+  // the current probability, correcting by rejection when p drops.
+  for (VertexId u = 0; u + 1 < n; ++u) {
+    VertexId v = u + 1;
+    double p = std::min(1.0, theta[u] * theta[v] / theta_sum);
+    while (v < n && p > 0.0) {
+      if (p < 1.0) {
+        const uint64_t skip = rng->Geometric(p);
+        if (skip > static_cast<uint64_t>(n - v)) break;
+        v += static_cast<VertexId>(skip);
+      }
+      if (v >= n) break;
+      const double q = std::min(1.0, theta[u] * theta[v] / theta_sum);
+      if (rng->NextDouble() < q / p) {
+        const double w =
+            1.0 + static_cast<double>(rng->Geometric(params.weight_geometric_p));
+        DCS_RETURN_NOT_OK(builder.AddEdge(u, v, w));
+      }
+      p = q;
+      ++v;
+    }
+  }
+  return builder.Build();
+}
+
+Status AddClique(GraphBuilder* builder, std::span<const VertexId> members,
+                 double weight) {
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      DCS_RETURN_NOT_OK(builder->AddEdge(members[i], members[j], weight));
+    }
+  }
+  return Status::OK();
+}
+
+Status AddCliqueUniform(GraphBuilder* builder,
+                        std::span<const VertexId> members, double weight_lo,
+                        double weight_hi, Rng* rng) {
+  if (weight_lo > weight_hi) {
+    return Status::InvalidArgument("weight_lo > weight_hi");
+  }
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      DCS_RETURN_NOT_OK(builder->AddEdge(members[i], members[j],
+                                         rng->Uniform(weight_lo, weight_hi)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Graph> RandomSignedGraph(VertexId n, size_t m, double positive_fraction,
+                                double magnitude_lo, double magnitude_hi,
+                                Rng* rng) {
+  DCS_RETURN_NOT_OK(ValidateProbability(positive_fraction));
+  if (n < 2 && m > 0) return Status::InvalidArgument("n too small for edges");
+  if (!(magnitude_lo > 0.0) || magnitude_lo > magnitude_hi) {
+    return Status::InvalidArgument("need 0 < magnitude_lo <= magnitude_hi");
+  }
+  GraphBuilder builder(n);
+  for (size_t k = 0; k < m; ++k) {
+    const VertexId u = static_cast<VertexId>(rng->NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng->NextBounded(n - 1));
+    if (v >= u) ++v;
+    const double magnitude = rng->Uniform(magnitude_lo, magnitude_hi);
+    const double w =
+        rng->Bernoulli(positive_fraction) ? magnitude : -magnitude;
+    DCS_RETURN_NOT_OK(builder.AddEdge(u, v, w));
+  }
+  return builder.Build();
+}
+
+}  // namespace dcs

@@ -1,0 +1,63 @@
+// Elementary random-graph generators (substrate for the dataset generators
+// and for test/benchmark sweeps).
+//
+// All generators are deterministic functions of the caller-supplied Rng.
+
+#ifndef DCS_GEN_RANDOM_GRAPHS_H_
+#define DCS_GEN_RANDOM_GRAPHS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// \brief G(n, p) with unit edge weights.
+Result<Graph> ErdosRenyi(VertexId n, double p, Rng* rng);
+
+/// \brief G(n, p) with edge weights uniform in [weight_lo, weight_hi].
+Result<Graph> ErdosRenyiWeighted(VertexId n, double p, double weight_lo,
+                                 double weight_hi, Rng* rng);
+
+/// Parameters of a Chung–Lu power-law graph.
+struct ChungLuParams {
+  VertexId n = 1000;
+  /// Target average (unweighted) degree.
+  double average_degree = 8.0;
+  /// Degree-distribution exponent (typical social graphs: 2–3).
+  double exponent = 2.5;
+  /// Edge weights are drawn as 1 + Geometric(weight_geometric_p); set
+  /// weight_geometric_p = 1 for unit weights.
+  double weight_geometric_p = 1.0;
+};
+
+/// \brief Chung–Lu model: P(u~v) ≈ min(1, θ_u·θ_v/Σθ) with θ following a
+/// power law. Uses the Miller–Hagberg skip-sampling, O(n + m) in expectation.
+Result<Graph> ChungLu(const ChungLuParams& params, Rng* rng);
+
+/// \brief Adds a uniformly weighted clique over `members` to `builder`
+/// (weights accumulate with whatever is already queued).
+Status AddClique(GraphBuilder* builder, std::span<const VertexId> members,
+                 double weight);
+
+/// \brief Adds a clique whose per-edge weights are drawn uniformly from
+/// [weight_lo, weight_hi].
+Status AddCliqueUniform(GraphBuilder* builder,
+                        std::span<const VertexId> members, double weight_lo,
+                        double weight_hi, Rng* rng);
+
+/// \brief A graph with exactly ~m random edges whose weights are positive
+/// with probability `positive_fraction` (magnitudes uniform in
+/// [magnitude_lo, magnitude_hi]) — a generic signed difference graph.
+Result<Graph> RandomSignedGraph(VertexId n, size_t m, double positive_fraction,
+                                double magnitude_lo, double magnitude_hi,
+                                Rng* rng);
+
+}  // namespace dcs
+
+#endif  // DCS_GEN_RANDOM_GRAPHS_H_

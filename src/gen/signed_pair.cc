@@ -1,0 +1,97 @@
+#include "gen/signed_pair.h"
+
+#include <algorithm>
+
+#include "gen/random_graphs.h"
+#include "graph/graph_builder.h"
+
+namespace dcs {
+namespace {
+
+// Exponential-ish positive magnitude with the given mean (geometric + 1 to
+// stay strictly positive, like interaction counts).
+double InteractionMagnitude(double mean, double cap, Rng* rng) {
+  if (mean <= 1.0) return rng->Bernoulli(mean) ? 1.0 : 0.0;
+  const double p = 1.0 / mean;
+  const double magnitude = 1.0 + static_cast<double>(rng->Geometric(p));
+  return std::min(magnitude, cap);
+}
+
+Status AddPlantedCommunity(GraphBuilder* pos_builder,
+                           GraphBuilder* neg_builder,
+                           const std::vector<VertexId>& members,
+                           double edge_probability, double pos_mean,
+                           double neg_mean, double cap, Rng* rng) {
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      if (!rng->Bernoulli(edge_probability)) continue;
+      const double pos = InteractionMagnitude(pos_mean, cap, rng);
+      const double neg = InteractionMagnitude(neg_mean, cap, rng);
+      if (pos > 0.0) {
+        DCS_RETURN_NOT_OK(pos_builder->AddEdge(members[i], members[j], pos));
+      }
+      if (neg > 0.0) {
+        DCS_RETURN_NOT_OK(neg_builder->AddEdge(members[i], members[j], neg));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SignedPairData> GenerateSignedPairData(const SignedPairConfig& config,
+                                              Rng* rng) {
+  const VertexId n = config.num_editors;
+  const uint32_t planted_total =
+      config.consistent_size + config.conflicting_size;
+  if (planted_total > n) {
+    return Status::InvalidArgument("planted communities exceed editor count");
+  }
+
+  SignedPairData data;
+  std::vector<uint32_t> pool = rng->SampleWithoutReplacement(n, planted_total);
+  data.consistent_group.assign(pool.begin(),
+                               pool.begin() + config.consistent_size);
+  data.conflicting_group.assign(pool.begin() + config.consistent_size,
+                                pool.end());
+  std::sort(data.consistent_group.begin(), data.consistent_group.end());
+  std::sort(data.conflicting_group.begin(), data.conflicting_group.end());
+
+  // Backbone: editors interacting on the same pages produce correlated
+  // positive and negative weight on the same pairs.
+  ChungLuParams backbone_params;
+  backbone_params.n = n;
+  backbone_params.average_degree = config.backbone_average_degree;
+  backbone_params.exponent = config.backbone_exponent;
+  DCS_ASSIGN_OR_RETURN(Graph backbone, ChungLu(backbone_params, rng));
+
+  GraphBuilder pos_builder(n);
+  GraphBuilder neg_builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : backbone.NeighborsOf(u)) {
+      if (u >= nb.to) continue;
+      const double pos = InteractionMagnitude(config.backbone_positive_mean,
+                                              config.max_interaction, rng);
+      const double neg = InteractionMagnitude(config.backbone_negative_mean,
+                                              config.max_interaction, rng);
+      if (pos > 0.0) DCS_RETURN_NOT_OK(pos_builder.AddEdge(u, nb.to, pos));
+      if (neg > 0.0) DCS_RETURN_NOT_OK(neg_builder.AddEdge(u, nb.to, neg));
+    }
+  }
+
+  DCS_RETURN_NOT_OK(AddPlantedCommunity(
+      &pos_builder, &neg_builder, data.consistent_group,
+      config.planted_edge_probability, config.planted_strong_mean,
+      config.planted_weak_mean, config.max_interaction, rng));
+  DCS_RETURN_NOT_OK(AddPlantedCommunity(
+      &pos_builder, &neg_builder, data.conflicting_group,
+      config.planted_edge_probability, config.planted_weak_mean,
+      config.planted_strong_mean, config.max_interaction, rng));
+
+  DCS_ASSIGN_OR_RETURN(data.positive, pos_builder.Build());
+  DCS_ASSIGN_OR_RETURN(data.negative, neg_builder.Build());
+  return data;
+}
+
+}  // namespace dcs

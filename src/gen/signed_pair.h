@@ -1,0 +1,62 @@
+// Signed interaction-pair generator — synthetic analog of the paper's
+// wikiconflict dataset (§B-1 of the appendix; substitution documented in
+// DESIGN.md §3).
+//
+// Produces a positive-interaction graph G1 and a negative-interaction graph
+// G2 over the same editors:
+//  * a shared Chung–Lu activity backbone — editors who touch the same pages
+//    accumulate both positive and negative interaction weight;
+//  * a planted *consistent* community (strong positive, weak negative) and a
+//    planted *conflicting* community (edit wars: strong negative, weak
+//    positive). The consistent DCS is mined from GD = G1 − G2, the
+//    conflicting one from G2 − G1.
+
+#ifndef DCS_GEN_SIGNED_PAIR_H_
+#define DCS_GEN_SIGNED_PAIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// Configuration of the signed-pair generator.
+struct SignedPairConfig {
+  VertexId num_editors = 20'000;
+  double backbone_average_degree = 12.0;
+  double backbone_exponent = 2.2;
+  /// Mean interaction magnitudes on backbone edges.
+  double backbone_positive_mean = 2.0;
+  double backbone_negative_mean = 2.5;
+  /// Planted community sizes.
+  uint32_t consistent_size = 150;
+  uint32_t conflicting_size = 90;
+  /// Edge probability inside a planted community.
+  double planted_edge_probability = 0.4;
+  /// Dominant / recessive interaction means inside planted communities.
+  double planted_strong_mean = 8.0;
+  double planted_weak_mean = 0.6;
+  /// Hard cap on any single interaction magnitude. Keeps one freak edit-war
+  /// pair from dominating the affinity contrast (the §III-D heavy-edge
+  /// adjustment, applied at generation time).
+  double max_interaction = 10.0;
+};
+
+/// Output of the generator.
+struct SignedPairData {
+  Graph positive;  ///< G1: positive interactions
+  Graph negative;  ///< G2: negative interactions
+  std::vector<VertexId> consistent_group;
+  std::vector<VertexId> conflicting_group;
+};
+
+/// \brief Generates the editor-interaction pair.
+Result<SignedPairData> GenerateSignedPairData(const SignedPairConfig& config,
+                                              Rng* rng);
+
+}  // namespace dcs
+
+#endif  // DCS_GEN_SIGNED_PAIR_H_

@@ -1,0 +1,79 @@
+#include "graph/components.h"
+
+#include <deque>
+
+#include "util/logging.h"
+
+namespace dcs {
+
+std::vector<std::vector<VertexId>> ComponentLabeling::Groups() const {
+  std::vector<std::vector<VertexId>> groups(num_components);
+  for (VertexId v = 0; v < label.size(); ++v) {
+    groups[label[v]].push_back(v);
+  }
+  return groups;
+}
+
+ComponentLabeling ConnectedComponents(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  constexpr VertexId kUnlabeled = static_cast<VertexId>(-1);
+  ComponentLabeling result;
+  result.label.assign(n, kUnlabeled);
+  std::deque<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (result.label[start] != kUnlabeled) continue;
+    const VertexId comp = result.num_components++;
+    result.label[start] = comp;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (const Neighbor& nb : graph.NeighborsOf(u)) {
+        if (result.label[nb.to] == kUnlabeled) {
+          result.label[nb.to] = comp;
+          queue.push_back(nb.to);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<VertexId>> InducedComponents(
+    const Graph& graph, std::span<const VertexId> subset) {
+  const VertexId n = graph.NumVertices();
+  std::vector<char> in_subset(n, 0);
+  std::vector<char> visited(n, 0);
+  for (VertexId v : subset) {
+    DCS_CHECK(v < n) << "subset vertex out of range";
+    in_subset[v] = 1;
+  }
+  std::vector<std::vector<VertexId>> components;
+  std::deque<VertexId> queue;
+  for (VertexId start : subset) {
+    if (visited[start]) continue;
+    components.emplace_back();
+    std::vector<VertexId>& comp = components.back();
+    visited[start] = 1;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      comp.push_back(u);
+      for (const Neighbor& nb : graph.NeighborsOf(u)) {
+        if (in_subset[nb.to] && !visited[nb.to]) {
+          visited[nb.to] = 1;
+          queue.push_back(nb.to);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool IsInducedConnected(const Graph& graph,
+                        std::span<const VertexId> subset) {
+  return InducedComponents(graph, subset).size() <= 1;
+}
+
+}  // namespace dcs

@@ -1,0 +1,43 @@
+// Connected components — of a whole graph and of induced subgraphs.
+//
+// DCSAD prefers connected subgraphs (Property 1): Algorithm 2 line 9 replaces
+// a disconnected greedy solution S by its best-density connected component of
+// GD(S). Components here consider *all* edges regardless of weight sign.
+
+#ifndef DCS_GRAPH_COMPONENTS_H_
+#define DCS_GRAPH_COMPONENTS_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcs {
+
+/// \brief Component label per vertex, labels dense in [0, num_components).
+struct ComponentLabeling {
+  std::vector<VertexId> label;   ///< label[v] in [0, num_components)
+  VertexId num_components = 0;
+
+  /// Expands the labeling into explicit vertex lists.
+  std::vector<std::vector<VertexId>> Groups() const;
+};
+
+/// Connected components of the whole graph (BFS; O(n + m)).
+ComponentLabeling ConnectedComponents(const Graph& graph);
+
+/// \brief Connected components of the induced subgraph G(S).
+///
+/// Returns one vertex list per component (vertices keep their original ids).
+/// Duplicate ids in `subset` are ignored. O(|S| + edges within S), using a
+/// membership bitmap of size n.
+std::vector<std::vector<VertexId>> InducedComponents(
+    const Graph& graph, std::span<const VertexId> subset);
+
+/// True iff the induced subgraph G(S) is connected (empty/singleton count as
+/// connected).
+bool IsInducedConnected(const Graph& graph, std::span<const VertexId> subset);
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_COMPONENTS_H_

@@ -1,0 +1,117 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dcs {
+
+Graph::Graph(VertexId n) : offsets_(static_cast<size_t>(n) + 1, 0) {}
+
+double Graph::WeightedDegree(VertexId u) const {
+  double total = 0.0;
+  for (const Neighbor& nb : NeighborsOf(u)) total += nb.weight;
+  return total;
+}
+
+double Graph::EdgeWeight(VertexId u, VertexId v) const {
+  DCS_CHECK(u < NumVertices() && v < NumVertices());
+  auto row = NeighborsOf(u);
+  auto it = std::lower_bound(
+      row.begin(), row.end(), v,
+      [](const Neighbor& nb, VertexId target) { return nb.to < target; });
+  if (it != row.end() && it->to == v) return it->weight;
+  return 0.0;
+}
+
+std::vector<Edge> Graph::UndirectedEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (const Neighbor& nb : NeighborsOf(u)) {
+      if (u < nb.to) edges.push_back(Edge{u, nb.to, nb.weight});
+    }
+  }
+  return edges;
+}
+
+WeightStats Graph::ComputeWeightStats() const {
+  WeightStats stats;
+  double total = 0.0;
+  size_t count = 0;
+  bool first = true;
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (const Neighbor& nb : NeighborsOf(u)) {
+      if (u >= nb.to) continue;
+      if (first) {
+        stats.max_weight = stats.min_weight = nb.weight;
+        first = false;
+      } else {
+        stats.max_weight = std::max(stats.max_weight, nb.weight);
+        stats.min_weight = std::min(stats.min_weight, nb.weight);
+      }
+      if (nb.weight > 0) ++stats.num_positive_edges;
+      if (nb.weight < 0) ++stats.num_negative_edges;
+      total += nb.weight;
+      ++count;
+    }
+  }
+  stats.mean_weight = count == 0 ? 0.0 : total / static_cast<double>(count);
+  return stats;
+}
+
+std::vector<double> Graph::MaxIncidentWeightPerVertex() const {
+  std::vector<double> best(NumVertices(),
+                           -std::numeric_limits<double>::infinity());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (const Neighbor& nb : NeighborsOf(u)) {
+      best[u] = std::max(best[u], nb.weight);
+    }
+  }
+  return best;
+}
+
+Graph Graph::PositivePart() const {
+  const VertexId n = NumVertices();
+  std::vector<size_t> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    size_t kept = 0;
+    for (const Neighbor& nb : NeighborsOf(u)) kept += nb.weight > 0.0 ? 1 : 0;
+    offsets[u + 1] = offsets[u] + kept;
+  }
+  std::vector<Neighbor> neighbors;
+  neighbors.reserve(offsets[n]);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : NeighborsOf(u)) {
+      if (nb.weight > 0.0) neighbors.push_back(nb);
+    }
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph Graph::Negated() const {
+  Graph out = *this;
+  for (Neighbor& nb : out.neighbors_) nb.weight = -nb.weight;
+  return out;
+}
+
+Graph Graph::WeightsClampedAbove(double cap) const {
+  DCS_CHECK(cap > 0.0) << "clamp cap must be positive";
+  Graph out = *this;
+  for (Neighbor& nb : out.neighbors_) nb.weight = std::min(nb.weight, cap);
+  return out;
+}
+
+std::string Graph::DebugString() const {
+  const WeightStats stats = ComputeWeightStats();
+  std::ostringstream os;
+  os << "Graph(n=" << NumVertices() << ", m=" << NumEdges()
+     << ", m+=" << stats.num_positive_edges
+     << ", m-=" << stats.num_negative_edges << ")";
+  return os.str();
+}
+
+}  // namespace dcs

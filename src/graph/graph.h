@@ -1,0 +1,123 @@
+// Immutable undirected weighted graph in CSR (compressed sparse row) form.
+//
+// This is the substrate every DCS algorithm runs on. Following Table I of the
+// paper, a graph G = <V, E, A> is undirected and weighted; in a *difference
+// graph* GD = G2 − G1 edge weights may be negative, so dcs::Graph makes no
+// sign assumption. Self-loops are rejected at construction (A has zero
+// diagonal in the affinity formulation) and parallel edges are merged by the
+// builder before a Graph is materialized.
+
+#ifndef DCS_GRAPH_GRAPH_H_
+#define DCS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dcs {
+
+/// Vertex identifier: dense indices in [0, NumVertices()).
+using VertexId = uint32_t;
+
+/// One directed half of an undirected edge as stored in CSR adjacency.
+struct Neighbor {
+  VertexId to;
+  double weight;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// An undirected edge with endpoints u < v.
+struct Edge {
+  VertexId u;
+  VertexId v;
+  double weight;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Summary statistics of a graph's weights (used for Table II).
+struct WeightStats {
+  size_t num_positive_edges = 0;  ///< m+ : undirected edges with weight > 0
+  size_t num_negative_edges = 0;  ///< m− : undirected edges with weight < 0
+  double max_weight = 0.0;        ///< 0 for an empty graph
+  double min_weight = 0.0;        ///< 0 for an empty graph
+  double mean_weight = 0.0;       ///< average undirected edge weight
+};
+
+/// \brief Immutable undirected weighted graph (CSR).
+///
+/// Construction goes through GraphBuilder (or the factory helpers in
+/// gen/ and graph/difference.h); a constructed Graph always satisfies:
+///  - adjacency lists sorted by neighbor id, no duplicates, no self-loops;
+///  - perfect symmetry: v in adj(u) iff u in adj(v), with equal weights;
+///  - all weights finite and non-zero.
+class Graph {
+ public:
+  /// An empty graph with `n` isolated vertices.
+  explicit Graph(VertexId n = 0);
+
+  VertexId NumVertices() const { return static_cast<VertexId>(offsets_.size() - 1); }
+
+  /// Number of *undirected* edges m (each stored twice internally).
+  size_t NumEdges() const { return neighbors_.size() / 2; }
+
+  /// Sorted adjacency list of `u`.
+  std::span<const Neighbor> NeighborsOf(VertexId u) const {
+    return {neighbors_.data() + offsets_[u],
+            neighbors_.data() + offsets_[u + 1]};
+  }
+
+  /// Unweighted degree of `u`.
+  size_t Degree(VertexId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  /// Weighted degree of `u`: sum of incident edge weights.
+  double WeightedDegree(VertexId u) const;
+
+  /// Weight of edge (u,v), or 0 when absent. O(log deg(u)).
+  double EdgeWeight(VertexId u, VertexId v) const;
+
+  /// True iff (u,v) is an edge. O(log deg(u)).
+  bool HasEdge(VertexId u, VertexId v) const { return EdgeWeight(u, v) != 0.0; }
+
+  /// All undirected edges with u < v, sorted lexicographically.
+  std::vector<Edge> UndirectedEdges() const;
+
+  /// Weight statistics over undirected edges.
+  WeightStats ComputeWeightStats() const;
+
+  /// Maximum edge weight incident to each vertex (−inf for isolated
+  /// vertices). Used by NewSEA's smart initialization (w_u of Theorem 6).
+  std::vector<double> MaxIncidentWeightPerVertex() const;
+
+  /// \brief The subgraph of edges with strictly positive weight — GD+ of
+  /// Table I. Vertex set (and ids) are preserved.
+  Graph PositivePart() const;
+
+  /// \brief A graph with every edge weight negated (used to flip an
+  /// "Emerging" difference graph into a "Disappearing" one, §VI-B).
+  Graph Negated() const;
+
+  /// \brief Returns a copy with every weight w replaced by min(w, cap),
+  /// cap > 0 (the §III-D heavy-edge adjustment; Actor "Discrete" setting).
+  Graph WeightsClampedAbove(double cap) const;
+
+  /// Human-readable one-line summary ("Graph(n=..., m=..., m+=..., m-=...)").
+  std::string DebugString() const;
+
+  friend class GraphBuilder;
+
+ private:
+  Graph(std::vector<size_t> offsets, std::vector<Neighbor> neighbors)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+
+  std::vector<size_t> offsets_;     // size n+1
+  std::vector<Neighbor> neighbors_; // size 2m, sorted within each row
+};
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_GRAPH_H_

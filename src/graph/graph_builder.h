@@ -1,0 +1,56 @@
+// Mutable accumulator that produces immutable CSR Graphs.
+
+#ifndef DCS_GRAPH_GRAPH_BUILDER_H_
+#define DCS_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// \brief Collects undirected weighted edges and builds a Graph.
+///
+/// Duplicate (u,v) contributions are *accumulated* (summed), which is the
+/// natural semantics for co-occurrence / collaboration counting; entries
+/// that cancel to (near) zero are dropped so a difference graph contains
+/// only edges with D(u,v) != 0, matching Table I's ED definition.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices);
+
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Queues weight for undirected edge {u,v}.
+  /// Fails on: u == v (self-loop), out-of-range endpoint, non-finite weight.
+  Status AddEdge(VertexId u, VertexId v, double weight);
+
+  /// AddEdge that DCS_CHECKs instead of returning (for generator code whose
+  /// inputs are internal and already validated).
+  void AddEdgeUnchecked(VertexId u, VertexId v, double weight);
+
+  size_t NumQueuedEntries() const { return entries_.size(); }
+
+  /// \brief Sorts, merges duplicates, drops |w| <= zero_eps, and emits the
+  /// CSR graph. The builder is left empty and reusable.
+  ///
+  /// \param zero_eps magnitude below which an accumulated weight counts as
+  ///        zero (exact cancellation in difference graphs produces tiny
+  ///        residues when weights are non-integral).
+  Result<Graph> Build(double zero_eps = 1e-12);
+
+ private:
+  struct Entry {
+    VertexId u;
+    VertexId v;  // canonicalized so u < v
+    double weight;
+  };
+
+  VertexId num_vertices_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,37 @@
+// Plain-text edge-list persistence.
+//
+// Format ("dcs edge list"):
+//   # comment lines start with '#'
+//   <num_vertices>
+//   <u> <v> <weight>      one line per undirected edge, 0 <= u,v < n, u != v
+//
+// Weights parse as doubles; duplicate edges accumulate (GraphBuilder
+// semantics). This is the interchange format of the examples and of users
+// bringing their own graphs.
+
+#ifndef DCS_GRAPH_IO_H_
+#define DCS_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// Reads a graph in dcs edge-list format from a stream.
+Result<Graph> ReadEdgeList(std::istream& in);
+
+/// Reads a graph in dcs edge-list format from a file.
+Result<Graph> ReadEdgeListFile(const std::string& path);
+
+/// Writes a graph in dcs edge-list format to a stream.
+Status WriteEdgeList(const Graph& graph, std::ostream& out);
+
+/// Writes a graph in dcs edge-list format to a file.
+Status WriteEdgeListFile(const Graph& graph, const std::string& path);
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_IO_H_

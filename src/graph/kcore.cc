@@ -1,0 +1,64 @@
+#include "graph/kcore.h"
+
+#include <algorithm>
+
+namespace dcs {
+
+std::vector<uint32_t> CoreNumbers(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(graph.Degree(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort vertices by degree.
+  std::vector<uint32_t> bucket_start(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (uint32_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<VertexId> order(n);       // vertices sorted by current degree
+  std::vector<uint32_t> position(n);    // position of v in `order`
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]];
+      order[position[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+  std::vector<uint32_t> core(degree);
+  // Peel in non-decreasing degree order, decrementing neighbors in place.
+  for (uint32_t idx = 0; idx < n; ++idx) {
+    const VertexId v = order[idx];
+    core[v] = degree[v];
+    for (const Neighbor& nb : graph.NeighborsOf(v)) {
+      const VertexId u = nb.to;
+      if (degree[u] > degree[v]) {
+        // Swap u with the first vertex of its degree bucket, then shrink the
+        // bucket by one — the classic O(1) decrement.
+        const uint32_t du = degree[u];
+        const uint32_t pos_u = position[u];
+        const uint32_t pos_first = bucket_start[du];
+        const VertexId first = order[pos_first];
+        if (u != first) {
+          std::swap(order[pos_u], order[pos_first]);
+          position[u] = pos_first;
+          position[first] = pos_u;
+        }
+        ++bucket_start[du];
+        --degree[u];
+      }
+    }
+  }
+  return core;
+}
+
+uint32_t Degeneracy(const Graph& graph) {
+  uint32_t best = 0;
+  for (uint32_t c : CoreNumbers(graph)) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace dcs

@@ -1,0 +1,29 @@
+// Unweighted k-core decomposition.
+//
+// NewSEA's smart initialization (§V-D, Theorem 6) bounds the largest clique
+// containing u by τ_u + 1, where τ_u is u's core number in GD+. Core numbers
+// are computed with the standard O(n + m) bucket peeling algorithm
+// (Batagelj–Zaversnik / [22] in the paper).
+
+#ifndef DCS_GRAPH_KCORE_H_
+#define DCS_GRAPH_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcs {
+
+/// \brief Core number τ_v for every vertex (edge weights ignored).
+///
+/// τ_v is the largest k such that v belongs to a subgraph in which every
+/// vertex has (unweighted) degree >= k.
+std::vector<uint32_t> CoreNumbers(const Graph& graph);
+
+/// \brief Degeneracy of the graph: max over vertices of the core number.
+uint32_t Degeneracy(const Graph& graph);
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_KCORE_H_

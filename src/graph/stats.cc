@@ -1,0 +1,104 @@
+#include "graph/stats.h"
+
+#include "util/logging.h"
+
+namespace dcs {
+namespace {
+
+std::vector<char> MembershipBitmap(const Graph& graph,
+                                   std::span<const VertexId> subset) {
+  std::vector<char> member(graph.NumVertices(), 0);
+  for (VertexId v : subset) {
+    DCS_CHECK(v < graph.NumVertices()) << "subset vertex out of range";
+    member[v] = 1;
+  }
+  return member;
+}
+
+}  // namespace
+
+double TotalDegree(const Graph& graph, std::span<const VertexId> subset) {
+  const std::vector<char> member = MembershipBitmap(graph, subset);
+  double total = 0.0;
+  for (VertexId u : subset) {
+    for (const Neighbor& nb : graph.NeighborsOf(u)) {
+      if (member[nb.to]) total += nb.weight;
+    }
+  }
+  return total;
+}
+
+double AverageDegreeDensity(const Graph& graph,
+                            std::span<const VertexId> subset) {
+  if (subset.empty()) return 0.0;
+  return TotalDegree(graph, subset) / static_cast<double>(subset.size());
+}
+
+double EdgeDensity(const Graph& graph, std::span<const VertexId> subset) {
+  if (subset.empty()) return 0.0;
+  const double size = static_cast<double>(subset.size());
+  return TotalDegree(graph, subset) / (size * size);
+}
+
+size_t InducedEdgeCount(const Graph& graph,
+                        std::span<const VertexId> subset) {
+  const std::vector<char> member = MembershipBitmap(graph, subset);
+  size_t twice = 0;
+  for (VertexId u : subset) {
+    for (const Neighbor& nb : graph.NeighborsOf(u)) {
+      if (member[nb.to]) ++twice;
+    }
+  }
+  return twice / 2;
+}
+
+bool IsClique(const Graph& graph, std::span<const VertexId> subset) {
+  if (subset.size() <= 1) return true;
+  const std::vector<char> member = MembershipBitmap(graph, subset);
+  // Count distinct members: duplicates in `subset` would break the edge
+  // counting argument below.
+  size_t distinct = 0;
+  for (char m : member) distinct += m;
+  size_t twice_edges = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!member[v]) continue;
+    for (const Neighbor& nb : graph.NeighborsOf(v)) {
+      if (member[nb.to]) ++twice_edges;
+    }
+  }
+  return twice_edges == distinct * (distinct - 1);
+}
+
+bool IsPositiveClique(const Graph& graph, std::span<const VertexId> subset) {
+  if (subset.size() <= 1) return true;
+  const std::vector<char> member = MembershipBitmap(graph, subset);
+  size_t distinct = 0;
+  for (char m : member) distinct += m;
+  size_t twice_positive_edges = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!member[v]) continue;
+    for (const Neighbor& nb : graph.NeighborsOf(v)) {
+      if (!member[nb.to]) continue;
+      if (nb.weight <= 0.0) return false;
+      ++twice_positive_edges;
+    }
+  }
+  return twice_positive_edges == distinct * (distinct - 1);
+}
+
+std::vector<double> InducedWeightedDegrees(const Graph& graph,
+                                           std::span<const VertexId> subset) {
+  const std::vector<char> member = MembershipBitmap(graph, subset);
+  std::vector<double> degrees;
+  degrees.reserve(subset.size());
+  for (VertexId u : subset) {
+    double d = 0.0;
+    for (const Neighbor& nb : graph.NeighborsOf(u)) {
+      if (member[nb.to]) d += nb.weight;
+    }
+    degrees.push_back(d);
+  }
+  return degrees;
+}
+
+}  // namespace dcs

@@ -1,0 +1,49 @@
+// Induced-subgraph statistics used throughout the paper's evaluation:
+// total degree W(S), average degree ρ(S) = W(S)/|S|, edge density W(S)/|S|²,
+// and positive-clique checks.
+//
+// Convention (Table I): W(S) sums A(u,v) over *ordered* pairs of E(S), i.e.
+// every undirected edge counts twice, so W(S) equals the sum of induced
+// degrees. A single edge {u,v} therefore has ρ({u,v}) = A(u,v), matching the
+// O(n)-approximation argument of §IV-B.
+
+#ifndef DCS_GRAPH_STATS_H_
+#define DCS_GRAPH_STATS_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcs {
+
+/// \brief W(S): total induced degree (each undirected edge counted twice).
+/// O(sum of degrees of S) using a membership bitmap.
+double TotalDegree(const Graph& graph, std::span<const VertexId> subset);
+
+/// \brief ρ(S) = W(S)/|S|; 0 for an empty subset.
+double AverageDegreeDensity(const Graph& graph,
+                            std::span<const VertexId> subset);
+
+/// \brief Edge density W(S)/|S|² — the discrete analog of graph affinity.
+double EdgeDensity(const Graph& graph, std::span<const VertexId> subset);
+
+/// \brief Number of undirected edges inside G(S).
+size_t InducedEdgeCount(const Graph& graph, std::span<const VertexId> subset);
+
+/// \brief True iff every pair of distinct vertices of S is adjacent in
+/// `graph` (singletons and empty sets are cliques).
+bool IsClique(const Graph& graph, std::span<const VertexId> subset);
+
+/// \brief True iff S induces a clique whose edge weights are all positive —
+/// a "positive clique" in GD (§V-C).
+bool IsPositiveClique(const Graph& graph, std::span<const VertexId> subset);
+
+/// \brief Induced weighted degree W(v; G(S)) for every v in S, in the order
+/// of `subset`.
+std::vector<double> InducedWeightedDegrees(const Graph& graph,
+                                           std::span<const VertexId> subset);
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_STATS_H_

@@ -1,0 +1,40 @@
+#include "graph/subgraph.h"
+
+#include <string>
+
+#include "graph/graph_builder.h"
+
+namespace dcs {
+
+Result<InducedSubgraph> ExtractInducedSubgraph(
+    const Graph& graph, std::span<const VertexId> subset) {
+  constexpr VertexId kAbsent = static_cast<VertexId>(-1);
+  std::vector<VertexId> new_id(graph.NumVertices(), kAbsent);
+  InducedSubgraph out;
+  out.original_ids.reserve(subset.size());
+  for (VertexId v : subset) {
+    if (v >= graph.NumVertices()) {
+      return Status::OutOfRange("subset vertex " + std::to_string(v) +
+                                " out of range");
+    }
+    if (new_id[v] != kAbsent) {
+      return Status::InvalidArgument("duplicate vertex " + std::to_string(v) +
+                                     " in subset");
+    }
+    new_id[v] = static_cast<VertexId>(out.original_ids.size());
+    out.original_ids.push_back(v);
+  }
+  GraphBuilder builder(static_cast<VertexId>(subset.size()));
+  for (VertexId v : subset) {
+    for (const Neighbor& nb : graph.NeighborsOf(v)) {
+      if (new_id[nb.to] != kAbsent && v < nb.to) {
+        DCS_RETURN_NOT_OK(
+            builder.AddEdge(new_id[v], new_id[nb.to], nb.weight));
+      }
+    }
+  }
+  DCS_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  return out;
+}
+
+}  // namespace dcs

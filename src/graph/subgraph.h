@@ -1,0 +1,31 @@
+// Induced-subgraph extraction with id remapping.
+//
+// Handy for drilling into a found DCS: extract GD(S) as a standalone graph
+// whose vertices are renumbered 0..|S|−1, keeping the original ids around
+// for reporting.
+
+#ifndef DCS_GRAPH_SUBGRAPH_H_
+#define DCS_GRAPH_SUBGRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// An extracted induced subgraph plus the id mapping back to the host graph.
+struct InducedSubgraph {
+  Graph graph;                         ///< |S| vertices, renumbered densely
+  std::vector<VertexId> original_ids;  ///< original_ids[new_id] = old id
+};
+
+/// \brief Extracts G(S). Duplicate ids in `subset` are rejected; vertex
+/// order of `subset` defines the new numbering.
+Result<InducedSubgraph> ExtractInducedSubgraph(
+    const Graph& graph, std::span<const VertexId> subset);
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,81 @@
+// Minimal leveled logging and invariant checking for libdcs.
+//
+// DCS_LOG(INFO) << "...";  levels: DEBUG < INFO < WARNING < ERROR.
+// The global threshold defaults to WARNING so that library users are not
+// spammed; benches raise it to INFO explicitly.
+//
+// DCS_CHECK(cond) aborts with a source location when an internal invariant is
+// violated. It is active in all build types: in a data-systems library a
+// silently corrupted structure is worse than a crash.
+
+#ifndef DCS_UTIL_LOGGING_H_
+#define DCS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dcs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+/// Sets the global minimum level that is actually emitted to stderr.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One in-flight log statement; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& extra);
+
+/// Builds the optional "extra" message of a failed DCS_CHECK.
+class CheckMessage {
+ public:
+  CheckMessage(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(expr_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DCS_LOG_INTERNAL(level)                                      \
+  ::dcs::internal::LogMessage(level, __FILE__, __LINE__).stream()
+#define DCS_LOG(severity) DCS_LOG_INTERNAL(::dcs::LogLevel::k##severity)
+
+#define DCS_CHECK(cond)                                                   \
+  if (cond) {                                                             \
+  } else /* NOLINT */                                                     \
+    ::dcs::internal::CheckMessage(#cond, __FILE__, __LINE__).stream()
+
+#define DCS_DCHECK(cond) DCS_CHECK(cond)
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_LOGGING_H_

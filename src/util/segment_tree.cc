@@ -1,0 +1,93 @@
+#include "util/segment_tree.h"
+
+#include "util/logging.h"
+
+namespace dcs {
+
+MinSegmentTree::MinSegmentTree(const std::vector<double>& values) {
+  Build(values);
+}
+
+MinSegmentTree::MinSegmentTree(size_t size, double fill) {
+  Build(std::vector<double>(size, fill));
+}
+
+void MinSegmentTree::Build(const std::vector<double>& values) {
+  size_ = values.size();
+  base_ = 1;
+  while (base_ < size_ || base_ == 0) base_ <<= 1;
+  tree_.assign(2 * base_, kDeleted);
+  arg_.assign(2 * base_, kNoIndex);
+  for (size_t i = 0; i < size_; ++i) {
+    tree_[base_ + i] = values[i];
+    arg_[base_ + i] = i;
+  }
+  for (size_t node = base_ - 1; node >= 1; --node) Pull(node);
+}
+
+void MinSegmentTree::Pull(size_t node) {
+  const size_t l = 2 * node, r = 2 * node + 1;
+  // "<=" keeps the tie-break towards smaller indices because the left child
+  // always covers smaller leaves.
+  if (tree_[l] <= tree_[r]) {
+    tree_[node] = tree_[l];
+    arg_[node] = arg_[l];
+  } else {
+    tree_[node] = tree_[r];
+    arg_[node] = arg_[r];
+  }
+}
+
+double MinSegmentTree::Get(size_t i) const {
+  DCS_CHECK(i < size_);
+  return tree_[base_ + i];
+}
+
+void MinSegmentTree::Assign(size_t i, double v) {
+  DCS_CHECK(i < size_);
+  size_t node = base_ + i;
+  tree_[node] = v;
+  for (node >>= 1; node >= 1; node >>= 1) Pull(node);
+}
+
+void MinSegmentTree::Add(size_t i, double delta) {
+  DCS_CHECK(i < size_);
+  if (IsErased(i)) return;
+  Assign(i, tree_[base_ + i] + delta);
+}
+
+void MinSegmentTree::Erase(size_t i) { Assign(i, kDeleted); }
+
+bool MinSegmentTree::IsErased(size_t i) const {
+  DCS_CHECK(i < size_);
+  return tree_[base_ + i] == kDeleted;
+}
+
+MinSegmentTree::MinEntry MinSegmentTree::Min() const {
+  if (tree_[1] == kDeleted) return MinEntry{kNoIndex, kDeleted};
+  return MinEntry{arg_[1], tree_[1]};
+}
+
+MinSegmentTree::MinEntry MinSegmentTree::RangeMin(size_t lo, size_t hi) const {
+  DCS_CHECK(lo <= hi && hi <= size_);
+  MinEntry best{kNoIndex, kDeleted};
+  size_t l = base_ + lo, r = base_ + hi;
+  // Standard iterative bottom-up range decomposition; collect candidates and
+  // keep the leftmost among minima by preferring lower leaf indices on ties.
+  auto consider = [&](size_t node) {
+    if (tree_[node] < best.value ||
+        (tree_[node] == best.value && arg_[node] < best.index)) {
+      best = MinEntry{arg_[node], tree_[node]};
+    }
+  };
+  while (l < r) {
+    if (l & 1) consider(l++);
+    if (r & 1) consider(--r);
+    l >>= 1;
+    r >>= 1;
+  }
+  if (best.value == kDeleted) return MinEntry{kNoIndex, kDeleted};
+  return best;
+}
+
+}  // namespace dcs

@@ -1,0 +1,179 @@
+// Status / Result<T> error handling for libdcs.
+//
+// libdcs is exception-free in the style of Arrow and RocksDB: fallible
+// operations return a `dcs::Status`, and fallible operations that produce a
+// value return a `dcs::Result<T>`. Logic errors inside the library itself
+// (broken invariants) are reported through DCS_CHECK in logging.h.
+
+#ifndef DCS_UTIL_STATUS_H_
+#define DCS_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dcs {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIoError = 5,
+  kNotConverged = 6,
+  kInternal = 7,
+};
+
+/// \brief Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// The OK status carries no allocation; error statuses store their message on
+/// the heap so that Status stays one pointer wide.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotConverged() const { return code() == StatusCode::kNotConverged; }
+
+  /// The error message; empty for OK.
+  const std::string& message() const;
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so that Status is cheaply copyable; errors are cold paths.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Access the value only after checking `ok()`; accessing the value of an
+/// errored Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common return path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status.ok()` is a logic
+  /// error and is normalized to an Internal error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+  std::variant<Status, T> repr_;
+};
+
+namespace internal {
+[[noreturn]] void AbortWithStatus(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::AbortWithStatus(std::get<Status>(repr_));
+}
+
+/// Propagates an error Status from the enclosing function.
+#define DCS_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::dcs::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Evaluates a Result-returning expression, propagating errors and otherwise
+/// assigning the value to `lhs`.
+#define DCS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define DCS_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define DCS_ASSIGN_OR_RETURN_NAME(a, b) DCS_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define DCS_ASSIGN_OR_RETURN(lhs, expr) \
+  DCS_ASSIGN_OR_RETURN_IMPL(            \
+      DCS_ASSIGN_OR_RETURN_NAME(_dcs_result_, __LINE__), lhs, expr)
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_STATUS_H_

@@ -1,0 +1,43 @@
+// Fixed-width console table printer used by the benchmark harness to emit
+// paper-style tables (Table II, IV, VII, ...).
+
+#ifndef DCS_UTIL_TABLE_H_
+#define DCS_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcs {
+
+/// \brief Accumulates rows of strings and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// \param title printed above the table; may be empty.
+  /// \param columns header row.
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// Appends one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience formatters.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(int64_t v);
+  static std::string Fmt(uint64_t v);
+  static std::string YesNo(bool v) { return v ? "Yes" : "No"; }
+
+  /// Renders the table to a string (markdown-ish pipes, aligned).
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_TABLE_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing for the benchmark harness.
+
+#ifndef DCS_UTIL_TIMER_H_
+#define DCS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dcs {
+
+/// \brief Monotonic wall-clock stopwatch.
+///
+/// Starts running on construction; `Restart()` resets the origin.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_TIMER_H_

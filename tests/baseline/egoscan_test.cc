@@ -1,0 +1,115 @@
+#include "baseline/egoscan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dcs_greedy.h"
+#include "gen/random_graphs.h"
+#include "graph/stats.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::MakeGraph;
+
+TEST(EgoScanTest, RejectsBadInputs) {
+  EXPECT_FALSE(RunEgoScan(Graph(0)).ok());
+  EgoScanOptions options;
+  options.num_seeds = 0;
+  EXPECT_FALSE(RunEgoScan(MakeGraph(2, {{0, 1, 1.0}}), options).ok());
+}
+
+TEST(EgoScanTest, AllNegativeGraphReturnsTrivialSet) {
+  Graph gd = MakeGraph(3, {{0, 1, -1.0}, {1, 2, -2.0}});
+  auto result = RunEgoScan(gd);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_weight, 0.0);
+}
+
+TEST(EgoScanTest, PositiveCliqueIsFullyCollected) {
+  GraphBuilder builder(8);
+  std::vector<VertexId> clique{1, 3, 5, 7};
+  ASSERT_TRUE(AddClique(&builder, clique, 2.0).ok());
+  auto gd = builder.Build();
+  ASSERT_TRUE(gd.ok());
+  auto result = RunEgoScan(*gd);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->subset, clique);
+  // W_D(S) = 2 · (6 edges · weight 2) = 24 (doubled convention).
+  EXPECT_DOUBLE_EQ(result->total_weight, 24.0);
+}
+
+TEST(EgoScanTest, NegativeMembersAreEvicted) {
+  // Positive triangle plus a strongly negative appendage.
+  Graph gd = MakeGraph(5, {{0, 1, 3.0}, {1, 2, 3.0}, {0, 2, 3.0},
+                           {2, 3, 1.0}, {3, 4, -10.0}, {2, 4, 1.0}});
+  auto result = RunEgoScan(gd);
+  ASSERT_TRUE(result.ok());
+  // 3 and 4 together cost −10·2; the scan keeps the profitable core.
+  EXPECT_GE(result->total_weight, 18.0);  // at least the triangle
+  EXPECT_NEAR(AverageDegreeDensity(gd, result->subset) *
+                  static_cast<double>(result->subset.size()),
+              result->total_weight, 1e-9);
+}
+
+TEST(EgoScanTest, TotalWeightAtLeastDcsGreedySolution) {
+  // EgoScan maximizes W_D(S) directly, so on these planted graphs it should
+  // match or beat the W_D of the density-oriented DCSGreedy subset —
+  // reproducing the Table IX relationship.
+  Rng rng(11);
+  GraphBuilder builder(60);
+  auto noise = RandomSignedGraph(60, 150, 0.55, 0.5, 2.0, &rng);
+  ASSERT_TRUE(noise.ok());
+  for (const Edge& e : noise->UndirectedEdges()) {
+    ASSERT_TRUE(builder.AddEdge(e.u, e.v, e.weight).ok());
+  }
+  std::vector<VertexId> community;
+  for (VertexId v = 0; v < 20; ++v) community.push_back(v);
+  for (size_t i = 0; i < community.size(); ++i) {
+    for (size_t j = i + 1; j < community.size(); ++j) {
+      if (rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(builder.AddEdge(community[i], community[j], 2.0).ok());
+      }
+    }
+  }
+  auto gd = builder.Build();
+  ASSERT_TRUE(gd.ok());
+  auto ego = RunEgoScan(*gd);
+  auto greedy = RunDcsGreedy(*gd);
+  ASSERT_TRUE(ego.ok());
+  ASSERT_TRUE(greedy.ok());
+  const double greedy_total = TotalDegree(*gd, greedy->subset);
+  EXPECT_GE(ego->total_weight, greedy_total - 1e-9);
+  // And, like Table VIII shows, its subset is usually larger.
+  EXPECT_GE(ego->subset.size(), greedy->subset.size());
+}
+
+TEST(EgoScanTest, ReportedStatisticsMatchSubset) {
+  Rng rng(17);
+  auto gd = RandomSignedGraph(40, 120, 0.6, 0.5, 3.0, &rng);
+  ASSERT_TRUE(gd.ok());
+  auto result = RunEgoScan(*gd);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total_weight, TotalDegree(*gd, result->subset), 1e-9);
+  EXPECT_NEAR(result->density, AverageDegreeDensity(*gd, result->subset),
+              1e-9);
+}
+
+TEST(EgoScanTest, MoreSeedsNeverHurt) {
+  Rng rng(23);
+  auto gd = RandomSignedGraph(50, 150, 0.6, 0.5, 3.0, &rng);
+  ASSERT_TRUE(gd.ok());
+  EgoScanOptions few;
+  few.num_seeds = 2;
+  EgoScanOptions many;
+  many.num_seeds = 40;
+  auto result_few = RunEgoScan(*gd, few);
+  auto result_many = RunEgoScan(*gd, many);
+  ASSERT_TRUE(result_few.ok());
+  ASSERT_TRUE(result_many.ok());
+  EXPECT_GE(result_many->total_weight, result_few->total_weight - 1e-9);
+}
+
+}  // namespace
+}  // namespace dcs

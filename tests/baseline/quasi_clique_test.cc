@@ -1,0 +1,114 @@
+#include "baseline/quasi_clique.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/random_graphs.h"
+#include "graph/stats.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::MakeGraph;
+
+TEST(QuasiCliqueObjectiveTest, MatchesDefinition) {
+  GraphBuilder builder(4);
+  std::vector<VertexId> clique{0, 1, 2};
+  ASSERT_TRUE(AddClique(&builder, clique, 2.0).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  // w(S) = 3 edges · 2 = 6; penalty = α·3.
+  EXPECT_DOUBLE_EQ(QuasiCliqueObjective(*g, clique, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(QuasiCliqueObjective(*g, clique, 1.0 / 3.0), 5.0);
+  EXPECT_DOUBLE_EQ(
+      QuasiCliqueObjective(*g, std::vector<VertexId>{0}, 1.0), 0.0);
+}
+
+TEST(QuasiCliqueTest, RejectsBadInputs) {
+  EXPECT_FALSE(RunQuasiCliqueSearch(Graph(0)).ok());
+  QuasiCliqueOptions options;
+  options.alpha = -1.0;
+  EXPECT_FALSE(RunQuasiCliqueSearch(MakeGraph(2, {{0, 1, 1.0}}), options).ok());
+  options = QuasiCliqueOptions{};
+  options.num_seeds = 0;
+  EXPECT_FALSE(RunQuasiCliqueSearch(MakeGraph(2, {{0, 1, 1.0}}), options).ok());
+}
+
+TEST(QuasiCliqueTest, FindsPlantedDenseBlock) {
+  Rng rng(3);
+  GraphBuilder builder(50);
+  auto noise = ErdosRenyiWeighted(50, 0.04, 0.2, 0.6, &rng);
+  ASSERT_TRUE(noise.ok());
+  for (const Edge& e : noise->UndirectedEdges()) {
+    ASSERT_TRUE(builder.AddEdge(e.u, e.v, e.weight).ok());
+  }
+  std::vector<VertexId> planted{3, 11, 24, 37, 45};
+  ASSERT_TRUE(AddClique(&builder, planted, 2.0).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  auto result = RunQuasiCliqueSearch(*g);
+  ASSERT_TRUE(result.ok());
+  std::set<VertexId> found(result->subset.begin(), result->subset.end());
+  for (VertexId v : planted) EXPECT_TRUE(found.contains(v));
+  EXPECT_GE(result->objective,
+            QuasiCliqueObjective(*g, planted, 1.0 / 3.0) - 1e-9);
+}
+
+TEST(QuasiCliqueTest, ResultIsLocallyOptimal) {
+  Rng rng(5);
+  auto g = RandomSignedGraph(40, 150, 0.65, 0.3, 2.0, &rng);
+  ASSERT_TRUE(g.ok());
+  QuasiCliqueOptions options;
+  auto result = RunQuasiCliqueSearch(*g, options);
+  ASSERT_TRUE(result.ok());
+  // No single-vertex move improves the objective: spot-check removals.
+  for (VertexId v : result->subset) {
+    if (result->subset.size() == 1) break;
+    std::vector<VertexId> without;
+    for (VertexId u : result->subset) {
+      if (u != v) without.push_back(u);
+    }
+    EXPECT_LE(QuasiCliqueObjective(*g, without, options.alpha),
+              result->objective + 1e-9);
+  }
+}
+
+TEST(QuasiCliqueTest, AlphaControlsSize) {
+  // Lower α tolerates looser subgraphs -> (weakly) larger solutions.
+  Rng rng(7);
+  auto g = ErdosRenyiWeighted(60, 0.15, 0.5, 1.5, &rng);
+  ASSERT_TRUE(g.ok());
+  QuasiCliqueOptions loose;
+  loose.alpha = 0.05;
+  QuasiCliqueOptions tight;
+  tight.alpha = 1.5;
+  auto big = RunQuasiCliqueSearch(*g, loose);
+  auto small = RunQuasiCliqueSearch(*g, tight);
+  ASSERT_TRUE(big.ok() && small.ok());
+  EXPECT_GE(big->subset.size(), small->subset.size());
+}
+
+TEST(QuasiCliqueTest, ReportedNumbersMatchSubset) {
+  Rng rng(9);
+  auto g = RandomSignedGraph(30, 100, 0.6, 0.5, 3.0, &rng);
+  ASSERT_TRUE(g.ok());
+  auto result = RunQuasiCliqueSearch(*g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->edge_weight, 0.5 * TotalDegree(*g, result->subset),
+              1e-9);
+  EXPECT_NEAR(result->objective,
+              QuasiCliqueObjective(*g, result->subset, 1.0 / 3.0), 1e-9);
+}
+
+TEST(QuasiCliqueTest, AllNegativeGraphYieldsTrivial) {
+  Graph g = MakeGraph(3, {{0, 1, -1.0}, {1, 2, -2.0}});
+  auto result = RunQuasiCliqueSearch(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->objective, 0.0);
+}
+
+}  // namespace
+}  // namespace dcs

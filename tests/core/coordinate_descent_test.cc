@@ -1,0 +1,172 @@
+#include "core/coordinate_descent.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gen/random_graphs.h"
+#include "graph/stats.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::Fig1Gd;
+using ::dcs::testing::MakeGraph;
+
+// Local KKT condition (Eq. 11) on a restricted set.
+bool SatisfiesLocalKkt(const AffinityState& state,
+                       const std::vector<VertexId>& allowed, double tol) {
+  double max_grad = -1e300, min_grad = 1e300;
+  for (VertexId k : allowed) {
+    const double grad = 2.0 * state.dx(k);
+    if (state.x(k) < 1.0) max_grad = std::max(max_grad, grad);
+    if (state.x(k) > 0.0) min_grad = std::min(min_grad, grad);
+  }
+  return max_grad - min_grad <= tol;
+}
+
+TEST(CoordinateDescentTest, SingleVertexConvergesImmediately) {
+  Graph gd = Fig1Gd();
+  AffinityState state(gd);
+  state.ResetToVertex(0);
+  std::vector<VertexId> allowed{0};
+  const auto stats = DescendToLocalKkt(&state, allowed);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.iterations, 0u);
+}
+
+TEST(CoordinateDescentTest, PairOnPositiveEdgeSplitsEvenly) {
+  // One edge of weight w: optimum x = (1/2, 1/2), f = w/2.
+  Graph g = MakeGraph(2, {{0, 1, 4.0}});
+  AffinityState state(g);
+  state.ResetToVertex(0);
+  std::vector<VertexId> allowed{0, 1};
+  const auto stats = DescendToLocalKkt(&state, allowed);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_NEAR(state.x(0), 0.5, 1e-2);
+  EXPECT_NEAR(state.x(1), 0.5, 1e-2);
+  EXPECT_NEAR(state.Affinity(), 2.0, 1e-2);
+}
+
+TEST(CoordinateDescentTest, UnweightedTriangleReachesMotzkinStraus) {
+  Graph g = MakeGraph(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+  AffinityState state(g);
+  Embedding start = Embedding::Zeros(3);
+  start.x = {0.7, 0.2, 0.1};
+  ASSERT_TRUE(state.ResetToEmbedding(start).ok());
+  std::vector<VertexId> allowed{0, 1, 2};
+  CoordinateDescentOptions options;
+  options.epsilon_scale = 1e-8;
+  const auto stats = DescendToLocalKkt(&state, allowed, options);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_NEAR(state.Affinity(), 2.0 / 3.0, 1e-6);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_NEAR(state.x(v), 1.0 / 3.0, 1e-4);
+}
+
+TEST(CoordinateDescentTest, SymmetricNegativeEdgeIsAKktPoint) {
+  // With D(0,1) < 0 and x = (1/2, 1/2), both gradients are equal, so the
+  // first-order (KKT) conditions hold and 2-coordinate descent stops —
+  // even though the point is a *minimum* of the convex pair objective.
+  // Escaping such stationary points is the Refinement step's job
+  // (Theorem 5); on GD+ the situation cannot arise at all.
+  Graph g = MakeGraph(2, {{0, 1, -3.0}});
+  AffinityState state(g);
+  Embedding start = Embedding::Zeros(2);
+  start.x = {0.5, 0.5};
+  ASSERT_TRUE(state.ResetToEmbedding(start).ok());
+  std::vector<VertexId> allowed{0, 1};
+  const auto stats = DescendToLocalKkt(&state, allowed);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_NEAR(2.0 * state.dx(0), 2.0 * state.dx(1), 1e-12);
+  // From an asymmetric start the descent does escape to a single vertex.
+  start.x = {0.6, 0.4};
+  ASSERT_TRUE(state.ResetToEmbedding(start).ok());
+  DescendToLocalKkt(&state, allowed);
+  EXPECT_EQ(state.support().size(), 1u);
+  EXPECT_NEAR(state.Affinity(), 0.0, 1e-12);
+}
+
+TEST(CoordinateDescentTest, ObjectiveNeverDecreases) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = RandomSignedGraph(15, 45, 0.65, 0.5, 3.0, &rng);
+    ASSERT_TRUE(g.ok());
+    AffinityState state(*g);
+    // Random simplex start over a random support.
+    std::vector<VertexId> allowed;
+    for (VertexId v = 0; v < 15; ++v) {
+      if (rng.Bernoulli(0.5)) allowed.push_back(v);
+    }
+    if (allowed.size() < 2) continue;
+    Embedding start = Embedding::UniformOn(15, allowed);
+    ASSERT_TRUE(state.ResetToEmbedding(start).ok());
+    const double f_before = state.Affinity();
+    const auto stats = DescendToLocalKkt(&state, allowed);
+    EXPECT_TRUE(stats.converged);
+    EXPECT_GE(state.Affinity(), f_before - 1e-9);
+  }
+}
+
+TEST(CoordinateDescentTest, ReachesLocalKktOnRandomGraphs) {
+  Rng rng(4096);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = ErdosRenyiWeighted(12, 0.4, 0.5, 3.0, &rng);
+    ASSERT_TRUE(g.ok());
+    AffinityState state(*g);
+    std::vector<VertexId> allowed(12);
+    for (VertexId v = 0; v < 12; ++v) allowed[v] = v;
+    state.ResetToVertex(static_cast<VertexId>(rng.NextBounded(12)));
+    CoordinateDescentOptions options;
+    options.epsilon_scale = 1e-6;
+    const auto stats = DescendToLocalKkt(&state, allowed, options);
+    EXPECT_TRUE(stats.converged);
+    EXPECT_TRUE(SatisfiesLocalKkt(state, allowed, 1e-6 / 12.0 + 1e-9));
+  }
+}
+
+TEST(CoordinateDescentTest, SimplexPreservedThroughDescent) {
+  Rng rng(888);
+  auto g = RandomSignedGraph(20, 70, 0.6, 0.5, 4.0, &rng);
+  ASSERT_TRUE(g.ok());
+  AffinityState state(*g);
+  std::vector<VertexId> allowed(20);
+  for (VertexId v = 0; v < 20; ++v) allowed[v] = v;
+  state.ResetToVertex(5);
+  DescendToLocalKkt(&state, allowed);
+  Embedding e = state.ToEmbedding();
+  EXPECT_TRUE(e.IsOnSimplex(1e-6));
+}
+
+TEST(SatisfiesKktTest, UnitVectorWithNoBetterNeighborIsKkt) {
+  // Isolated vertex: x = e_v is globally KKT (all gradients 0 = λ).
+  Graph g = MakeGraph(3, {{1, 2, 1.0}});
+  AffinityState state(g);
+  state.ResetToVertex(0);
+  EXPECT_TRUE(SatisfiesKkt(state, 1e-9));
+}
+
+TEST(SatisfiesKktTest, DetectsViolation) {
+  // x = e_1 with the positive edge (1,2): ∇_2 = 2·w > λ = 0 → not KKT.
+  Graph g = MakeGraph(3, {{1, 2, 1.0}});
+  AffinityState state(g);
+  state.ResetToVertex(1);
+  EXPECT_FALSE(SatisfiesKkt(state, 1e-9));
+}
+
+TEST(SatisfiesKktTest, OptimalCliqueEmbeddingIsKkt) {
+  GraphBuilder builder(4);
+  std::vector<VertexId> clique{0, 1, 2, 3};
+  ASSERT_TRUE(AddClique(&builder, clique, 2.0).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  AffinityState state(*g);
+  ASSERT_TRUE(
+      state.ResetToEmbedding(Embedding::UniformOn(4, clique)).ok());
+  EXPECT_TRUE(SatisfiesKkt(state, 1e-9));
+}
+
+}  // namespace
+}  // namespace dcs

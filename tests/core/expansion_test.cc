@@ -1,0 +1,119 @@
+#include "core/expansion.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/coordinate_descent.h"
+#include "gen/random_graphs.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::MakeGraph;
+
+TEST(ComputeExpansionSetTest, FindsProfitableNeighbors) {
+  // x = e_0 on edge (0,1): f = 0, dx_1 = w > 0 → Z = {1}.
+  Graph g = MakeGraph(3, {{0, 1, 2.0}});
+  AffinityState state(g);
+  state.ResetToVertex(0);
+  const auto z = ComputeExpansionSet(state);
+  EXPECT_EQ(z, (std::vector<VertexId>{1}));
+}
+
+TEST(ComputeExpansionSetTest, EmptyAtGlobalKkt) {
+  // Optimal pair embedding on a single edge: dx_u = w/2 = f for both
+  // endpoints and 0 elsewhere → Z empty.
+  Graph g = MakeGraph(3, {{0, 1, 2.0}});
+  AffinityState state(g);
+  ASSERT_TRUE(state
+                  .ResetToEmbedding(
+                      Embedding::UniformOn(3, std::vector<VertexId>{0, 1}))
+                  .ok());
+  EXPECT_TRUE(ComputeExpansionSet(state).empty());
+}
+
+TEST(ComputeExpansionSetTest, ExcludesSupportVertices) {
+  Graph g = MakeGraph(3, {{0, 1, 2.0}, {1, 2, 10.0}});
+  AffinityState state(g);
+  ASSERT_TRUE(state
+                  .ResetToEmbedding(
+                      Embedding::UniformOn(3, std::vector<VertexId>{0, 1}))
+                  .ok());
+  const auto z = ComputeExpansionSet(state);
+  EXPECT_EQ(z, (std::vector<VertexId>{2}));
+}
+
+TEST(SeaExpandTest, NoOpWhenZEmpty) {
+  Graph g = MakeGraph(2, {{0, 1, 2.0}});
+  AffinityState state(g);
+  ASSERT_TRUE(state
+                  .ResetToEmbedding(
+                      Embedding::UniformOn(2, std::vector<VertexId>{0, 1}))
+                  .ok());
+  const ExpansionResult result = SeaExpand(&state);
+  EXPECT_FALSE(result.expanded);
+  EXPECT_DOUBLE_EQ(result.f_before, result.f_after);
+}
+
+TEST(SeaExpandTest, StrictlyIncreasesObjectiveFromLocalKkt) {
+  // Local KKT on {0,1} of a triangle with a better third vertex.
+  Graph g = MakeGraph(3, {{0, 1, 2.0}, {0, 2, 3.0}, {1, 2, 3.0}});
+  AffinityState state(g);
+  ASSERT_TRUE(state
+                  .ResetToEmbedding(
+                      Embedding::UniformOn(3, std::vector<VertexId>{0, 1}))
+                  .ok());
+  // {0,1} split is a local KKT point on {0,1} (symmetric weights).
+  const double f_before = state.Affinity();
+  const ExpansionResult result = SeaExpand(&state);
+  EXPECT_TRUE(result.expanded);
+  EXPECT_EQ(result.num_added, 1u);
+  EXPECT_GT(result.f_after, f_before);
+  EXPECT_GT(state.x(2), 0.0);
+  EXPECT_TRUE(state.ToEmbedding().IsOnSimplex(1e-9));
+}
+
+TEST(SeaExpandTest, ExpansionFromUnitVectorAddsAllPositiveNeighbors) {
+  Graph g = MakeGraph(4, {{0, 1, 1.0}, {0, 2, 2.0}, {0, 3, 3.0}});
+  AffinityState state(g);
+  state.ResetToVertex(0);
+  const ExpansionResult result = SeaExpand(&state);
+  EXPECT_TRUE(result.expanded);
+  EXPECT_EQ(result.num_added, 3u);
+  EXPECT_GT(result.f_after, 0.0);
+}
+
+// The monotonicity property underlying Theorem 4, verified across random
+// graphs: descend to a local KKT point, then expansion must not decrease f.
+class ExpansionMonotonicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExpansionMonotonicityTest, ExpansionAfterDescentNeverDecreasesF) {
+  Rng rng(GetParam());
+  auto g = ErdosRenyiWeighted(18, 0.3, 0.5, 3.0, &rng);
+  ASSERT_TRUE(g.ok());
+  AffinityState state(*g);
+  state.ResetToVertex(static_cast<VertexId>(rng.NextBounded(18)));
+  CoordinateDescentOptions options;
+  options.epsilon_scale = 1e-9;  // tight: a genuine local KKT point
+  for (int round = 0; round < 20; ++round) {
+    std::vector<VertexId> support(state.support().begin(),
+                                  state.support().end());
+    DescendToLocalKkt(&state, support, options);
+    const double f_before = state.Affinity();
+    const ExpansionResult result = SeaExpand(&state);
+    if (!result.expanded) break;
+    EXPECT_GE(result.f_after, f_before - 1e-9)
+        << "expansion decreased the objective from a local KKT point";
+    EXPECT_TRUE(state.ToEmbedding().IsOnSimplex(1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpansionMonotonicityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+}  // namespace
+}  // namespace dcs

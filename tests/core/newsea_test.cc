@@ -1,0 +1,213 @@
+#include "core/newsea.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "densest/exact.h"
+#include "gen/random_graphs.h"
+#include "graph/stats.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::MakeGraph;
+
+TEST(SmartInitBoundsTest, BoundsOnTriangleWithPendant) {
+  // Triangle {0,1,2} (weights 2) with pendant 3 attached by weight 1.
+  Graph g = MakeGraph(4, {{0, 1, 2.0}, {1, 2, 2.0}, {0, 2, 2.0}, {2, 3, 1.0}});
+  const SmartInitBounds bounds = ComputeSmartInitBounds(g);
+  // w_u: max edge weight with an endpoint in the closed neighborhood.
+  EXPECT_DOUBLE_EQ(bounds.w[0], 2.0);
+  EXPECT_DOUBLE_EQ(bounds.w[3], 2.0);  // 2's incident max reaches 3's ego net
+  // Core numbers: triangle is 2-core, pendant is 1-core.
+  EXPECT_EQ(bounds.tau[0], 2u);
+  EXPECT_EQ(bounds.tau[3], 1u);
+  // μ = τ·w/(τ+1).
+  EXPECT_DOUBLE_EQ(bounds.mu[0], 2.0 * 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(bounds.mu[3], 1.0 * 2.0 / 2.0);
+}
+
+TEST(SmartInitBoundsTest, IsolatedVertexGetsZeroMu) {
+  Graph g = MakeGraph(3, {{0, 1, 5.0}});
+  const SmartInitBounds bounds = ComputeSmartInitBounds(g);
+  EXPECT_DOUBLE_EQ(bounds.mu[2], 0.0);
+}
+
+// Theorem 6 property: for any positive-clique embedding x with x_u > 0,
+// f(x) <= mu_u. Verified via the exact oracle on small graphs.
+class Theorem6Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem6Test, MuUpperBoundsOptimalCliqueAffinity) {
+  Rng rng(GetParam());
+  auto g = ErdosRenyiWeighted(10, 0.45, 0.5, 3.0, &rng);
+  ASSERT_TRUE(g.ok());
+  const SmartInitBounds bounds = ComputeSmartInitBounds(*g);
+  auto exact = ExactDcsgaBruteForce(*g);
+  ASSERT_TRUE(exact.ok());
+  for (VertexId u : exact->support) {
+    EXPECT_GE(bounds.mu[u] + 1e-9, exact->affinity)
+        << "Theorem 6 violated at vertex " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem6Test,
+                         ::testing::Values(61, 62, 63, 64, 65, 66, 67, 68));
+
+TEST(NewSeaTest, RejectsNegativeWeightsAndEmptyGraphs) {
+  Graph g = MakeGraph(2, {{0, 1, -1.0}});
+  EXPECT_FALSE(RunNewSea(g).ok());
+  EXPECT_FALSE(RunNewSea(Graph(0)).ok());
+}
+
+TEST(NewSeaTest, EdgelessGraphYieldsTrivialSolution) {
+  auto result = RunNewSea(Graph(5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->affinity, 0.0);
+  EXPECT_EQ(result->support.size(), 1u);
+  EXPECT_EQ(result->initializations, 0u);
+}
+
+TEST(NewSeaTest, FindsPlantedHeavyClique) {
+  Rng rng(123);
+  GraphBuilder builder(60);
+  auto noise = ErdosRenyiWeighted(60, 0.06, 0.2, 0.8, &rng);
+  ASSERT_TRUE(noise.ok());
+  for (const Edge& e : noise->UndirectedEdges()) {
+    ASSERT_TRUE(builder.AddEdge(e.u, e.v, e.weight).ok());
+  }
+  std::vector<VertexId> planted{7, 19, 33, 48, 55};
+  ASSERT_TRUE(AddClique(&builder, planted, 4.0).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  auto result = RunNewSea(*g);
+  ASSERT_TRUE(result.ok());
+  for (VertexId v : planted) {
+    EXPECT_TRUE(std::binary_search(result->support.begin(),
+                                   result->support.end(), v))
+        << "missing planted vertex " << v;
+  }
+  EXPECT_GE(result->affinity, 4.0 * 4.0 / 5.0 - 1e-3);
+  EXPECT_TRUE(IsPositiveClique(*g, result->support));
+}
+
+TEST(NewSeaTest, MatchesAllInitsOnSmallGraphs) {
+  // The smart-initialization pruning is a heuristic but must not lose the
+  // best solution on these instances (the paper reports it never did).
+  Rng rng(321);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto g = ErdosRenyiWeighted(15, 0.3, 0.5, 3.0, &rng);
+    ASSERT_TRUE(g.ok());
+    auto smart = RunNewSea(*g);
+    DcsgaOptions all_options;
+    all_options.shrink = ShrinkKind::kCoordinateDescent;
+    auto all = RunDcsgaAllInits(*g, all_options);
+    ASSERT_TRUE(smart.ok());
+    ASSERT_TRUE(all.ok());
+    EXPECT_NEAR(smart->affinity, all->affinity, 1e-6);
+    EXPECT_LE(smart->initializations, all->initializations);
+  }
+}
+
+TEST(NewSeaTest, UsesFewerInitializationsThanVertices) {
+  Rng rng(555);
+  GraphBuilder builder(100);
+  auto noise = ErdosRenyiWeighted(100, 0.03, 0.2, 0.5, &rng);
+  ASSERT_TRUE(noise.ok());
+  for (const Edge& e : noise->UndirectedEdges()) {
+    ASSERT_TRUE(builder.AddEdge(e.u, e.v, e.weight).ok());
+  }
+  std::vector<VertexId> planted{5, 25, 45, 65, 85};
+  ASSERT_TRUE(AddClique(&builder, planted, 6.0).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  auto result = RunNewSea(*g);
+  ASSERT_TRUE(result.ok());
+  // The planted clique's high μ puts its members first; once found, every
+  // noise vertex fails the μ ≤ f(best) test.
+  EXPECT_LT(result->initializations, 30u);
+  EXPECT_EQ(result->support, planted);
+}
+
+TEST(NewSeaTest, SupportIsAlwaysPositiveCliqueAcrossSeeds) {
+  Rng rng(808);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto signed_g = RandomSignedGraph(30, 100, 0.6, 0.5, 4.0, &rng);
+    ASSERT_TRUE(signed_g.ok());
+    Graph gd_plus = signed_g->PositivePart();
+    auto result = RunNewSea(gd_plus);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(IsPositiveClique(*signed_g, result->support));
+    EXPECT_TRUE(result->x.IsOnSimplex(1e-6));
+    EXPECT_NEAR(result->x.Affinity(gd_plus), result->affinity, 1e-6);
+  }
+}
+
+TEST(AllInitsTest, ReplicatorAndCdAgreeOnEasyGraphs) {
+  GraphBuilder builder(8);
+  std::vector<VertexId> clique{0, 1, 2, 3};
+  ASSERT_TRUE(AddClique(&builder, clique, 2.0).ok());
+  ASSERT_TRUE(builder.AddEdge(4, 5, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(6, 7, 0.5).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  DcsgaOptions cd_options;
+  cd_options.shrink = ShrinkKind::kCoordinateDescent;
+  DcsgaOptions rep_options;
+  rep_options.shrink = ShrinkKind::kReplicator;
+  auto cd = RunDcsgaAllInits(*g, cd_options);
+  auto rep = RunDcsgaAllInits(*g, rep_options);
+  ASSERT_TRUE(cd.ok());
+  ASSERT_TRUE(rep.ok());
+  EXPECT_NEAR(cd->affinity, rep->affinity, 1e-2);
+  EXPECT_NEAR(cd->affinity, 2.0 * 3.0 / 4.0, 1e-3);
+}
+
+TEST(AllInitsTest, CollectsDistinctCliques) {
+  // Two separated heavy cliques: all-inits must record both.
+  GraphBuilder builder(12);
+  std::vector<VertexId> clique_a{0, 1, 2};
+  std::vector<VertexId> clique_b{6, 7, 8, 9};
+  ASSERT_TRUE(AddClique(&builder, clique_a, 3.0).ok());
+  ASSERT_TRUE(AddClique(&builder, clique_b, 2.0).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  DcsgaOptions options;
+  options.collect_cliques = true;
+  auto result = RunDcsgaAllInits(*g, options);
+  ASSERT_TRUE(result.ok());
+  auto maximal = FilterMaximalCliques(result->cliques);
+  ASSERT_EQ(maximal.size(), 2u);
+  std::vector<std::vector<VertexId>> supports;
+  for (const auto& record : maximal) supports.push_back(record.members);
+  std::sort(supports.begin(), supports.end());
+  EXPECT_EQ(supports[0], clique_a);
+  EXPECT_EQ(supports[1], clique_b);
+}
+
+TEST(FilterMaximalCliquesTest, RemovesSubsetsAndDuplicates) {
+  auto record = [](std::vector<VertexId> members, double affinity) {
+    CliqueRecord r;
+    r.members = std::move(members);
+    r.affinity = affinity;
+    return r;
+  };
+  std::vector<CliqueRecord> input;
+  input.push_back(record({0, 1, 2, 3}, 2.0));
+  input.push_back(record({1, 2}, 1.0));        // subset
+  input.push_back(record({0, 1, 2, 3}, 2.0));  // duplicate
+  input.push_back(record({4, 5}, 0.5));        // disjoint survivor
+  auto out = FilterMaximalCliques(std::move(input));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].members, (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_EQ(out[1].members, (std::vector<VertexId>{4, 5}));
+}
+
+TEST(FilterMaximalCliquesTest, EmptyInput) {
+  EXPECT_TRUE(FilterMaximalCliques({}).empty());
+}
+
+}  // namespace
+}  // namespace dcs

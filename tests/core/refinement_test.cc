@@ -1,0 +1,106 @@
+#include "core/refinement.h"
+
+#include <gtest/gtest.h>
+
+#include "core/seacd.h"
+#include "gen/random_graphs.h"
+#include "graph/stats.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::MakeGraph;
+
+TEST(RefinementTest, RejectsNegativeWeights) {
+  Graph g = MakeGraph(2, {{0, 1, -1.0}});
+  EXPECT_FALSE(
+      RefineToPositiveClique(g, Embedding::UnitVector(2, 0)).ok());
+}
+
+TEST(RefinementTest, RejectsOffSimplexInput) {
+  Graph g = MakeGraph(2, {{0, 1, 1.0}});
+  EXPECT_FALSE(RefineToPositiveClique(g, Embedding::Zeros(2)).ok());
+}
+
+TEST(RefinementTest, CliqueSupportIsUntouched) {
+  Graph g = MakeGraph(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+  Embedding x = Embedding::UniformOn(3, std::vector<VertexId>{0, 1, 2});
+  auto result = RefineToPositiveClique(g, x);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->merges, 0u);
+  EXPECT_EQ(result->x.Support().size(), 3u);
+  EXPECT_NEAR(result->affinity, 2.0 / 3.0, 1e-9);
+}
+
+TEST(RefinementTest, PathSupportCollapsesToAnEdge) {
+  // Support {0,1,2} on path 0-1-2 is not a clique ((0,2) missing): the
+  // refinement must end on a clique — here an edge or single vertex.
+  Graph g = MakeGraph(3, {{0, 1, 2.0}, {1, 2, 2.0}});
+  Embedding x = Embedding::UniformOn(3, std::vector<VertexId>{0, 1, 2});
+  auto result = RefineToPositiveClique(g, x);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->merges, 1u);
+  std::vector<VertexId> support = result->x.Support();
+  EXPECT_TRUE(IsClique(g, support));
+  EXPECT_LE(support.size(), 2u);
+  // f must not decrease: the uniform path embedding has f = 2·(2/9)·2 = 8/9.
+  EXPECT_GE(result->affinity, 8.0 / 9.0 - 1e-9);
+}
+
+TEST(RefinementTest, ObjectiveNeverDecreases) {
+  Rng rng(31415);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = ErdosRenyiWeighted(16, 0.3, 0.5, 3.0, &rng);
+    ASSERT_TRUE(g.ok());
+    // Random simplex start over several vertices.
+    std::vector<VertexId> support;
+    for (VertexId v = 0; v < 16; ++v) {
+      if (rng.Bernoulli(0.4)) support.push_back(v);
+    }
+    if (support.empty()) support.push_back(0);
+    Embedding x = Embedding::UniformOn(16, support);
+    const double f_before = x.Affinity(*g);
+    auto result = RefineToPositiveClique(*g, x);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->affinity, f_before - 1e-9);
+    EXPECT_TRUE(IsPositiveClique(*g, result->x.Support()));
+  }
+}
+
+TEST(RefinementTest, AfterSeacdSupportBecomesPositiveClique) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto signed_g = RandomSignedGraph(24, 80, 0.65, 0.5, 3.0, &rng);
+    ASSERT_TRUE(signed_g.ok());
+    Graph gd_plus = signed_g->PositivePart();
+    if (gd_plus.NumEdges() == 0) continue;
+    auto seacd = RunSeacdFromVertex(gd_plus,
+                                    static_cast<VertexId>(rng.NextBounded(24)));
+    ASSERT_TRUE(seacd.ok());
+    auto refined = RefineToPositiveClique(gd_plus, seacd->x);
+    ASSERT_TRUE(refined.ok());
+    // Clique in GD+ == positive clique in the signed difference graph.
+    EXPECT_TRUE(IsPositiveClique(*signed_g, refined->x.Support()));
+    EXPECT_GE(refined->affinity, seacd->affinity - 1e-9);
+    EXPECT_TRUE(refined->x.IsOnSimplex(1e-6));
+  }
+}
+
+TEST(RefinementTest, SupportShrinksAtMostToSingleton) {
+  // Star graph: center + leaves, leaves not adjacent — any multi-leaf
+  // support must collapse; final clique is an edge (center, one leaf).
+  Graph g = MakeGraph(5, {{0, 1, 2.0}, {0, 2, 2.0}, {0, 3, 2.0}, {0, 4, 2.0}});
+  Embedding x = Embedding::UniformOn(5, std::vector<VertexId>{0, 1, 2, 3, 4});
+  auto result = RefineToPositiveClique(g, x);
+  ASSERT_TRUE(result.ok());
+  std::vector<VertexId> support = result->x.Support();
+  EXPECT_TRUE(IsClique(g, support));
+  ASSERT_FALSE(support.empty());
+  EXPECT_LE(support.size(), 2u);
+  EXPECT_NEAR(result->affinity, 1.0, 1e-3);  // edge of weight 2: f = w/2
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,179 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/dcs_greedy.h"
+#include "gen/random_graphs.h"
+#include "graph/difference.h"
+#include "graph/stats.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::MakeGraph;
+
+TEST(StreamingTest, RejectsBadUpdates) {
+  StreamingDcsMonitor monitor(4);
+  EXPECT_TRUE(monitor.ApplyUpdate(StreamSide::kG2, 1, 1, 1.0)
+                  .IsInvalidArgument());
+  EXPECT_EQ(monitor.ApplyUpdate(StreamSide::kG2, 0, 9, 1.0).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE(monitor
+                  .ApplyUpdate(StreamSide::kG1, 0, 1,
+                               std::numeric_limits<double>::infinity())
+                  .IsInvalidArgument());
+}
+
+TEST(StreamingTest, UpdatesMatchBatchDifference) {
+  // Feed the Fig. 1 graphs as a stream and compare against the batch build.
+  Graph g1 = ::dcs::testing::Fig1G1();
+  Graph g2 = ::dcs::testing::Fig1G2();
+  StreamingDcsMonitor monitor(5);
+  for (const Edge& e : g1.UndirectedEdges()) {
+    ASSERT_TRUE(monitor.ApplyUpdate(StreamSide::kG1, e.u, e.v, e.weight).ok());
+  }
+  for (const Edge& e : g2.UndirectedEdges()) {
+    ASSERT_TRUE(monitor.ApplyUpdate(StreamSide::kG2, e.u, e.v, e.weight).ok());
+  }
+  auto snapshot = monitor.DifferenceSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  auto batch = BuildDifferenceGraph(g1, g2);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(snapshot->UndirectedEdges(), batch->UndirectedEdges());
+}
+
+TEST(StreamingTest, AlphaScalingApplied) {
+  StreamingDcsMonitor monitor(3, /*alpha=*/2.0);
+  ASSERT_TRUE(monitor.ApplyUpdate(StreamSide::kG1, 0, 1, 2.0).ok());
+  ASSERT_TRUE(monitor.ApplyUpdate(StreamSide::kG2, 0, 1, 5.0).ok());
+  auto snapshot = monitor.DifferenceSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_DOUBLE_EQ(snapshot->EdgeWeight(0, 1), 1.0);  // 5 − 2·2
+}
+
+TEST(StreamingTest, CancellingUpdatesRemoveEdge) {
+  StreamingDcsMonitor monitor(3);
+  ASSERT_TRUE(monitor.ApplyUpdate(StreamSide::kG2, 0, 1, 3.0).ok());
+  ASSERT_TRUE(monitor.ApplyUpdate(StreamSide::kG2, 0, 1, -3.0).ok());
+  auto snapshot = monitor.DifferenceSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->NumEdges(), 0u);
+}
+
+TEST(StreamingTest, SnapshotRebuildsLazily) {
+  StreamingDcsMonitor monitor(3);
+  ASSERT_TRUE(monitor.ApplyUpdate(StreamSide::kG2, 0, 1, 1.0).ok());
+  ASSERT_TRUE(monitor.DifferenceSnapshot().ok());
+  ASSERT_TRUE(monitor.DifferenceSnapshot().ok());
+  EXPECT_EQ(monitor.num_rebuilds(), 1u);  // second call reused the snapshot
+  ASSERT_TRUE(monitor.ApplyUpdate(StreamSide::kG2, 1, 2, 1.0).ok());
+  ASSERT_TRUE(monitor.DifferenceSnapshot().ok());
+  EXPECT_EQ(monitor.num_rebuilds(), 2u);
+}
+
+TEST(StreamingTest, DetectsEmergingStory) {
+  // A clique's weight builds up over three "time steps"; the monitor's
+  // affinity DCS locks onto it once it dominates.
+  Rng rng(77);
+  const VertexId n = 100;
+  StreamingDcsMonitor monitor(n);
+  // Background chatter on both sides.
+  auto background = ErdosRenyiWeighted(n, 0.05, 0.2, 1.0, &rng);
+  ASSERT_TRUE(background.ok());
+  for (const Edge& e : background->UndirectedEdges()) {
+    ASSERT_TRUE(monitor.ApplyUpdate(StreamSide::kG1, e.u, e.v, e.weight).ok());
+    ASSERT_TRUE(monitor.ApplyUpdate(StreamSide::kG2, e.u, e.v,
+                                    e.weight * 0.9).ok());
+  }
+  const std::vector<VertexId> story{10, 20, 30, 40};
+  double last_affinity = 0.0;
+  for (int step = 0; step < 3; ++step) {
+    for (size_t i = 0; i < story.size(); ++i) {
+      for (size_t j = i + 1; j < story.size(); ++j) {
+        ASSERT_TRUE(
+            monitor.ApplyUpdate(StreamSide::kG2, story[i], story[j], 2.0)
+                .ok());
+      }
+    }
+    auto result = monitor.MineDcsga();
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->affinity, last_affinity);
+    last_affinity = result->affinity;
+  }
+  auto final_result = monitor.MineDcsga();
+  ASSERT_TRUE(final_result.ok());
+  EXPECT_EQ(final_result->support, story);
+  // Average-degree view agrees.
+  auto dcsad = monitor.MineDcsad();
+  ASSERT_TRUE(dcsad.ok());
+  EXPECT_EQ(dcsad->subset, story);
+}
+
+TEST(StreamingTest, WarmStartTracksDriftingStory) {
+  // Build a strong clique, query, then strengthen an overlapping clique;
+  // the warm-started query must follow the drift (and never regress below
+  // the fresh NewSEA answer, by construction of MineDcsga).
+  const VertexId n = 30;
+  StreamingDcsMonitor monitor(n);
+  const std::vector<VertexId> old_story{1, 2, 3};
+  const std::vector<VertexId> new_story{3, 4, 5, 6};
+  for (size_t i = 0; i < old_story.size(); ++i) {
+    for (size_t j = i + 1; j < old_story.size(); ++j) {
+      ASSERT_TRUE(monitor
+                      .ApplyUpdate(StreamSide::kG2, old_story[i],
+                                   old_story[j], 5.0)
+                      .ok());
+    }
+  }
+  auto first = monitor.MineDcsga();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->support, old_story);
+  for (size_t i = 0; i < new_story.size(); ++i) {
+    for (size_t j = i + 1; j < new_story.size(); ++j) {
+      ASSERT_TRUE(monitor
+                      .ApplyUpdate(StreamSide::kG2, new_story[i],
+                                   new_story[j], 8.0)
+                      .ok());
+    }
+  }
+  auto second = monitor.MineDcsga();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->support, new_story);
+}
+
+TEST(StreamingTest, MatchesBatchPipelineOnRandomStream) {
+  Rng rng(99);
+  const VertexId n = 60;
+  StreamingDcsMonitor monitor(n);
+  GraphBuilder builder1(n), builder2(n);
+  for (int update = 0; update < 400; ++update) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n - 1));
+    if (v >= u) ++v;
+    const double w = rng.Uniform(0.1, 3.0);
+    if (rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(monitor.ApplyUpdate(StreamSide::kG1, u, v, w).ok());
+      ASSERT_TRUE(builder1.AddEdge(u, v, w).ok());
+    } else {
+      ASSERT_TRUE(monitor.ApplyUpdate(StreamSide::kG2, u, v, w).ok());
+      ASSERT_TRUE(builder2.AddEdge(u, v, w).ok());
+    }
+  }
+  auto g1 = builder1.Build();
+  auto g2 = builder2.Build();
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  auto batch_gd = BuildDifferenceGraph(*g1, *g2);
+  ASSERT_TRUE(batch_gd.ok());
+  auto streaming_ad = monitor.MineDcsad();
+  auto batch_ad = RunDcsGreedy(*batch_gd);
+  ASSERT_TRUE(streaming_ad.ok() && batch_ad.ok());
+  EXPECT_EQ(streaming_ad->subset, batch_ad->subset);
+  EXPECT_NEAR(streaming_ad->density, batch_ad->density, 1e-9);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,118 @@
+#include "gen/coauthor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/difference.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+CoauthorConfig SmallConfig() {
+  CoauthorConfig config;
+  config.num_authors = 800;
+  config.backbone_average_degree = 4.0;
+  config.emerging_sizes = {4, 6};
+  config.disappearing_sizes = {5};
+  return config;
+}
+
+TEST(CoauthorGenTest, RejectsImpossibleConfigs) {
+  Rng rng(1);
+  CoauthorConfig config;
+  config.num_authors = 10;
+  config.emerging_sizes = {8, 8};
+  EXPECT_FALSE(GenerateCoauthorData(config, &rng).ok());
+  config = CoauthorConfig{};
+  config.emerging_sizes = {1};
+  EXPECT_FALSE(GenerateCoauthorData(config, &rng).ok());
+}
+
+TEST(CoauthorGenTest, ShapesAndGroupCounts) {
+  Rng rng(2);
+  auto data = GenerateCoauthorData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->g1.NumVertices(), 800u);
+  EXPECT_EQ(data->g2.NumVertices(), 800u);
+  EXPECT_GT(data->g1.NumEdges(), 0u);
+  EXPECT_GT(data->g2.NumEdges(), 0u);
+  ASSERT_EQ(data->emerging.size(), 2u);
+  ASSERT_EQ(data->disappearing.size(), 1u);
+  EXPECT_EQ(data->emerging[0].members.size(), 4u);
+  EXPECT_EQ(data->emerging[1].members.size(), 6u);
+  EXPECT_EQ(data->disappearing[0].members.size(), 5u);
+}
+
+TEST(CoauthorGenTest, PlantedGroupsAreDisjoint) {
+  Rng rng(3);
+  auto data = GenerateCoauthorData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  std::set<VertexId> seen;
+  size_t total = 0;
+  for (const auto& group : data->emerging) {
+    seen.insert(group.members.begin(), group.members.end());
+    total += group.members.size();
+  }
+  for (const auto& group : data->disappearing) {
+    seen.insert(group.members.begin(), group.members.end());
+    total += group.members.size();
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST(CoauthorGenTest, EmergingGroupsAreDenserInEra2) {
+  Rng rng(4);
+  auto data = GenerateCoauthorData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  for (const auto& group : data->emerging) {
+    const double rho1 = AverageDegreeDensity(data->g1, group.members);
+    const double rho2 = AverageDegreeDensity(data->g2, group.members);
+    EXPECT_GT(rho2, rho1 + 5.0)
+        << group.name << ": era-2 density must dominate";
+  }
+  for (const auto& group : data->disappearing) {
+    const double rho1 = AverageDegreeDensity(data->g1, group.members);
+    const double rho2 = AverageDegreeDensity(data->g2, group.members);
+    EXPECT_GT(rho1, rho2 + 5.0) << group.name;
+  }
+}
+
+TEST(CoauthorGenTest, EmergingGroupIsPositiveCliqueInDifference) {
+  Rng rng(5);
+  auto data = GenerateCoauthorData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  auto gd = BuildDifferenceGraph(data->g1, data->g2);
+  ASSERT_TRUE(gd.ok());
+  // Hot-era pairwise papers (≥1 each pair) minus cold-era noise should stay
+  // positive for most pairs; require the group to at least be a clique in GD.
+  for (const auto& group : data->emerging) {
+    EXPECT_GT(AverageDegreeDensity(*gd, group.members), 0.0) << group.name;
+  }
+}
+
+TEST(CoauthorGenTest, WeightsArePositiveIntegersLike) {
+  Rng rng(6);
+  auto data = GenerateCoauthorData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  for (const Edge& e : data->g1.UndirectedEdges()) {
+    EXPECT_GE(e.weight, 1.0);
+  }
+  for (const Edge& e : data->g2.UndirectedEdges()) {
+    EXPECT_GE(e.weight, 1.0);
+  }
+}
+
+TEST(CoauthorGenTest, DeterministicGivenSeed) {
+  Rng rng_a(7), rng_b(7);
+  auto a = GenerateCoauthorData(SmallConfig(), &rng_a);
+  auto b = GenerateCoauthorData(SmallConfig(), &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->g1.UndirectedEdges(), b->g1.UndirectedEdges());
+  EXPECT_EQ(a->g2.UndirectedEdges(), b->g2.UndirectedEdges());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,93 @@
+#include "gen/interest_social.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/difference.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+InterestSocialConfig SmallConfig() {
+  InterestSocialConfig config;
+  config.num_users = 2000;
+  config.num_clusters = 20;
+  config.cluster_size = 30;
+  config.interest_only_cliques = {8, 6};
+  config.social_only_cliques = {7};
+  return config;
+}
+
+TEST(InterestSocialGenTest, RejectsOversizedStructure) {
+  Rng rng(1);
+  InterestSocialConfig config;
+  config.num_users = 100;
+  config.num_clusters = 10;
+  config.cluster_size = 20;  // 200 > 100
+  EXPECT_FALSE(GenerateInterestSocialData(config, &rng).ok());
+}
+
+TEST(InterestSocialGenTest, UnitWeightsEverywhereInInterestGraph) {
+  Rng rng(2);
+  auto data = GenerateInterestSocialData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  for (const Edge& e : data->interest.UndirectedEdges()) {
+    EXPECT_DOUBLE_EQ(e.weight, 1.0);
+  }
+}
+
+TEST(InterestSocialGenTest, PlantedCliquesAreCliques) {
+  Rng rng(3);
+  auto data = GenerateInterestSocialData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->interest_only_cliques.size(), 2u);
+  ASSERT_EQ(data->social_only_cliques.size(), 1u);
+  for (const auto& clique : data->interest_only_cliques) {
+    EXPECT_TRUE(IsClique(data->interest, clique));
+  }
+  for (const auto& clique : data->social_only_cliques) {
+    EXPECT_TRUE(IsClique(data->social, clique));
+  }
+}
+
+TEST(InterestSocialGenTest, InterestOnlyCliquesArePositiveInDifference) {
+  Rng rng(4);
+  auto data = GenerateInterestSocialData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  auto gd = BuildDifferenceGraph(data->social, data->interest);
+  ASSERT_TRUE(gd.ok());
+  for (const auto& clique : data->interest_only_cliques) {
+    EXPECT_GT(AverageDegreeDensity(*gd, clique), 0.0);
+  }
+  auto gd_flipped = BuildDifferenceGraph(data->interest, data->social);
+  ASSERT_TRUE(gd_flipped.ok());
+  for (const auto& clique : data->social_only_cliques) {
+    EXPECT_GT(AverageDegreeDensity(*gd_flipped, clique), 0.0);
+  }
+}
+
+TEST(InterestSocialGenTest, MovieProfileDenserThanBook) {
+  Rng rng_movie(5), rng_book(5);
+  InterestSocialConfig movie = MovieLikeConfig();
+  InterestSocialConfig book = BookLikeConfig();
+  movie.num_users = 3000;
+  movie.num_clusters = 25;
+  book.num_users = 3000;
+  book.num_clusters = 25;
+  auto movie_data = GenerateInterestSocialData(movie, &rng_movie);
+  auto book_data = GenerateInterestSocialData(book, &rng_book);
+  ASSERT_TRUE(movie_data.ok() && book_data.ok());
+  EXPECT_GT(movie_data->interest.NumEdges(), book_data->interest.NumEdges());
+}
+
+TEST(InterestSocialGenTest, DeterministicGivenSeed) {
+  Rng rng_a(6), rng_b(6);
+  auto a = GenerateInterestSocialData(SmallConfig(), &rng_a);
+  auto b = GenerateInterestSocialData(SmallConfig(), &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->social.UndirectedEdges(), b->social.UndirectedEdges());
+}
+
+}  // namespace
+}  // namespace dcs

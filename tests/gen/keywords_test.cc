@@ -1,0 +1,121 @@
+#include "gen/keywords.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/difference.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+KeywordConfig SmallConfig() {
+  KeywordConfig config;
+  config.noise_vocabulary = 400;
+  config.titles_per_era = 6000;
+  return config;
+}
+
+TEST(KeywordGenTest, DefaultTopicsAreWellFormed) {
+  const auto topics = DefaultDataMiningTopics();
+  EXPECT_GE(topics.size(), 10u);
+  int emerging = 0, disappearing = 0, stable = 0;
+  for (const Topic& t : topics) {
+    EXPECT_GE(t.keywords.size(), 2u);
+    EXPECT_GT(t.popularity, 0.0);
+    switch (t.trend) {
+      case TopicTrend::kEmerging: ++emerging; break;
+      case TopicTrend::kDisappearing: ++disappearing; break;
+      case TopicTrend::kStable: ++stable; break;
+    }
+  }
+  EXPECT_EQ(emerging, 5);     // Table V has 5 emerging rows
+  EXPECT_EQ(disappearing, 5); // and 5 disappearing rows
+  EXPECT_GE(stable, 3);
+}
+
+TEST(KeywordGenTest, VocabularyCoversTopicsAndNoise) {
+  Rng rng(1);
+  auto data = GenerateKeywordData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  // ids dense and distinct
+  std::set<std::string> distinct(data->vocabulary.begin(),
+                                 data->vocabulary.end());
+  EXPECT_EQ(distinct.size(), data->vocabulary.size());
+  EXPECT_EQ(data->g1.NumVertices(), data->vocabulary.size());
+  EXPECT_EQ(data->g2.NumVertices(), data->vocabulary.size());
+  ASSERT_EQ(data->topic_members.size(), data->topics.size());
+}
+
+TEST(KeywordGenTest, RejectsDegenerateConfigs) {
+  Rng rng(2);
+  KeywordConfig config = SmallConfig();
+  config.titles_per_era = 0;
+  EXPECT_FALSE(GenerateKeywordData(config, &rng).ok());
+  config = SmallConfig();
+  Topic bad;
+  bad.label = "singleton";
+  bad.keywords = {"alone"};
+  config.topics = {bad};
+  EXPECT_FALSE(GenerateKeywordData(config, &rng).ok());
+}
+
+TEST(KeywordGenTest, EmergingTopicsGainAffinity) {
+  Rng rng(3);
+  auto data = GenerateKeywordData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  for (size_t t = 0; t < data->topics.size(); ++t) {
+    const Topic& topic = data->topics[t];
+    const auto& members = data->topic_members[t];
+    const double d1 = EdgeDensity(data->g1, members);
+    const double d2 = EdgeDensity(data->g2, members);
+    switch (topic.trend) {
+      case TopicTrend::kEmerging:
+        EXPECT_GT(d2, d1) << topic.label;
+        break;
+      case TopicTrend::kDisappearing:
+        EXPECT_GT(d1, d2) << topic.label;
+        break;
+      case TopicTrend::kStable:
+        // Stable topics should be dense in both eras.
+        EXPECT_GT(d1, 0.0) << topic.label;
+        EXPECT_GT(d2, 0.0) << topic.label;
+        break;
+    }
+  }
+}
+
+TEST(KeywordGenTest, EdgeWeightsFollowHundredTimesFraction) {
+  Rng rng(4);
+  auto data = GenerateKeywordData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  // No pair can co-occur in more titles than exist: weights ≤ 100.
+  for (const Edge& e : data->g1.UndirectedEdges()) {
+    EXPECT_GT(e.weight, 0.0);
+    EXPECT_LE(e.weight, 100.0);
+  }
+}
+
+TEST(KeywordGenTest, DifferenceGraphHasBothSigns) {
+  Rng rng(5);
+  auto data = GenerateKeywordData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  auto gd = BuildDifferenceGraph(data->g1, data->g2);
+  ASSERT_TRUE(gd.ok());
+  const WeightStats stats = gd->ComputeWeightStats();
+  EXPECT_GT(stats.num_positive_edges, 0u);
+  EXPECT_GT(stats.num_negative_edges, 0u);
+}
+
+TEST(KeywordGenTest, DeterministicGivenSeed) {
+  Rng rng_a(6), rng_b(6);
+  auto a = GenerateKeywordData(SmallConfig(), &rng_a);
+  auto b = GenerateKeywordData(SmallConfig(), &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->g2.UndirectedEdges(), b->g2.UndirectedEdges());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,180 @@
+#include "gen/random_graphs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+TEST(ErdosRenyiTest, EdgeCountMatchesExpectation) {
+  Rng rng(1);
+  const VertexId n = 200;
+  const double p = 0.05;
+  auto g = ErdosRenyi(n, p, &rng);
+  ASSERT_TRUE(g.ok());
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g->NumEdges()), expected,
+              4.0 * std::sqrt(expected));
+  for (const Edge& e : g->UndirectedEdges()) {
+    EXPECT_DOUBLE_EQ(e.weight, 1.0);
+    EXPECT_LT(e.u, e.v);
+  }
+}
+
+TEST(ErdosRenyiTest, ExtremeProbabilities) {
+  Rng rng(2);
+  auto empty = ErdosRenyi(50, 0.0, &rng);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->NumEdges(), 0u);
+  auto complete = ErdosRenyi(20, 1.0, &rng);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_EQ(complete->NumEdges(), 190u);  // C(20,2)
+}
+
+TEST(ErdosRenyiTest, InvalidProbabilityRejected) {
+  Rng rng(3);
+  EXPECT_FALSE(ErdosRenyi(10, -0.1, &rng).ok());
+  EXPECT_FALSE(ErdosRenyi(10, 1.5, &rng).ok());
+}
+
+TEST(ErdosRenyiTest, DeterministicGivenSeed) {
+  Rng rng_a(7), rng_b(7);
+  auto a = ErdosRenyi(100, 0.05, &rng_a);
+  auto b = ErdosRenyi(100, 0.05, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->UndirectedEdges(), b->UndirectedEdges());
+}
+
+TEST(ErdosRenyiWeightedTest, WeightsInRange) {
+  Rng rng(4);
+  auto g = ErdosRenyiWeighted(80, 0.1, 0.5, 2.5, &rng);
+  ASSERT_TRUE(g.ok());
+  ASSERT_GT(g->NumEdges(), 0u);
+  for (const Edge& e : g->UndirectedEdges()) {
+    EXPECT_GE(e.weight, 0.5);
+    EXPECT_LE(e.weight, 2.5);
+  }
+}
+
+TEST(ErdosRenyiWeightedTest, BadWeightRangeRejected) {
+  Rng rng(5);
+  EXPECT_FALSE(ErdosRenyiWeighted(10, 0.5, 2.0, 1.0, &rng).ok());
+}
+
+TEST(ChungLuTest, AverageDegreeRoughlyMatches) {
+  Rng rng(6);
+  ChungLuParams params;
+  params.n = 4000;
+  params.average_degree = 10.0;
+  params.exponent = 2.5;
+  auto g = ChungLu(params, &rng);
+  ASSERT_TRUE(g.ok());
+  const double avg_degree =
+      2.0 * static_cast<double>(g->NumEdges()) / params.n;
+  EXPECT_NEAR(avg_degree, 10.0, 2.5);
+}
+
+TEST(ChungLuTest, DegreesAreHeavyTailed) {
+  Rng rng(7);
+  ChungLuParams params;
+  params.n = 5000;
+  params.average_degree = 8.0;
+  params.exponent = 2.2;
+  auto g = ChungLu(params, &rng);
+  ASSERT_TRUE(g.ok());
+  size_t max_degree = 0;
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    max_degree = std::max(max_degree, g->Degree(v));
+  }
+  // Heavy tail: hub degree far above the mean.
+  EXPECT_GT(max_degree, 60u);
+}
+
+TEST(ChungLuTest, GeometricWeights) {
+  Rng rng(8);
+  ChungLuParams params;
+  params.n = 500;
+  params.average_degree = 6.0;
+  params.weight_geometric_p = 0.5;
+  auto g = ChungLu(params, &rng);
+  ASSERT_TRUE(g.ok());
+  bool saw_above_one = false;
+  for (const Edge& e : g->UndirectedEdges()) {
+    EXPECT_GE(e.weight, 1.0);
+    saw_above_one |= e.weight > 1.0;
+  }
+  EXPECT_TRUE(saw_above_one);
+}
+
+TEST(ChungLuTest, InvalidParamsRejected) {
+  Rng rng(9);
+  ChungLuParams params;
+  params.n = 0;
+  EXPECT_FALSE(ChungLu(params, &rng).ok());
+  params = ChungLuParams{};
+  params.exponent = 1.0;
+  EXPECT_FALSE(ChungLu(params, &rng).ok());
+  params = ChungLuParams{};
+  params.weight_geometric_p = 0.0;
+  EXPECT_FALSE(ChungLu(params, &rng).ok());
+}
+
+TEST(AddCliqueTest, AddsAllPairs) {
+  GraphBuilder builder(6);
+  std::vector<VertexId> members{0, 2, 4};
+  ASSERT_TRUE(AddClique(&builder, members, 1.5).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 3u);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 4), 1.5);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(2, 4), 1.5);
+}
+
+TEST(AddCliqueUniformTest, WeightsWithinRange) {
+  GraphBuilder builder(5);
+  Rng rng(10);
+  std::vector<VertexId> members{0, 1, 2, 3, 4};
+  ASSERT_TRUE(AddCliqueUniform(&builder, members, 1.0, 2.0, &rng).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 10u);
+  for (const Edge& e : g->UndirectedEdges()) {
+    EXPECT_GE(e.weight, 1.0);
+    EXPECT_LE(e.weight, 2.0);
+  }
+}
+
+TEST(RandomSignedGraphTest, SignMixMatchesFraction) {
+  Rng rng(11);
+  auto g = RandomSignedGraph(300, 3000, 0.7, 0.5, 2.0, &rng);
+  ASSERT_TRUE(g.ok());
+  const WeightStats stats = g->ComputeWeightStats();
+  const double frac_positive =
+      static_cast<double>(stats.num_positive_edges) /
+      static_cast<double>(stats.num_positive_edges + stats.num_negative_edges);
+  EXPECT_NEAR(frac_positive, 0.7, 0.05);
+  EXPECT_LE(stats.max_weight, 2.0 * 2.0);  // accumulation can stack a little
+  EXPECT_GE(stats.min_weight, -4.0);
+}
+
+TEST(RandomSignedGraphTest, InvalidArgumentsRejected) {
+  Rng rng(12);
+  EXPECT_FALSE(RandomSignedGraph(1, 5, 0.5, 0.5, 1.0, &rng).ok());
+  EXPECT_FALSE(RandomSignedGraph(10, 5, 0.5, 0.0, 1.0, &rng).ok());
+  EXPECT_FALSE(RandomSignedGraph(10, 5, 0.5, 2.0, 1.0, &rng).ok());
+  EXPECT_FALSE(RandomSignedGraph(10, 5, 1.5, 0.5, 1.0, &rng).ok());
+}
+
+TEST(RandomSignedGraphTest, NoSelfLoops) {
+  Rng rng(13);
+  auto g = RandomSignedGraph(20, 100, 0.5, 0.5, 1.0, &rng);
+  ASSERT_TRUE(g.ok());
+  for (const Edge& e : g->UndirectedEdges()) EXPECT_NE(e.u, e.v);
+}
+
+}  // namespace
+}  // namespace dcs

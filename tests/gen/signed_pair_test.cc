@@ -1,0 +1,96 @@
+#include "gen/signed_pair.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/difference.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+SignedPairConfig SmallConfig() {
+  SignedPairConfig config;
+  config.num_editors = 1200;
+  config.consistent_size = 60;
+  config.conflicting_size = 40;
+  return config;
+}
+
+TEST(SignedPairGenTest, RejectsOversizedCommunities) {
+  Rng rng(1);
+  SignedPairConfig config;
+  config.num_editors = 50;
+  config.consistent_size = 40;
+  config.conflicting_size = 40;
+  EXPECT_FALSE(GenerateSignedPairData(config, &rng).ok());
+}
+
+TEST(SignedPairGenTest, ShapesAndDisjointness) {
+  Rng rng(2);
+  auto data = GenerateSignedPairData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->positive.NumVertices(), 1200u);
+  EXPECT_EQ(data->negative.NumVertices(), 1200u);
+  EXPECT_EQ(data->consistent_group.size(), 60u);
+  EXPECT_EQ(data->conflicting_group.size(), 40u);
+  std::set<VertexId> seen(data->consistent_group.begin(),
+                          data->consistent_group.end());
+  for (VertexId v : data->conflicting_group) {
+    EXPECT_FALSE(seen.contains(v)) << "groups overlap at " << v;
+  }
+}
+
+TEST(SignedPairGenTest, AllWeightsArePositiveInBothGraphs) {
+  Rng rng(3);
+  auto data = GenerateSignedPairData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  for (const Edge& e : data->positive.UndirectedEdges()) EXPECT_GT(e.weight, 0.0);
+  for (const Edge& e : data->negative.UndirectedEdges()) EXPECT_GT(e.weight, 0.0);
+}
+
+TEST(SignedPairGenTest, ConsistentGroupDominatesInPositiveDifference) {
+  Rng rng(4);
+  auto data = GenerateSignedPairData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  auto gd_consistent =
+      BuildDifferenceGraph(data->negative, data->positive);  // G1 − G2
+  ASSERT_TRUE(gd_consistent.ok());
+  const double group_density =
+      AverageDegreeDensity(*gd_consistent, data->consistent_group);
+  EXPECT_GT(group_density, 0.0);
+  // The conflicting group should look bad under this orientation...
+  const double conflict_density =
+      AverageDegreeDensity(*gd_consistent, data->conflicting_group);
+  EXPECT_GT(group_density, conflict_density);
+  // ...and good under the flipped one.
+  auto gd_conflicting = BuildDifferenceGraph(data->positive, data->negative);
+  ASSERT_TRUE(gd_conflicting.ok());
+  EXPECT_GT(AverageDegreeDensity(*gd_conflicting, data->conflicting_group),
+            0.0);
+}
+
+TEST(SignedPairGenTest, BackboneCreatesBothSignsInDifference) {
+  Rng rng(5);
+  auto data = GenerateSignedPairData(SmallConfig(), &rng);
+  ASSERT_TRUE(data.ok());
+  auto gd = BuildDifferenceGraph(data->negative, data->positive);
+  ASSERT_TRUE(gd.ok());
+  const WeightStats stats = gd->ComputeWeightStats();
+  EXPECT_GT(stats.num_positive_edges, 0u);
+  EXPECT_GT(stats.num_negative_edges, 0u);
+}
+
+TEST(SignedPairGenTest, DeterministicGivenSeed) {
+  Rng rng_a(6), rng_b(6);
+  auto a = GenerateSignedPairData(SmallConfig(), &rng_a);
+  auto b = GenerateSignedPairData(SmallConfig(), &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->positive.UndirectedEdges(), b->positive.UndirectedEdges());
+  EXPECT_EQ(a->consistent_group, b->consistent_group);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,115 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/random_graphs.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::MakeGraph;
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  Graph g = MakeGraph(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  const ComponentLabeling labeling = ConnectedComponents(g);
+  EXPECT_EQ(labeling.num_components, 1u);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(labeling.label[v], 0u);
+}
+
+TEST(ConnectedComponentsTest, IsolatedVerticesAreOwnComponents) {
+  Graph g(3);
+  const ComponentLabeling labeling = ConnectedComponents(g);
+  EXPECT_EQ(labeling.num_components, 3u);
+}
+
+TEST(ConnectedComponentsTest, TwoComponentsAndGroups) {
+  Graph g = MakeGraph(5, {{0, 1, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}});
+  const ComponentLabeling labeling = ConnectedComponents(g);
+  EXPECT_EQ(labeling.num_components, 2u);
+  auto groups = labeling.Groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(groups[1], (std::vector<VertexId>{2, 3, 4}));
+}
+
+TEST(ConnectedComponentsTest, NegativeEdgesStillConnect) {
+  Graph g = MakeGraph(3, {{0, 1, -1.0}, {1, 2, -2.0}});
+  EXPECT_EQ(ConnectedComponents(g).num_components, 1u);
+}
+
+TEST(InducedComponentsTest, SubsetSplitsIntoComponents) {
+  // Path 0-1-2-3-4; subset {0,1,3,4} splits into {0,1} and {3,4}.
+  Graph g = MakeGraph(5, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}});
+  std::vector<VertexId> subset{0, 1, 3, 4};
+  auto components = InducedComponents(g, subset);
+  ASSERT_EQ(components.size(), 2u);
+  for (auto& c : components) std::sort(c.begin(), c.end());
+  std::sort(components.begin(), components.end());
+  EXPECT_EQ(components[0], (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(components[1], (std::vector<VertexId>{3, 4}));
+}
+
+TEST(InducedComponentsTest, EmptySubset) {
+  Graph g = MakeGraph(3, {{0, 1, 1.0}});
+  EXPECT_TRUE(InducedComponents(g, std::vector<VertexId>{}).empty());
+}
+
+TEST(InducedComponentsTest, DuplicateIdsIgnored) {
+  Graph g = MakeGraph(3, {{0, 1, 1.0}});
+  std::vector<VertexId> subset{0, 0, 1, 1};
+  auto components = InducedComponents(g, subset);
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0].size(), 2u);
+}
+
+TEST(InducedComponentsTest, SingletonSubset) {
+  Graph g = MakeGraph(3, {{0, 1, 1.0}});
+  auto components = InducedComponents(g, std::vector<VertexId>{2});
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0], (std::vector<VertexId>{2}));
+}
+
+TEST(IsInducedConnectedTest, Basics) {
+  Graph g = MakeGraph(5, {{0, 1, 1.0}, {1, 2, 1.0}, {3, 4, 1.0}});
+  EXPECT_TRUE(IsInducedConnected(g, std::vector<VertexId>{0, 1, 2}));
+  EXPECT_FALSE(IsInducedConnected(g, std::vector<VertexId>{0, 1, 3}));
+  EXPECT_TRUE(IsInducedConnected(g, std::vector<VertexId>{}));
+  EXPECT_TRUE(IsInducedConnected(g, std::vector<VertexId>{4}));
+}
+
+class ComponentsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ComponentsPropertyTest, LabelsAreConsistentWithEdges) {
+  Rng rng(GetParam());
+  auto g = ErdosRenyi(60, 0.03, &rng);
+  ASSERT_TRUE(g.ok());
+  const ComponentLabeling labeling = ConnectedComponents(*g);
+  // Every edge connects same-labeled vertices.
+  for (VertexId u = 0; u < g->NumVertices(); ++u) {
+    for (const Neighbor& nb : g->NeighborsOf(u)) {
+      EXPECT_EQ(labeling.label[u], labeling.label[nb.to]);
+    }
+  }
+  // Labels are dense and groups partition V.
+  auto groups = labeling.Groups();
+  size_t total = 0;
+  for (const auto& grp : groups) {
+    EXPECT_FALSE(grp.empty());
+    total += grp.size();
+  }
+  EXPECT_EQ(total, g->NumVertices());
+  // Induced components over the full vertex set agree in count.
+  std::vector<VertexId> all(g->NumVertices());
+  for (VertexId v = 0; v < g->NumVertices(); ++v) all[v] = v;
+  EXPECT_EQ(InducedComponents(*g, all).size(), labeling.num_components);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComponentsPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace dcs

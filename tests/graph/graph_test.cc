@@ -1,0 +1,224 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "graph/graph_builder.h"
+#include "test_util.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::MakeGraph;
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, IsolatedVertices) {
+  Graph g(5);
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.Degree(v), 0u);
+    EXPECT_DOUBLE_EQ(g.WeightedDegree(v), 0.0);
+  }
+}
+
+TEST(GraphTest, BasicAdjacency) {
+  Graph g = MakeGraph(4, {{0, 1, 2.0}, {1, 2, -3.0}, {0, 3, 1.0}});
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 2.0);  // symmetric
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), -3.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(2, 3), 0.0);  // absent
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, AdjacencyIsSorted) {
+  Graph g = MakeGraph(5, {{2, 4, 1.0}, {2, 0, 1.0}, {2, 3, 1.0}, {2, 1, 1.0}});
+  auto row = g.NeighborsOf(2);
+  ASSERT_EQ(row.size(), 4u);
+  for (size_t i = 1; i < row.size(); ++i) EXPECT_LT(row[i - 1].to, row[i].to);
+}
+
+TEST(GraphTest, WeightedDegreeSumsIncidentWeights) {
+  Graph g = MakeGraph(3, {{0, 1, 2.5}, {0, 2, -1.0}});
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 1.5);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 2.5);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(2), -1.0);
+}
+
+TEST(GraphTest, UndirectedEdgesListsEachEdgeOnce) {
+  Graph g = MakeGraph(4, {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}});
+  auto edges = g.UndirectedEdges();
+  ASSERT_EQ(edges.size(), 3u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(GraphTest, WeightStats) {
+  Graph g = MakeGraph(4, {{0, 1, 3.0}, {1, 2, -2.0}, {2, 3, 1.0}});
+  const WeightStats stats = g.ComputeWeightStats();
+  EXPECT_EQ(stats.num_positive_edges, 2u);
+  EXPECT_EQ(stats.num_negative_edges, 1u);
+  EXPECT_DOUBLE_EQ(stats.max_weight, 3.0);
+  EXPECT_DOUBLE_EQ(stats.min_weight, -2.0);
+  EXPECT_NEAR(stats.mean_weight, 2.0 / 3.0, 1e-12);
+}
+
+TEST(GraphTest, WeightStatsEmptyGraph) {
+  Graph g(3);
+  const WeightStats stats = g.ComputeWeightStats();
+  EXPECT_EQ(stats.num_positive_edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.max_weight, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_weight, 0.0);
+}
+
+TEST(GraphTest, PositivePartDropsNegativeEdges) {
+  Graph gd = MakeGraph(4, {{0, 1, 2.0}, {1, 2, -1.0}, {2, 3, 0.5}});
+  Graph gd_plus = gd.PositivePart();
+  EXPECT_EQ(gd_plus.NumVertices(), 4u);
+  EXPECT_EQ(gd_plus.NumEdges(), 2u);
+  EXPECT_TRUE(gd_plus.HasEdge(0, 1));
+  EXPECT_FALSE(gd_plus.HasEdge(1, 2));
+  EXPECT_TRUE(gd_plus.HasEdge(2, 3));
+}
+
+TEST(GraphTest, PositivePartKeepsAdjacencySorted) {
+  Graph gd = MakeGraph(5, {{2, 0, 1.0}, {2, 1, -1.0}, {2, 3, 2.0}, {2, 4, -2.0}});
+  Graph gd_plus = gd.PositivePart();
+  auto row = gd_plus.NeighborsOf(2);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].to, 0u);
+  EXPECT_EQ(row[1].to, 3u);
+}
+
+TEST(GraphTest, NegatedFlipsAllSigns) {
+  Graph gd = MakeGraph(3, {{0, 1, 2.0}, {1, 2, -3.0}});
+  Graph flipped = gd.Negated();
+  EXPECT_DOUBLE_EQ(flipped.EdgeWeight(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(flipped.EdgeWeight(1, 2), 3.0);
+  // Original untouched.
+  EXPECT_DOUBLE_EQ(gd.EdgeWeight(0, 1), 2.0);
+}
+
+TEST(GraphTest, WeightsClampedAbove) {
+  Graph g = MakeGraph(3, {{0, 1, 100.0}, {1, 2, 5.0}});
+  Graph clamped = g.WeightsClampedAbove(10.0);
+  EXPECT_DOUBLE_EQ(clamped.EdgeWeight(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(clamped.EdgeWeight(1, 2), 5.0);
+}
+
+TEST(GraphTest, MaxIncidentWeightPerVertex) {
+  Graph g = MakeGraph(4, {{0, 1, 2.0}, {0, 2, 5.0}, {1, 2, 1.0}});
+  auto best = g.MaxIncidentWeightPerVertex();
+  EXPECT_DOUBLE_EQ(best[0], 5.0);
+  EXPECT_DOUBLE_EQ(best[1], 2.0);
+  EXPECT_DOUBLE_EQ(best[2], 5.0);
+  EXPECT_TRUE(std::isinf(best[3]));
+  EXPECT_LT(best[3], 0.0);
+}
+
+TEST(GraphTest, DebugStringMentionsCounts) {
+  Graph g = MakeGraph(3, {{0, 1, 1.0}, {1, 2, -1.0}});
+  const std::string s = g.DebugString();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("m=2"), std::string::npos);
+  EXPECT_NE(s.find("m+=1"), std::string::npos);
+  EXPECT_NE(s.find("m-=1"), std::string::npos);
+}
+
+// ---- GraphBuilder ----
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddEdge(1, 1, 1.0).IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRange) {
+  GraphBuilder builder(3);
+  EXPECT_EQ(builder.AddEdge(0, 3, 1.0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.AddEdge(7, 0, 1.0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphBuilderTest, RejectsNonFiniteWeights) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(
+      builder.AddEdge(0, 1, std::numeric_limits<double>::infinity())
+          .IsInvalidArgument());
+  EXPECT_TRUE(
+      builder.AddEdge(0, 1, std::nan("")).IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, AccumulatesDuplicateEdges) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.5).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0, 2.5).ok());  // same undirected edge
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 4.0);
+}
+
+TEST(GraphBuilderTest, DropsCancelledEdges) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1, -2.0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 1.0).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_FALSE(g->HasEdge(0, 1));
+}
+
+TEST(GraphBuilderTest, ZeroEpsThresholdIsConfigurable) {
+  GraphBuilder builder(2);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1e-9).ok());
+  auto g_loose = builder.Build(/*zero_eps=*/1e-6);
+  ASSERT_TRUE(g_loose.ok());
+  EXPECT_EQ(g_loose->NumEdges(), 0u);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1e-9).ok());
+  auto g_tight = builder.Build(/*zero_eps=*/0.0);
+  ASSERT_TRUE(g_tight.ok());
+  EXPECT_EQ(g_tight->NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, InvalidZeroEpsRejected) {
+  GraphBuilder builder(2);
+  EXPECT_FALSE(builder.Build(-1.0).ok());
+  EXPECT_FALSE(builder.Build(std::nan("")).ok());
+}
+
+TEST(GraphBuilderTest, BuilderIsReusableAfterBuild) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  auto g1 = builder.Build();
+  ASSERT_TRUE(g1.ok());
+  EXPECT_EQ(builder.NumQueuedEntries(), 0u);
+  ASSERT_TRUE(builder.AddEdge(1, 2, 1.0).ok());
+  auto g2 = builder.Build();
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->NumEdges(), 1u);
+  EXPECT_TRUE(g2->HasEdge(1, 2));
+  EXPECT_FALSE(g2->HasEdge(0, 1));
+}
+
+TEST(GraphBuilderTest, SymmetryInvariant) {
+  Graph g = MakeGraph(6, {{0, 5, 1.0}, {3, 2, -2.0}, {4, 1, 0.5}});
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (const Neighbor& nb : g.NeighborsOf(u)) {
+      EXPECT_DOUBLE_EQ(g.EdgeWeight(nb.to, u), nb.weight);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcs

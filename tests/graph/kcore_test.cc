@@ -1,0 +1,129 @@
+#include "graph/kcore.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/random_graphs.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::MakeGraph;
+
+// Naive core numbers: repeatedly strip vertices of degree < k.
+std::vector<uint32_t> NaiveCoreNumbers(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  std::vector<uint32_t> core(n, 0);
+  for (uint32_t k = 1;; ++k) {
+    std::vector<char> alive(n, 1);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; v < n; ++v) {
+        if (!alive[v]) continue;
+        uint32_t deg = 0;
+        for (const Neighbor& nb : g.NeighborsOf(v)) deg += alive[nb.to];
+        if (deg < k) {
+          alive[v] = 0;
+          changed = true;
+        }
+      }
+    }
+    bool any_alive = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v]) {
+        core[v] = k;
+        any_alive = true;
+      }
+    }
+    if (!any_alive) break;
+  }
+  return core;
+}
+
+TEST(CoreNumbersTest, EmptyAndIsolated) {
+  EXPECT_TRUE(CoreNumbers(Graph(0)).empty());
+  auto core = CoreNumbers(Graph(4));
+  EXPECT_EQ(core, (std::vector<uint32_t>{0, 0, 0, 0}));
+}
+
+TEST(CoreNumbersTest, PathIsOneCore) {
+  Graph g = MakeGraph(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  auto core = CoreNumbers(g);
+  EXPECT_EQ(core, (std::vector<uint32_t>{1, 1, 1, 1}));
+}
+
+TEST(CoreNumbersTest, TriangleIsTwoCore) {
+  Graph g = MakeGraph(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+  auto core = CoreNumbers(g);
+  EXPECT_EQ(core, (std::vector<uint32_t>{2, 2, 2}));
+}
+
+TEST(CoreNumbersTest, CliqueWithPendant) {
+  // K4 on {0,1,2,3} plus pendant 4 attached to 0.
+  Graph g = MakeGraph(5, {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0},
+                          {1, 2, 1.0}, {1, 3, 1.0}, {2, 3, 1.0},
+                          {0, 4, 1.0}});
+  auto core = CoreNumbers(g);
+  EXPECT_EQ(core[0], 3u);
+  EXPECT_EQ(core[1], 3u);
+  EXPECT_EQ(core[2], 3u);
+  EXPECT_EQ(core[3], 3u);
+  EXPECT_EQ(core[4], 1u);
+}
+
+TEST(CoreNumbersTest, WeightsAreIgnored) {
+  Graph heavy = MakeGraph(3, {{0, 1, 100.0}, {1, 2, 0.001}, {0, 2, -5.0}});
+  auto core = CoreNumbers(heavy);
+  EXPECT_EQ(core, (std::vector<uint32_t>{2, 2, 2}));
+}
+
+TEST(DegeneracyTest, CliqueDegeneracy) {
+  GraphBuilder builder(6);
+  std::vector<VertexId> members{0, 1, 2, 3, 4, 5};
+  ASSERT_TRUE(AddClique(&builder, members, 1.0).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(Degeneracy(*g), 5u);
+}
+
+TEST(DegeneracyTest, EmptyGraphIsZero) {
+  EXPECT_EQ(Degeneracy(Graph(5)), 0u);
+}
+
+class KcorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KcorePropertyTest, MatchesNaiveOnRandomGraphs) {
+  Rng rng(GetParam());
+  const VertexId n = 20 + static_cast<VertexId>(rng.NextBounded(40));
+  auto g = ErdosRenyi(n, 0.12, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(CoreNumbers(*g), NaiveCoreNumbers(*g));
+}
+
+TEST_P(KcorePropertyTest, CoreNumberUpperBoundsCliqueMembership) {
+  // Any planted (k+1)-clique forces core >= k on its members.
+  Rng rng(GetParam() + 1000);
+  GraphBuilder builder(50);
+  auto background = ErdosRenyi(50, 0.05, &rng);
+  ASSERT_TRUE(background.ok());
+  for (const Edge& e : background->UndirectedEdges()) {
+    ASSERT_TRUE(builder.AddEdge(e.u, e.v, 1.0).ok());
+  }
+  std::vector<VertexId> clique{3, 9, 17, 26, 41};
+  ASSERT_TRUE(AddClique(&builder, clique, 1.0).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  auto core = CoreNumbers(*g);
+  for (VertexId v : clique) EXPECT_GE(core[v], 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KcorePropertyTest,
+                         ::testing::Values(7, 14, 21, 28, 35, 42));
+
+}  // namespace
+}  // namespace dcs

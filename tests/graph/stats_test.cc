@@ -1,0 +1,138 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_graphs.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::Fig1Gd;
+using ::dcs::testing::MakeGraph;
+
+TEST(TotalDegreeTest, CountsEachEdgeTwice) {
+  Graph g = MakeGraph(3, {{0, 1, 2.0}, {1, 2, 3.0}});
+  std::vector<VertexId> all{0, 1, 2};
+  EXPECT_DOUBLE_EQ(TotalDegree(g, all), 10.0);  // 2·(2+3)
+}
+
+TEST(TotalDegreeTest, IgnoresEdgesLeavingSubset) {
+  Graph g = MakeGraph(3, {{0, 1, 2.0}, {1, 2, 3.0}});
+  std::vector<VertexId> subset{0, 1};
+  EXPECT_DOUBLE_EQ(TotalDegree(g, subset), 4.0);
+}
+
+TEST(TotalDegreeTest, EmptySubsetIsZero) {
+  Graph g = MakeGraph(2, {{0, 1, 1.0}});
+  EXPECT_DOUBLE_EQ(TotalDegree(g, std::vector<VertexId>{}), 0.0);
+}
+
+TEST(AverageDegreeDensityTest, SingleEdgeDensityEqualsWeight) {
+  // Table I convention: ρ({u,v}) = D(u,v) — §IV-B's key observation.
+  Graph g = MakeGraph(4, {{1, 2, 7.5}});
+  std::vector<VertexId> pair{1, 2};
+  EXPECT_DOUBLE_EQ(AverageDegreeDensity(g, pair), 7.5);
+}
+
+TEST(AverageDegreeDensityTest, UniformCliqueDensity) {
+  // k-clique with uniform weight w: ρ = (k−1)·w.
+  GraphBuilder builder(6);
+  std::vector<VertexId> members{0, 1, 2, 3, 4};
+  ASSERT_TRUE(AddClique(&builder, members, 2.0).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(AverageDegreeDensity(*g, members), 8.0);
+}
+
+TEST(AverageDegreeDensityTest, SingletonIsZero) {
+  Graph g = MakeGraph(2, {{0, 1, 5.0}});
+  EXPECT_DOUBLE_EQ(AverageDegreeDensity(g, std::vector<VertexId>{0}), 0.0);
+}
+
+TEST(AverageDegreeDensityTest, NegativeWeightsLowerDensity) {
+  Graph gd = Fig1Gd();
+  // {2,3} carries only the −2 edge: ρ = −2.
+  std::vector<VertexId> pair{2, 3};
+  EXPECT_DOUBLE_EQ(AverageDegreeDensity(gd, pair), -2.0);
+}
+
+TEST(EdgeDensityTest, MatchesDefinition) {
+  Graph g = MakeGraph(3, {{0, 1, 2.0}, {1, 2, 4.0}});
+  std::vector<VertexId> all{0, 1, 2};
+  EXPECT_DOUBLE_EQ(EdgeDensity(g, all), 12.0 / 9.0);
+  EXPECT_DOUBLE_EQ(EdgeDensity(g, std::vector<VertexId>{}), 0.0);
+}
+
+TEST(InducedEdgeCountTest, Counts) {
+  Graph g = MakeGraph(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {0, 2, 1.0}});
+  std::vector<VertexId> subset{0, 1, 2};
+  EXPECT_EQ(InducedEdgeCount(g, subset), 3u);
+  EXPECT_EQ(InducedEdgeCount(g, std::vector<VertexId>{0, 3}), 0u);
+}
+
+TEST(IsCliqueTest, Basics) {
+  Graph g = MakeGraph(4, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}, {2, 3, 1.0}});
+  EXPECT_TRUE(IsClique(g, std::vector<VertexId>{0, 1, 2}));
+  EXPECT_FALSE(IsClique(g, std::vector<VertexId>{0, 1, 3}));
+  EXPECT_TRUE(IsClique(g, std::vector<VertexId>{3}));
+  EXPECT_TRUE(IsClique(g, std::vector<VertexId>{}));
+  EXPECT_TRUE(IsClique(g, std::vector<VertexId>{2, 3}));
+}
+
+TEST(IsPositiveCliqueTest, RejectsNegativeEdge) {
+  Graph g = MakeGraph(3, {{0, 1, 1.0}, {1, 2, -1.0}, {0, 2, 1.0}});
+  EXPECT_FALSE(IsPositiveClique(g, std::vector<VertexId>{0, 1, 2}));
+  EXPECT_TRUE(IsPositiveClique(g, std::vector<VertexId>{0, 1}));
+  EXPECT_FALSE(IsPositiveClique(g, std::vector<VertexId>{1, 2}));
+}
+
+TEST(IsPositiveCliqueTest, RejectsMissingEdge) {
+  Graph g = MakeGraph(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  EXPECT_FALSE(IsPositiveClique(g, std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(IsPositiveCliqueTest, SingletonsAndEmpty) {
+  Graph g(2);
+  EXPECT_TRUE(IsPositiveClique(g, std::vector<VertexId>{0}));
+  EXPECT_TRUE(IsPositiveClique(g, std::vector<VertexId>{}));
+}
+
+TEST(InducedWeightedDegreesTest, MatchesManualComputation) {
+  Graph gd = Fig1Gd();
+  std::vector<VertexId> subset{0, 1, 3};
+  // Inside {0,1,3}: edges (0,1)=+4 and (0,3)=+1.
+  auto degrees = InducedWeightedDegrees(gd, subset);
+  ASSERT_EQ(degrees.size(), 3u);
+  EXPECT_DOUBLE_EQ(degrees[0], 5.0);  // vertex 0: 4 + 1
+  EXPECT_DOUBLE_EQ(degrees[1], 4.0);  // vertex 1
+  EXPECT_DOUBLE_EQ(degrees[2], 1.0);  // vertex 3
+}
+
+class StatsConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StatsConsistencyTest, TotalDegreeEqualsSumOfInducedDegrees) {
+  Rng rng(GetParam());
+  auto g = RandomSignedGraph(40, 150, 0.6, 0.5, 4.0, &rng);
+  ASSERT_TRUE(g.ok());
+  std::vector<VertexId> subset = [&] {
+    std::vector<VertexId> s;
+    for (VertexId v = 0; v < 40; v += 2) s.push_back(v);
+    return s;
+  }();
+  const auto degrees = InducedWeightedDegrees(*g, subset);
+  double sum = 0.0;
+  for (double d : degrees) sum += d;
+  EXPECT_NEAR(TotalDegree(*g, subset), sum, 1e-9);
+  EXPECT_NEAR(AverageDegreeDensity(*g, subset) * subset.size(),
+              TotalDegree(*g, subset), 1e-9);
+  EXPECT_NEAR(EdgeDensity(*g, subset) * subset.size() * subset.size(),
+              TotalDegree(*g, subset), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsConsistencyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dcs

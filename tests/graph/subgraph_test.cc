@@ -1,0 +1,110 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/difference.h"
+#include "graph/stats.h"
+#include "test_util.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::Fig1Gd;
+using ::dcs::testing::MakeGraph;
+
+TEST(InducedSubgraphTest, ExtractsAndRenumbers) {
+  Graph gd = Fig1Gd();
+  std::vector<VertexId> subset{0, 1, 3};
+  auto sub = ExtractInducedSubgraph(gd, subset);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->graph.NumVertices(), 3u);
+  EXPECT_EQ(sub->original_ids, subset);
+  // Edges inside {0,1,3}: (0,1)=+4, (0,3)=+1 -> new ids (0,1), (0,2).
+  EXPECT_EQ(sub->graph.NumEdges(), 2u);
+  EXPECT_DOUBLE_EQ(sub->graph.EdgeWeight(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(sub->graph.EdgeWeight(0, 2), 1.0);
+  EXPECT_FALSE(sub->graph.HasEdge(1, 2));
+}
+
+TEST(InducedSubgraphTest, SubsetOrderDefinesNumbering) {
+  Graph gd = Fig1Gd();
+  std::vector<VertexId> subset{3, 0};
+  auto sub = ExtractInducedSubgraph(gd, subset);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->original_ids, subset);
+  EXPECT_DOUBLE_EQ(sub->graph.EdgeWeight(0, 1), 1.0);  // old (0,3)
+}
+
+TEST(InducedSubgraphTest, PreservesDensity) {
+  Graph gd = Fig1Gd();
+  std::vector<VertexId> subset{0, 1, 2, 3};
+  auto sub = ExtractInducedSubgraph(gd, subset);
+  ASSERT_TRUE(sub.ok());
+  std::vector<VertexId> all{0, 1, 2, 3};
+  EXPECT_NEAR(AverageDegreeDensity(gd, subset),
+              AverageDegreeDensity(sub->graph, all), 1e-12);
+}
+
+TEST(InducedSubgraphTest, EmptySubset) {
+  auto sub = ExtractInducedSubgraph(Fig1Gd(), std::vector<VertexId>{});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->graph.NumVertices(), 0u);
+}
+
+TEST(InducedSubgraphTest, RejectsDuplicates) {
+  auto sub = ExtractInducedSubgraph(Fig1Gd(), std::vector<VertexId>{1, 1});
+  ASSERT_FALSE(sub.ok());
+  EXPECT_TRUE(sub.status().IsInvalidArgument());
+}
+
+TEST(InducedSubgraphTest, RejectsOutOfRange) {
+  auto sub = ExtractInducedSubgraph(Fig1Gd(), std::vector<VertexId>{99});
+  ASSERT_FALSE(sub.ok());
+  EXPECT_EQ(sub.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(AlphaUpperBoundTest, MatchesMaxRatio) {
+  Graph g1 = MakeGraph(4, {{0, 1, 2.0}, {1, 2, 4.0}});
+  Graph g2 = MakeGraph(4, {{0, 1, 3.0}, {1, 2, 2.0}});
+  auto alpha = AlphaUpperBound(g1, g2);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_DOUBLE_EQ(*alpha, 1.5);  // 3/2 beats 2/4
+}
+
+TEST(AlphaUpperBoundTest, MissingG1EdgeGivesInfinity) {
+  Graph g1 = MakeGraph(3, {{0, 1, 2.0}});
+  Graph g2 = MakeGraph(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  auto alpha = AlphaUpperBound(g1, g2);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_TRUE(std::isinf(*alpha));
+}
+
+TEST(AlphaUpperBoundTest, EdgelessG2GivesZero) {
+  Graph g1 = MakeGraph(3, {{0, 1, 2.0}});
+  auto alpha = AlphaUpperBound(g1, Graph(3));
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_DOUBLE_EQ(*alpha, 0.0);
+}
+
+TEST(AlphaUpperBoundTest, MismatchedSizesRejected) {
+  EXPECT_FALSE(AlphaUpperBound(Graph(3), Graph(4)).ok());
+}
+
+TEST(AlphaUpperBoundTest, ContrastVanishesAboveAlpha) {
+  // §III-D: at α just below the bound the difference graph has a positive
+  // edge (positive optimum); at α above it, none.
+  Graph g1 = MakeGraph(4, {{0, 1, 2.0}, {1, 2, 4.0}, {2, 3, 1.0}});
+  Graph g2 = MakeGraph(4, {{0, 1, 3.0}, {1, 2, 2.0}, {2, 3, 1.2}});
+  auto alpha = AlphaUpperBound(g1, g2);
+  ASSERT_TRUE(alpha.ok());
+  auto below = BuildDifferenceGraph(g1, g2, *alpha * 0.99);
+  auto above = BuildDifferenceGraph(g1, g2, *alpha * 1.01);
+  ASSERT_TRUE(below.ok() && above.ok());
+  EXPECT_GT(below->ComputeWeightStats().num_positive_edges, 0u);
+  EXPECT_EQ(above->ComputeWeightStats().num_positive_edges, 0u);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,188 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace dcs {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20'000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, GeometricMeanMatchesTheory) {
+  Rng rng(17);
+  const double p = 0.25;
+  double sum = 0.0;
+  const int trials = 20'000;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.Geometric(p));
+  // Mean of failures-before-success is (1-p)/p = 3.
+  EXPECT_NEAR(sum / trials, 3.0, 0.15);
+}
+
+TEST(RngTest, GeometricWithPOneIsZero) {
+  Rng rng(19);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int trials = 20'000;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.Poisson(4.0));
+  EXPECT_NEAR(sum / trials, 4.0, 0.15);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int trials = 5'000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(rng.Poisson(200.0));
+  }
+  EXPECT_NEAR(sum / trials, 200.0, 2.5);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(37);
+  double sum = 0.0, sum_sq = 0.0;
+  const int trials = 50'000;
+  for (int i = 0; i < trials; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / trials;
+  const double var = sum_sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, ZipfStaysInRangeAndIsSkewed) {
+  Rng rng(41);
+  const uint64_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20'000; ++i) {
+    const uint64_t v = rng.Zipf(n, 1.5);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  // Rank 0 should dominate rank 50 heavily under alpha = 1.5.
+  EXPECT_GT(counts[0], 10 * std::max(1, counts[50]));
+}
+
+TEST(RngTest, ZipfSingleton) {
+  Rng rng(43);
+  EXPECT_EQ(rng.Zipf(1, 2.0), 0u);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(47);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(53);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  std::vector<int> before = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, before);  // astronomically unlikely to be identity
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(59);
+  for (uint32_t k : {0u, 1u, 5u, 50u, 99u, 100u}) {
+    std::vector<uint32_t> sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<uint32_t> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(distinct.size(), k);
+    for (uint32_t v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RngTest, SplitMix64Deterministic) {
+  uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace dcs

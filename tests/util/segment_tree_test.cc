@@ -1,0 +1,166 @@
+#include "util/segment_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+TEST(MinSegmentTreeTest, BuildAndGlobalMin) {
+  MinSegmentTree tree({3.0, 1.0, 4.0, 1.5});
+  const auto min_entry = tree.Min();
+  EXPECT_EQ(min_entry.index, 1u);
+  EXPECT_DOUBLE_EQ(min_entry.value, 1.0);
+}
+
+TEST(MinSegmentTreeTest, TieBreaksTowardsSmallestIndex) {
+  MinSegmentTree tree({2.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(tree.Min().index, 1u);
+}
+
+TEST(MinSegmentTreeTest, AssignUpdatesMin) {
+  MinSegmentTree tree({3.0, 1.0, 4.0});
+  tree.Assign(2, -5.0);
+  EXPECT_EQ(tree.Min().index, 2u);
+  EXPECT_DOUBLE_EQ(tree.Min().value, -5.0);
+}
+
+TEST(MinSegmentTreeTest, AddAccumulates) {
+  MinSegmentTree tree({3.0, 1.0, 4.0});
+  tree.Add(1, 10.0);
+  EXPECT_DOUBLE_EQ(tree.Get(1), 11.0);
+  EXPECT_EQ(tree.Min().index, 0u);
+}
+
+TEST(MinSegmentTreeTest, AddOnErasedIsNoOp) {
+  MinSegmentTree tree(std::vector<double>{3.0, 1.0});
+  tree.Erase(1);
+  tree.Add(1, -100.0);
+  EXPECT_TRUE(tree.IsErased(1));
+  EXPECT_EQ(tree.Min().index, 0u);
+}
+
+TEST(MinSegmentTreeTest, EraseRemovesFromMin) {
+  MinSegmentTree tree({3.0, 1.0, 4.0});
+  tree.Erase(1);
+  EXPECT_EQ(tree.Min().index, 0u);
+  tree.Erase(0);
+  EXPECT_EQ(tree.Min().index, 2u);
+  tree.Erase(2);
+  EXPECT_EQ(tree.Min().index, MinSegmentTree::kNoIndex);
+}
+
+TEST(MinSegmentTreeTest, EmptyTree) {
+  MinSegmentTree tree(std::vector<double>{});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Min().index, MinSegmentTree::kNoIndex);
+}
+
+TEST(MinSegmentTreeTest, SingleElement) {
+  MinSegmentTree tree(1, 7.5);
+  EXPECT_EQ(tree.Min().index, 0u);
+  EXPECT_DOUBLE_EQ(tree.Min().value, 7.5);
+}
+
+TEST(MinSegmentTreeTest, FillConstructor) {
+  MinSegmentTree tree(5, 2.0);
+  EXPECT_EQ(tree.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(tree.Get(i), 2.0);
+  EXPECT_EQ(tree.Min().index, 0u);
+}
+
+TEST(MinSegmentTreeTest, NegativeValues) {
+  MinSegmentTree tree({-1.0, -3.0, -2.0});
+  EXPECT_EQ(tree.Min().index, 1u);
+  EXPECT_DOUBLE_EQ(tree.Min().value, -3.0);
+}
+
+TEST(MinSegmentTreeTest, RangeMinBasic) {
+  MinSegmentTree tree({5.0, 3.0, 8.0, 1.0, 9.0});
+  auto entry = tree.RangeMin(0, 3);
+  EXPECT_EQ(entry.index, 1u);
+  entry = tree.RangeMin(2, 5);
+  EXPECT_EQ(entry.index, 3u);
+  entry = tree.RangeMin(4, 5);
+  EXPECT_EQ(entry.index, 4u);
+}
+
+TEST(MinSegmentTreeTest, RangeMinEmptyRange) {
+  MinSegmentTree tree(std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(tree.RangeMin(1, 1).index, MinSegmentTree::kNoIndex);
+}
+
+TEST(MinSegmentTreeTest, RangeMinAllErased) {
+  MinSegmentTree tree({1.0, 2.0, 3.0});
+  tree.Erase(0);
+  tree.Erase(1);
+  EXPECT_EQ(tree.RangeMin(0, 2).index, MinSegmentTree::kNoIndex);
+  EXPECT_EQ(tree.RangeMin(0, 3).index, 2u);
+}
+
+// Property sweep: random operations cross-checked against a naive array.
+class SegmentTreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SegmentTreeFuzzTest, MatchesNaiveModel) {
+  Rng rng(GetParam());
+  const size_t n = 1 + rng.NextBounded(64);
+  std::vector<double> model(n);
+  for (double& v : model) v = rng.Uniform(-50.0, 50.0);
+  MinSegmentTree tree(model);
+
+  auto naive_min = [&](size_t lo, size_t hi) {
+    size_t best = MinSegmentTree::kNoIndex;
+    for (size_t i = lo; i < hi; ++i) {
+      if (model[i] == MinSegmentTree::kDeleted) continue;
+      if (best == MinSegmentTree::kNoIndex || model[i] < model[best]) best = i;
+    }
+    return best;
+  };
+
+  for (int op = 0; op < 400; ++op) {
+    const size_t i = rng.NextBounded(n);
+    switch (rng.NextBounded(4)) {
+      case 0:
+        model[i] = rng.Uniform(-50.0, 50.0);
+        tree.Assign(i, model[i]);
+        break;
+      case 1:
+        if (model[i] != MinSegmentTree::kDeleted) {
+          const double delta = rng.Uniform(-10.0, 10.0);
+          model[i] += delta;
+          tree.Add(i, delta);
+        }
+        break;
+      case 2:
+        model[i] = MinSegmentTree::kDeleted;
+        tree.Erase(i);
+        break;
+      default: {
+        size_t lo = rng.NextBounded(n + 1);
+        size_t hi = rng.NextBounded(n + 1);
+        if (lo > hi) std::swap(lo, hi);
+        const auto entry = tree.RangeMin(lo, hi);
+        const size_t expected = naive_min(lo, hi);
+        ASSERT_EQ(entry.index, expected);
+        if (expected != MinSegmentTree::kNoIndex) {
+          ASSERT_DOUBLE_EQ(entry.value, model[expected]);
+        }
+        break;
+      }
+    }
+    const auto global = tree.Min();
+    const size_t expected_global = naive_min(0, n);
+    ASSERT_EQ(global.index, expected_global);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentTreeFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,131 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dcs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotConverged("x").IsNotConverged());
+  EXPECT_EQ(Status::Internal("boom").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::OutOfRange("oor").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("ae").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::InvalidArgument("bad arg").message(), "bad arg");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad arg").ToString(),
+            "Invalid argument: bad arg");
+  EXPECT_EQ(Status(StatusCode::kIoError, "").ToString(), "IO error");
+}
+
+TEST(StatusTest, CopyingSharesErrorState) {
+  Status a = Status::NotFound("missing");
+  Status b = a;
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_EQ(b.message(), "missing");
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::Internal("oops");
+  EXPECT_EQ(os.str(), "Internal error: oops");
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 7; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, OkStatusIsNormalizedToInternalError) {
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailingOperation() { return Status::IoError("disk on fire"); }
+
+Status PropagatingOperation() {
+  DCS_RETURN_NOT_OK(FailingOperation());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  Status st = PropagatingOperation();
+  EXPECT_TRUE(st.IsIoError());
+}
+
+Result<int> ProduceValue(bool fail) {
+  if (fail) return Status::InvalidArgument("no value");
+  return 10;
+}
+
+Result<int> ConsumeValue(bool fail) {
+  DCS_ASSIGN_OR_RETURN(int v, ProduceValue(fail));
+  return v * 2;
+}
+
+TEST(StatusMacroTest, AssignOrReturnAssignsOnSuccess) {
+  Result<int> r = ConsumeValue(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 20);
+}
+
+TEST(StatusMacroTest, AssignOrReturnPropagatesError) {
+  Result<int> r = ConsumeValue(true);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultDeathTest, AccessingErroredValueAborts) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_DEATH({ (void)r.value(); }, "errored Result");
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,66 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(TablePrinterTest, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{-42}), "-42");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{7}), "7");
+  EXPECT_EQ(TablePrinter::YesNo(true), "Yes");
+  EXPECT_EQ(TablePrinter::YesNo(false), "No");
+}
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table("Demo", {"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  EXPECT_NE(out.find("| beta "), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAreAligned) {
+  TablePrinter table("", {"c1", "c2"});
+  table.AddRow({"looooong", "x"});
+  table.AddRow({"s", "y"});
+  const std::string out = table.ToString();
+  // Every data line must have the same length once columns are padded.
+  size_t first_len = std::string::npos;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t end = out.find('\n', pos);
+    if (end == std::string::npos) end = out.size();
+    const size_t len = end - pos;
+    if (len > 0) {
+      if (first_len == std::string::npos) {
+        first_len = len;
+      } else {
+        EXPECT_EQ(len, first_len);
+      }
+    }
+    pos = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table("", {"a", "b", "c"});
+  table.AddRow({"only-one"});
+  const std::string out = table.ToString();
+  // Three pipes + terminal pipe per row.
+  const size_t last_line_start = out.rfind("| only-one");
+  ASSERT_NE(last_line_start, std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTitleOmitsHeaderLine) {
+  TablePrinter table("", {"x"});
+  EXPECT_EQ(table.ToString().find("=="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcs
