@@ -5,20 +5,18 @@
 // We model a sensor grid: G1 holds the *expected* pairwise co-activity of
 // road sensors (from history), G2 the *observed* co-activity today. A clutter
 // of sensors around an incident lights up together far above expectation;
-// DCS mining on G2 − G1 localizes it.
+// one MinerSession request on G2 − G1 localizes it under both measures.
 //
 // Run:  ./build/examples/anomaly_detection [seed]
 
 #include <cstdio>
 #include <cstdlib>
 #include <set>
+#include <utility>
 #include <vector>
 
-#include "core/dcs_greedy.h"
-#include "core/newsea.h"
-#include "gen/random_graphs.h"
-#include "graph/difference.h"
-#include "graph/graph_builder.h"
+#include "api/miner_session.h"
+#include "api/mining.h"
 #include "util/rng.h"
 
 int main(int argc, char** argv) {
@@ -31,20 +29,20 @@ int main(int argc, char** argv) {
   constexpr VertexId kNumSensors = kSide * kSide;
   auto at = [](int r, int c) { return static_cast<VertexId>(r * kSide + c); };
 
-  GraphBuilder expected(kNumSensors), observed(kNumSensors);
+  std::vector<WeightedEdge> expected, observed;
   for (int r = 0; r < kSide; ++r) {
     for (int c = 0; c < kSide; ++c) {
       // Expected co-activity with right and down neighbors.
       const double base = 2.0 + rng.Uniform(0.0, 1.0);
       if (c + 1 < kSide) {
-        expected.AddEdgeUnchecked(at(r, c), at(r, c + 1), base);
-        observed.AddEdgeUnchecked(at(r, c), at(r, c + 1),
-                                  base + rng.Uniform(-0.4, 0.4));
+        expected.push_back({at(r, c), at(r, c + 1), base});
+        observed.push_back(
+            {at(r, c), at(r, c + 1), base + rng.Uniform(-0.4, 0.4)});
       }
       if (r + 1 < kSide) {
-        expected.AddEdgeUnchecked(at(r, c), at(r + 1, c), base);
-        observed.AddEdgeUnchecked(at(r, c), at(r + 1, c),
-                                  base + rng.Uniform(-0.4, 0.4));
+        expected.push_back({at(r, c), at(r + 1, c), base});
+        observed.push_back(
+            {at(r, c), at(r + 1, c), base + rng.Uniform(-0.4, 0.4)});
       }
     }
   }
@@ -57,29 +55,37 @@ int main(int argc, char** argv) {
   }
   for (size_t i = 0; i < incident.size(); ++i) {
     for (size_t j = i + 1; j < incident.size(); ++j) {
-      observed.AddEdgeUnchecked(incident[i], incident[j],
-                                5.0 + rng.Uniform(0.0, 2.0));
+      observed.push_back(
+          {incident[i], incident[j], 5.0 + rng.Uniform(0.0, 2.0)});
     }
   }
 
-  Result<Graph> g1 = expected.Build();
-  Result<Graph> g2 = observed.Build();
+  Result<Graph> g1 = BuildGraphFromEdges(kNumSensors, expected);
+  Result<Graph> g2 = BuildGraphFromEdges(kNumSensors, observed);
   if (!g1.ok() || !g2.ok()) return 1;
-  Result<Graph> gd = BuildDifferenceGraph(*g1, *g2);
-  if (!gd.ok()) return 1;
+  Result<MinerSession> session =
+      MinerSession::Create(std::move(*g1), std::move(*g2));
+  if (!session.ok()) return 1;
 
+  Result<Graph> gd = session->DifferenceSnapshot();
+  if (!gd.ok()) return 1;
   std::printf("observed-vs-expected difference graph: %s\n\n",
               gd->DebugString().c_str());
 
-  Result<DcsadResult> hotspot = RunDcsGreedy(*gd);
-  if (!hotspot.ok()) return 1;
+  MiningRequest request;
+  request.measure = Measure::kBoth;
+  Result<MiningResponse> response = session->Mine(request);
+  if (!response.ok() || response->average_degree.empty() ||
+      response->graph_affinity.empty()) {
+    std::fprintf(stderr, "mining failed\n");
+    return 1;
+  }
+  const RankedSubgraph& hotspot = response->average_degree.front();
+  const RankedSubgraph& core = response->graph_affinity.front();
   std::printf("DCSAD hotspot: %zu sensors, density anomaly %.2f\n",
-              hotspot->subset.size(), hotspot->density);
-
-  Result<DcsgaResult> core = RunNewSea(gd->PositivePart());
-  if (!core.ok()) return 1;
+              hotspot.vertices.size(), hotspot.value);
   std::printf("DCSGA hotspot core: %zu sensors, affinity anomaly %.2f\n\n",
-              core->support.size(), core->affinity);
+              core.vertices.size(), core.value);
 
   // Score recovery against the planted incident block.
   std::set<VertexId> truth(incident.begin(), incident.end());
@@ -88,14 +94,14 @@ int main(int argc, char** argv) {
     for (VertexId v : found) hits += truth.contains(v) ? 1 : 0;
     return std::pair<size_t, size_t>(hits, found.size());
   };
-  auto [ad_hits, ad_size] = overlap(hotspot->subset);
-  auto [ga_hits, ga_size] = overlap(core->support);
+  auto [ad_hits, ad_size] = overlap(hotspot.vertices);
+  auto [ga_hits, ga_size] = overlap(core.vertices);
   std::printf("incident block: 9 sensors at rows/cols 9-11\n");
   std::printf("  DCSAD  recovered %zu/9 (subset size %zu)\n", ad_hits, ad_size);
   std::printf("  DCSGA  recovered %zu/9 (support size %zu)\n", ga_hits,
               ga_size);
   std::printf("\ngrid map of the DCSGA hotspot ('#' = flagged):\n");
-  std::set<VertexId> flagged(core->support.begin(), core->support.end());
+  std::set<VertexId> flagged(core.vertices.begin(), core.vertices.end());
   for (int r = 8; r < 13; ++r) {
     std::printf("  ");
     for (int c = 8; c < 13; ++c) {

@@ -1,47 +1,55 @@
-// Quickstart: the 60-second tour of libdcs.
+// Quickstart: the 60-second tour of libdcs, facade edition.
 //
-// Builds two tiny graphs over the same vertices, forms the difference graph
-// GD = G2 − G1, and mines the Density Contrast Subgraph under both measures:
+// Builds two tiny graphs over the same vertices, opens a MinerSession on
+// them, and mines the Density Contrast Subgraph under both measures:
 //   * average degree  (DCSGreedy, Algorithm 2)
 //   * graph affinity  (NewSEA,    Algorithm 5)
+// The session owns the whole difference-graph pipeline; this file never
+// touches the internal core/ solvers.
 //
 // Run:  ./build/examples/quickstart
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
-#include "core/dcs_greedy.h"
-#include "core/newsea.h"
-#include "graph/difference.h"
-#include "graph/graph_builder.h"
-#include "graph/stats.h"
+#include "api/miner_session.h"
+#include "api/mining.h"
 
 int main() {
   using namespace dcs;
 
   // Two relation graphs over the same 6 entities. Think of G1 as last
   // year's interaction strengths and G2 as this year's.
-  GraphBuilder b1(6), b2(6);
-  // A stable pair: equally strong in both years -> cancels in GD.
-  b1.AddEdgeUnchecked(0, 1, 3.0);
-  b2.AddEdgeUnchecked(0, 1, 3.0);
-  // A cooling relation: strong before, weak now -> negative in GD.
-  b1.AddEdgeUnchecked(1, 2, 4.0);
-  b2.AddEdgeUnchecked(1, 2, 1.0);
-  // An emerging triangle {3,4,5}: weak before, strong now -> positive in GD.
-  b1.AddEdgeUnchecked(3, 4, 0.5);
-  b2.AddEdgeUnchecked(3, 4, 4.0);
-  b2.AddEdgeUnchecked(4, 5, 3.5);
-  b2.AddEdgeUnchecked(3, 5, 3.0);
-
-  Result<Graph> g1 = b1.Build();
-  Result<Graph> g2 = b2.Build();
+  const std::vector<WeightedEdge> g1_edges{
+      {0, 1, 3.0},  // a stable pair: equally strong in both years
+      {1, 2, 4.0},  // a cooling relation: strong before...
+      {3, 4, 0.5},  // the emerging triangle {3,4,5}: weak before...
+  };
+  const std::vector<WeightedEdge> g2_edges{
+      {0, 1, 3.0},  // ...cancels in GD
+      {1, 2, 1.0},  // ...weak now -> negative in GD
+      {3, 4, 4.0},  // ...strong now -> positive in GD
+      {4, 5, 3.5},
+      {3, 5, 3.0},
+  };
+  Result<Graph> g1 = BuildGraphFromEdges(6, g1_edges);
+  Result<Graph> g2 = BuildGraphFromEdges(6, g2_edges);
   if (!g1.ok() || !g2.ok()) {
     std::fprintf(stderr, "graph construction failed\n");
     return 1;
   }
 
+  Result<MinerSession> session =
+      MinerSession::Create(std::move(*g1), std::move(*g2));
+  if (!session.ok()) {
+    std::fprintf(stderr, "session setup failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+
   // The difference graph D = A2 − A1 (§III of the paper).
-  Result<Graph> gd = BuildDifferenceGraph(*g1, *g2);
+  Result<Graph> gd = session->DifferenceSnapshot();
   if (!gd.ok()) {
     std::fprintf(stderr, "difference failed: %s\n",
                  gd.status().ToString().c_str());
@@ -49,36 +57,43 @@ int main() {
   }
   std::printf("difference graph: %s\n\n", gd->DebugString().c_str());
 
-  // --- DCS w.r.t. average degree (DCSAD) ---
-  Result<DcsadResult> dcsad = RunDcsGreedy(*gd);
-  if (!dcsad.ok()) {
-    std::fprintf(stderr, "DCSGreedy failed\n");
+  // One request, both measures.
+  MiningRequest request;
+  request.measure = Measure::kBoth;
+  Result<MiningResponse> response = session->Mine(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 response.status().ToString().c_str());
     return 1;
   }
-  std::printf("DCSAD (average degree):\n  subset = {");
-  for (size_t i = 0; i < dcsad->subset.size(); ++i) {
-    std::printf("%s%u", i ? ", " : "", dcsad->subset[i]);
+
+  // --- DCS w.r.t. average degree (DCSAD) ---
+  if (!response->average_degree.empty()) {
+    const RankedSubgraph& dcsad = response->average_degree.front();
+    std::printf("DCSAD (average degree):\n  subset = {");
+    for (size_t i = 0; i < dcsad.vertices.size(); ++i) {
+      std::printf("%s%u", i ? ", " : "", dcsad.vertices[i]);
+    }
+    std::printf("}\n  density difference = %.3f (ratio bound %.2f)\n\n",
+                dcsad.value, dcsad.ratio_bound);
   }
-  std::printf("}\n  density difference = %.3f (ratio bound %.2f)\n\n",
-              dcsad->density, dcsad->ratio_bound);
 
   // --- DCS w.r.t. graph affinity (DCSGA) ---
-  // Theorem 5: the optimum is a positive clique, so NewSEA runs on GD+.
-  Result<DcsgaResult> dcsga = RunNewSea(gd->PositivePart());
-  if (!dcsga.ok()) {
-    std::fprintf(stderr, "NewSEA failed\n");
-    return 1;
+  // Theorem 5: the optimum is a positive clique of GD.
+  if (!response->graph_affinity.empty()) {
+    const RankedSubgraph& dcsga = response->graph_affinity.front();
+    std::printf("DCSGA (graph affinity):\n  support = {");
+    for (size_t i = 0; i < dcsga.vertices.size(); ++i) {
+      std::printf("%s%u (%.2f)", i ? ", " : "", dcsga.vertices[i],
+                  dcsga.weights[i]);
+    }
+    std::printf("}\n  affinity difference = %.3f\n", dcsga.value);
+    std::printf("  positive clique: %s\n",
+                dcsga.positive_clique ? "yes" : "no");
   }
-  std::printf("DCSGA (graph affinity):\n  support = {");
-  for (size_t i = 0; i < dcsga->support.size(); ++i) {
-    std::printf("%s%u (%.2f)", i ? ", " : "", dcsga->support[i],
-                dcsga->x.x[dcsga->support[i]]);
-  }
-  std::printf("}\n  affinity difference = %.3f\n", dcsga->affinity);
-  std::printf("  positive clique: %s\n",
-              IsPositiveClique(*gd, dcsga->support) ? "yes" : "no");
   std::printf("  initializations used: %llu (of %u vertices)\n",
-              static_cast<unsigned long long>(dcsga->initializations),
-              gd->NumVertices());
+              static_cast<unsigned long long>(
+                  response->telemetry.initializations),
+              session->num_vertices());
   return 0;
 }

@@ -6,57 +6,59 @@
 // single-graph dense-subgraph mining is NOT enough: the top topics of G2
 // alone are dominated by stable evergreen topics.
 //
+// Both directions are two top-k requests (flip toggled) on one MinerSession;
+// the "G2 alone" contrast is a second session whose baseline graph is empty.
+//
 // Run:  ./build/examples/trend_mining [seed]
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
-#include "core/newsea.h"
-#include "gen/keywords.h"
-#include "graph/difference.h"
+#include "api/datasets.h"
+#include "api/miner_session.h"
+#include "api/mining.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace dcs;
 
-std::string TopicString(const KeywordData& data, const CliqueRecord& clique) {
+std::string TopicString(const KeywordData& data, const RankedSubgraph& topic) {
   std::string out = "{";
-  for (size_t i = 0; i < clique.members.size(); ++i) {
+  for (size_t i = 0; i < topic.vertices.size(); ++i) {
     if (i) out += ", ";
-    out += data.vocabulary[clique.members[i]];
+    out += data.vocabulary[topic.vertices[i]];
     char buf[16];
-    std::snprintf(buf, sizeof(buf), " (%.2f)", clique.weights[i]);
+    std::snprintf(buf, sizeof(buf), " (%.2f)", topic.weights[i]);
     out += buf;
   }
   out += "}";
   return out;
 }
 
-// Mines the top-k topics of a difference graph by collecting all positive
-// cliques found by the all-initializations driver (the paper's method for
-// Table V).
-void PrintTopTopics(const KeywordData& data, const Graph& gd, const char* tag,
-                    size_t k) {
-  DcsgaOptions options;
-  options.collect_cliques = true;
-  Result<DcsgaResult> result = RunDcsgaAllInits(gd.PositivePart(), options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "driver failed: %s\n",
-                 result.status().ToString().c_str());
+// Mines the top-k topics through the facade: a DCSGA harvest over every
+// initialization, ranked by affinity difference (the paper's method for
+// Table V; overlapping topics allowed).
+void PrintTopTopics(const KeywordData& data, MinerSession* session, bool flip,
+                    const char* tag, uint32_t k) {
+  MiningRequest request;
+  request.measure = Measure::kGraphAffinity;
+  request.flip = flip;
+  request.top_k = k;
+  request.disjoint = false;
+  Result<MiningResponse> response = session->Mine(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 response.status().ToString().c_str());
     return;
   }
-  std::vector<CliqueRecord> cliques = FilterMaximalCliques(result->cliques);
-  std::sort(cliques.begin(), cliques.end(),
-            [](const CliqueRecord& a, const CliqueRecord& b) {
-              return a.affinity > b.affinity;
-            });
   std::printf("%s\n", tag);
-  for (size_t i = 0; i < std::min(k, cliques.size()); ++i) {
+  const std::vector<RankedSubgraph>& topics = response->graph_affinity;
+  for (size_t i = 0; i < topics.size(); ++i) {
     std::printf("  %zu. %s   affinity diff = %.3f\n", i + 1,
-                TopicString(data, cliques[i]).c_str(), cliques[i].affinity);
+                TopicString(data, topics[i]).c_str(), topics[i].value);
   }
   std::printf("\n");
 }
@@ -80,22 +82,28 @@ int main(int argc, char** argv) {
   std::printf("era-2 association graph: %s\n\n",
               data->g2.DebugString().c_str());
 
-  // Emerging topics: dense in G2, not in G1.
-  Result<Graph> gd_emerging = BuildDifferenceGraph(data->g1, data->g2);
-  // Disappearing topics: the flipped difference.
-  Result<Graph> gd_disappearing = BuildDifferenceGraph(data->g2, data->g1);
-  if (!gd_emerging.ok() || !gd_disappearing.ok()) {
-    std::fprintf(stderr, "difference construction failed\n");
+  Result<MinerSession> session = MinerSession::Create(data->g1, data->g2);
+  if (!session.ok()) {
+    std::fprintf(stderr, "session setup failed\n");
     return 1;
   }
-  PrintTopTopics(*data, *gd_emerging, "Top emerging topics (DCSGA on G2−G1):",
-                 5);
-  PrintTopTopics(*data, *gd_disappearing,
+  // Emerging topics: dense in G2, not in G1. Disappearing: the flipped
+  // difference — same session, second cached pipeline.
+  PrintTopTopics(*data, &*session, /*flip=*/false,
+                 "Top emerging topics (DCSGA on G2−G1):", 5);
+  PrintTopTopics(*data, &*session, /*flip=*/true,
                  "Top disappearing topics (DCSGA on G1−G2):", 5);
 
   // The cautionary comparison of §VI-C: mining G2 alone surfaces evergreen
-  // topics ("time series"), not trends.
+  // topics ("time series"), not trends. An empty baseline graph makes the
+  // difference graph equal G2 itself.
+  Result<Graph> empty_g1 =
+      BuildGraphFromEdges(data->g2.NumVertices(), std::vector<WeightedEdge>{});
+  if (!empty_g1.ok()) return 1;
+  Result<MinerSession> no_contrast =
+      MinerSession::Create(std::move(*empty_g1), data->g2);
+  if (!no_contrast.ok()) return 1;
   std::printf("For contrast — mining G2 alone (no contrast), top topics:\n");
-  PrintTopTopics(*data, data->g2, "", 5);
+  PrintTopTopics(*data, &*no_contrast, /*flip=*/false, "", 5);
   return 0;
 }

@@ -1,0 +1,18 @@
+// Facade re-export of the synthetic dataset generators.
+//
+// The gen/ layer is internal like core/, but its generators (the paper's
+// synthetic DBLP/keyword/social analogs and the random-graph factories) are
+// a legitimate part of the demo and benchmarking surface. Examples include
+// this header instead of reaching into gen/ so the layering rule — tools and
+// examples consume api/, graph/io.h and util/ only — stays greppable.
+
+#ifndef DCS_API_DATASETS_H_
+#define DCS_API_DATASETS_H_
+
+#include "gen/coauthor.h"        // GenerateCoauthorData (§VI-B analog)
+#include "gen/interest_social.h" // interest/social pair generator
+#include "gen/keywords.h"        // GenerateKeywordData (Tables V/VI analog)
+#include "gen/random_graphs.h"   // ErdosRenyi*, ChungLu, RandomSignedGraph
+#include "gen/signed_pair.h"     // planted contrast pair generator
+
+#endif  // DCS_API_DATASETS_H_

@@ -1,0 +1,340 @@
+#include "api/miner_session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "api/solver_registry.h"
+#include "core/newsea.h"
+#include "graph/difference.h"
+#include "graph/graph_builder.h"
+#include "util/timer.h"
+
+namespace dcs {
+
+MinerSession::PipelineKey MinerSession::PipelineKey::Of(
+    const MiningRequest& request) {
+  return PipelineKey{request.alpha, request.flip, request.discretize,
+                     request.clamp_weights_above};
+}
+
+MinerSession::MinerSession(VertexId num_vertices, Graph g1, Graph g2,
+                           SessionOptions options)
+    : num_vertices_(num_vertices),
+      options_(options),
+      g1_(std::move(g1)),
+      g2_(std::move(g2)) {}
+
+Result<MinerSession> MinerSession::Create(Graph g1, Graph g2,
+                                          SessionOptions options) {
+  if (g1.NumVertices() != g2.NumVertices()) {
+    return Status::InvalidArgument(
+        "G1 and G2 must share one vertex set (got " +
+        std::to_string(g1.NumVertices()) + " vs " +
+        std::to_string(g2.NumVertices()) + " vertices)");
+  }
+  if (g1.NumVertices() == 0) {
+    return Status::InvalidArgument("session needs at least one vertex");
+  }
+  // Read the count before the same call expression moves g1 (argument
+  // evaluation order is unspecified).
+  const VertexId num_vertices = g1.NumVertices();
+  return MinerSession(num_vertices, std::move(g1), std::move(g2), options);
+}
+
+Result<MinerSession> MinerSession::CreateStreaming(VertexId num_vertices,
+                                                   SessionOptions options) {
+  if (num_vertices == 0) {
+    return Status::InvalidArgument("session needs at least one vertex");
+  }
+  return MinerSession(num_vertices, Graph(num_vertices), Graph(num_vertices),
+                      options);
+}
+
+Status MinerSession::ApplyUpdate(UpdateSide side, VertexId u, VertexId v,
+                                 double delta) {
+  if (u == v) {
+    return Status::InvalidArgument("self-loop update on vertex " +
+                                   std::to_string(u));
+  }
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    return Status::OutOfRange("update endpoint out of range");
+  }
+  if (!std::isfinite(delta)) {
+    return Status::InvalidArgument("non-finite update delta");
+  }
+  auto& pending = side == UpdateSide::kG1 ? pending_g1_ : pending_g2_;
+  pending[PackVertexPair(u, v)] += delta;
+  ++num_updates_;
+  graphs_dirty_ = true;
+  return Status::OK();
+}
+
+Status MinerSession::FlushUpdates() {
+  if (!graphs_dirty_) return Status::OK();
+  auto rebuild =
+      [&](const Graph& base,
+          std::unordered_map<uint64_t, double>* pending) -> Result<Graph> {
+    GraphBuilder builder(num_vertices_);
+    for (const Edge& e : base.UndirectedEdges()) {
+      builder.AddEdgeUnchecked(e.u, e.v, e.weight);
+    }
+    for (const auto& [key, delta] : *pending) {
+      builder.AddEdgeUnchecked(static_cast<VertexId>(key >> 32),
+                               static_cast<VertexId>(key & 0xFFFFFFFFull),
+                               delta);
+    }
+    return builder.Build(options_.zero_eps);
+  };
+  if (!pending_g1_.empty()) {
+    DCS_ASSIGN_OR_RETURN(g1_, rebuild(g1_, &pending_g1_));
+    pending_g1_.clear();
+  }
+  if (!pending_g2_.empty()) {
+    DCS_ASSIGN_OR_RETURN(g2_, rebuild(g2_, &pending_g2_));
+    pending_g2_.clear();
+  }
+  // Dirty-snapshot invalidation: every cached pipeline refers to the old
+  // graphs and re-materializes on demand.
+  pipelines_.clear();
+  graphs_dirty_ = false;
+  return Status::OK();
+}
+
+Result<MinerSession::PreparedPipeline*> MinerSession::PreparePipeline(
+    const MiningRequest& request, bool* reused) {
+  DCS_RETURN_NOT_OK(FlushUpdates());
+  const PipelineKey key = PipelineKey::Of(request);
+  for (const auto& pipeline : pipelines_) {
+    if (pipeline->key == key) {
+      *reused = true;
+      return pipeline.get();
+    }
+  }
+  *reused = false;
+
+  auto pipeline = std::make_unique<PreparedPipeline>();
+  pipeline->key = key;
+
+  const Graph& first = request.flip ? g2_ : g1_;
+  const Graph& second = request.flip ? g1_ : g2_;
+  DCS_ASSIGN_OR_RETURN(pipeline->difference,
+                       BuildDifferenceGraph(first, second, request.alpha));
+  if (request.discretize) {
+    DCS_ASSIGN_OR_RETURN(
+        pipeline->difference,
+        DiscretizeWeights(pipeline->difference, *request.discretize));
+  }
+  if (request.clamp_weights_above) {
+    pipeline->difference =
+        pipeline->difference.WeightsClampedAbove(*request.clamp_weights_above);
+  }
+  ++num_rebuilds_;
+
+  while (!pipelines_.empty() &&
+         pipelines_.size() + 1 > options_.max_cached_pipelines) {
+    if (batch_in_flight_) retired_.push_back(std::move(pipelines_.front()));
+    pipelines_.erase(pipelines_.begin());
+  }
+  pipelines_.push_back(std::move(pipeline));
+  return pipelines_.back().get();
+}
+
+void MinerSession::EnsureGaArtifacts(PreparedPipeline* pipeline) {
+  if (pipeline->has_ga_artifacts) return;
+  pipeline->positive_part = pipeline->difference.PositivePart();
+  pipeline->smart_bounds = ComputeSmartInitBounds(pipeline->positive_part);
+  pipeline->has_ga_artifacts = true;
+}
+
+Status MinerSession::Solve(const PreparedPipeline& pipeline,
+                           const MiningRequest& request,
+                           std::span<const VertexId> warm_support,
+                           MiningResponse* response) const {
+  SolverContext context;
+  context.difference = &pipeline.difference;
+  if (pipeline.has_ga_artifacts) {
+    context.positive_part = &pipeline.positive_part;
+    context.smart_bounds = &pipeline.smart_bounds;
+  }
+  context.warm_support = warm_support;
+
+  if (request.measure == Measure::kAverageDegree ||
+      request.measure == Measure::kBoth) {
+    const SolverFn solver =
+        SolverRegistry::Global().Find(request.ad_solver_name);
+    if (solver == nullptr) {
+      return Status::NotFound("no solver registered under '" +
+                              request.ad_solver_name + "'");
+    }
+    Result<std::vector<RankedSubgraph>> ranked =
+        solver(context, request, &response->telemetry);
+    if (!ranked.ok()) return ranked.status();
+    response->average_degree = std::move(*ranked);
+  }
+  if (request.measure == Measure::kGraphAffinity ||
+      request.measure == Measure::kBoth) {
+    const SolverFn solver =
+        SolverRegistry::Global().Find(request.ga_solver_name);
+    if (solver == nullptr) {
+      return Status::NotFound("no solver registered under '" +
+                              request.ga_solver_name + "'");
+    }
+    Result<std::vector<RankedSubgraph>> ranked =
+        solver(context, request, &response->telemetry);
+    if (!ranked.ok()) return ranked.status();
+    response->graph_affinity = std::move(*ranked);
+  }
+  return Status::OK();
+}
+
+Result<MiningResponse> MinerSession::Mine(const MiningRequest& request) {
+  DCS_RETURN_NOT_OK(request.Validate());
+
+  MiningResponse response;
+  WallTimer build_timer;
+  bool reused = false;
+  DCS_ASSIGN_OR_RETURN(PreparedPipeline * pipeline,
+                       PreparePipeline(request, &reused));
+  // Custom solvers may want GD+ regardless of measure, so artifacts are
+  // prepared unless the request is a pure builtin average-degree mine.
+  const bool ad_only = request.measure == Measure::kAverageDegree &&
+                       request.ad_solver_name == "dcsad";
+  if (!ad_only) EnsureGaArtifacts(pipeline);
+  response.telemetry.build_seconds = build_timer.Seconds();
+  response.telemetry.reused_cached_difference = reused;
+  response.telemetry.session_rebuilds = num_rebuilds_;
+
+  WallTimer solve_timer;
+  const std::span<const VertexId> warm =
+      request.warm_start ? std::span<const VertexId>(warm_support_)
+                         : std::span<const VertexId>();
+  DCS_RETURN_NOT_OK(Solve(*pipeline, request, warm, &response));
+  response.telemetry.solve_seconds = solve_timer.Seconds();
+
+  if (request.measure != Measure::kAverageDegree &&
+      !response.graph_affinity.empty()) {
+    warm_support_ = response.graph_affinity.front().vertices;
+  }
+  return response;
+}
+
+Result<std::vector<MiningResponse>> MinerSession::MineAll(
+    std::span<const MiningRequest> requests) {
+  std::vector<MiningResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Status status = requests[i].Validate();
+    if (!status.ok()) {
+      return Status(status.code(), "request #" + std::to_string(i) + ": " +
+                                       status.message());
+    }
+  }
+  DCS_RETURN_NOT_OK(FlushUpdates());
+
+  // Keeps batch_in_flight_/retired_ consistent on every exit path — without
+  // it, a throwing solver (or bad_alloc in phase 1) would leave the flag
+  // stuck and retired_ growing forever.
+  struct BatchGuard {
+    MinerSession* session;
+    explicit BatchGuard(MinerSession* s) : session(s) {
+      session->batch_in_flight_ = true;
+    }
+    ~BatchGuard() {
+      session->batch_in_flight_ = false;
+      session->retired_.clear();
+    }
+  } batch_guard(this);
+
+  // Phase 1 (caller thread): materialize every pipeline, in request order so
+  // cache hits, evictions and rebuild counters match sequential mining.
+  std::vector<PreparedPipeline*> pipelines(requests.size(), nullptr);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    WallTimer build_timer;
+    bool reused = false;
+    Result<PreparedPipeline*> prepared = PreparePipeline(requests[i], &reused);
+    if (!prepared.ok()) {
+      return prepared.status();
+    }
+    pipelines[i] = *prepared;
+    const bool ad_only = requests[i].measure == Measure::kAverageDegree &&
+                         requests[i].ad_solver_name == "dcsad";
+    if (!ad_only) EnsureGaArtifacts(pipelines[i]);
+    responses[i].telemetry.build_seconds = build_timer.Seconds();
+    responses[i].telemetry.reused_cached_difference = reused;
+    responses[i].telemetry.session_rebuilds = num_rebuilds_;
+  }
+
+  // Phase 2 (worker pool): solve. Solvers only read the prepared pipelines;
+  // warm-start seeds are frozen at batch entry.
+  const std::vector<VertexId> warm_snapshot = warm_support_;
+  std::vector<Status> statuses(requests.size(), Status::OK());
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= requests.size()) break;
+      WallTimer solve_timer;
+      const std::span<const VertexId> warm =
+          requests[i].warm_start ? std::span<const VertexId>(warm_snapshot)
+                                 : std::span<const VertexId>();
+      // A throw escaping a std::thread body would terminate the process;
+      // demote solver exceptions (libdcs is exception-free, but registered
+      // solvers need not be) to the Status contract instead.
+      try {
+        statuses[i] = Solve(*pipelines[i], requests[i], warm, &responses[i]);
+      } catch (const std::exception& e) {
+        statuses[i] =
+            Status::Internal(std::string("solver threw: ") + e.what());
+      } catch (...) {
+        statuses[i] = Status::Internal("solver threw a non-std exception");
+      }
+      responses[i].telemetry.solve_seconds = solve_timer.Seconds();
+    }
+  };
+  const uint32_t hardware = std::thread::hardware_concurrency();
+  size_t pool = options_.max_parallelism != 0 ? options_.max_parallelism
+                                              : (hardware != 0 ? hardware : 1);
+  pool = std::min(pool, requests.size());
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool - 1);
+    for (size_t t = 0; t + 1 < pool; ++t) threads.emplace_back(worker);
+    worker();
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+  }
+  // Leave the warm seed where sequential mining would have left it.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].measure != Measure::kAverageDegree &&
+        !responses[i].graph_affinity.empty()) {
+      warm_support_ = responses[i].graph_affinity.front().vertices;
+    }
+  }
+  return responses;
+}
+
+Result<Graph> MinerSession::DifferenceSnapshot(double alpha, bool flip) {
+  MiningRequest probe;
+  probe.alpha = alpha;
+  probe.flip = flip;
+  return DifferenceSnapshot(probe);
+}
+
+Result<Graph> MinerSession::DifferenceSnapshot(const MiningRequest& request) {
+  DCS_RETURN_NOT_OK(request.Validate());
+  bool reused = false;
+  DCS_ASSIGN_OR_RETURN(PreparedPipeline * pipeline,
+                       PreparePipeline(request, &reused));
+  return pipeline->difference;
+}
+
+}  // namespace dcs

@@ -1,0 +1,175 @@
+// MinerSession — the session-oriented entry point of libdcs.
+//
+// A session owns the two input graphs G1/G2 (or grows them from a stream of
+// weight updates), materializes each requested difference-graph pipeline
+// (alpha/flip/discretize/clamp) at most once, lazily derives the DCSGA
+// artifacts — GD+ and the §V-D smart-initialization bounds — per pipeline,
+// and dispatches measures to solvers through the SolverRegistry. This is the
+// one API tools, examples and services program against; core/ and densest/
+// are internal layers behind it.
+//
+// Scale path: MineAll runs independent requests on a thread pool against the
+// shared read-only pipeline cache — the first concrete batching step toward
+// serving many concurrent mining queries.
+
+#ifndef DCS_API_MINER_SESSION_H_
+#define DCS_API_MINER_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "api/mining.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// Session-level tuning.
+struct SessionOptions {
+  /// Distinct difference-graph pipelines kept materialized (FIFO eviction).
+  size_t max_cached_pipelines = 8;
+  /// Worker threads for MineAll; 0 = std::thread::hardware_concurrency().
+  uint32_t max_parallelism = 0;
+  /// Magnitude below which an accumulated weight counts as cancelled when
+  /// streaming updates are folded into the graphs.
+  double zero_eps = 1e-12;
+};
+
+/// \brief A mining session over a pair of graphs on a fixed vertex universe.
+///
+/// Single-threaded by design except for MineAll's internal worker pool; one
+/// session per serving thread is the intended deployment shape.
+class MinerSession {
+ public:
+  /// Batch construction: both graphs up front. Fails when the vertex counts
+  /// differ or are zero.
+  static Result<MinerSession> Create(Graph g1, Graph g2,
+                                     SessionOptions options = {});
+
+  /// Streaming construction: an empty G1/G2 pair over `num_vertices`
+  /// vertices, to be populated through ApplyUpdate. Fails on a zero count.
+  static Result<MinerSession> CreateStreaming(VertexId num_vertices,
+                                              SessionOptions options = {});
+
+  MinerSession(MinerSession&&) = default;
+  MinerSession& operator=(MinerSession&&) = default;
+
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// \brief Adds `delta` to the weight of undirected edge {u,v} on `side`.
+  ///
+  /// O(1); the CSR graphs and every cached pipeline are refreshed lazily at
+  /// the next query (dirty-snapshot invalidation). Fails on self-loops,
+  /// out-of-range endpoints, or non-finite deltas.
+  Status ApplyUpdate(UpdateSide side, VertexId u, VertexId v, double delta);
+
+  /// \brief Executes one mining request. See MiningRequest for semantics.
+  Result<MiningResponse> Mine(const MiningRequest& request);
+
+  /// \brief Executes independent requests on a worker pool, reusing the
+  /// pipeline cache across them.
+  ///
+  /// Responses are positionally aligned with `requests`; the first failing
+  /// request's status (in index order) is returned on error. For requests
+  /// with warm_start off (the default) the responses are — apart from the
+  /// telemetry wall-times — bit-identical to mining the same requests
+  /// sequentially with Mine(). Warm-start seeds are frozen at batch entry,
+  /// so a warm_start request sees the seed from before the batch rather
+  /// than one evolved by earlier requests in it.
+  Result<std::vector<MiningResponse>> MineAll(
+      std::span<const MiningRequest> requests);
+
+  /// \brief Copy of the difference graph D = A2 − α·A1 (swapped when
+  /// `flip`), without discretize/clamp — for inspection and export. Shares
+  /// the pipeline cache with Mine.
+  Result<Graph> DifferenceSnapshot(double alpha = 1.0, bool flip = false);
+
+  /// \brief Copy of the difference graph exactly as `request` would mine it,
+  /// including its discretize/clamp steps.
+  Result<Graph> DifferenceSnapshot(const MiningRequest& request);
+
+  /// Streaming updates accepted so far.
+  uint64_t num_updates() const { return num_updates_; }
+  /// Difference graphs materialized so far (flat across cached queries).
+  uint64_t num_rebuilds() const { return num_rebuilds_; }
+  /// Pipelines currently materialized.
+  size_t num_cached_pipelines() const { return pipelines_.size(); }
+
+  /// Drops every cached pipeline (they re-materialize on demand).
+  void InvalidateCaches() { pipelines_.clear(); }
+  /// Forgets the warm-start seed carried between DCSGA queries.
+  void ClearWarmStart() { warm_support_.clear(); }
+
+ private:
+  // The MiningRequest fields that determine the materialized difference
+  // graph; equal keys share one cached pipeline.
+  struct PipelineKey {
+    double alpha = 1.0;
+    bool flip = false;
+    std::optional<DiscretizeSpec> discretize;
+    std::optional<double> clamp_weights_above;
+
+    static PipelineKey Of(const MiningRequest& request);
+    friend bool operator==(const PipelineKey&, const PipelineKey&) = default;
+  };
+
+  // One materialized difference-graph pipeline plus its lazy DCSGA
+  // artifacts.
+  struct PreparedPipeline {
+    PipelineKey key;
+    Graph difference{0};
+    bool has_ga_artifacts = false;
+    Graph positive_part{0};
+    SmartInitBounds smart_bounds;
+  };
+
+  MinerSession(VertexId num_vertices, Graph g1, Graph g2,
+               SessionOptions options);
+
+  // Folds pending streaming deltas into g1_/g2_ and clears the pipeline
+  // cache when dirty.
+  Status FlushUpdates();
+
+  // Returns the cached pipeline for the request's pipeline fields, building
+  // (and possibly evicting) as needed. The pointer stays valid until the
+  // next ApplyUpdate/eviction. `reused` reports a cache hit.
+  Result<PreparedPipeline*> PreparePipeline(const MiningRequest& request,
+                                            bool* reused);
+
+  // Derives GD+ and the smart-init bounds of `pipeline` once.
+  void EnsureGaArtifacts(PreparedPipeline* pipeline);
+
+  // Runs the solvers for one prepared request. Const w.r.t. session state so
+  // MineAll can call it from worker threads; warm seeds are passed in.
+  Status Solve(const PreparedPipeline& pipeline, const MiningRequest& request,
+               std::span<const VertexId> warm_support,
+               MiningResponse* response) const;
+
+  VertexId num_vertices_;
+  SessionOptions options_;
+  Graph g1_{0};
+  Graph g2_{0};
+  // Pending streaming deltas keyed by packed (min,max) vertex pair.
+  std::unordered_map<uint64_t, double> pending_g1_;
+  std::unordered_map<uint64_t, double> pending_g2_;
+  bool graphs_dirty_ = false;
+  // FIFO cache; unique_ptr keeps PreparedPipeline* stable across growth.
+  std::vector<std::unique_ptr<PreparedPipeline>> pipelines_;
+  // While a MineAll batch is in flight, evicted pipelines are parked here so
+  // that the batch's PreparedPipeline* stay valid; cleared when it returns.
+  // Eviction order itself is unchanged, keeping cache state (and therefore
+  // rebuild counters) identical to sequential mining.
+  bool batch_in_flight_ = false;
+  std::vector<std::unique_ptr<PreparedPipeline>> retired_;
+  uint64_t num_updates_ = 0;
+  uint64_t num_rebuilds_ = 0;
+  // Support of the most recent DCSGA answer, offered to warm_start requests.
+  std::vector<VertexId> warm_support_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_API_MINER_SESSION_H_

@@ -1,0 +1,63 @@
+#include "api/mining.h"
+
+#include <cmath>
+
+#include "graph/graph_builder.h"
+
+namespace dcs {
+
+const char* MeasureToString(Measure measure) {
+  switch (measure) {
+    case Measure::kAverageDegree:
+      return "ad";
+    case Measure::kGraphAffinity:
+      return "ga";
+    case Measure::kBoth:
+      return "both";
+  }
+  return "unknown";
+}
+
+Result<Measure> ParseMeasure(std::string_view name) {
+  if (name == "ad") return Measure::kAverageDegree;
+  if (name == "ga") return Measure::kGraphAffinity;
+  if (name == "both") return Measure::kBoth;
+  return Status::InvalidArgument("unknown measure '" + std::string(name) +
+                                 "' (expected ad, ga or both)");
+}
+
+Result<Graph> BuildGraphFromEdges(VertexId num_vertices,
+                                  std::span<const WeightedEdge> edges) {
+  GraphBuilder builder(num_vertices);
+  for (const WeightedEdge& e : edges) {
+    DCS_RETURN_NOT_OK(builder.AddEdge(e.u, e.v, e.weight));
+  }
+  return builder.Build();
+}
+
+Status MiningRequest::Validate() const {
+  if (!std::isfinite(alpha) || alpha <= 0.0) {
+    return Status::InvalidArgument("alpha must be finite and positive");
+  }
+  if (top_k == 0) {
+    return Status::InvalidArgument("top_k must be >= 1");
+  }
+  if (discretize.has_value()) {
+    DCS_RETURN_NOT_OK(discretize->Validate());
+  }
+  if (clamp_weights_above.has_value() &&
+      (!std::isfinite(*clamp_weights_above) || *clamp_weights_above <= 0.0)) {
+    return Status::InvalidArgument(
+        "clamp_weights_above must be finite and positive");
+  }
+  if (!std::isfinite(min_density) || !std::isfinite(min_affinity)) {
+    return Status::InvalidArgument(
+        "min_density and min_affinity must be finite");
+  }
+  if (ad_solver_name.empty() || ga_solver_name.empty()) {
+    return Status::InvalidArgument("solver names must be non-empty");
+  }
+  return Status::OK();
+}
+
+}  // namespace dcs

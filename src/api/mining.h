@@ -1,0 +1,159 @@
+// Public request/response vocabulary of the libdcs mining facade.
+//
+// The api/ layer is the one surface tools and applications program against:
+// a MiningRequest describes *what* to mine (measure, difference-graph
+// pipeline, ranking), a MinerSession (api/miner_session.h) decides *how*
+// (caching, dispatch, batching), and a MiningResponse carries the ranked
+// subgraphs plus a telemetry block. Everything below core/ is an internal
+// layer; this header deliberately re-exports the few internal types a caller
+// legitimately needs (Graph, DiscretizeSpec, the DCSGA solver knobs) so that
+// consumers never include core/ or densest/ headers directly.
+
+#ifndef DCS_API_MINING_H_
+#define DCS_API_MINING_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/newsea.h"       // re-exports DcsgaOptions (solver knobs)
+#include "graph/difference.h"  // re-exports DiscretizeSpec
+#include "graph/graph.h"       // re-exports Graph, VertexId, Edge
+#include "util/status.h"
+
+namespace dcs {
+
+/// Which density-contrast measure(s) a request mines (§III of the paper).
+enum class Measure : uint8_t {
+  kAverageDegree,  ///< DCSAD: max W_D(S)/|S| via DCSGreedy (Algorithm 2)
+  kGraphAffinity,  ///< DCSGA: max xᵀDx via NewSEA (Algorithm 5)
+  kBoth,           ///< mine both measures in one request
+};
+
+/// "ad", "ga" or "both".
+const char* MeasureToString(Measure measure);
+
+/// Parses "ad" / "ga" / "both" (the dcs_mine flag values); fails otherwise.
+Result<Measure> ParseMeasure(std::string_view name);
+
+/// Which input graph a streaming update applies to.
+enum class UpdateSide : uint8_t {
+  kG1,  ///< baseline / historical graph (enters D with weight −α·w)
+  kG2,  ///< current graph (enters D with weight +w)
+};
+
+/// An input edge for BuildGraphFromEdges.
+struct WeightedEdge {
+  VertexId u;
+  VertexId v;
+  double weight;
+};
+
+/// \brief Builds an immutable Graph from explicit edges — the facade-level
+/// alternative to graph/graph_builder.h. Duplicate edges accumulate; fails
+/// on self-loops, out-of-range endpoints, or non-finite weights.
+Result<Graph> BuildGraphFromEdges(VertexId num_vertices,
+                                  std::span<const WeightedEdge> edges);
+
+/// \brief One mining query against a MinerSession.
+///
+/// The difference-graph pipeline is: D = A2 − α·A1 (swapped when `flip`),
+/// then optional Discrete mapping, then optional heavy-edge clamping. Two
+/// requests with equal pipeline fields share the session's cached difference
+/// graph regardless of their measure/ranking fields.
+struct MiningRequest {
+  Measure measure = Measure::kBoth;
+
+  // --- difference-graph pipeline (cache key) ---
+  /// §III-D scale of G1; must be finite and positive.
+  double alpha = 1.0;
+  /// Mine G1 − G2 instead of G2 − G1 ("disappearing" direction, §VI-B).
+  bool flip = false;
+  /// Apply the paper's Discrete weight mapping (§VI-B) when set.
+  std::optional<DiscretizeSpec> discretize;
+  /// Replace every weight w by min(w, cap) when set (§III-D heavy-edge
+  /// adjustment); the cap must be finite and positive.
+  std::optional<double> clamp_weights_above;
+
+  // --- ranking ---
+  /// Mine up to this many subgraphs per measure (the §VII future-work
+  /// extension; 1 = the paper's single-DCS setting).
+  uint32_t top_k = 1;
+  /// Require top-k DCSGA cliques to be pairwise vertex-disjoint.
+  bool disjoint = true;
+  /// Drop DCSAD subgraphs with density difference <= this.
+  double min_density = 0.0;
+  /// Drop DCSGA cliques with affinity difference <= this.
+  double min_affinity = 0.0;
+
+  // --- solver knobs ---
+  /// Inner DCSGA solver configuration (shrink kind, descent tolerances, ...).
+  DcsgaOptions ga_solver;
+  /// Seed the DCSGA solve from the session's previous solution (streaming
+  /// drift tracking). Off by default so that requests are pure functions of
+  /// the session's graphs — the precondition for batched MineAll to equal
+  /// sequential mining bit-for-bit.
+  bool warm_start = false;
+
+  /// Registry names of the solvers to dispatch to (api/solver_registry.h);
+  /// replaceable without touching MinerSession.
+  std::string ad_solver_name = "dcsad";
+  std::string ga_solver_name = "dcsga";
+
+  /// Field-level validation; every MinerSession entry point calls this.
+  Status Validate() const;
+};
+
+/// One mined subgraph, ranked within its measure.
+struct RankedSubgraph {
+  /// Member vertices, ascending.
+  std::vector<VertexId> vertices;
+  /// The measure value: density difference ρ_D(S) for DCSAD, affinity
+  /// difference xᵀDx for DCSGA.
+  double value = 0.0;
+  /// DCSGA only: embedding mass per vertex (parallel to `vertices`, sums to
+  /// 1). Empty for DCSAD results.
+  std::vector<double> weights;
+  /// DCSAD only: the data-dependent approximation ratio β of Theorem 2.
+  double ratio_bound = 0.0;
+  /// True iff the subgraph is a positive clique of the difference graph —
+  /// guaranteed for DCSGA output (Theorem 5), informational for DCSAD.
+  bool positive_clique = false;
+};
+
+/// Counters and timings of one request's execution.
+struct MiningTelemetry {
+  uint64_t initializations = 0;     ///< DCSGA seeds actually tried
+  uint64_t cd_iterations = 0;       ///< coordinate-descent iterations total
+  uint64_t replicator_sweeps = 0;   ///< replicator baseline only
+  uint32_t expansion_errors = 0;    ///< replicator baseline only
+  /// Session-lifetime difference-graph rebuild count *after* this request
+  /// (flat across requests ⇔ the cache served them).
+  uint64_t session_rebuilds = 0;
+  /// True iff this request's difference graph came from the session cache.
+  bool reused_cached_difference = false;
+  /// True iff a warm-start seed was attempted for the DCSGA solve.
+  bool warm_start_used = false;
+  /// Wall time spent materializing pipeline artifacts (0 on cache hits) and
+  /// solving. The only non-deterministic response fields.
+  double build_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+/// \brief Response to one MiningRequest.
+///
+/// `average_degree` is filled for measures kAverageDegree/kBoth and
+/// `graph_affinity` for kGraphAffinity/kBoth; either may be empty when no
+/// subgraph clears the request's min_density / min_affinity floor.
+struct MiningResponse {
+  std::vector<RankedSubgraph> average_degree;
+  std::vector<RankedSubgraph> graph_affinity;
+  MiningTelemetry telemetry;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_API_MINING_H_

@@ -1,0 +1,73 @@
+// Solver registry of the mining facade.
+//
+// MinerSession dispatches each measure of a MiningRequest to a solver
+// function looked up by name ("dcsad" → DCSGreedy / iterated peeling,
+// "dcsga" → NewSEA / all-inits harvest). New measures or experimental
+// solver variants plug in by registering a function — callers keep using
+// MinerSession::Mine unchanged and select the variant through
+// MiningRequest::{ad,ga}_solver_name.
+
+#ifndef DCS_API_SOLVER_REGISTRY_H_
+#define DCS_API_SOLVER_REGISTRY_H_
+
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/mining.h"
+#include "core/newsea.h"  // SmartInitBounds
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// \brief Read-only view of the session's prepared pipeline artifacts that a
+/// solver may consume. Pointers are owned by the session and outlive the
+/// solver call; `positive_part` and `smart_bounds` are set whenever the
+/// request mines graph affinity (or names a non-builtin solver).
+struct SolverContext {
+  /// The full signed difference graph after discretize/clamp.
+  const Graph* difference = nullptr;
+  /// GD+ (Graph::PositivePart of `difference`), or nullptr.
+  const Graph* positive_part = nullptr;
+  /// §V-D smart-initialization bounds of `positive_part`, or nullptr.
+  const SmartInitBounds* smart_bounds = nullptr;
+  /// Previous solution's support for warm starting; empty unless the request
+  /// opted in and the session has one.
+  std::span<const VertexId> warm_support;
+};
+
+/// A solver: prepared inputs + request → ranked subgraphs. Must be pure
+/// (no shared mutable state) — MinerSession::MineAll invokes solvers from
+/// multiple threads concurrently.
+using SolverFn = Result<std::vector<RankedSubgraph>> (*)(
+    const SolverContext& context, const MiningRequest& request,
+    MiningTelemetry* telemetry);
+
+/// \brief Name → SolverFn map; thread-safe.
+class SolverRegistry {
+ public:
+  /// The process-wide registry, with the builtin solvers ("dcsad", "dcsga")
+  /// pre-registered.
+  static SolverRegistry& Global();
+
+  /// Registers `fn` under `name`; fails with AlreadyExists on a duplicate
+  /// name and InvalidArgument on an empty name or null fn.
+  Status Register(const std::string& name, SolverFn fn);
+
+  /// The solver registered under `name`, or nullptr.
+  SolverFn Find(const std::string& name) const;
+
+  /// Registered names, ascending.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, SolverFn> solvers_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_API_SOLVER_REGISTRY_H_

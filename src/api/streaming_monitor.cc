@@ -1,0 +1,69 @@
+#include "api/streaming_monitor.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dcs {
+namespace {
+
+MinerSession MakeStreamingSession(VertexId num_vertices) {
+  DCS_CHECK(num_vertices >= 1) << "monitor needs at least one vertex";
+  return std::move(MinerSession::CreateStreaming(num_vertices)).value();
+}
+
+}  // namespace
+
+StreamingDcsMonitor::StreamingDcsMonitor(VertexId num_vertices, double alpha)
+    : session_(MakeStreamingSession(num_vertices)), alpha_(alpha) {
+  DCS_CHECK(std::isfinite(alpha) && alpha > 0.0) << "alpha must be positive";
+}
+
+Status StreamingDcsMonitor::ApplyUpdate(StreamSide side, VertexId u,
+                                        VertexId v, double delta) {
+  return session_.ApplyUpdate(side, u, v, delta);
+}
+
+Result<Graph> StreamingDcsMonitor::DifferenceSnapshot() {
+  return session_.DifferenceSnapshot(alpha_);
+}
+
+Result<DcsadResult> StreamingDcsMonitor::MineDcsad() {
+  DCS_ASSIGN_OR_RETURN(Graph gd, DifferenceSnapshot());
+  return RunDcsGreedy(gd);
+}
+
+Result<DcsgaResult> StreamingDcsMonitor::MineDcsga(
+    const DcsgaOptions& options) {
+  MiningRequest request;
+  request.measure = Measure::kGraphAffinity;
+  request.alpha = alpha_;
+  request.ga_solver = options;
+  request.warm_start = true;
+  DCS_ASSIGN_OR_RETURN(MiningResponse response, session_.Mine(request));
+
+  DcsgaResult result;
+  result.initializations = response.telemetry.initializations;
+  result.cd_iterations = response.telemetry.cd_iterations;
+  result.replicator_sweeps = response.telemetry.replicator_sweeps;
+  result.expansion_errors = response.telemetry.expansion_errors;
+  if (response.graph_affinity.empty()) {
+    // No subgraph with positive affinity difference: the §III-B trivial
+    // single-vertex solution.
+    result.x = Embedding::UnitVector(session_.num_vertices(), 0);
+    result.support = {0};
+    result.affinity = 0.0;
+    return result;
+  }
+  const RankedSubgraph& best = response.graph_affinity.front();
+  result.x = Embedding::Zeros(session_.num_vertices());
+  for (size_t i = 0; i < best.vertices.size(); ++i) {
+    result.x.x[best.vertices[i]] = best.weights[i];
+  }
+  result.support = best.vertices;
+  result.affinity = best.value;
+  return result;
+}
+
+}  // namespace dcs

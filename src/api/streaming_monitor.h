@@ -1,0 +1,69 @@
+// Streaming DCS maintenance — the deployment mode §I motivates (real-time
+// story identification à la Angel et al. [1], and "detecting current
+// anomalies against historical data").
+//
+// StreamingDcsMonitor is a thin adapter over a streaming MinerSession for
+// callers that want the core result structs (DcsadResult/DcsgaResult) and an
+// alpha fixed at construction: updates are O(1), the difference snapshot is
+// rebuilt lazily, and DCSGA queries warm-start from the previous answer.
+// All of the machinery — pending-update folding, dirty-snapshot
+// invalidation, pipeline caching, warm-start seeds — lives in MinerSession;
+// new code should use MinerSession directly.
+
+#ifndef DCS_API_STREAMING_MONITOR_H_
+#define DCS_API_STREAMING_MONITOR_H_
+
+#include <cstdint>
+
+#include "api/miner_session.h"
+#include "api/mining.h"
+#include "core/dcs_greedy.h"
+#include "core/newsea.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dcs {
+
+/// Which input graph an update applies to (alias of the facade enum:
+/// kG1 = baseline, kG2 = current).
+using StreamSide = UpdateSide;
+
+/// \brief Incrementally maintained difference graph with on-demand mining.
+class StreamingDcsMonitor {
+ public:
+  /// \param num_vertices fixed vertex universe; must be >= 1 (checked, like
+  ///        alpha, with an aborting DCS_CHECK — ctor arguments are caller
+  ///        bugs, not runtime conditions).
+  /// \param alpha §III-D scale of G1 (default 1: standard difference).
+  explicit StreamingDcsMonitor(VertexId num_vertices, double alpha = 1.0);
+
+  VertexId num_vertices() const { return session_.num_vertices(); }
+
+  /// Adds `delta` to the weight of undirected edge {u,v} on the given side.
+  /// Fails on self-loops, out-of-range endpoints, or non-finite deltas.
+  Status ApplyUpdate(StreamSide side, VertexId u, VertexId v, double delta);
+
+  /// Current difference graph (rebuilds the snapshot if updates arrived
+  /// since the last call). O(m log m) on rebuild, O(1) otherwise.
+  Result<Graph> DifferenceSnapshot();
+
+  /// Mines the average-degree DCS on the current difference graph.
+  Result<DcsadResult> MineDcsad();
+
+  /// Mines the affinity DCS on the current difference graph's positive
+  /// part; warm-starts from the previous query's support before falling
+  /// back to the smart-initialization order.
+  Result<DcsgaResult> MineDcsga(const DcsgaOptions& options = {});
+
+  /// Counters for tests/telemetry.
+  uint64_t num_updates() const { return session_.num_updates(); }
+  uint64_t num_rebuilds() const { return session_.num_rebuilds(); }
+
+ private:
+  MinerSession session_;
+  double alpha_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_API_STREAMING_MONITOR_H_

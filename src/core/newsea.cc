@@ -131,12 +131,21 @@ SmartInitBounds ComputeSmartInitBounds(const Graph& gd_plus) {
 
 Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
                               const DcsgaOptions& options) {
+  return RunNewSea(gd_plus, ComputeSmartInitBounds(gd_plus), options);
+}
+
+Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
+                              const SmartInitBounds& bounds,
+                              const DcsgaOptions& options) {
   DCS_RETURN_NOT_OK(ValidateNonNegative(gd_plus));
   const VertexId n = gd_plus.NumVertices();
   if (n == 0) return Status::InvalidArgument("empty graph");
   if (gd_plus.NumEdges() == 0) return TrivialResult(gd_plus);
+  if (bounds.mu.size() != n) {
+    return Status::InvalidArgument(
+        "smart-init bounds were computed for a different graph");
+  }
 
-  const SmartInitBounds bounds = ComputeSmartInitBounds(gd_plus);
   std::vector<VertexId> order(n);
   std::iota(order.begin(), order.end(), VertexId{0});
   std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {

@@ -88,6 +88,16 @@ SmartInitBounds ComputeSmartInitBounds(const Graph& gd_plus);
 Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
                               const DcsgaOptions& options = {});
 
+/// \brief RunNewSea with precomputed smart-initialization bounds.
+///
+/// `bounds` must have been computed by ComputeSmartInitBounds on this exact
+/// `gd_plus` (size-checked only). Lets callers that answer many queries on
+/// one graph — MinerSession's pipeline cache — pay the O(m + n) bound
+/// computation once.
+Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
+                              const SmartInitBounds& bounds,
+                              const DcsgaOptions& options = {});
+
 /// \brief The SEACD+Refine / SEA+Refine baselines: one initialization per
 /// vertex of `gd_plus`, no smart ordering, no pruning. Selects Shrink by
 /// `options.shrink`.

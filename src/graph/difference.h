@@ -44,6 +44,9 @@ struct DiscretizeSpec {
 
   /// Applies the mapping to a single raw difference.
   double Map(double d) const;
+
+  friend bool operator==(const DiscretizeSpec&,
+                         const DiscretizeSpec&) = default;
 };
 
 /// \brief Applies a DiscretizeSpec to every edge weight of `gd`, dropping

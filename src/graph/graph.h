@@ -22,6 +22,21 @@ namespace dcs {
 /// Vertex identifier: dense indices in [0, NumVertices()).
 using VertexId = uint32_t;
 
+/// \brief Packs an unordered vertex pair into one map key (smaller id in the
+/// high word). Shared by every streaming-update weight map.
+inline uint64_t PackVertexPair(VertexId u, VertexId v) {
+  static_assert(sizeof(VertexId) <= sizeof(uint32_t),
+                "PackVertexPair packs two VertexIds into one uint64_t; the "
+                "'<< 32' packing silently collides if VertexId is widened "
+                "past 32 bits");
+  if (u > v) {
+    const VertexId t = u;
+    u = v;
+    v = t;
+  }
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
 /// One directed half of an undirected edge as stored in CSR adjacency.
 struct Neighbor {
   VertexId to;

@@ -1,0 +1,198 @@
+// Batched mining tests: MineAll must equal sequential Mine bit-for-bit
+// (apart from telemetry wall-times), stay deterministic under parallelism,
+// and propagate per-request failures.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/miner_session.h"
+#include "api/solver_registry.h"
+#include "test_util.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::Fig1G1;
+using ::dcs::testing::Fig1G2;
+
+// Serializes everything deterministic about a response: subgraphs with full
+// double precision plus the deterministic telemetry fields. Wall-times are
+// the documented exception.
+std::string Serialize(const MiningResponse& response) {
+  std::string out;
+  char buf[64];
+  auto append_subgraphs = [&](const char* tag,
+                              const std::vector<RankedSubgraph>& list) {
+    out += tag;
+    for (const RankedSubgraph& s : list) {
+      out += "[";
+      for (VertexId v : s.vertices) {
+        std::snprintf(buf, sizeof(buf), "%u,", v);
+        out += buf;
+      }
+      out += "|";
+      for (double w : s.weights) {
+        std::snprintf(buf, sizeof(buf), "%.17g,", w);
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf), "|v=%.17g|r=%.17g|c=%d]", s.value,
+                    s.ratio_bound, s.positive_clique ? 1 : 0);
+      out += buf;
+    }
+  };
+  append_subgraphs("AD:", response.average_degree);
+  append_subgraphs(";GA:", response.graph_affinity);
+  std::snprintf(buf, sizeof(buf), ";T:%llu,%llu,%llu,%u,%llu,%d,%d",
+                static_cast<unsigned long long>(
+                    response.telemetry.initializations),
+                static_cast<unsigned long long>(
+                    response.telemetry.cd_iterations),
+                static_cast<unsigned long long>(
+                    response.telemetry.replicator_sweeps),
+                response.telemetry.expansion_errors,
+                static_cast<unsigned long long>(
+                    response.telemetry.session_rebuilds),
+                response.telemetry.reused_cached_difference ? 1 : 0,
+                response.telemetry.warm_start_used ? 1 : 0);
+  out += buf;
+  return out;
+}
+
+std::vector<MiningRequest> BatchRequests() {
+  std::vector<MiningRequest> requests(5);
+  requests[0].measure = Measure::kAverageDegree;
+  requests[1].measure = Measure::kGraphAffinity;
+  requests[2].measure = Measure::kBoth;
+  requests[2].alpha = 2.0;
+  requests[3].measure = Measure::kAverageDegree;
+  requests[3].flip = true;
+  requests[4].measure = Measure::kBoth;
+  requests[4].discretize = DiscretizeSpec{};
+  requests[4].top_k = 2;
+  return requests;
+}
+
+TEST(MineAllTest, MatchesSequentialMiningBitForBit) {
+  const std::vector<MiningRequest> requests = BatchRequests();
+
+  Result<MinerSession> sequential = MinerSession::Create(Fig1G1(), Fig1G2());
+  ASSERT_TRUE(sequential.ok());
+  std::vector<std::string> expected;
+  for (const MiningRequest& request : requests) {
+    Result<MiningResponse> response = sequential->Mine(request);
+    ASSERT_TRUE(response.ok());
+    expected.push_back(Serialize(*response));
+  }
+
+  Result<MinerSession> batched = MinerSession::Create(Fig1G1(), Fig1G2());
+  ASSERT_TRUE(batched.ok());
+  Result<std::vector<MiningResponse>> responses = batched->MineAll(requests);
+  ASSERT_TRUE(responses.ok());
+  ASSERT_EQ(responses->size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(Serialize((*responses)[i]), expected[i]) << "request #" << i;
+  }
+  EXPECT_EQ(batched->num_rebuilds(), sequential->num_rebuilds());
+}
+
+TEST(MineAllTest, DeterministicUnderParallelism) {
+  const std::vector<MiningRequest> requests = BatchRequests();
+  SessionOptions options;
+  options.max_parallelism = 4;
+
+  std::vector<std::string> first;
+  for (int run = 0; run < 2; ++run) {
+    Result<MinerSession> session =
+        MinerSession::Create(Fig1G1(), Fig1G2(), options);
+    ASSERT_TRUE(session.ok());
+    Result<std::vector<MiningResponse>> responses = session->MineAll(requests);
+    ASSERT_TRUE(responses.ok());
+    std::vector<std::string> serialized;
+    for (const MiningResponse& response : *responses) {
+      serialized.push_back(Serialize(response));
+    }
+    if (run == 0) {
+      first = std::move(serialized);
+    } else {
+      EXPECT_EQ(serialized, first);
+    }
+  }
+}
+
+TEST(MineAllTest, EmptyBatchYieldsEmptyResult) {
+  Result<MinerSession> session = MinerSession::Create(Fig1G1(), Fig1G2());
+  ASSERT_TRUE(session.ok());
+  Result<std::vector<MiningResponse>> responses =
+      session->MineAll(std::span<const MiningRequest>{});
+  ASSERT_TRUE(responses.ok());
+  EXPECT_TRUE(responses->empty());
+}
+
+TEST(MineAllTest, ReportsTheFirstInvalidRequest) {
+  Result<MinerSession> session = MinerSession::Create(Fig1G1(), Fig1G2());
+  ASSERT_TRUE(session.ok());
+  std::vector<MiningRequest> requests(4);
+  requests[2].alpha = 0.0;
+  Result<std::vector<MiningResponse>> responses = session->MineAll(requests);
+  ASSERT_FALSE(responses.ok());
+  EXPECT_TRUE(responses.status().IsInvalidArgument());
+  EXPECT_NE(responses.status().message().find("request #2"),
+            std::string::npos);
+  // The session stays usable after a rejected batch.
+  EXPECT_TRUE(session->Mine(MiningRequest{}).ok());
+}
+
+Result<std::vector<RankedSubgraph>> ThrowingSolver(const SolverContext&,
+                                                   const MiningRequest&,
+                                                   MiningTelemetry*) {
+  throw std::runtime_error("boom");
+}
+
+TEST(MineAllTest, SolverExceptionsBecomeStatuses) {
+  static const bool registered = [] {
+    return SolverRegistry::Global()
+        .Register("throwing-solver", &ThrowingSolver)
+        .ok();
+  }();
+  ASSERT_TRUE(registered);
+
+  SessionOptions options;
+  options.max_parallelism = 2;
+  Result<MinerSession> session =
+      MinerSession::Create(Fig1G1(), Fig1G2(), options);
+  ASSERT_TRUE(session.ok());
+  std::vector<MiningRequest> requests(2);
+  requests[1].measure = Measure::kAverageDegree;
+  requests[1].ad_solver_name = "throwing-solver";
+  Result<std::vector<MiningResponse>> responses = session->MineAll(requests);
+  ASSERT_FALSE(responses.ok());
+  EXPECT_EQ(responses.status().code(), StatusCode::kInternal);
+  EXPECT_NE(responses.status().message().find("boom"), std::string::npos);
+  // The session stays usable after the failed batch.
+  EXPECT_TRUE(session->Mine(MiningRequest{}).ok());
+}
+
+TEST(MineAllTest, SharesThePipelineCacheAcrossTheBatch) {
+  Result<MinerSession> session = MinerSession::Create(Fig1G1(), Fig1G2());
+  ASSERT_TRUE(session.ok());
+  // Four requests, two distinct pipelines -> exactly two rebuilds.
+  std::vector<MiningRequest> requests(4);
+  requests[1].alpha = 2.0;
+  requests[3].alpha = 2.0;
+  Result<std::vector<MiningResponse>> responses = session->MineAll(requests);
+  ASSERT_TRUE(responses.ok());
+  EXPECT_EQ(session->num_rebuilds(), 2u);
+  EXPECT_FALSE((*responses)[0].telemetry.reused_cached_difference);
+  EXPECT_FALSE((*responses)[1].telemetry.reused_cached_difference);
+  EXPECT_TRUE((*responses)[2].telemetry.reused_cached_difference);
+  EXPECT_TRUE((*responses)[3].telemetry.reused_cached_difference);
+}
+
+}  // namespace
+}  // namespace dcs

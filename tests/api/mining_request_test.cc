@@ -1,0 +1,100 @@
+// Request-validation and vocabulary tests of the api/ facade.
+
+#include "api/mining.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace dcs {
+namespace {
+
+TEST(MiningRequestTest, DefaultRequestIsValid) {
+  EXPECT_TRUE(MiningRequest{}.Validate().ok());
+}
+
+TEST(MiningRequestTest, RejectsBadAlpha) {
+  MiningRequest request;
+  for (const double alpha :
+       {0.0, -1.0, std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN()}) {
+    request.alpha = alpha;
+    EXPECT_TRUE(request.Validate().IsInvalidArgument()) << "alpha=" << alpha;
+  }
+}
+
+TEST(MiningRequestTest, RejectsZeroTopK) {
+  MiningRequest request;
+  request.top_k = 0;
+  EXPECT_TRUE(request.Validate().IsInvalidArgument());
+}
+
+TEST(MiningRequestTest, RejectsInvalidDiscretizeSpec) {
+  MiningRequest request;
+  DiscretizeSpec spec;
+  spec.weak_pos = -1.0;  // violates 0 < weak_pos
+  request.discretize = spec;
+  EXPECT_TRUE(request.Validate().IsInvalidArgument());
+  request.discretize = DiscretizeSpec{};
+  EXPECT_TRUE(request.Validate().ok());
+}
+
+TEST(MiningRequestTest, RejectsBadClamp) {
+  MiningRequest request;
+  for (const double cap : {0.0, -2.0, std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()}) {
+    request.clamp_weights_above = cap;
+    EXPECT_TRUE(request.Validate().IsInvalidArgument()) << "cap=" << cap;
+  }
+  request.clamp_weights_above = 3.5;
+  EXPECT_TRUE(request.Validate().ok());
+}
+
+TEST(MiningRequestTest, RejectsNonFiniteFloors) {
+  MiningRequest request;
+  request.min_density = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(request.Validate().IsInvalidArgument());
+  request.min_density = -1.0;  // negative floors are legitimate
+  EXPECT_TRUE(request.Validate().ok());
+  request.min_affinity = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(request.Validate().IsInvalidArgument());
+}
+
+TEST(MiningRequestTest, RejectsEmptySolverNames) {
+  MiningRequest request;
+  request.ad_solver_name.clear();
+  EXPECT_TRUE(request.Validate().IsInvalidArgument());
+  request.ad_solver_name = "dcsad";
+  request.ga_solver_name.clear();
+  EXPECT_TRUE(request.Validate().IsInvalidArgument());
+}
+
+TEST(MeasureTest, ParseAndPrintRoundTrip) {
+  for (const Measure measure :
+       {Measure::kAverageDegree, Measure::kGraphAffinity, Measure::kBoth}) {
+    Result<Measure> parsed = ParseMeasure(MeasureToString(measure));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, measure);
+  }
+  EXPECT_TRUE(ParseMeasure("average-degree").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseMeasure("").status().IsInvalidArgument());
+}
+
+TEST(BuildGraphFromEdgesTest, BuildsAndValidates) {
+  const std::vector<WeightedEdge> edges{{0, 1, 2.0}, {1, 2, -1.5}, {0, 1, 1.0}};
+  Result<Graph> graph = BuildGraphFromEdges(3, edges);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->NumVertices(), 3u);
+  EXPECT_EQ(graph->NumEdges(), 2u);
+  EXPECT_DOUBLE_EQ(graph->EdgeWeight(0, 1), 3.0);  // duplicates accumulate
+
+  const std::vector<WeightedEdge> self_loop{{1, 1, 1.0}};
+  EXPECT_FALSE(BuildGraphFromEdges(3, self_loop).ok());
+  const std::vector<WeightedEdge> out_of_range{{0, 9, 1.0}};
+  EXPECT_FALSE(BuildGraphFromEdges(3, out_of_range).ok());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,96 @@
+// SolverRegistry tests: builtin registration, custom solver plug-in, and
+// dispatch through MinerSession without touching callers.
+
+#include "api/solver_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/miner_session.h"
+#include "test_util.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::Fig1G1;
+using ::dcs::testing::Fig1G2;
+
+TEST(SolverRegistryTest, BuiltinsAreRegistered) {
+  const std::vector<std::string> names = SolverRegistry::Global().Names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "dcsad"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "dcsga"), names.end());
+  EXPECT_NE(SolverRegistry::Global().Find("dcsad"), nullptr);
+  EXPECT_NE(SolverRegistry::Global().Find("dcsga"), nullptr);
+}
+
+TEST(SolverRegistryTest, FindUnknownReturnsNull) {
+  EXPECT_EQ(SolverRegistry::Global().Find("no-such-solver"), nullptr);
+}
+
+TEST(SolverRegistryTest, RejectsBadRegistrations) {
+  SolverFn fn = SolverRegistry::Global().Find("dcsad");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(SolverRegistry::Global().Register("", fn).IsInvalidArgument());
+  EXPECT_TRUE(
+      SolverRegistry::Global().Register("null-solver", nullptr)
+          .IsInvalidArgument());
+  EXPECT_EQ(SolverRegistry::Global().Register("dcsad", fn).code(),
+            StatusCode::kAlreadyExists);
+}
+
+// A toy solver: returns the single heaviest positive edge of GD as a
+// "subgraph". Registered once for the whole test binary.
+Result<std::vector<RankedSubgraph>> HeaviestEdgeSolver(
+    const SolverContext& context, const MiningRequest& request,
+    MiningTelemetry* telemetry) {
+  (void)request;
+  telemetry->initializations += 1;
+  const Graph& gd = *context.difference;
+  RankedSubgraph best;
+  for (const Edge& e : gd.UndirectedEdges()) {
+    if (e.weight > best.value) {
+      best.value = e.weight;
+      best.vertices = {e.u, e.v};
+    }
+  }
+  std::vector<RankedSubgraph> out;
+  if (!best.vertices.empty()) out.push_back(std::move(best));
+  return out;
+}
+
+TEST(SolverRegistryTest, CustomSolverDispatchesThroughSession) {
+  static const bool registered = [] {
+    return SolverRegistry::Global()
+        .Register("heaviest-edge", &HeaviestEdgeSolver)
+        .ok();
+  }();
+  ASSERT_TRUE(registered);
+
+  Result<MinerSession> session = MinerSession::Create(Fig1G1(), Fig1G2());
+  ASSERT_TRUE(session.ok());
+  MiningRequest request;
+  request.measure = Measure::kAverageDegree;
+  request.ad_solver_name = "heaviest-edge";
+  Result<MiningResponse> response = session->Mine(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->average_degree.size(), 1u);
+  // Fig. 1 difference graph: the heaviest positive edges are (0,1)=+4 and
+  // (3,4)=+4; UndirectedEdges is sorted so (0,1) wins the strict comparison.
+  EXPECT_EQ(response->average_degree[0].vertices,
+            (std::vector<VertexId>{0, 1}));
+  EXPECT_DOUBLE_EQ(response->average_degree[0].value, 4.0);
+  EXPECT_EQ(response->telemetry.initializations, 1u);
+}
+
+TEST(SolverRegistryTest, UnknownSolverNameFailsTheRequest) {
+  Result<MinerSession> session = MinerSession::Create(Fig1G1(), Fig1G2());
+  ASSERT_TRUE(session.ok());
+  MiningRequest request;
+  request.measure = Measure::kGraphAffinity;
+  request.ga_solver_name = "no-such-solver";
+  EXPECT_TRUE(session->Mine(request).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace dcs

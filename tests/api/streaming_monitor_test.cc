@@ -1,4 +1,4 @@
-#include "core/streaming.h"
+#include "api/streaming_monitor.h"
 
 #include <gtest/gtest.h>
 

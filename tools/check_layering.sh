@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Layering check (tier-1, wired into ctest as `check_layering`).
+#
+# Facade rule: tools/ and examples/ program against the public surface only —
+#   allowed:   api/*, graph/io.h, util/*
+#   forbidden: core/*, densest/*, baseline/*, gen/*, and any graph/* header
+#              other than graph/io.h
+# The api/ layer re-exports what consumers legitimately need (Graph,
+# DiscretizeSpec, solver knobs, dataset generators via api/datasets.h), so a
+# forbidden include is always a layering bug, not a missing feature.
+#
+# Usage: check_layering.sh [repo-root]
+
+set -u
+
+root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
+
+files=()
+for f in "$root"/tools/*.cc "$root"/tools/*.cpp \
+         "$root"/examples/*.cc "$root"/examples/*.cpp; do
+  [ -e "$f" ] && files+=("$f")
+done
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_layering: no tool/example sources found under $root" >&2
+  exit 1
+fi
+
+status=0
+for f in "${files[@]}"; do
+  violations=$(grep -nE \
+    '^[[:space:]]*#[[:space:]]*include[[:space:]]*"(core|densest|baseline|gen)/' \
+    "$f")
+  graph_violations=$(grep -nE \
+    '^[[:space:]]*#[[:space:]]*include[[:space:]]*"graph/' "$f" \
+    | grep -v 'graph/io\.h')
+  if [ -n "$violations$graph_violations" ]; then
+    status=1
+    echo "layering violation in ${f#"$root"/}:"
+    [ -n "$violations" ] && echo "$violations"
+    [ -n "$graph_violations" ] && echo "$graph_violations"
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "layering OK: ${#files[@]} tool/example sources include only api/," \
+       "graph/io.h and util/ headers"
+fi
+exit "$status"

@@ -13,17 +13,21 @@
 //
 // Input files use the dcs edge-list format (see src/graph/io.h):
 //   <num_vertices> header line, then "<u> <v> <weight>" per edge.
+//
+// This tool consumes the api/ facade only (see tools/check_layering.sh):
+// the whole BuildDifferenceGraph → Discretize → PositivePart → solve → rank
+// pipeline lives behind MinerSession.
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
+#include <utility>
 
-#include "core/topk.h"
-#include "graph/difference.h"
+#include "api/miner_session.h"
+#include "api/mining.h"
 #include "graph/io.h"
-#include "graph/stats.h"
-#include "util/logging.h"
 
 namespace {
 
@@ -32,7 +36,7 @@ using namespace dcs;
 struct Args {
   std::string g1_path;
   std::string g2_path;
-  std::string measure = "both";
+  Measure measure = Measure::kBoth;
   double alpha = 1.0;
   bool discrete = false;
   bool flip = false;
@@ -49,6 +53,37 @@ void PrintUsage(const char* prog) {
       prog);
 }
 
+// Strict numeric parsing: the whole token must be consumed, the value must
+// be finite and in range. strtod/strtoul alone accept garbage like "4x"
+// (yielding 4) or "foo" (yielding 0) without complaint.
+bool ParseDoubleStrict(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseUint32Strict(const char* text, uint32_t* out) {
+  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      value > 0xFFFFFFFFul) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
 bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -63,16 +98,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--g2" && next_value(&value)) {
       args->g2_path = value;
     } else if (flag == "--measure" && next_value(&value)) {
-      args->measure = value;
-      if (args->measure != "ad" && args->measure != "ga" &&
-          args->measure != "both") {
+      Result<Measure> measure = ParseMeasure(value);
+      if (!measure.ok()) {
         std::fprintf(stderr, "invalid --measure '%s'\n", value);
         return false;
       }
+      args->measure = *measure;
     } else if (flag == "--alpha" && next_value(&value)) {
-      args->alpha = std::strtod(value, nullptr);
+      if (!ParseDoubleStrict(value, &args->alpha)) {
+        std::fprintf(stderr, "invalid numeric value for --alpha: '%s'\n",
+                     value);
+        return false;
+      }
     } else if (flag == "--topk" && next_value(&value)) {
-      args->topk = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+      if (!ParseUint32Strict(value, &args->topk)) {
+        std::fprintf(stderr, "invalid numeric value for --topk: '%s'\n",
+                     value);
+        return false;
+      }
     } else if (flag == "--discrete") {
       args->discrete = true;
     } else if (flag == "--flip") {
@@ -92,18 +135,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::fprintf(stderr, "--topk must be >= 1\n");
     return false;
   }
+  if (!(args->alpha > 0.0)) {
+    std::fprintf(stderr, "--alpha must be positive\n");
+    return false;
+  }
   return true;
 }
 
-void PrintSubset(const char* tag, size_t rank,
-                 const std::vector<VertexId>& members, double value,
-                 const char* value_name) {
-  std::printf("%s #%zu: %s=%.6f size=%zu vertices={", tag, rank, value_name,
-              value, members.size());
-  for (size_t i = 0; i < members.size(); ++i) {
-    std::printf("%s%u", i ? "," : "", members[i]);
+void PrintSubsets(const char* tag, const char* value_name,
+                  const std::vector<RankedSubgraph>& results) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RankedSubgraph& subgraph = results[i];
+    std::printf("%s #%zu: %s=%.6f size=%zu vertices={", tag, i + 1,
+                value_name, subgraph.value, subgraph.vertices.size());
+    for (size_t j = 0; j < subgraph.vertices.size(); ++j) {
+      std::printf("%s%u", j ? "," : "", subgraph.vertices[j]);
+    }
+    std::printf("}\n");
   }
-  std::printf("}\n");
 }
 
 }  // namespace
@@ -127,61 +176,46 @@ int main(int argc, char** argv) {
                  g2.status().ToString().c_str());
     return 1;
   }
-  if (args.flip) std::swap(*g1, *g2);
 
-  Result<Graph> gd = BuildDifferenceGraph(*g1, *g2, args.alpha);
-  if (!gd.ok()) {
-    std::fprintf(stderr, "difference graph failed: %s\n",
-                 gd.status().ToString().c_str());
+  Result<MinerSession> session =
+      MinerSession::Create(std::move(*g1), std::move(*g2));
+  if (!session.ok()) {
+    std::fprintf(stderr, "session setup failed: %s\n",
+                 session.status().ToString().c_str());
     return 1;
   }
-  Graph difference = std::move(*gd);
-  if (args.discrete) {
-    Result<Graph> mapped = DiscretizeWeights(difference, DiscretizeSpec{});
-    if (!mapped.ok()) {
-      std::fprintf(stderr, "discretize failed: %s\n",
-                   mapped.status().ToString().c_str());
-      return 1;
-    }
-    difference = std::move(*mapped);
-  }
+
+  MiningRequest request;
+  request.measure = args.measure;
+  request.alpha = args.alpha;
+  request.flip = args.flip;
+  request.top_k = args.topk;
+  if (args.discrete) request.discretize = DiscretizeSpec{};
+
   if (!args.quiet) {
-    std::printf("# difference graph: %s\n", difference.DebugString().c_str());
+    // The snapshot of the exact pipeline being mined (incl. --discrete).
+    Result<Graph> gd = session->DifferenceSnapshot(request);
+    if (gd.ok()) {
+      std::printf("# difference graph: %s\n", gd->DebugString().c_str());
+    }
   }
 
-  if (args.measure == "ad" || args.measure == "both") {
-    TopkDcsadOptions options;
-    options.k = args.topk;
-    Result<std::vector<RankedDcsad>> results =
-        MineTopKDcsad(difference, options);
-    if (!results.ok()) {
-      std::fprintf(stderr, "DCSAD failed: %s\n",
-                   results.status().ToString().c_str());
-      return 1;
-    }
-    for (size_t i = 0; i < results->size(); ++i) {
-      PrintSubset("DCSAD", i + 1, (*results)[i].subset,
-                  (*results)[i].density, "density_diff");
-    }
-    if (results->empty() && !args.quiet) {
+  Result<MiningResponse> response = session->Mine(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+
+  if (args.measure != Measure::kGraphAffinity) {
+    PrintSubsets("DCSAD", "density_diff", response->average_degree);
+    if (response->average_degree.empty() && !args.quiet) {
       std::printf("# DCSAD: no subgraph with positive density difference\n");
     }
   }
-  if (args.measure == "ga" || args.measure == "both") {
-    TopkDcsgaOptions options;
-    options.k = args.topk;
-    Result<std::vector<CliqueRecord>> results =
-        MineTopKDcsga(difference.PositivePart(), options);
-    if (!results.ok()) {
-      std::fprintf(stderr, "DCSGA failed: %s\n",
-                   results.status().ToString().c_str());
-      return 1;
-    }
-    for (size_t i = 0; i < results->size(); ++i) {
-      PrintSubset("DCSGA", i + 1, (*results)[i].members,
-                  (*results)[i].affinity, "affinity_diff");
-    }
-    if (results->empty() && !args.quiet) {
+  if (args.measure != Measure::kAverageDegree) {
+    PrintSubsets("DCSGA", "affinity_diff", response->graph_affinity);
+    if (response->graph_affinity.empty() && !args.quiet) {
       std::printf("# DCSGA: no subgraph with positive affinity difference\n");
     }
   }
