@@ -8,7 +8,12 @@
 #ifndef DCS_BENCH_BENCH_UTIL_H_
 #define DCS_BENCH_BENCH_UTIL_H_
 
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -23,6 +28,104 @@
 #include "util/rng.h"
 
 namespace dcs::bench {
+
+/// Command-line surface shared by the bench drivers:
+///   --json <path>  write a machine-readable BENCH_*.json (see JsonReporter)
+///   --smoke        tiny inputs, for the bench_smoke ctest wiring
+/// Unknown flags abort so that CI typos cannot silently bench nothing.
+struct BenchArgs {
+  std::string json_path;  ///< empty = no JSON output
+  bool smoke = false;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    if (flag == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (flag == "--smoke") {
+      args.smoke = true;
+    } else {
+      DCS_CHECK(false) << "unknown bench flag '" << argv[i]
+                       << "' (expected --json <path> or --smoke)";
+    }
+  }
+  return args;
+}
+
+/// One measured configuration of a bench run.
+struct BenchRecord {
+  std::string dataset;          ///< roster label (+ solver / config suffix)
+  uint32_t threads = 1;         ///< seed-shard workers used
+  double wall_ms = 0.0;         ///< wall-clock of the measured solve
+  uint64_t initializations = 0; ///< seeds actually descended from
+  uint64_t pruned_seeds = 0;    ///< candidate seeds skipped by Theorem 6
+  double affinity = 0.0;        ///< best affinity found (result checksum)
+};
+
+/// \brief Machine-readable bench output, schema-checked in CI by
+/// tools/check_bench_json.sh (ctest `bench_smoke`):
+///   {"bench": ..., "seed": ..., "hardware_concurrency": ...,
+///    "records": [{"dataset", "threads", "wall_ms", "initializations",
+///                 "pruned_seeds", "affinity"}, ...]}
+/// The perf trajectory lives in committed BENCH_*.json files produced by
+/// running the benches with `--json`.
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench, uint64_t seed)
+      : bench_(std::move(bench)), seed_(seed) {}
+
+  void Add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  /// Writes the report; returns false on I/O failure.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return false;
+    std::fprintf(out,
+                 "{\n  \"bench\": \"%s\",\n  \"seed\": %" PRIu64
+                 ",\n  \"hardware_concurrency\": %u,\n  \"records\": [",
+                 Escape(bench_).c_str(), seed_,
+                 std::thread::hardware_concurrency());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(out,
+                   "%s\n    {\"dataset\": \"%s\", \"threads\": %u, "
+                   "\"wall_ms\": %.3f, \"initializations\": %" PRIu64
+                   ", \"pruned_seeds\": %" PRIu64 ", \"affinity\": %.17g}",
+                   i == 0 ? "" : ",", Escape(r.dataset).c_str(), r.threads,
+                   r.wall_ms, r.initializations, r.pruned_seeds, r.affinity);
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    const bool ok = std::fclose(out) == 0;
+    return ok;
+  }
+
+ private:
+  // JSON string escaping; roster labels carry spaces, slashes and UTF-8
+  // (passes through verbatim — JSON strings are UTF-8).
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::string bench_;
+  uint64_t seed_;
+  std::vector<BenchRecord> records_;
+};
 
 /// One difference graph of the Table II roster.
 struct BenchDataset {

@@ -1,16 +1,15 @@
 #include "api/miner_session.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <string>
-#include <thread>
 #include <utility>
 
 #include "api/solver_registry.h"
 #include "core/newsea.h"
 #include "graph/difference.h"
 #include "graph/graph_builder.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace dcs {
@@ -147,19 +146,60 @@ void MinerSession::EnsureGaArtifacts(PreparedPipeline* pipeline) {
   if (pipeline->has_ga_artifacts) return;
   pipeline->positive_part = pipeline->difference.PositivePart();
   pipeline->smart_bounds = ComputeSmartInitBounds(pipeline->positive_part);
+  // Validate once per materialized pipeline; every solve against it then
+  // skips the per-call O(m) scan. PositivePart output cannot fail the scan,
+  // so a failure here is a library bug, not bad input.
+  DCS_CHECK(ValidateNonNegativeWeights(pipeline->positive_part).ok());
+  pipeline->validated_nonnegative = true;
   pipeline->has_ga_artifacts = true;
+}
+
+// True when the request's solve path can consume the shared pool: the knob
+// is honored by the builtin "dcsga" solver's top-1 NewSEA path only (the
+// top-k clique harvest is inherently sequential — see DcsgaOptions), while
+// custom GA solvers get the pool and may use it however they like.
+bool MinerSession::WantsIntraParallelism(const MiningRequest& request) {
+  if (request.ga_solver.parallelism == 1) return false;
+  if (request.measure == Measure::kAverageDegree) return false;
+  // Mirror the builtin solver's sequential fallbacks (RunNewSea ignores the
+  // knob under collect_cliques; the top-k harvest is sequential) so no pool
+  // is spawned for a solve that cannot use it. Custom solvers may use the
+  // pool however they like.
+  if (request.ga_solver_name != "dcsga") return true;
+  return request.top_k == 1 && !request.ga_solver.collect_cliques;
+}
+
+size_t MinerSession::ParallelismBudget() const {
+  return options_.max_parallelism != 0 ? options_.max_parallelism
+                                       : ThreadPool::DefaultConcurrency();
+}
+
+ThreadPool* MinerSession::EnsurePool(size_t concurrency) {
+  const size_t target =
+      std::max<size_t>(1, std::min(concurrency, ParallelismBudget()));
+  // Replacing the pool is safe here: EnsurePool runs on the session thread
+  // before any solve is dispatched, so no tasks are in flight. Not shrinking
+  // keeps repeated mixed workloads from churning threads.
+  if (pool_ == nullptr || pool_->concurrency() < target) {
+    pool_ = std::make_unique<ThreadPool>(target - 1);
+  }
+  return pool_.get();
 }
 
 Status MinerSession::Solve(const PreparedPipeline& pipeline,
                            const MiningRequest& request,
                            std::span<const VertexId> warm_support,
+                           ThreadPool* pool, uint32_t parallelism_budget,
                            MiningResponse* response) const {
   SolverContext context;
   context.difference = &pipeline.difference;
   if (pipeline.has_ga_artifacts) {
     context.positive_part = &pipeline.positive_part;
     context.smart_bounds = &pipeline.smart_bounds;
+    context.positive_part_validated = pipeline.validated_nonnegative;
   }
+  context.pool = pool;
+  context.parallelism_budget = parallelism_budget;
   context.warm_support = warm_support;
 
   if (request.measure == Measure::kAverageDegree ||
@@ -212,7 +252,19 @@ Result<MiningResponse> MinerSession::Mine(const MiningRequest& request) {
   const std::span<const VertexId> warm =
       request.warm_start ? std::span<const VertexId>(warm_support_)
                          : std::span<const VertexId>();
-  DCS_RETURN_NOT_OK(Solve(*pipeline, request, warm, &response));
+  // A single request gets up to the session's whole thread budget; the pool
+  // is only spawned when the solve path can actually use it (see
+  // WantsIntraParallelism), and only as large as the request asks for
+  // (auto = whole budget).
+  ThreadPool* pool = nullptr;
+  if (WantsIntraParallelism(request)) {
+    pool = EnsurePool(request.ga_solver.parallelism == 0
+                          ? ParallelismBudget()
+                          : request.ga_solver.parallelism);
+  }
+  DCS_RETURN_NOT_OK(Solve(*pipeline, request, warm, pool,
+                          static_cast<uint32_t>(ParallelismBudget()),
+                          &response));
   response.telemetry.solve_seconds = solve_timer.Seconds();
 
   if (request.measure != Measure::kAverageDegree &&
@@ -270,43 +322,52 @@ Result<std::vector<MiningResponse>> MinerSession::MineAll(
 
   // Phase 2 (worker pool): solve. Solvers only read the prepared pipelines;
   // warm-start seeds are frozen at batch entry.
+  //
+  // The session's thread budget P is split between the two parallelism
+  // levels: up to min(P, #requests) requests run concurrently on the shared
+  // pool, and each of them is granted an intra-request budget of P / inter
+  // seed-shard workers (taken up by requests whose ga_solver.parallelism is
+  // 0 = auto). Nested sharding reuses the same pool — RunTasks callers
+  // participate in their own group, so the nesting cannot deadlock.
+  const size_t budget = ParallelismBudget();
+  const size_t inter = std::min(budget, requests.size());
+  const uint32_t intra =
+      static_cast<uint32_t>(std::max<size_t>(1, budget / inter));
+  bool any_intra = false;
+  for (const MiningRequest& request : requests) {
+    any_intra |= WantsIntraParallelism(request);
+  }
+  // Only a batch with intra-parallel requests can occupy the whole budget
+  // (inter × intra); a purely sequential-solver batch needs inter slots.
+  ThreadPool* pool = nullptr;
+  if (any_intra || inter > 1) {
+    pool = EnsurePool(any_intra ? budget : inter);
+  }
+
   const std::vector<VertexId> warm_snapshot = warm_support_;
   std::vector<Status> statuses(requests.size(), Status::OK());
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    while (true) {
-      const size_t i = next.fetch_add(1);
-      if (i >= requests.size()) break;
-      WallTimer solve_timer;
-      const std::span<const VertexId> warm =
-          requests[i].warm_start ? std::span<const VertexId>(warm_snapshot)
-                                 : std::span<const VertexId>();
-      // A throw escaping a std::thread body would terminate the process;
-      // demote solver exceptions (libdcs is exception-free, but registered
-      // solvers need not be) to the Status contract instead.
-      try {
-        statuses[i] = Solve(*pipelines[i], requests[i], warm, &responses[i]);
-      } catch (const std::exception& e) {
-        statuses[i] =
-            Status::Internal(std::string("solver threw: ") + e.what());
-      } catch (...) {
-        statuses[i] = Status::Internal("solver threw a non-std exception");
-      }
-      responses[i].telemetry.solve_seconds = solve_timer.Seconds();
+  auto solve_one = [&](size_t i) {
+    WallTimer solve_timer;
+    const std::span<const VertexId> warm =
+        requests[i].warm_start ? std::span<const VertexId>(warm_snapshot)
+                               : std::span<const VertexId>();
+    // Demote solver exceptions (libdcs is exception-free, but registered
+    // solvers need not be) to the Status contract instead of letting them
+    // tear through the pool.
+    try {
+      statuses[i] = Solve(*pipelines[i], requests[i], warm, pool, intra,
+                          &responses[i]);
+    } catch (const std::exception& e) {
+      statuses[i] = Status::Internal(std::string("solver threw: ") + e.what());
+    } catch (...) {
+      statuses[i] = Status::Internal("solver threw a non-std exception");
     }
+    responses[i].telemetry.solve_seconds = solve_timer.Seconds();
   };
-  const uint32_t hardware = std::thread::hardware_concurrency();
-  size_t pool = options_.max_parallelism != 0 ? options_.max_parallelism
-                                              : (hardware != 0 ? hardware : 1);
-  pool = std::min(pool, requests.size());
-  if (pool <= 1) {
-    worker();
+  if (pool != nullptr) {
+    pool->RunTasks(requests.size(), solve_one);
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(pool - 1);
-    for (size_t t = 0; t + 1 < pool; ++t) threads.emplace_back(worker);
-    worker();
-    for (std::thread& thread : threads) thread.join();
+    for (size_t i = 0; i < requests.size(); ++i) solve_one(i);
   }
 
   for (size_t i = 0; i < requests.size(); ++i) {

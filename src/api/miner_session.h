@@ -8,9 +8,12 @@
 // one API tools, examples and services program against; core/ and densest/
 // are internal layers behind it.
 //
-// Scale path: MineAll runs independent requests on a thread pool against the
-// shared read-only pipeline cache — the first concrete batching step toward
-// serving many concurrent mining queries.
+// Scale path: the session owns one shared ThreadPool (util/thread_pool.h).
+// MineAll runs independent requests on it against the read-only pipeline
+// cache, and a single request's NewSEA solve can additionally shard its
+// seed loop across the same pool (intra-request parallelism, bit-identical
+// to sequential — see core/newsea.h). MineAll splits the pool budget
+// between the two levels.
 
 #ifndef DCS_API_MINER_SESSION_H_
 #define DCS_API_MINER_SESSION_H_
@@ -24,6 +27,7 @@
 #include "api/mining.h"
 #include "graph/graph.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace dcs {
 
@@ -31,7 +35,12 @@ namespace dcs {
 struct SessionOptions {
   /// Distinct difference-graph pipelines kept materialized (FIFO eviction).
   size_t max_cached_pipelines = 8;
-  /// Worker threads for MineAll; 0 = std::thread::hardware_concurrency().
+  /// Total thread budget of the session's shared worker pool; 0 =
+  /// std::thread::hardware_concurrency(). MineAll splits it between
+  /// concurrent requests (inter) and each request's NewSEA seed shards
+  /// (intra, granted to requests whose ga_solver.parallelism is 0 = auto);
+  /// Mine grants the whole budget to its one request. The pool is spawned
+  /// lazily on the first batched or intra-parallel solve.
   uint32_t max_parallelism = 0;
   /// Magnitude below which an accumulated weight counts as cancelled when
   /// streaming updates are folded into the graphs.
@@ -124,6 +133,9 @@ class MinerSession {
     bool has_ga_artifacts = false;
     Graph positive_part{0};
     SmartInitBounds smart_bounds;
+    // GD+ passed the non-negativity scan once; solves against this pipeline
+    // skip their own O(m) scan.
+    bool validated_nonnegative = false;
   };
 
   MinerSession(VertexId num_vertices, Graph g1, Graph g2,
@@ -139,14 +151,28 @@ class MinerSession {
   Result<PreparedPipeline*> PreparePipeline(const MiningRequest& request,
                                             bool* reused);
 
-  // Derives GD+ and the smart-init bounds of `pipeline` once.
+  // Derives GD+ and the smart-init bounds of `pipeline` once, including the
+  // one-time non-negativity validation.
   void EnsureGaArtifacts(PreparedPipeline* pipeline);
 
+  // True when `request`'s solve path can consume the shared pool (the
+  // intra-parallelism knob is set and a path exists that honors it).
+  static bool WantsIntraParallelism(const MiningRequest& request);
+
+  // The session's total thread budget (max_parallelism, hardware-resolved).
+  size_t ParallelismBudget() const;
+
+  // Lazily spawns (or grows) the shared pool to `concurrency` slots, capped
+  // at ParallelismBudget(); the calling thread is one of the slots, so the
+  // pool gets concurrency - 1 workers. Never shrinks an existing pool.
+  ThreadPool* EnsurePool(size_t concurrency);
+
   // Runs the solvers for one prepared request. Const w.r.t. session state so
-  // MineAll can call it from worker threads; warm seeds are passed in.
+  // MineAll can call it from worker threads; warm seeds, the shared pool and
+  // the intra-request worker budget are passed in.
   Status Solve(const PreparedPipeline& pipeline, const MiningRequest& request,
-               std::span<const VertexId> warm_support,
-               MiningResponse* response) const;
+               std::span<const VertexId> warm_support, ThreadPool* pool,
+               uint32_t parallelism_budget, MiningResponse* response) const;
 
   VertexId num_vertices_;
   SessionOptions options_;
@@ -164,6 +190,9 @@ class MinerSession {
   // rebuild counters) identical to sequential mining.
   bool batch_in_flight_ = false;
   std::vector<std::unique_ptr<PreparedPipeline>> retired_;
+  // Shared worker pool for MineAll batches and intra-request NewSEA seed
+  // sharding; created lazily by EnsurePool.
+  std::unique_ptr<ThreadPool> pool_;
   uint64_t num_updates_ = 0;
   uint64_t num_rebuilds_ = 0;
   // Support of the most recent DCSGA answer, offered to warm_start requests.

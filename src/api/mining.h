@@ -90,7 +90,14 @@ struct MiningRequest {
   double min_affinity = 0.0;
 
   // --- solver knobs ---
-  /// Inner DCSGA solver configuration (shrink kind, descent tolerances, ...).
+  /// Inner DCSGA solver configuration (shrink kind, descent tolerances, and
+  /// the intra-request `parallelism` knob: 1 = sequential, 0 = auto — take
+  /// whatever share of the session's thread budget MineAll/Mine grants —
+  /// k > 1 = exactly k seed shards, capped by the session pool). Mined
+  /// subgraphs are bit-identical across all parallelism values; only the
+  /// work-counter telemetry varies. The builtin "dcsga" solver honors the
+  /// knob for top_k == 1 solves; the top-k clique harvest runs sequentially
+  /// (its collected-clique set depends on seed order).
   DcsgaOptions ga_solver;
   /// Seed the DCSGA solve from the session's previous solution (streaming
   /// drift tracking). Off by default so that requests are pure functions of
@@ -127,6 +134,10 @@ struct RankedSubgraph {
 /// Counters and timings of one request's execution.
 struct MiningTelemetry {
   uint64_t initializations = 0;     ///< DCSGA seeds actually tried
+  /// DCSGA candidate seeds never descended from (Theorem 6 smart-init
+  /// pruning). With intra-request parallelism on, this and the iteration
+  /// counters depend on thread timing; the mined subgraphs never do.
+  uint64_t pruned_seeds = 0;
   uint64_t cd_iterations = 0;       ///< coordinate-descent iterations total
   uint64_t replicator_sweeps = 0;   ///< replicator baseline only
   uint32_t expansion_errors = 0;    ///< replicator baseline only

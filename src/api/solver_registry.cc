@@ -68,14 +68,28 @@ Result<std::vector<RankedSubgraph>> SolveDcsgaBuiltin(
   const Graph& gd = *context.difference;
   std::vector<RankedSubgraph> out;
 
+  // Resolve the session-granted knobs into the solver options: "auto"
+  // parallelism (0) becomes the budget MineAll/Mine split off the pool, and
+  // the per-solve non-negativity scan is skipped once the session has
+  // validated the cached pipeline's GD+.
+  DcsgaOptions solver_options = request.ga_solver;
+  if (solver_options.parallelism == 0) {
+    solver_options.parallelism = std::max(context.parallelism_budget, 1u);
+  }
+  solver_options.assume_nonnegative =
+      solver_options.assume_nonnegative || context.positive_part_validated;
+
   if (request.top_k == 1) {
     Result<DcsgaResult> fresh =
         context.smart_bounds != nullptr
-            ? RunNewSea(gd_plus, *context.smart_bounds, request.ga_solver)
-            : RunNewSea(gd_plus, request.ga_solver);
+            ? RunNewSea(gd_plus, *context.smart_bounds, solver_options,
+                        context.pool)
+            : RunNewSea(gd_plus, ComputeSmartInitBounds(gd_plus),
+                        solver_options, context.pool);
     if (!fresh.ok()) return fresh.status();
     DcsgaResult best = std::move(*fresh);
     telemetry->initializations += best.initializations;
+    telemetry->pruned_seeds += best.pruned_seeds;
     telemetry->cd_iterations += best.cd_iterations;
     telemetry->replicator_sweeps += best.replicator_sweeps;
     telemetry->expansion_errors += best.expansion_errors;
@@ -95,9 +109,9 @@ Result<std::vector<RankedSubgraph>> SolveDcsgaBuiltin(
         telemetry->warm_start_used = true;
         telemetry->initializations += 1;
         const SeacdRunStats shrink =
-            RunSeacdInPlace(&state, request.ga_solver.seacd);
+            RunSeacdInPlace(&state, solver_options.seacd);
         const RefinementRunStats refined =
-            RefineInPlace(&state, request.ga_solver.refinement_descent);
+            RefineInPlace(&state, solver_options.refinement_descent);
         telemetry->cd_iterations +=
             shrink.cd_iterations + refined.cd_iterations;
         if (refined.affinity > best.affinity) {
@@ -124,7 +138,7 @@ Result<std::vector<RankedSubgraph>> SolveDcsgaBuiltin(
   options.k = request.top_k;
   options.disjoint = request.disjoint;
   options.min_affinity = request.min_affinity;
-  options.solver = request.ga_solver;
+  options.solver = solver_options;
   DCS_ASSIGN_OR_RETURN(std::vector<CliqueRecord> cliques,
                        MineTopKDcsga(gd_plus, options));
   out.reserve(cliques.size());

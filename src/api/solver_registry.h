@@ -23,6 +23,8 @@
 
 namespace dcs {
 
+class ThreadPool;  // util/thread_pool.h
+
 /// \brief Read-only view of the session's prepared pipeline artifacts that a
 /// solver may consume. Pointers are owned by the session and outlive the
 /// solver call; `positive_part` and `smart_bounds` are set whenever the
@@ -34,6 +36,17 @@ struct SolverContext {
   const Graph* positive_part = nullptr;
   /// §V-D smart-initialization bounds of `positive_part`, or nullptr.
   const SmartInitBounds* smart_bounds = nullptr;
+  /// True once the session has run the non-negativity scan on
+  /// `positive_part`; solvers may then skip their own per-solve scan.
+  bool positive_part_validated = false;
+  /// The session's shared worker pool for intra-request parallelism; may be
+  /// null (solvers must degrade to sequential or spawn transiently).
+  ThreadPool* pool = nullptr;
+  /// Intra-request worker budget the session grants this solve (>= 1).
+  /// MineAll splits the pool budget between concurrent requests; Mine grants
+  /// the whole budget. Solvers honor it when the request's own parallelism
+  /// knob says "auto" (0).
+  uint32_t parallelism_budget = 1;
   /// Previous solution's support for warm starting; empty unless the request
   /// opted in and the session has one.
   std::span<const VertexId> warm_support;

@@ -62,16 +62,23 @@ AffinityState::AffinityState(const Graph& graph)
     : graph_(&graph),
       x_(graph.NumVertices(), 0.0),
       dx_(graph.NumVertices(), 0.0),
-      support_pos_(graph.NumVertices(), kNotInSupport) {}
+      support_pos_(graph.NumVertices(), kNotInSupport),
+      in_ever_support_(graph.NumVertices(), 0),
+      renorm_seen_(graph.NumVertices(), 0) {}
 
 void AffinityState::ResetToVertex(VertexId u) {
   DCS_CHECK(u < NumVertices());
-  // Clear the sparse residue of the previous run.
-  for (VertexId v : support_) {
+  // Clear the sparse residue of the previous run. Iterating the vertices
+  // that *ever* held mass — not just the final support — wipes every dx
+  // entry the run touched, including last-ulp cancellation residue at
+  // neighbors of vertices that left the support mid-run.
+  for (VertexId v : ever_support_) {
     for (const Neighbor& nb : graph_->NeighborsOf(v)) dx_[nb.to] = 0.0;
     x_[v] = 0.0;
     support_pos_[v] = kNotInSupport;
+    in_ever_support_[v] = 0;
   }
+  ever_support_.clear();
   support_.clear();
   SetX(u, 1.0);
 }
@@ -101,6 +108,10 @@ void AffinityState::AddToSupport(VertexId v) {
   if (support_pos_[v] != kNotInSupport) return;
   support_pos_[v] = static_cast<uint32_t>(support_.size());
   support_.push_back(v);
+  if (!in_ever_support_[v]) {
+    in_ever_support_[v] = 1;
+    ever_support_.push_back(v);
+  }
 }
 
 void AffinityState::RemoveFromSupport(VertexId v) {
@@ -139,12 +150,14 @@ void AffinityState::Renormalize() {
   const double inv = 1.0 / total;
   for (VertexId v : support_) x_[v] *= inv;
   // dx[w] = Σ_{v in support} w(v,w)·x_v is linear in x, so the same uniform
-  // rescale applies; only entries adjacent to the support are non-zero.
-  std::vector<char> seen(NumVertices(), 0);
+  // rescale applies; only entries adjacent to the support are non-zero. The
+  // visited set is an epoch stamp, not a fresh O(n) allocation — Renormalize
+  // runs once per Expand step, and the allocation dominated it on large n.
+  const uint64_t epoch = ++renorm_epoch_;
   for (VertexId v : support_) {
     for (const Neighbor& nb : graph_->NeighborsOf(v)) {
-      if (!seen[nb.to]) {
-        seen[nb.to] = 1;
+      if (renorm_seen_[nb.to] != epoch) {
+        renorm_seen_[nb.to] = epoch;
         dx_[nb.to] *= inv;
       }
     }

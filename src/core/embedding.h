@@ -85,7 +85,8 @@ class AffinityState {
   void SetX(VertexId v, double value);
 
   /// Rescales x to sum exactly 1 (counters drift after long runs). No-op on
-  /// an all-zero state.
+  /// an all-zero state. Allocation-free: the per-call visited set is an
+  /// epoch-stamped scratch buffer owned by the state.
   void Renormalize();
 
   /// Copies the current x into an Embedding.
@@ -112,6 +113,18 @@ class AffinityState {
   std::vector<double> dx_;
   std::vector<VertexId> support_;
   std::vector<uint32_t> support_pos_;  // index into support_, or kNotInSupport
+  // Every vertex that entered the support since the last reset. dx can be
+  // non-zero only on the closed neighborhoods of these vertices, so zeroing
+  // exactly that set on reset restores dx ≡ 0 bit-for-bit: after a reset the
+  // state is indistinguishable from a freshly constructed one, and every run
+  // from a seed is a pure function of (graph, seed) no matter which runs the
+  // state hosted before. The NewSEA shard workers rely on this purity for
+  // their bit-identical-to-sequential guarantee.
+  std::vector<VertexId> ever_support_;
+  std::vector<char> in_ever_support_;
+  // Epoch-stamped scratch for Renormalize's visited set (no O(n) clears).
+  std::vector<uint64_t> renorm_seen_;
+  uint64_t renorm_epoch_ = 0;
   static constexpr uint32_t kNotInSupport = static_cast<uint32_t>(-1);
 };
 

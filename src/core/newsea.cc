@@ -1,6 +1,7 @@
 #include "core/newsea.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -11,21 +12,10 @@
 #include "graph/kcore.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dcs {
 namespace {
-
-Status ValidateNonNegative(const Graph& gd_plus) {
-  for (VertexId u = 0; u < gd_plus.NumVertices(); ++u) {
-    for (const Neighbor& nb : gd_plus.NeighborsOf(u)) {
-      if (nb.weight < 0.0) {
-        return Status::InvalidArgument(
-            "DCSGA drivers run on GD+; found a negative edge weight");
-      }
-    }
-  }
-  return Status::OK();
-}
 
 // Hash of a sorted vertex set, for clique deduplication.
 uint64_t HashMembers(const std::vector<VertexId>& members) {
@@ -98,7 +88,144 @@ DcsgaResult TrivialResult(const Graph& gd_plus) {
   return result;
 }
 
+// Monotone lower-bound publication for the shared Theorem 6 bound.
+void FetchMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+// Number of shard workers a RunNewSea call actually uses.
+size_t ResolveShards(uint32_t requested, const ThreadPool* pool) {
+  if (requested == 1) return 1;
+  size_t shards = requested != 0 ? requested
+                  : pool != nullptr ? pool->concurrency()
+                                    : ThreadPool::DefaultConcurrency();
+  if (pool != nullptr) shards = std::min(shards, pool->concurrency());
+  return std::max<size_t>(shards, 1);
+}
+
+// Seed-sharded multi-init (the parallel Algorithm 5 loop).
+//
+// `order` is the μ-descending seed order. Contiguous chunks of it are handed
+// out through an atomic cursor; every shard owns an AffinityState (reset is
+// exact, so each seed's Shrink/Expand/Refine is a pure function of
+// (gd_plus, seed, options) and runs bit-identically on any thread).
+//
+// Pruning is the *strict* form of Theorem 6: a seed is skipped only when
+// μ_u < best_lb. Sequential pruning (μ_u ≤ running best, in order) can skip
+// a seed whose μ equals the final best F; but such a seed satisfies
+// refined(u) ≤ μ_u ≤ F and sits after the sequential winner in μ-order, so
+// under the (max affinity, earliest order position) reduction it can never
+// displace the winner — while the strict bound guarantees every seed with
+// refined == F (μ ≥ refined == F ≥ best_lb) is descended from. Hence the
+// reduction returns exactly the sequential winner: the earliest seed
+// achieving the global best affinity, with its bit-identical embedding.
+DcsgaResult RunNewSeaSharded(const Graph& gd_plus,
+                             const SmartInitBounds& bounds,
+                             const std::vector<VertexId>& order,
+                             const DcsgaOptions& inner, size_t shards,
+                             ThreadPool* pool) {
+  struct ShardState {
+    uint64_t initializations = 0;
+    uint64_t cd_iterations = 0;
+    double best_affinity = 0.0;
+    size_t best_pos = std::numeric_limits<size_t>::max();
+    Embedding best_x;
+  };
+  // Chunked hand-out. Small chunks win here: a descent costs microseconds
+  // against a ~20ns cursor bump, and the pruning overshoot — seeds claimed
+  // before the first strong affinity is published — is bounded by
+  // shards × chunk, which matters on datasets where the bound kills almost
+  // everything after a handful of seeds.
+  constexpr size_t kChunkSize = 4;
+  std::atomic<size_t> cursor{0};
+  std::atomic<double> best_lb{0.0};  // affinity of the trivial solution
+  // Chunks are claimed in μ-order, so once one chunk's best μ falls strictly
+  // below the bound every later chunk's does too: stop handing out work.
+  std::atomic<bool> exhausted{false};
+
+  std::vector<ShardState> locals(shards);
+  pool->RunTasks(shards, [&](size_t shard) {
+    ShardState& local = locals[shard];
+    AffinityState state(gd_plus);
+    while (!exhausted.load(std::memory_order_relaxed)) {
+      const size_t begin = cursor.fetch_add(kChunkSize);
+      if (begin >= order.size()) break;
+      const size_t end = std::min(begin + kChunkSize, order.size());
+      const double chunk_mu = bounds.mu[order[begin]];
+      if (chunk_mu <= 0.0 ||
+          chunk_mu < best_lb.load(std::memory_order_relaxed)) {
+        exhausted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      for (size_t pos = begin; pos < end; ++pos) {
+        const VertexId seed = order[pos];
+        const double mu = bounds.mu[seed];
+        // Strict comparison — see the function comment. μ ≤ 0 seeds cannot
+        // beat the trivial solution (refined ≤ μ) and are always skipped.
+        if (mu <= 0.0 || mu < best_lb.load(std::memory_order_relaxed)) {
+          continue;
+        }
+        ++local.initializations;
+        state.ResetToVertex(seed);
+        const SeacdRunStats shrink = RunSeacdInPlace(&state, inner.seacd);
+        local.cd_iterations += shrink.cd_iterations;
+        const RefinementRunStats refined =
+            RefineInPlace(&state, inner.refinement_descent);
+        local.cd_iterations += refined.cd_iterations;
+        if (refined.affinity > local.best_affinity ||
+            (refined.affinity == local.best_affinity &&
+             pos < local.best_pos)) {
+          local.best_affinity = refined.affinity;
+          local.best_pos = pos;
+          local.best_x = state.ToEmbedding();
+        }
+        FetchMax(&best_lb, refined.affinity);
+      }
+    }
+  });
+
+  DcsgaResult result = TrivialResult(gd_plus);
+  ShardState* winner = nullptr;
+  for (ShardState& local : locals) {
+    result.initializations += local.initializations;
+    result.cd_iterations += local.cd_iterations;
+    // Mirrors the sequential loop's strict improvement test: a seed whose
+    // refined affinity is exactly 0 never replaces the trivial solution.
+    if (local.best_pos == std::numeric_limits<size_t>::max() ||
+        local.best_affinity <= 0.0) {
+      continue;
+    }
+    if (winner == nullptr || local.best_affinity > winner->best_affinity ||
+        (local.best_affinity == winner->best_affinity &&
+         local.best_pos < winner->best_pos)) {
+      winner = &local;
+    }
+  }
+  if (winner != nullptr) {
+    result.affinity = winner->best_affinity;
+    result.x = std::move(winner->best_x);
+    result.support = result.x.Support();
+  }
+  result.pruned_seeds = order.size() - result.initializations;
+  return result;
+}
+
 }  // namespace
+
+Status ValidateNonNegativeWeights(const Graph& gd_plus) {
+  for (VertexId u = 0; u < gd_plus.NumVertices(); ++u) {
+    for (const Neighbor& nb : gd_plus.NeighborsOf(u)) {
+      if (nb.weight < 0.0) {
+        return Status::InvalidArgument(
+            "DCSGA drivers run on GD+; found a negative edge weight");
+      }
+    }
+  }
+  return Status::OK();
+}
 
 SmartInitBounds ComputeSmartInitBounds(const Graph& gd_plus) {
   const VertexId n = gd_plus.NumVertices();
@@ -137,7 +264,15 @@ Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
 Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
                               const SmartInitBounds& bounds,
                               const DcsgaOptions& options) {
-  DCS_RETURN_NOT_OK(ValidateNonNegative(gd_plus));
+  return RunNewSea(gd_plus, bounds, options, /*pool=*/nullptr);
+}
+
+Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
+                              const SmartInitBounds& bounds,
+                              const DcsgaOptions& options, ThreadPool* pool) {
+  if (!options.assume_nonnegative) {
+    DCS_RETURN_NOT_OK(ValidateNonNegativeWeights(gd_plus));
+  }
   const VertexId n = gd_plus.NumVertices();
   if (n == 0) return Status::InvalidArgument("empty graph");
   if (gd_plus.NumEdges() == 0) return TrivialResult(gd_plus);
@@ -152,20 +287,35 @@ Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
     return bounds.mu[a] > bounds.mu[b];
   });
 
-  DcsgaResult result = TrivialResult(gd_plus);
   DcsgaOptions inner = options;
   inner.shrink = ShrinkKind::kCoordinateDescent;  // NewSEA is CD by definition
+
+  const size_t shards = ResolveShards(options.parallelism, pool);
+  if (shards > 1 && !options.collect_cliques) {
+    if (pool != nullptr) {
+      return RunNewSeaSharded(gd_plus, bounds, order, inner, shards, pool);
+    }
+    ThreadPool transient(shards - 1);
+    return RunNewSeaSharded(gd_plus, bounds, order, inner, shards, &transient);
+  }
+
+  DcsgaResult result = TrivialResult(gd_plus);
   MultiInitDriver driver(gd_plus, inner);
+  size_t seeds_run = 0;
   for (VertexId u : order) {
     if (bounds.mu[u] <= result.affinity) break;  // Theorem 6 early stop
+    ++seeds_run;
     driver.RunSeed(u, &result);
   }
+  result.pruned_seeds = order.size() - seeds_run;
   return result;
 }
 
 Result<DcsgaResult> RunDcsgaAllInits(const Graph& gd_plus,
                                      const DcsgaOptions& options) {
-  DCS_RETURN_NOT_OK(ValidateNonNegative(gd_plus));
+  if (!options.assume_nonnegative) {
+    DCS_RETURN_NOT_OK(ValidateNonNegativeWeights(gd_plus));
+  }
   const VertexId n = gd_plus.NumVertices();
   if (n == 0) return Status::InvalidArgument("empty graph");
   if (gd_plus.NumEdges() == 0) return TrivialResult(gd_plus);
@@ -174,7 +324,10 @@ Result<DcsgaResult> RunDcsgaAllInits(const Graph& gd_plus,
   MultiInitDriver driver(gd_plus, options);
   for (VertexId u = 0; u < n; ++u) {
     // Isolated vertices cannot improve on the trivial solution.
-    if (gd_plus.Degree(u) == 0) continue;
+    if (gd_plus.Degree(u) == 0) {
+      ++result.pruned_seeds;
+      continue;
+    }
     driver.RunSeed(u, &result);
   }
   return result;

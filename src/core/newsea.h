@@ -32,6 +32,8 @@
 
 namespace dcs {
 
+class ThreadPool;  // util/thread_pool.h
+
 /// Which Shrink stage the multi-init driver uses.
 enum class ShrinkKind {
   kCoordinateDescent,  ///< SEACD (Algorithm 3)
@@ -55,6 +57,20 @@ struct DcsgaOptions {
   /// Collect every distinct positive clique found across initializations
   /// (needed by the topic tables and Fig. 3; costs memory).
   bool collect_cliques = false;
+  /// Worker shards for the NewSEA multi-init loop. 1 (default) runs the
+  /// exact sequential Algorithm 5 loop; 0 means "use everything granted" —
+  /// the supplied ThreadPool's concurrency, or the hardware concurrency when
+  /// no pool is passed; k > 1 asks for exactly k shards. Affinity, support
+  /// and embedding are bit-identical across all values (see RunNewSea);
+  /// the initializations / cd_iterations / pruned_seeds counters are not,
+  /// because how far Theorem 6 pruning reaches depends on thread timing.
+  /// Ignored (sequential) when collect_cliques is set: the clique harvest
+  /// depends on which seeds the bound pruned.
+  uint32_t parallelism = 1;
+  /// Skip the O(m) non-negativity scan of gd_plus. Set only when the caller
+  /// has already validated the graph (MinerSession validates each cached
+  /// pipeline's GD+ once instead of on every solve).
+  bool assume_nonnegative = false;
 };
 
 /// Result of a multi-initialization DCSGA solve.
@@ -63,6 +79,8 @@ struct DcsgaResult {
   std::vector<VertexId> support;    ///< its support (a clique of GD+)
   double affinity = 0.0;            ///< f(x) = xᵀD+x = xᵀDx on the support
   uint64_t initializations = 0;     ///< seeds actually tried
+  uint64_t pruned_seeds = 0;        ///< candidate seeds never descended from
+                                    ///< (Theorem 6 / isolated-vertex skips)
   uint32_t expansion_errors = 0;    ///< replicator baseline only
   uint64_t cd_iterations = 0;       ///< coordinate-descent iterations total
   uint64_t replicator_sweeps = 0;   ///< replicator sweeps total
@@ -78,6 +96,12 @@ struct SmartInitBounds {
 
 /// Computes w_u, τ_u and μ_u for every vertex of `gd_plus` in O(m + n).
 SmartInitBounds ComputeSmartInitBounds(const Graph& gd_plus);
+
+/// \brief The precondition scan of every DCSGA driver: fails with
+/// InvalidArgument if `gd_plus` has a negative edge weight. O(m). Callers
+/// that run many solves on one validated graph do this once and set
+/// DcsgaOptions::assume_nonnegative.
+Status ValidateNonNegativeWeights(const Graph& gd_plus);
 
 /// \brief NewSEA (Algorithm 5): smart-ordered initializations with the
 /// μ_u ≤ f(best) early stop; each initialization runs SEACD then Refinement.
@@ -97,6 +121,23 @@ Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
 Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
                               const SmartInitBounds& bounds,
                               const DcsgaOptions& options = {});
+
+/// \brief RunNewSea with intra-request parallelism: the μ-ordered seed list
+/// is sharded in chunks across `options.parallelism` workers on `pool`.
+///
+/// Each shard owns its AffinityState; a shared atomic lower bound on the
+/// best affinity seen so far drives Theorem 6 pruning (strict comparison, so
+/// every seed that could still win is descended from); the reduction keeps
+/// (max affinity, earliest μ-order seed). Affinity, support and embedding
+/// are therefore bit-identical to the sequential loop for every thread
+/// count — only the work counters vary with timing.
+///
+/// `pool` may be null: a transient pool of parallelism − 1 workers is
+/// spawned for the call (the calling thread participates). A session that
+/// serves many requests passes its shared pool instead.
+Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
+                              const SmartInitBounds& bounds,
+                              const DcsgaOptions& options, ThreadPool* pool);
 
 /// \brief The SEACD+Refine / SEA+Refine baselines: one initialization per
 /// vertex of `gd_plus`, no smart ordering, no pruning. Selects Shrink by

@@ -1,0 +1,105 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace dcs {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::DefaultConcurrency() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware != 0 ? hardware : 1;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(
+        lock, [this] { return shutting_down_ || !active_groups_.empty(); });
+    if (active_groups_.empty()) {
+      if (shutting_down_) return;
+      continue;
+    }
+    RunOneIndex(active_groups_.front(), &lock);
+  }
+}
+
+void ThreadPool::MaybeRetire(Group* group) {
+  if (group->next < group->num_tasks) return;
+  for (auto it = active_groups_.begin(); it != active_groups_.end(); ++it) {
+    if (*it == group) {
+      active_groups_.erase(it);
+      return;
+    }
+  }
+}
+
+void ThreadPool::RunOneIndex(Group* group, std::unique_lock<std::mutex>* lock) {
+  const size_t index = group->next++;
+  MaybeRetire(group);
+  lock->unlock();
+  std::exception_ptr error;
+  try {
+    (*group->fn)(index);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock->lock();
+  if (error && !group->error) group->error = std::move(error);
+  if (--group->unfinished == 0) group->done.notify_all();
+}
+
+void ThreadPool::RunTasks(size_t num_tasks,
+                          const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (workers_.empty()) {
+    // No workers: sequential execution with the same exception contract as
+    // the pooled path — every index runs, the first exception is rethrown.
+    std::exception_ptr error;
+    for (size_t i = 0; i < num_tasks; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  Group group;
+  group.fn = &fn;
+  group.num_tasks = num_tasks;
+  group.unfinished = num_tasks;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  active_groups_.push_back(&group);
+  if (num_tasks > 1) {
+    // The caller takes indices too, so at most num_tasks - 1 workers are
+    // useful; notify_all keeps it simple (spurious wakeups just re-sleep).
+    work_available_.notify_all();
+  }
+  // Participate: drain this group's own indices (other groups' tasks are
+  // never run here, so an outer RunTasks can't be blocked under a nested
+  // group's long tail).
+  while (group.next < group.num_tasks) {
+    RunOneIndex(&group, &lock);
+  }
+  group.done.wait(lock, [&group] { return group.unfinished == 0; });
+  if (group.error) std::rethrow_exception(group.error);
+}
+
+}  // namespace dcs

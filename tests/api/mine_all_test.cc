@@ -13,13 +13,16 @@
 
 #include "api/miner_session.h"
 #include "api/solver_registry.h"
+#include "gen/random_graphs.h"
 #include "test_util.h"
+#include "util/rng.h"
 
 namespace dcs {
 namespace {
 
 using ::dcs::testing::Fig1G1;
 using ::dcs::testing::Fig1G2;
+using ::dcs::testing::MakeGraph;
 
 // Serializes everything deterministic about a response: subgraphs with full
 // double precision plus the deterministic telemetry fields. Wall-times are
@@ -176,6 +179,108 @@ TEST(MineAllTest, SolverExceptionsBecomeStatuses) {
   EXPECT_NE(responses.status().message().find("boom"), std::string::npos);
   // The session stays usable after the failed batch.
   EXPECT_TRUE(session->Mine(MiningRequest{}).ok());
+}
+
+// Serializes only the mined subgraphs — intra-request parallelism keeps
+// them bit-identical while the work-counter telemetry legitimately varies
+// with thread timing.
+std::string SerializeSubgraphsOnly(const MiningResponse& response) {
+  std::string out;
+  char buf[64];
+  for (const std::vector<RankedSubgraph>* list :
+       {&response.average_degree, &response.graph_affinity}) {
+    for (const RankedSubgraph& s : *list) {
+      out += "[";
+      for (VertexId v : s.vertices) {
+        std::snprintf(buf, sizeof(buf), "%u,", v);
+        out += buf;
+      }
+      for (double w : s.weights) {
+        std::snprintf(buf, sizeof(buf), "%.17g,", w);
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf), "v=%.17g]", s.value);
+      out += buf;
+    }
+    out += ";";
+  }
+  return out;
+}
+
+// A substantial session input: an empty G1 against a random signed G2, so
+// the difference graph has hundreds of candidate seeds to shard.
+std::pair<Graph, Graph> RandomSessionGraphs() {
+  Rng rng(31);
+  Result<Graph> g2 = RandomSignedGraph(/*n=*/250, /*m=*/2000,
+                                       /*positive_fraction=*/0.7,
+                                       /*magnitude_lo=*/0.5,
+                                       /*magnitude_hi=*/3.0, &rng);
+  DCS_CHECK(g2.ok());
+  return {MakeGraph(250, {}), std::move(g2).value()};
+}
+
+TEST(MineAllTest, IntraRequestParallelismKeepsMinedSubgraphsIdentical) {
+  auto [g1, g2] = RandomSessionGraphs();
+
+  // Reference: strictly sequential session (budget 1, solver parallelism 1).
+  SessionOptions sequential_options;
+  sequential_options.max_parallelism = 1;
+  Result<MinerSession> sequential =
+      MinerSession::Create(g1, g2, sequential_options);
+  ASSERT_TRUE(sequential.ok());
+
+  // Parallel: budget 4 split across 2 requests, each granted 2 seed shards
+  // through the auto knob.
+  SessionOptions parallel_options;
+  parallel_options.max_parallelism = 4;
+  Result<MinerSession> parallel =
+      MinerSession::Create(g1, g2, parallel_options);
+  ASSERT_TRUE(parallel.ok());
+
+  std::vector<MiningRequest> requests(2);
+  requests[0].measure = Measure::kGraphAffinity;
+  requests[0].ga_solver.parallelism = 0;  // auto
+  requests[1].measure = Measure::kBoth;
+  requests[1].alpha = 2.0;
+  requests[1].ga_solver.parallelism = 0;
+
+  Result<std::vector<MiningResponse>> expected = sequential->MineAll(requests);
+  Result<std::vector<MiningResponse>> actual = parallel->MineAll(requests);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(actual.ok());
+  ASSERT_EQ(actual->size(), expected->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ(SerializeSubgraphsOnly((*actual)[i]),
+              SerializeSubgraphsOnly((*expected)[i]))
+        << "request #" << i;
+    EXPECT_FALSE((*actual)[i].graph_affinity.empty()) << "request #" << i;
+  }
+}
+
+TEST(MineAllTest, ExplicitIntraParallelismOnSingleMine) {
+  auto [g1, g2] = RandomSessionGraphs();
+  Result<MinerSession> sequential = MinerSession::Create(g1, g2);
+  ASSERT_TRUE(sequential.ok());
+
+  SessionOptions options;
+  options.max_parallelism = 4;
+  Result<MinerSession> parallel = MinerSession::Create(g1, g2, options);
+  ASSERT_TRUE(parallel.ok());
+
+  MiningRequest request;
+  request.measure = Measure::kGraphAffinity;
+  Result<MiningResponse> expected = sequential->Mine(request);
+  ASSERT_TRUE(expected.ok());
+
+  for (const uint32_t threads : {2u, 4u, 7u}) {
+    MiningRequest parallel_request = request;
+    parallel_request.ga_solver.parallelism = threads;
+    Result<MiningResponse> actual = parallel->Mine(parallel_request);
+    ASSERT_TRUE(actual.ok());
+    EXPECT_EQ(SerializeSubgraphsOnly(*actual),
+              SerializeSubgraphsOnly(*expected))
+        << threads << " threads";
+  }
 }
 
 TEST(MineAllTest, SharesThePipelineCacheAcrossTheBatch) {

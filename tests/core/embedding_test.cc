@@ -158,6 +158,36 @@ TEST(AffinityStateTest, RenormalizeRestoresSimplex) {
   EXPECT_NEAR(state.Affinity(), e.Affinity(gd), 1e-12);
 }
 
+TEST(AffinityStateTest, ResetIsExactEvenAfterSupportChurn) {
+  // The parallel NewSEA determinism proof needs reset to be *exact*: after
+  // ResetToVertex the state must be bit-identical to a fresh one, including
+  // dx entries adjacent to vertices that entered and then left the support —
+  // where incremental ±w·x updates and renormalize scalings can leave
+  // last-ulp residue that the support-only sweep of the old reset missed.
+  Rng rng(3);
+  Result<Graph> graph = ErdosRenyiWeighted(60, 0.1, 0.3, 2.7, &rng);
+  ASSERT_TRUE(graph.ok());
+  AffinityState churned(*graph);
+  // Churn: spread mass, renormalize (scales x and dx differently in ulp
+  // terms), then squeeze vertices back out of the support.
+  for (VertexId v = 0; v < 20; ++v) churned.SetX(v, 0.05 * (v % 3 + 1));
+  churned.Renormalize();
+  for (VertexId v = 5; v < 20; ++v) churned.SetX(v, 0.0);
+  churned.Renormalize();
+  churned.ResetToVertex(2);
+
+  AffinityState fresh(*graph);
+  fresh.ResetToVertex(2);
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+    EXPECT_EQ(churned.x(v), fresh.x(v)) << "x at " << v;
+    EXPECT_EQ(churned.dx(v), fresh.dx(v)) << "dx at " << v;
+  }
+  EXPECT_EQ(std::vector<VertexId>(churned.support().begin(),
+                                  churned.support().end()),
+            std::vector<VertexId>(fresh.support().begin(),
+                                  fresh.support().end()));
+}
+
 TEST(AffinityStateTest, ComputeExtremes) {
   Graph gd = Fig1Gd();
   AffinityState state(gd);

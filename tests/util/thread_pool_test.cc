@@ -1,0 +1,107 @@
+// ThreadPool: every index runs exactly once, nesting cannot deadlock,
+// exceptions are captured and rethrown on the submitting thread.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace dcs {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  constexpr size_t kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.RunTasks(kTasks, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  size_t sum = 0;  // no synchronization: everything runs on this thread
+  pool.RunTasks(10, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum, 45u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersKeepsTheExceptionContract) {
+  // The inline path must behave like the pooled one: every index runs, the
+  // first exception is rethrown afterwards.
+  ThreadPool pool(0);
+  int runs = 0;
+  EXPECT_THROW(pool.RunTasks(8,
+                             [&](size_t i) {
+                               ++runs;
+                               if (i == 2) throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+  EXPECT_EQ(runs, 8);
+}
+
+TEST(ThreadPoolTest, ZeroTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.RunTasks(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SequentialGroupsReuseTheWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.RunTasks(8, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50 * 8);
+}
+
+TEST(ThreadPoolTest, NestedRunTasksDoesNotDeadlock) {
+  // More outer tasks than workers: with a blocking wait (no caller
+  // participation) the outer tasks would occupy every worker and starve the
+  // inner groups forever.
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  pool.RunTasks(6, [&](size_t) {
+    pool.RunTasks(6, [&](size_t) { inner_runs.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_runs.load(), 36);
+}
+
+TEST(ThreadPoolTest, RethrowsTheFirstExceptionAfterAllTasksRan) {
+  ThreadPool pool(2);
+  std::atomic<int> runs{0};
+  EXPECT_THROW(pool.RunTasks(16,
+                             [&](size_t i) {
+                               runs.fetch_add(1);
+                               if (i == 3) throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+  // The failing group still completes every index before rethrowing.
+  EXPECT_EQ(runs.load(), 16);
+  // The pool survives and serves the next group.
+  std::atomic<int> after{0};
+  pool.RunTasks(4, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ThreadPoolTest, ConcurrentGroupsFromManyThreads) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  // Submitting groups from parallel tasks exercises the shared queue under
+  // contention from multiple group owners at once.
+  ThreadPool outer(4);
+  outer.RunTasks(8, [&](size_t) {
+    pool.RunTasks(25, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 25);
+}
+
+}  // namespace
+}  // namespace dcs

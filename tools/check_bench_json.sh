@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Schema check for the machine-readable bench output (BENCH_*.json emitted by
+# the bench drivers' --json flag; see bench/bench_util.h JsonReporter).
+#
+# Usage:
+#   check_bench_json.sh file.json [more.json...]
+#       Validate existing report files.
+#   check_bench_json.sh --run BENCH_BINARY OUT.json
+#       Run `BENCH_BINARY --smoke --json OUT.json` first, then validate
+#       OUT.json — the ctest `bench_smoke` wiring, which keeps the JSON
+#       surface from silently rotting.
+#
+# Validation uses python3's json module when available (full parse + key
+# check) and falls back to grep'ing for the required keys otherwise.
+
+set -u
+
+required_top=(bench seed hardware_concurrency records)
+required_record=(dataset threads wall_ms initializations pruned_seeds affinity)
+
+files=()
+if [ "${1:-}" = "--run" ]; then
+  if [ "$#" -ne 3 ]; then
+    echo "usage: check_bench_json.sh --run BENCH_BINARY OUT.json" >&2
+    exit 2
+  fi
+  binary="$2"
+  out="$3"
+  if ! "$binary" --smoke --json "$out"; then
+    echo "check_bench_json: '$binary --smoke --json $out' failed" >&2
+    exit 1
+  fi
+  files=("$out")
+else
+  files=("$@")
+fi
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "usage: check_bench_json.sh [--run BENCH_BINARY OUT.json] [file.json...]" >&2
+  exit 2
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if [ ! -s "$f" ]; then
+    echo "check_bench_json: $f missing or empty" >&2
+    status=1
+    continue
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$f" "${required_top[*]}" "${required_record[*]}" << 'EOF'
+import json, sys
+path, top_keys, record_keys = sys.argv[1], sys.argv[2].split(), sys.argv[3].split()
+try:
+    with open(path) as fh:
+        doc = json.load(fh)
+except (OSError, ValueError) as e:
+    sys.exit(f"check_bench_json: {path}: not valid JSON: {e}")
+missing = [k for k in top_keys if k not in doc]
+if missing:
+    sys.exit(f"check_bench_json: {path}: missing top-level keys {missing}")
+if not isinstance(doc["records"], list) or not doc["records"]:
+    sys.exit(f"check_bench_json: {path}: 'records' must be a non-empty array")
+for i, record in enumerate(doc["records"]):
+    missing = [k for k in record_keys if k not in record]
+    if missing:
+        sys.exit(f"check_bench_json: {path}: record #{i} missing keys {missing}")
+EOF
+    [ "$?" -eq 0 ] || status=1
+  else
+    for key in "${required_top[@]}" "${required_record[@]}"; do
+      if ! grep -q "\"$key\"" "$f"; then
+        echo "check_bench_json: $f: missing key \"$key\"" >&2
+        status=1
+      fi
+    done
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "bench JSON OK: ${#files[@]} file(s) match the schema"
+fi
+exit "$status"
