@@ -1,0 +1,140 @@
+// Async submit/poll service throughput: submit→done latency under a full
+// queue.
+//
+// Plays the heavy-traffic serving shape end to end: a MiningService over
+// one session absorbs a burst of mixed mining jobs with streaming updates
+// fenced between them, at several session thread budgets. Reports
+// throughput (jobs/s), mean/p95 submit→done latency and mean queue wait —
+// the record schema check_bench_json.sh validates for
+// BENCH_async_throughput.json.
+//
+// `--json out.json` emits the committed record; `--smoke` shrinks the
+// dataset and burst so the ctest `bench_smoke` wiring stays fast.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "api/miner_session.h"
+#include "api/mining.h"
+#include "api/mining_service.h"
+#include "bench_util.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  using namespace dcs::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const uint64_t seed = 20180416;
+  std::printf("seed = %llu, hardware_concurrency = %u%s\n\n",
+              static_cast<unsigned long long>(seed),
+              std::thread::hardware_concurrency(),
+              args.smoke ? " (smoke mode)" : "");
+
+  const CoauthorData data =
+      MakeDblpAnalog(seed, /*num_authors=*/args.smoke ? 600 : 4000);
+  const char* dataset_label =
+      args.smoke ? "DBLP-tiny / async burst" : "DBLP / async burst";
+  const size_t num_jobs = args.smoke ? 12 : 96;
+  const std::vector<uint32_t> budgets = args.smoke
+                                            ? std::vector<uint32_t>{1, 2}
+                                            : std::vector<uint32_t>{1, 2, 4, 8};
+
+  JsonReporter reporter("async_throughput", seed);
+  TablePrinter table("Async service throughput: submit -> done",
+                     {"Budget", "Jobs", "Wall ms", "Jobs/s", "Mean lat ms",
+                      "P95 lat ms", "Mean queue ms"});
+
+  for (const uint32_t budget : budgets) {
+    SessionOptions options;
+    options.max_parallelism = budget;
+    Result<MinerSession> session =
+        MinerSession::Create(data.g1, data.g2, options);
+    DCS_CHECK(session.ok()) << session.status().ToString();
+    MiningService service(std::move(*session));
+    Rng rng(seed + budget);
+
+    // The burst: mixed measures and pipelines, one streaming update fenced
+    // into the queue every 8 jobs (a random G2 edge strengthens — later
+    // jobs mine the drifted snapshot).
+    WallTimer wall;
+    std::vector<JobId> ids;
+    ids.reserve(num_jobs);
+    for (size_t i = 0; i < num_jobs; ++i) {
+      if (i % 8 == 4) {
+        const VertexId u = static_cast<VertexId>(
+            rng.NextBounded(data.g2.NumVertices() - 1));
+        const Status updated =
+            service.ApplyUpdate(UpdateSide::kG2, u, u + 1, 0.5);
+        DCS_CHECK(updated.ok()) << updated.ToString();
+      }
+      MiningRequest request;
+      request.measure = i % 3 == 2 ? Measure::kBoth : Measure::kGraphAffinity;
+      request.alpha = i % 2 == 0 ? 1.0 : 2.0;
+      request.ga_solver.parallelism = 0;  // auto: whole session budget
+      Result<JobId> id = service.Submit(request);
+      DCS_CHECK(id.ok()) << id.status().ToString();
+      ids.push_back(*id);
+    }
+
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(num_jobs);
+    double queue_ms_total = 0.0;
+    uint64_t initializations = 0;
+    uint64_t pruned = 0;
+    double affinity_checksum = 0.0;
+    for (const JobId id : ids) {
+      Result<JobStatus> status = service.Wait(id);
+      DCS_CHECK(status.ok()) << status.status().ToString();
+      DCS_CHECK(status->state == JobState::kDone)
+          << "job " << id << " ended " << JobStateToString(status->state)
+          << ": " << status->failure.ToString();
+      latencies_ms.push_back((status->queue_seconds + status->run_seconds) *
+                             1e3);
+      queue_ms_total += status->queue_seconds * 1e3;
+      initializations += status->response.telemetry.initializations;
+      pruned += status->response.telemetry.pruned_seeds;
+      if (!status->response.graph_affinity.empty()) {
+        affinity_checksum += status->response.graph_affinity.front().value;
+      }
+    }
+    const double wall_ms = wall.Millis();
+
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    double mean_ms = 0.0;
+    for (const double l : latencies_ms) mean_ms += l;
+    mean_ms /= static_cast<double>(latencies_ms.size());
+    const double p95_ms =
+        latencies_ms[std::min(latencies_ms.size() - 1,
+                              latencies_ms.size() * 95 / 100)];
+    const double mean_queue_ms =
+        queue_ms_total / static_cast<double>(num_jobs);
+    const double throughput =
+        static_cast<double>(num_jobs) / (wall_ms / 1e3);
+
+    BenchRecord record{dataset_label, budget,  wall_ms,
+                       initializations, pruned, affinity_checksum};
+    record.extra = {{"jobs", static_cast<double>(num_jobs)},
+                    {"throughput_jobs_per_s", throughput},
+                    {"mean_latency_ms", mean_ms},
+                    {"p95_latency_ms", p95_ms},
+                    {"mean_queue_ms", mean_queue_ms}};
+    reporter.Add(std::move(record));
+    table.AddRow({TablePrinter::Fmt(uint64_t{budget}),
+                  TablePrinter::Fmt(uint64_t{num_jobs}),
+                  TablePrinter::Fmt(wall_ms, 2),
+                  TablePrinter::Fmt(throughput, 1),
+                  TablePrinter::Fmt(mean_ms, 2), TablePrinter::Fmt(p95_ms, 2),
+                  TablePrinter::Fmt(mean_queue_ms, 2)});
+    std::fflush(stdout);
+  }
+  table.Print();
+
+  if (!args.json_path.empty()) {
+    DCS_CHECK(reporter.WriteTo(args.json_path))
+        << "cannot write " << args.json_path;
+    std::printf("\nwrote %s\n", args.json_path.c_str());
+  }
+  return 0;
+}

@@ -62,6 +62,10 @@ struct BenchRecord {
   uint64_t initializations = 0; ///< seeds actually descended from
   uint64_t pruned_seeds = 0;    ///< candidate seeds skipped by Theorem 6
   double affinity = 0.0;        ///< best affinity found (result checksum)
+  /// Bench-specific numeric fields appended verbatim to the JSON record
+  /// (bench_async_throughput adds jobs / throughput / latency percentiles);
+  /// keys must be stable — check_bench_json.sh validates them per bench.
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 /// \brief Machine-readable bench output, schema-checked in CI by
@@ -92,9 +96,13 @@ class JsonReporter {
       std::fprintf(out,
                    "%s\n    {\"dataset\": \"%s\", \"threads\": %u, "
                    "\"wall_ms\": %.3f, \"initializations\": %" PRIu64
-                   ", \"pruned_seeds\": %" PRIu64 ", \"affinity\": %.17g}",
+                   ", \"pruned_seeds\": %" PRIu64 ", \"affinity\": %.17g",
                    i == 0 ? "" : ",", Escape(r.dataset).c_str(), r.threads,
                    r.wall_ms, r.initializations, r.pruned_seeds, r.affinity);
+      for (const auto& [key, value] : r.extra) {
+        std::fprintf(out, ", \"%s\": %.17g", Escape(key).c_str(), value);
+      }
+      std::fprintf(out, "}");
     }
     std::fprintf(out, "\n  ]\n}\n");
     const bool ok = std::fclose(out) == 0;

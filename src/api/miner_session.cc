@@ -53,18 +53,24 @@ Result<MinerSession> MinerSession::CreateStreaming(VertexId num_vertices,
                       options);
 }
 
-Status MinerSession::ApplyUpdate(UpdateSide side, VertexId u, VertexId v,
-                                 double delta) {
+Status MinerSession::ValidateUpdate(VertexId num_vertices, VertexId u,
+                                    VertexId v, double delta) {
   if (u == v) {
     return Status::InvalidArgument("self-loop update on vertex " +
                                    std::to_string(u));
   }
-  if (u >= num_vertices_ || v >= num_vertices_) {
+  if (u >= num_vertices || v >= num_vertices) {
     return Status::OutOfRange("update endpoint out of range");
   }
   if (!std::isfinite(delta)) {
     return Status::InvalidArgument("non-finite update delta");
   }
+  return Status::OK();
+}
+
+Status MinerSession::ApplyUpdate(UpdateSide side, VertexId u, VertexId v,
+                                 double delta) {
+  DCS_RETURN_NOT_OK(ValidateUpdate(num_vertices_, u, v, delta));
   auto& pending = side == UpdateSide::kG1 ? pending_g1_ : pending_g2_;
   pending[PackVertexPair(u, v)] += delta;
   ++num_updates_;
@@ -190,6 +196,7 @@ Status MinerSession::Solve(const PreparedPipeline& pipeline,
                            const MiningRequest& request,
                            std::span<const VertexId> warm_support,
                            ThreadPool* pool, uint32_t parallelism_budget,
+                           const CancelToken* cancel,
                            MiningResponse* response) const {
   SolverContext context;
   context.difference = &pipeline.difference;
@@ -201,7 +208,14 @@ Status MinerSession::Solve(const PreparedPipeline& pipeline,
   context.pool = pool;
   context.parallelism_budget = parallelism_budget;
   context.warm_support = warm_support;
+  context.cancel = cancel;
 
+  // Measure dispatches are the coarsest cancellation points: a token fired
+  // before a dispatch aborts the whole solve, one fired mid-dispatch is the
+  // solver's to observe (the builtin "dcsga" polls per seed chunk).
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled("mining request cancelled");
+  }
   if (request.measure == Measure::kAverageDegree ||
       request.measure == Measure::kBoth) {
     const SolverFn solver =
@@ -214,6 +228,9 @@ Status MinerSession::Solve(const PreparedPipeline& pipeline,
         solver(context, request, &response->telemetry);
     if (!ranked.ok()) return ranked.status();
     response->average_degree = std::move(*ranked);
+  }
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled("mining request cancelled");
   }
   if (request.measure == Measure::kGraphAffinity ||
       request.measure == Measure::kBoth) {
@@ -232,6 +249,11 @@ Status MinerSession::Solve(const PreparedPipeline& pipeline,
 }
 
 Result<MiningResponse> MinerSession::Mine(const MiningRequest& request) {
+  return Mine(request, /*cancel=*/nullptr);
+}
+
+Result<MiningResponse> MinerSession::Mine(const MiningRequest& request,
+                                          const CancelToken* cancel) {
   DCS_RETURN_NOT_OK(request.Validate());
 
   MiningResponse response;
@@ -263,7 +285,7 @@ Result<MiningResponse> MinerSession::Mine(const MiningRequest& request) {
                           : request.ga_solver.parallelism);
   }
   DCS_RETURN_NOT_OK(Solve(*pipeline, request, warm, pool,
-                          static_cast<uint32_t>(ParallelismBudget()),
+                          static_cast<uint32_t>(ParallelismBudget()), cancel,
                           &response));
   response.telemetry.solve_seconds = solve_timer.Seconds();
 
@@ -324,15 +346,26 @@ Result<std::vector<MiningResponse>> MinerSession::MineAll(
   // warm-start seeds are frozen at batch entry.
   //
   // The session's thread budget P is split between the two parallelism
-  // levels: up to min(P, #requests) requests run concurrently on the shared
-  // pool, and each of them is granted an intra-request budget of P / inter
-  // seed-shard workers (taken up by requests whose ga_solver.parallelism is
-  // 0 = auto). Nested sharding reuses the same pool — RunTasks callers
-  // participate in their own group, so the nesting cannot deadlock.
+  // levels: up to inter = min(P, #requests) requests run concurrently on the
+  // shared pool, and request #i is granted an intra-request seed-shard
+  // budget (taken up by requests whose ga_solver.parallelism is 0 = auto).
+  // The per-request grants always satisfy two invariants: every request
+  // gets at least one thread even when #requests > P (no zero-thread
+  // shards — the budget degrades to sequential solves, never to starved
+  // ones), and the floor(P / inter) division's remainder is spread over the
+  // leading slots instead of being dropped (P = 8, 3 requests grants
+  // {3, 3, 2}, not {2, 2, 2}). Mined subgraphs are parallelism-invariant,
+  // so uneven grants cannot skew results — only wall time. Nested sharding
+  // reuses the same pool — RunTasks callers participate in their own group,
+  // so the nesting cannot deadlock.
   const size_t budget = ParallelismBudget();
-  const size_t inter = std::min(budget, requests.size());
-  const uint32_t intra =
+  const size_t inter = std::max<size_t>(1, std::min(budget, requests.size()));
+  const uint32_t intra_base =
       static_cast<uint32_t>(std::max<size_t>(1, budget / inter));
+  const size_t intra_bonus_slots = budget > inter ? budget % inter : 0;
+  auto intra_grant = [&](size_t i) -> uint32_t {
+    return intra_base + (i < intra_bonus_slots ? 1 : 0);
+  };
   bool any_intra = false;
   for (const MiningRequest& request : requests) {
     any_intra |= WantsIntraParallelism(request);
@@ -355,8 +388,8 @@ Result<std::vector<MiningResponse>> MinerSession::MineAll(
     // solvers need not be) to the Status contract instead of letting them
     // tear through the pool.
     try {
-      statuses[i] = Solve(*pipelines[i], requests[i], warm, pool, intra,
-                          &responses[i]);
+      statuses[i] = Solve(*pipelines[i], requests[i], warm, pool,
+                          intra_grant(i), /*cancel=*/nullptr, &responses[i]);
     } catch (const std::exception& e) {
       statuses[i] = Status::Internal(std::string("solver threw: ") + e.what());
     } catch (...) {

@@ -26,6 +26,7 @@
 
 #include "api/mining.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -75,8 +76,23 @@ class MinerSession {
   /// out-of-range endpoints, or non-finite deltas.
   Status ApplyUpdate(UpdateSide side, VertexId u, VertexId v, double delta);
 
+  /// The validation ApplyUpdate performs, exposed so queueing layers
+  /// (api/mining_service.h) can reject bad updates eagerly and treat the
+  /// deferred apply as infallible.
+  static Status ValidateUpdate(VertexId num_vertices, VertexId u, VertexId v,
+                               double delta);
+
   /// \brief Executes one mining request. See MiningRequest for semantics.
   Result<MiningResponse> Mine(const MiningRequest& request);
+
+  /// \brief Mine with cooperative cancellation: the solve polls `cancel`
+  /// at coarse safe points (between measures; between NewSEA seed chunks)
+  /// and returns Status::Cancelled once it fires, leaving the session fully
+  /// reusable — no partial result is kept, the warm-start seed is untouched,
+  /// and a subsequent identical request returns the exact uncancelled
+  /// answer. `cancel` may be null (equivalent to Mine(request)).
+  Result<MiningResponse> Mine(const MiningRequest& request,
+                              const CancelToken* cancel);
 
   /// \brief Executes independent requests on a worker pool, reusing the
   /// pipeline cache across them.
@@ -168,11 +184,13 @@ class MinerSession {
   ThreadPool* EnsurePool(size_t concurrency);
 
   // Runs the solvers for one prepared request. Const w.r.t. session state so
-  // MineAll can call it from worker threads; warm seeds, the shared pool and
-  // the intra-request worker budget are passed in.
+  // MineAll can call it from worker threads; warm seeds, the shared pool,
+  // the intra-request worker budget and the (nullable) cancellation token
+  // are passed in.
   Status Solve(const PreparedPipeline& pipeline, const MiningRequest& request,
                std::span<const VertexId> warm_support, ThreadPool* pool,
-               uint32_t parallelism_budget, MiningResponse* response) const;
+               uint32_t parallelism_budget, const CancelToken* cancel,
+               MiningResponse* response) const;
 
   VertexId num_vertices_;
   SessionOptions options_;

@@ -1,0 +1,272 @@
+#include "api/mining_service.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dcs {
+
+const char* JobStateToString(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+MiningService::MiningService(MinerSession session,
+                             MiningServiceOptions options)
+    : session_(std::move(session)), options_(options) {
+  executor_ = std::thread([this] { ExecutorLoop(); });
+}
+
+MiningService::~MiningService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Every queued job dies terminally cancelled; unapplied updates are
+    // dropped with the session (shutdown abandons the stream).
+    for (QueuedOp& op : queue_) {
+      if (op.job != nullptr && op.job->state == JobState::kQueued) {
+        op.job->state = JobState::kCancelled;
+        op.job->queue_seconds = op.job->since_submit.Seconds();
+        FinishLocked(op.job);
+      }
+    }
+    queue_.clear();
+    num_queued_jobs_ = 0;
+    // The in-flight job (if any) is asked to stop; the executor observes
+    // the token between seed chunks and records the terminal state before
+    // exiting.
+    for (auto& [id, job] : jobs_) {
+      if (job->state == JobState::kRunning) job->cancel.Cancel();
+    }
+  }
+  work_available_.notify_all();
+  job_finished_.notify_all();
+  executor_.join();
+}
+
+Result<JobId> MiningService::Submit(MiningRequest request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) {
+    return Status::Cancelled("mining service is shutting down");
+  }
+  if (options_.max_queued_jobs != 0 &&
+      num_queued_jobs_ >= options_.max_queued_jobs) {
+    return Status::OutOfRange(
+        "job queue full (" + std::to_string(num_queued_jobs_) +
+        " queued); retry after draining");
+  }
+  auto job = std::make_shared<Job>();
+  job->id = next_job_id_++;
+  job->request = std::move(request);
+  jobs_.emplace(job->id, job);
+  queue_.push_back(QueuedOp{job});
+  ++num_queued_jobs_;
+  ++num_submitted_;
+  work_available_.notify_one();
+  return job->id;
+}
+
+Status MiningService::ApplyUpdate(UpdateSide side, VertexId u, VertexId v,
+                                  double delta) {
+  // Eager validation (against the fixed vertex universe) keeps the deferred
+  // apply infallible, so a bad update is reported to its submitter instead
+  // of poisoning the queue.
+  DCS_RETURN_NOT_OK(
+      MinerSession::ValidateUpdate(session_.num_vertices(), u, v, delta));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) {
+    return Status::Cancelled("mining service is shutting down");
+  }
+  QueuedOp op;
+  op.side = side;
+  op.u = u;
+  op.v = v;
+  op.delta = delta;
+  queue_.push_back(std::move(op));
+  work_available_.notify_one();
+  return Status::OK();
+}
+
+// Fills the cheap JobStatus fields under the lock, then releases it for the
+// deep MiningResponse copy: a kDone job is terminal and never mutated again,
+// so copying its (potentially large) response outside the mutex is safe and
+// keeps pollers from stalling Submit and the executor's finish path.
+JobStatus MiningService::TakeSnapshot(std::unique_lock<std::mutex>* lock,
+                                      const std::shared_ptr<Job>& job) const {
+  JobStatus status;
+  status.id = job->id;
+  status.state = job->state;
+  status.failure = job->failure;
+  status.queue_seconds = job->queue_seconds;
+  status.run_seconds = job->run_seconds;
+  lock->unlock();
+  if (status.state == JobState::kDone) status.response = job->response;
+  return status;
+}
+
+Result<JobStatus> MiningService::Poll(JobId id) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("unknown (or evicted) job id " +
+                            std::to_string(id));
+  }
+  return TakeSnapshot(&lock, it->second);
+}
+
+Result<JobStatus> MiningService::Wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("unknown (or evicted) job id " +
+                            std::to_string(id));
+  }
+  // Hold the job alive across the wait: eviction only erases the map entry.
+  std::shared_ptr<Job> job = it->second;
+  job_finished_.wait(lock, [&job] {
+    const JobState s = job->state;
+    return s == JobState::kDone || s == JobState::kFailed ||
+           s == JobState::kCancelled;
+  });
+  return TakeSnapshot(&lock, job);
+}
+
+Result<JobStatus> MiningService::Cancel(JobId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("unknown (or evicted) job id " +
+                            std::to_string(id));
+  }
+  std::shared_ptr<Job> job = it->second;
+  job->cancel.Cancel();
+  if (job->state == JobState::kQueued) {
+    // Terminal immediately: the executor skips the stale queue entry, so a
+    // cancelled queued job is guaranteed to never start.
+    job->state = JobState::kCancelled;
+    job->queue_seconds = job->since_submit.Seconds();
+    DCS_CHECK(num_queued_jobs_ > 0);
+    --num_queued_jobs_;
+    FinishLocked(job);
+  }
+  // A running job finishes cancelling asynchronously; terminal jobs no-op.
+  return TakeSnapshot(&lock, job);
+}
+
+void MiningService::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_finished_.wait(lock, [this] {
+    return (queue_.empty() && !running_job_ && !executor_busy_) || stopping_;
+  });
+}
+
+uint64_t MiningService::num_submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_submitted_;
+}
+
+size_t MiningService::num_pending_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_queued_jobs_ + (running_job_ ? 1 : 0);
+}
+
+void MiningService::FinishLocked(const std::shared_ptr<Job>& job) {
+  finished_order_.push_back(job->id);
+  if (options_.max_finished_jobs != 0) {
+    while (finished_order_.size() > options_.max_finished_jobs) {
+      jobs_.erase(finished_order_.front());
+      finished_order_.pop_front();
+    }
+  }
+  job_finished_.notify_all();
+}
+
+void MiningService::ExecutorLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    QueuedOp op = std::move(queue_.front());
+    queue_.pop_front();
+
+    if (op.job == nullptr) {
+      // Fenced streaming update: applied strictly after the jobs submitted
+      // before it, strictly before those submitted after. Pre-validated, so
+      // a failure here is a library bug. executor_busy_ keeps Drain from
+      // returning inside the unlocked apply window.
+      executor_busy_ = true;
+      lock.unlock();
+      const Status applied =
+          session_.ApplyUpdate(op.side, op.u, op.v, op.delta);
+      DCS_CHECK(applied.ok()) << applied.ToString();
+      lock.lock();
+      executor_busy_ = false;
+      if (queue_.empty()) job_finished_.notify_all();  // Drain watches this
+      continue;
+    }
+
+    std::shared_ptr<Job> job = std::move(op.job);
+    if (job->state != JobState::kQueued) {
+      // Cancelled while queued: the job went terminal under Cancel(); this
+      // is just its stale queue entry. Draining it may empty the queue, so
+      // wake Drain() here too — its notify at cancel time saw a non-empty
+      // queue.
+      if (queue_.empty()) job_finished_.notify_all();
+      continue;
+    }
+    job->state = JobState::kRunning;
+    job->queue_seconds = job->since_submit.Seconds();
+    DCS_CHECK(num_queued_jobs_ > 0);
+    --num_queued_jobs_;
+    running_job_ = true;
+
+    lock.unlock();
+    WallTimer run_timer;
+    // Demote solver exceptions to the Status contract (libdcs is
+    // exception-free, registered solvers need not be): an escape here would
+    // std::terminate the executor thread and take every queued job with it.
+    Result<MiningResponse> mined = Status::Internal("not mined");
+    try {
+      mined = session_.Mine(job->request, &job->cancel);
+    } catch (const std::exception& e) {
+      mined = Status::Internal(std::string("solver threw: ") + e.what());
+    } catch (...) {
+      mined = Status::Internal("solver threw a non-std exception");
+    }
+    const double run_seconds = run_timer.Seconds();
+    lock.lock();
+
+    running_job_ = false;
+    job->run_seconds = run_seconds;
+    if (mined.ok()) {
+      job->state = JobState::kDone;
+      job->response = std::move(*mined);
+    } else if (mined.status().IsCancelled()) {
+      job->state = JobState::kCancelled;
+    } else {
+      // Failure propagation: a bad measure/solver id or invalid request
+      // becomes a terminal failed job carrying the solver's status — the
+      // service itself never crashes and keeps draining the queue.
+      job->state = JobState::kFailed;
+      job->failure = mined.status();
+    }
+    FinishLocked(job);
+  }
+}
+
+}  // namespace dcs

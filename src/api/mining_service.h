@@ -1,0 +1,213 @@
+// MiningService — the asynchronous submit/poll surface over a MinerSession.
+//
+// A MinerSession is single-threaded by design; under heavy multi-user
+// traffic callers should not block on each other's solves. MiningService
+// wraps one session behind a job queue: any thread Submit()s a
+// MiningRequest and gets a JobId back immediately, then Poll()s or Wait()s
+// for the JobStatus as it walks the queued → running → done/failed/
+// cancelled state machine. One executor thread drains the queue in strict
+// submission order against the session — each job's solve still fans out
+// across the session's shared util/thread_pool via NewSEA seed sharding, so
+// a single service saturates the machine while keeping results
+// deterministic.
+//
+// Ordering & fencing. Streaming updates submitted through
+// MiningService::ApplyUpdate are *fenced*: an update takes effect after
+// every job submitted before it and before every job submitted after it.
+// Each job therefore sees exactly the graph snapshot it would have seen
+// mining synchronously at its submission point, and a finished job's
+// response is bit-identical to a fresh MinerSession::Mine of the same
+// request against that snapshot (the determinism guarantee the stress tests
+// enforce).
+//
+// Cancellation is cooperative: Cancel() on a queued job guarantees it never
+// starts; on a running job it fires the CancelToken that
+// MinerSession::Solve threads into the NewSEA seed-shard loop, which aborts
+// between seed chunks with no partial result — the session stays reusable
+// and resubmitting the identical request yields the exact uncancelled
+// answer.
+
+#ifndef DCS_API_MINING_SERVICE_H_
+#define DCS_API_MINING_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "api/miner_session.h"
+#include "api/mining.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace dcs {
+
+/// Opaque handle of one submitted job; unique within a service.
+using JobId = uint64_t;
+
+/// The job lifecycle: kQueued → kRunning → one of the terminal states
+/// (kDone / kFailed / kCancelled). A queued job may also go straight to
+/// kCancelled without ever running.
+enum class JobState : uint8_t {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+/// "queued", "running", "done", "failed" or "cancelled".
+const char* JobStateToString(JobState state);
+
+/// \brief Point-in-time snapshot of one job, returned by Poll/Wait/Cancel.
+struct JobStatus {
+  JobId id = 0;
+  JobState state = JobState::kQueued;
+  /// Failure detail when state == kFailed (the solver's Status, e.g. a
+  /// NotFound for an unregistered solver name); OK otherwise.
+  Status failure;
+  /// The mined response — subgraphs plus per-job MiningTelemetry. Filled
+  /// only when state == kDone.
+  MiningResponse response;
+  /// Seconds the job waited in the queue (Submit → leaving the queue).
+  /// 0 while still queued.
+  double queue_seconds = 0.0;
+  /// Seconds the solve ran. 0 unless the job reached kRunning.
+  double run_seconds = 0.0;
+
+  bool terminal() const {
+    return state == JobState::kDone || state == JobState::kFailed ||
+           state == JobState::kCancelled;
+  }
+};
+
+/// Service-level tuning.
+struct MiningServiceOptions {
+  /// Jobs allowed to sit in the queue (not yet terminal, not running);
+  /// Submit fails with OutOfRange beyond it — the backpressure signal.
+  /// 0 = unbounded.
+  size_t max_queued_jobs = 0;
+  /// Terminal jobs retained for Poll/Wait, oldest-finished-first eviction;
+  /// polling an evicted job returns NotFound. 0 = retain everything (only
+  /// sensible for tests and short-lived batch drivers).
+  size_t max_finished_jobs = 4096;
+};
+
+/// \brief Asynchronous mining facade over one MinerSession.
+///
+/// Submit/Poll/Wait/Cancel/ApplyUpdate are thread-safe and non-blocking
+/// (Wait blocks only its caller). Destruction cancels every queued job,
+/// fires the running job's token, and joins the executor; outstanding
+/// Wait() calls return with the terminal snapshots.
+class MiningService {
+ public:
+  /// Takes ownership of `session`. The session's own knobs
+  /// (SessionOptions::max_parallelism, pipeline cache size) keep governing
+  /// the solves; each job is granted the whole session thread budget.
+  explicit MiningService(MinerSession session,
+                         MiningServiceOptions options = {});
+  ~MiningService();
+
+  MiningService(const MiningService&) = delete;
+  MiningService& operator=(const MiningService&) = delete;
+
+  /// \brief Enqueues `request` and returns its JobId immediately.
+  ///
+  /// The request is *not* validated here: validation failures surface
+  /// through the job's kFailed state, exactly like solve-time failures, so
+  /// callers have one place to look. Fails only on backpressure
+  /// (OutOfRange, see MiningServiceOptions::max_queued_jobs) or after
+  /// shutdown began (Cancelled).
+  Result<JobId> Submit(MiningRequest request);
+
+  /// \brief Queues a streaming weight update at the current fence position
+  /// (see the file comment). Validated eagerly — a bad update is rejected
+  /// here and never enters the queue. Fails with Cancelled after shutdown
+  /// began.
+  Status ApplyUpdate(UpdateSide side, VertexId u, VertexId v, double delta);
+
+  /// Non-blocking snapshot; NotFound for unknown (or evicted) ids.
+  Result<JobStatus> Poll(JobId id) const;
+
+  /// Blocks until the job is terminal, then returns the snapshot.
+  Result<JobStatus> Wait(JobId id);
+
+  /// \brief Requests cancellation and returns the job's snapshot.
+  ///
+  /// A queued job transitions to kCancelled immediately and never starts; a
+  /// running job finishes cancelling asynchronously (the returned snapshot
+  /// may still say kRunning — Wait for the terminal state). Cancelling a
+  /// terminal job is a no-op that returns its snapshot.
+  Result<JobStatus> Cancel(JobId id);
+
+  /// Blocks until every submitted job is terminal and all queued updates
+  /// are applied. New work may be submitted concurrently; this returns once
+  /// the queue is observed empty with no job running.
+  void Drain();
+
+  /// Jobs submitted over the service's lifetime.
+  uint64_t num_submitted() const;
+  /// Jobs currently queued or running.
+  size_t num_pending_jobs() const;
+
+ private:
+  // One submitted job. Owned by jobs_ (and finished_order_) via shared_ptr
+  // so a snapshot under the lock stays cheap and eviction is O(1).
+  struct Job {
+    JobId id = 0;
+    MiningRequest request;
+    JobState state = JobState::kQueued;
+    Status failure;
+    MiningResponse response;
+    CancelToken cancel;
+    WallTimer since_submit;  // running from Submit
+    double queue_seconds = 0.0;
+    double run_seconds = 0.0;
+  };
+
+  // One queue entry, in fence order: either a job or a pre-validated
+  // streaming update.
+  struct QueuedOp {
+    std::shared_ptr<Job> job;  // null for updates
+    UpdateSide side = UpdateSide::kG1;
+    VertexId u = 0;
+    VertexId v = 0;
+    double delta = 0.0;
+  };
+
+  void ExecutorLoop();
+  // Marks `job` terminal, records it for retention/eviction and wakes
+  // waiters. Mutex held.
+  void FinishLocked(const std::shared_ptr<Job>& job);
+  // Builds the caller's snapshot; enters with `lock` held and releases it
+  // before the deep response copy (terminal jobs are immutable).
+  JobStatus TakeSnapshot(std::unique_lock<std::mutex>* lock,
+                         const std::shared_ptr<Job>& job) const;
+
+  MinerSession session_;
+  MiningServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable job_finished_;
+  std::deque<QueuedOp> queue_;
+  std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
+  // Terminal jobs in finish order, for max_finished_jobs eviction.
+  std::deque<JobId> finished_order_;
+  JobId next_job_id_ = 1;
+  uint64_t num_submitted_ = 0;
+  size_t num_queued_jobs_ = 0;  // kQueued jobs inside queue_
+  bool running_job_ = false;
+  bool executor_busy_ = false;  // applying an update outside the lock
+  bool stopping_ = false;
+
+  std::thread executor_;  // last member: joins before the rest tears down
+};
+
+}  // namespace dcs
+
+#endif  // DCS_API_MINING_SERVICE_H_

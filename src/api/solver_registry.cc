@@ -78,6 +78,9 @@ Result<std::vector<RankedSubgraph>> SolveDcsgaBuiltin(
   }
   solver_options.assume_nonnegative =
       solver_options.assume_nonnegative || context.positive_part_validated;
+  if (solver_options.cancel == nullptr) {
+    solver_options.cancel = context.cancel;
+  }
 
   if (request.top_k == 1) {
     Result<DcsgaResult> fresh =

@@ -50,6 +50,11 @@ struct SolverContext {
   /// Previous solution's support for warm starting; empty unless the request
   /// opted in and the session has one.
   std::span<const VertexId> warm_support;
+  /// Cooperative cancellation token of this solve, or nullptr. Solvers
+  /// should poll it at coarse safe points and abort with Status::Cancelled;
+  /// the builtin "dcsga" solver threads it into the NewSEA seed loop. A
+  /// solver that ignores the token just cancels less promptly.
+  const CancelToken* cancel = nullptr;
 };
 
 /// A solver: prepared inputs + request → ranked subgraphs. Must be pure

@@ -151,6 +151,10 @@ DcsgaResult RunNewSeaSharded(const Graph& gd_plus,
     ShardState& local = locals[shard];
     AffinityState state(gd_plus);
     while (!exhausted.load(std::memory_order_relaxed)) {
+      // Cooperative cancellation, polled once per seed chunk: shards stop
+      // claiming work and the caller reports Status::Cancelled. On an
+      // uncancelled run this check never alters the claimed-chunk sequence.
+      if (inner.cancel != nullptr && inner.cancel->cancelled()) break;
       const size_t begin = cursor.fetch_add(kChunkSize);
       if (begin >= order.size()) break;
       const size_t end = std::min(begin + kChunkSize, order.size());
@@ -292,17 +296,29 @@ Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
 
   const size_t shards = ResolveShards(options.parallelism, pool);
   if (shards > 1 && !options.collect_cliques) {
+    DcsgaResult sharded;
     if (pool != nullptr) {
-      return RunNewSeaSharded(gd_plus, bounds, order, inner, shards, pool);
+      sharded = RunNewSeaSharded(gd_plus, bounds, order, inner, shards, pool);
+    } else {
+      ThreadPool transient(shards - 1);
+      sharded =
+          RunNewSeaSharded(gd_plus, bounds, order, inner, shards, &transient);
     }
-    ThreadPool transient(shards - 1);
-    return RunNewSeaSharded(gd_plus, bounds, order, inner, shards, &transient);
+    // A fired token aborts the whole solve — no partial result escapes, so
+    // a cancelled job can simply be resubmitted for the exact full answer.
+    if (inner.cancel != nullptr && inner.cancel->cancelled()) {
+      return Status::Cancelled("NewSEA solve cancelled");
+    }
+    return sharded;
   }
 
   DcsgaResult result = TrivialResult(gd_plus);
   MultiInitDriver driver(gd_plus, inner);
   size_t seeds_run = 0;
   for (VertexId u : order) {
+    if (inner.cancel != nullptr && inner.cancel->cancelled()) {
+      return Status::Cancelled("NewSEA solve cancelled");
+    }
     if (bounds.mu[u] <= result.affinity) break;  // Theorem 6 early stop
     ++seeds_run;
     driver.RunSeed(u, &result);
@@ -323,6 +339,9 @@ Result<DcsgaResult> RunDcsgaAllInits(const Graph& gd_plus,
   DcsgaResult result = TrivialResult(gd_plus);
   MultiInitDriver driver(gd_plus, options);
   for (VertexId u = 0; u < n; ++u) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return Status::Cancelled("DCSGA all-inits solve cancelled");
+    }
     // Isolated vertices cannot improve on the trivial solution.
     if (gd_plus.Degree(u) == 0) {
       ++result.pruned_seeds;

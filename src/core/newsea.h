@@ -28,6 +28,7 @@
 #include "core/seacd.h"
 #include "core/sea.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace dcs {
@@ -71,6 +72,12 @@ struct DcsgaOptions {
   /// has already validated the graph (MinerSession validates each cached
   /// pipeline's GD+ once instead of on every solve).
   bool assume_nonnegative = false;
+  /// Cooperative cancellation: the multi-init loop polls this token between
+  /// seeds (sequential) / seed chunks (sharded) and aborts the solve with
+  /// Status::Cancelled once it fires. Never sampled on the uncancelled path
+  /// in a way that affects results — an uncancelled run stays bit-identical.
+  /// Not owned; must outlive the solve. nullptr = not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Result of a multi-initialization DCSGA solve.

@@ -23,6 +23,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Not converged";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

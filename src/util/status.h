@@ -27,6 +27,7 @@ enum class StatusCode : uint8_t {
   kIoError = 5,
   kNotConverged = 6,
   kInternal = 7,
+  kCancelled = 8,
 };
 
 /// \brief Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
@@ -66,6 +67,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -75,6 +79,7 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsNotConverged() const { return code() == StatusCode::kNotConverged; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// The error message; empty for OK.
   const std::string& message() const;

@@ -24,47 +24,10 @@ using ::dcs::testing::Fig1G1;
 using ::dcs::testing::Fig1G2;
 using ::dcs::testing::MakeGraph;
 
-// Serializes everything deterministic about a response: subgraphs with full
-// double precision plus the deterministic telemetry fields. Wall-times are
-// the documented exception.
+// Everything deterministic about a sequential-solve response (subgraphs +
+// telemetry counters); wall-times are the documented exception.
 std::string Serialize(const MiningResponse& response) {
-  std::string out;
-  char buf[64];
-  auto append_subgraphs = [&](const char* tag,
-                              const std::vector<RankedSubgraph>& list) {
-    out += tag;
-    for (const RankedSubgraph& s : list) {
-      out += "[";
-      for (VertexId v : s.vertices) {
-        std::snprintf(buf, sizeof(buf), "%u,", v);
-        out += buf;
-      }
-      out += "|";
-      for (double w : s.weights) {
-        std::snprintf(buf, sizeof(buf), "%.17g,", w);
-        out += buf;
-      }
-      std::snprintf(buf, sizeof(buf), "|v=%.17g|r=%.17g|c=%d]", s.value,
-                    s.ratio_bound, s.positive_clique ? 1 : 0);
-      out += buf;
-    }
-  };
-  append_subgraphs("AD:", response.average_degree);
-  append_subgraphs(";GA:", response.graph_affinity);
-  std::snprintf(buf, sizeof(buf), ";T:%llu,%llu,%llu,%u,%llu,%d,%d",
-                static_cast<unsigned long long>(
-                    response.telemetry.initializations),
-                static_cast<unsigned long long>(
-                    response.telemetry.cd_iterations),
-                static_cast<unsigned long long>(
-                    response.telemetry.replicator_sweeps),
-                response.telemetry.expansion_errors,
-                static_cast<unsigned long long>(
-                    response.telemetry.session_rebuilds),
-                response.telemetry.reused_cached_difference ? 1 : 0,
-                response.telemetry.warm_start_used ? 1 : 0);
-  out += buf;
-  return out;
+  return ::dcs::testing::SerializeDeterministic(response);
 }
 
 std::vector<MiningRequest> BatchRequests() {
@@ -181,30 +144,11 @@ TEST(MineAllTest, SolverExceptionsBecomeStatuses) {
   EXPECT_TRUE(session->Mine(MiningRequest{}).ok());
 }
 
-// Serializes only the mined subgraphs — intra-request parallelism keeps
-// them bit-identical while the work-counter telemetry legitimately varies
-// with thread timing.
+// Only the mined subgraphs — intra-request parallelism keeps them
+// bit-identical while the work-counter telemetry legitimately varies with
+// thread timing.
 std::string SerializeSubgraphsOnly(const MiningResponse& response) {
-  std::string out;
-  char buf[64];
-  for (const std::vector<RankedSubgraph>* list :
-       {&response.average_degree, &response.graph_affinity}) {
-    for (const RankedSubgraph& s : *list) {
-      out += "[";
-      for (VertexId v : s.vertices) {
-        std::snprintf(buf, sizeof(buf), "%u,", v);
-        out += buf;
-      }
-      for (double w : s.weights) {
-        std::snprintf(buf, sizeof(buf), "%.17g,", w);
-        out += buf;
-      }
-      std::snprintf(buf, sizeof(buf), "v=%.17g]", s.value);
-      out += buf;
-    }
-    out += ";";
-  }
-  return out;
+  return ::dcs::testing::SerializeSubgraphs(response);
 }
 
 // A substantial session input: an empty G1 against a random signed G2, so
@@ -280,6 +224,50 @@ TEST(MineAllTest, ExplicitIntraParallelismOnSingleMine) {
     EXPECT_EQ(SerializeSubgraphsOnly(*actual),
               SerializeSubgraphsOnly(*expected))
         << threads << " threads";
+  }
+}
+
+TEST(MineAllTest, BudgetSplitDegradesGracefullyWhenRequestsExceedThePool) {
+  // Regression for the up-front budget split: with more requests than pool
+  // threads every request must still get a >= 1-thread intra grant (no
+  // zero-thread seed shards, no starved solves) and the mined subgraphs
+  // must stay bit-identical to sequential mining.
+  auto [g1, g2] = RandomSessionGraphs();
+  std::vector<MiningRequest> requests(9);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].measure =
+        i % 3 == 0 ? Measure::kBoth : Measure::kGraphAffinity;
+    requests[i].alpha = i % 2 == 0 ? 1.0 : 2.0;
+    requests[i].ga_solver.parallelism = 0;  // auto: take the granted share
+  }
+
+  SessionOptions sequential_options;
+  sequential_options.max_parallelism = 1;
+  Result<MinerSession> sequential =
+      MinerSession::Create(g1, g2, sequential_options);
+  ASSERT_TRUE(sequential.ok());
+  Result<std::vector<MiningResponse>> expected = sequential->MineAll(requests);
+  ASSERT_TRUE(expected.ok());
+
+  // Budgets strictly below, equal to, and above the request count — the
+  // first two force the degraded split, the third exercises the remainder
+  // distribution (budget % inter leftover threads are granted, not lost).
+  for (const uint32_t budget : {2u, 3u, 9u, 13u}) {
+    SessionOptions options;
+    options.max_parallelism = budget;
+    Result<MinerSession> session = MinerSession::Create(g1, g2, options);
+    ASSERT_TRUE(session.ok());
+    Result<std::vector<MiningResponse>> actual = session->MineAll(requests);
+    ASSERT_TRUE(actual.ok()) << "budget " << budget << ": "
+                             << actual.status().ToString();
+    ASSERT_EQ(actual->size(), expected->size());
+    for (size_t i = 0; i < expected->size(); ++i) {
+      EXPECT_EQ(SerializeSubgraphsOnly((*actual)[i]),
+                SerializeSubgraphsOnly((*expected)[i]))
+          << "budget " << budget << ", request #" << i;
+      EXPECT_FALSE((*actual)[i].graph_affinity.empty())
+          << "budget " << budget << ", request #" << i;
+    }
   }
 }
 

@@ -1,0 +1,499 @@
+// MiningService: the submit/poll/wait/cancel state machine, update fencing,
+// failure propagation, cancellation semantics, and a moderate many-jobs run
+// asserting every finished job is bit-identical to a fresh synchronous
+// solve (the big mixed stress lives in tests/stress/).
+
+#include "api/mining_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/miner_session.h"
+#include "api/solver_registry.h"
+#include "gen/random_graphs.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::Fig1G1;
+using ::dcs::testing::Fig1G2;
+using ::dcs::testing::MakeGraph;
+
+// --- test solvers ---------------------------------------------------------
+// Registered once per process; tests reset the globals they use.
+
+std::atomic<bool> g_release{false};
+std::atomic<int> g_blocking_runs{0};
+std::atomic<int> g_counting_runs{0};
+
+// Parks until released (or cancelled), making queue states observable.
+Result<std::vector<RankedSubgraph>> BlockingSolver(const SolverContext& ctx,
+                                                   const MiningRequest&,
+                                                   MiningTelemetry*) {
+  g_blocking_runs.fetch_add(1);
+  while (!g_release.load()) {
+    if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+      return Status::Cancelled("blocking solver cancelled");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return std::vector<RankedSubgraph>{};
+}
+
+Result<std::vector<RankedSubgraph>> CountingSolver(const SolverContext&,
+                                                   const MiningRequest&,
+                                                   MiningTelemetry*) {
+  g_counting_runs.fetch_add(1);
+  return std::vector<RankedSubgraph>{};
+}
+
+Result<std::vector<RankedSubgraph>> ThrowingServiceSolver(
+    const SolverContext&, const MiningRequest&, MiningTelemetry*) {
+  throw std::runtime_error("service solver boom");
+}
+
+// Runs "forever" until its token fires — the deterministic mid-run
+// cancellation target.
+Result<std::vector<RankedSubgraph>> CancelWaitingSolver(
+    const SolverContext& ctx, const MiningRequest&, MiningTelemetry*) {
+  WallTimer guard;
+  while (ctx.cancel == nullptr || !ctx.cancel->cancelled()) {
+    if (guard.Seconds() > 30.0) {
+      return Status::Internal("cancel-waiting solver was never cancelled");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::Cancelled("solver observed the token");
+}
+
+void RegisterTestSolvers() {
+  static const bool registered = [] {
+    auto& registry = SolverRegistry::Global();
+    return registry.Register("blocking-solver", &BlockingSolver).ok() &&
+           registry.Register("counting-solver", &CountingSolver).ok() &&
+           registry.Register("cancel-waiting", &CancelWaitingSolver).ok() &&
+           registry.Register("service-throwing", &ThrowingServiceSolver).ok();
+  }();
+  ASSERT_TRUE(registered);
+}
+
+// --- helpers --------------------------------------------------------------
+
+MinerSession MustCreate(Graph g1, Graph g2, SessionOptions options = {}) {
+  Result<MinerSession> session =
+      MinerSession::Create(std::move(g1), std::move(g2), options);
+  DCS_CHECK(session.ok()) << session.status().ToString();
+  return std::move(*session);
+}
+
+// Spin until the job reaches `state` (or the deadline trips).
+bool WaitForState(const MiningService& service, JobId id, JobState state) {
+  WallTimer timer;
+  while (timer.Seconds() < 30.0) {
+    Result<JobStatus> polled = service.Poll(id);
+    if (!polled.ok()) return false;
+    if (polled->state == state) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+// Everything deterministic about a sequential-solve response (subgraphs +
+// telemetry counters; wall times are the documented exception). Tests that
+// grant requests an auto parallelism share compare
+// testing::SerializeSubgraphs instead — work counters vary with timing.
+std::string Serialize(const MiningResponse& response) {
+  return ::dcs::testing::SerializeDeterministic(response);
+}
+
+// --- state machine --------------------------------------------------------
+
+TEST(MiningServiceTest, SubmitWaitDoneMatchesSynchronousMine) {
+  MiningRequest request;  // both measures, defaults
+  Result<MiningResponse> expected =
+      MustCreate(Fig1G1(), Fig1G2()).Mine(request);
+  ASSERT_TRUE(expected.ok());
+
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()));
+  Result<JobId> id = service.Submit(request);
+  ASSERT_TRUE(id.ok());
+  Result<JobStatus> status = service.Wait(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_TRUE(status->terminal());
+  EXPECT_TRUE(status->failure.ok());
+  EXPECT_GE(status->queue_seconds, 0.0);
+  EXPECT_GE(status->run_seconds, 0.0);
+  EXPECT_EQ(Serialize(status->response), Serialize(*expected));
+
+  // Poll after the terminal transition returns the same snapshot.
+  Result<JobStatus> polled = service.Poll(*id);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled->state, JobState::kDone);
+  EXPECT_EQ(Serialize(polled->response), Serialize(*expected));
+  EXPECT_EQ(service.num_submitted(), 1u);
+  EXPECT_EQ(service.num_pending_jobs(), 0u);
+}
+
+TEST(MiningServiceTest, UnknownJobIdsAreNotFound) {
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()));
+  EXPECT_TRUE(service.Poll(4242).status().IsNotFound());
+  EXPECT_TRUE(service.Wait(4242).status().IsNotFound());
+  EXPECT_TRUE(service.Cancel(4242).status().IsNotFound());
+}
+
+TEST(MiningServiceTest, QueuedAndRunningStatesAreObservable) {
+  RegisterTestSolvers();
+  g_release.store(false);
+
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()));
+  MiningRequest blocking;
+  blocking.measure = Measure::kAverageDegree;
+  blocking.ad_solver_name = "blocking-solver";
+  Result<JobId> first = service.Submit(blocking);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(WaitForState(service, *first, JobState::kRunning));
+
+  Result<JobId> second = service.Submit(MiningRequest{});
+  ASSERT_TRUE(second.ok());
+  Result<JobStatus> queued = service.Poll(*second);
+  ASSERT_TRUE(queued.ok());
+  EXPECT_EQ(queued->state, JobState::kQueued);
+  EXPECT_EQ(service.num_pending_jobs(), 2u);
+
+  g_release.store(true);
+  EXPECT_EQ(service.Wait(*first)->state, JobState::kDone);
+  EXPECT_EQ(service.Wait(*second)->state, JobState::kDone);
+}
+
+// --- failure propagation --------------------------------------------------
+
+TEST(MiningServiceTest, BadSolverNameFailsTheJobNotTheService) {
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()));
+  MiningRequest bad;
+  bad.ga_solver_name = "no-such-measure";
+  Result<JobId> id = service.Submit(bad);
+  ASSERT_TRUE(id.ok());
+  Result<JobStatus> status = service.Wait(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_TRUE(status->failure.IsNotFound());
+  EXPECT_NE(status->failure.message().find("no-such-measure"),
+            std::string::npos);
+  EXPECT_TRUE(status->response.graph_affinity.empty());
+
+  // The queue keeps draining: the next job succeeds.
+  Result<JobId> good = service.Submit(MiningRequest{});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(service.Wait(*good)->state, JobState::kDone);
+}
+
+TEST(MiningServiceTest, ThrowingSolverFailsTheJobNotTheProcess) {
+  RegisterTestSolvers();
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()));
+  MiningRequest throwing;
+  throwing.measure = Measure::kAverageDegree;
+  throwing.ad_solver_name = "service-throwing";
+  Result<JobId> id = service.Submit(throwing);
+  ASSERT_TRUE(id.ok());
+  Result<JobStatus> status = service.Wait(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_EQ(status->failure.code(), StatusCode::kInternal);
+  EXPECT_NE(status->failure.message().find("boom"), std::string::npos);
+
+  // The executor survived the exception and keeps serving.
+  Result<JobId> good = service.Submit(MiningRequest{});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(service.Wait(*good)->state, JobState::kDone);
+}
+
+TEST(MiningServiceTest, InvalidRequestFailsTheJobWithItsValidationStatus) {
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()));
+  MiningRequest invalid;
+  invalid.alpha = 0.0;  // Validate() rejects non-positive alpha
+  Result<JobId> id = service.Submit(invalid);
+  ASSERT_TRUE(id.ok());
+  Result<JobStatus> status = service.Wait(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_TRUE(status->failure.IsInvalidArgument());
+}
+
+TEST(MiningServiceTest, BadUpdatesAreRejectedEagerly) {
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()));
+  EXPECT_TRUE(service.ApplyUpdate(UpdateSide::kG2, 1, 1, 1.0)
+                  .IsInvalidArgument());  // self-loop
+  EXPECT_EQ(service.ApplyUpdate(UpdateSide::kG2, 0, 99, 1.0).code(),
+            StatusCode::kOutOfRange);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(
+      service.ApplyUpdate(UpdateSide::kG1, 0, 1, inf).IsInvalidArgument());
+}
+
+// --- cancellation ---------------------------------------------------------
+
+TEST(MiningServiceTest, CancellingAQueuedJobNeverStartsIt) {
+  RegisterTestSolvers();
+  g_release.store(false);
+  g_counting_runs.store(0);
+
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()));
+  MiningRequest blocking;
+  blocking.measure = Measure::kAverageDegree;
+  blocking.ad_solver_name = "blocking-solver";
+  Result<JobId> head = service.Submit(blocking);
+  ASSERT_TRUE(head.ok());
+  ASSERT_TRUE(WaitForState(service, *head, JobState::kRunning));
+
+  MiningRequest counted;
+  counted.measure = Measure::kAverageDegree;
+  counted.ad_solver_name = "counting-solver";
+  Result<JobId> queued = service.Submit(counted);
+  ASSERT_TRUE(queued.ok());
+  Result<JobStatus> cancelled = service.Cancel(*queued);
+  ASSERT_TRUE(cancelled.ok());
+  // Terminal immediately — the guarantee, not just eventually-cancelled.
+  EXPECT_EQ(cancelled->state, JobState::kCancelled);
+
+  g_release.store(true);
+  EXPECT_EQ(service.Wait(*head)->state, JobState::kDone);
+  service.Drain();
+  EXPECT_EQ(g_counting_runs.load(), 0) << "cancelled queued job was started";
+  EXPECT_EQ(service.Wait(*queued)->state, JobState::kCancelled);
+
+  // Cancelling a terminal job is a no-op returning the snapshot.
+  EXPECT_EQ(service.Cancel(*head)->state, JobState::kDone);
+}
+
+TEST(MiningServiceTest, CancelMidRunLeavesTheSessionReusable) {
+  RegisterTestSolvers();
+  auto [g1, g2] = std::pair{Fig1G1(), Fig1G2()};
+
+  MiningService service(MustCreate(g1, g2));
+  MiningRequest doomed;
+  doomed.ga_solver_name = "cancel-waiting";
+  Result<JobId> id = service.Submit(doomed);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(WaitForState(service, *id, JobState::kRunning));
+  Result<JobStatus> snapshot = service.Cancel(*id);
+  ASSERT_TRUE(snapshot.ok());
+  Result<JobStatus> final_status = service.Wait(*id);
+  ASSERT_TRUE(final_status.ok());
+  EXPECT_EQ(final_status->state, JobState::kCancelled);
+  EXPECT_TRUE(final_status->response.graph_affinity.empty())
+      << "cancelled job must not carry a partial result";
+
+  // The identical request (builtin solver) on the same service now returns
+  // the exact synchronous-reference answer. The cancelled job already
+  // materialized the pipeline (prepare precedes the solve), so the matching
+  // reference is a cache-warm solve: mine twice, compare the second.
+  MiningRequest request;  // defaults: builtin solvers
+  MinerSession reference = MustCreate(g1, g2);
+  ASSERT_TRUE(reference.Mine(request).ok());
+  Result<MiningResponse> expected = reference.Mine(request);
+  ASSERT_TRUE(expected.ok());
+  Result<JobId> retry = service.Submit(request);
+  ASSERT_TRUE(retry.ok());
+  Result<JobStatus> done = service.Wait(*retry);
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->state, JobState::kDone);
+  EXPECT_EQ(Serialize(done->response), Serialize(*expected));
+}
+
+TEST(MiningServiceTest, DestructionCancelsOutstandingJobs) {
+  RegisterTestSolvers();
+  g_release.store(false);
+  g_counting_runs.store(0);
+
+  Result<JobId> queued = Status::OK();
+  {
+    MiningService service(MustCreate(Fig1G1(), Fig1G2()));
+    MiningRequest blocking;
+    blocking.measure = Measure::kAverageDegree;
+    blocking.ad_solver_name = "blocking-solver";
+    ASSERT_TRUE(service.Submit(blocking).ok());
+
+    MiningRequest counted;
+    counted.measure = Measure::kAverageDegree;
+    counted.ad_solver_name = "counting-solver";
+    queued = service.Submit(counted);
+    ASSERT_TRUE(queued.ok());
+    // Destructor: fires the running job's token (the blocking solver
+    // observes it), cancels the queued job, joins — must not hang.
+  }
+  EXPECT_EQ(g_counting_runs.load(), 0);
+}
+
+// --- backpressure ---------------------------------------------------------
+
+TEST(MiningServiceTest, BackpressureRejectsSubmitsBeyondTheQueueCap) {
+  RegisterTestSolvers();
+  g_release.store(false);
+
+  MiningServiceOptions options;
+  options.max_queued_jobs = 2;
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()), options);
+  MiningRequest blocking;
+  blocking.measure = Measure::kAverageDegree;
+  blocking.ad_solver_name = "blocking-solver";
+  Result<JobId> running = service.Submit(blocking);
+  ASSERT_TRUE(running.ok());
+  ASSERT_TRUE(WaitForState(service, *running, JobState::kRunning));
+
+  // The running job no longer occupies the queue: two more fit, not three.
+  ASSERT_TRUE(service.Submit(MiningRequest{}).ok());
+  ASSERT_TRUE(service.Submit(MiningRequest{}).ok());
+  Result<JobId> overflow = service.Submit(MiningRequest{});
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kOutOfRange);
+
+  g_release.store(true);
+  service.Drain();
+  // Queue drained: submits are accepted again.
+  EXPECT_TRUE(service.Submit(MiningRequest{}).ok());
+  service.Drain();
+}
+
+// --- update fencing -------------------------------------------------------
+
+TEST(MiningServiceTest, UpdatesAreFencedBetweenJobs) {
+  // Live graph: a modest clique that a fenced surge overtakes.
+  const Graph g1 = MakeGraph(8, {});
+  const Graph g2 = MakeGraph(8, {{0, 1, 3.0}, {1, 2, 3.0}, {0, 2, 3.0}});
+  MiningRequest request;
+  request.measure = Measure::kGraphAffinity;
+
+  // Reference replay: solve, update, solve — synchronously.
+  MinerSession reference = MustCreate(g1, g2);
+  Result<MiningResponse> before = reference.Mine(request);
+  ASSERT_TRUE(before.ok());
+  for (const auto [u, v] : {std::pair{4, 5}, {5, 6}, {4, 6}}) {
+    ASSERT_TRUE(reference
+                    .ApplyUpdate(UpdateSide::kG2, static_cast<VertexId>(u),
+                                 static_cast<VertexId>(v), 9.0)
+                    .ok());
+  }
+  Result<MiningResponse> after = reference.Mine(request);
+  ASSERT_TRUE(after.ok());
+  // The surge changed the answer — otherwise fencing would be vacuous.
+  ASSERT_NE(Serialize(*before), Serialize(*after));
+
+  // Async: job A is submitted before the update, job B after. The fence
+  // guarantees A mines the pre-update snapshot even though the update is
+  // queued long before A's solve may actually start.
+  MiningService service(MustCreate(g1, g2));
+  Result<JobId> job_a = service.Submit(request);
+  ASSERT_TRUE(job_a.ok());
+  for (const auto [u, v] : {std::pair{4, 5}, {5, 6}, {4, 6}}) {
+    ASSERT_TRUE(service
+                    .ApplyUpdate(UpdateSide::kG2, static_cast<VertexId>(u),
+                                 static_cast<VertexId>(v), 9.0)
+                    .ok());
+  }
+  Result<JobId> job_b = service.Submit(request);
+  ASSERT_TRUE(job_b.ok());
+
+  Result<JobStatus> status_a = service.Wait(*job_a);
+  Result<JobStatus> status_b = service.Wait(*job_b);
+  ASSERT_TRUE(status_a.ok());
+  ASSERT_TRUE(status_b.ok());
+  ASSERT_EQ(status_a->state, JobState::kDone);
+  ASSERT_EQ(status_b->state, JobState::kDone);
+  EXPECT_EQ(Serialize(status_a->response), Serialize(*before));
+  EXPECT_EQ(Serialize(status_b->response), Serialize(*after));
+}
+
+// --- many jobs vs synchronous reference ----------------------------------
+
+TEST(MiningServiceTest, ManyJobsMatchTheirSynchronousReference) {
+  Rng rng(31);
+  Result<Graph> g2 = RandomSignedGraph(/*n=*/120, /*m=*/800,
+                                       /*positive_fraction=*/0.7,
+                                       /*magnitude_lo=*/0.5,
+                                       /*magnitude_hi=*/3.0, &rng);
+  ASSERT_TRUE(g2.ok());
+  const Graph g1 = MakeGraph(120, {});
+
+  // A deterministic interleaving of 24 mixed jobs and 5 updates.
+  std::vector<MiningRequest> requests(24);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].measure = i % 3 == 0   ? Measure::kBoth
+                          : i % 3 == 1 ? Measure::kGraphAffinity
+                                       : Measure::kAverageDegree;
+    requests[i].alpha = i % 2 == 0 ? 1.0 : 2.0;
+    requests[i].flip = i % 5 == 0;
+    requests[i].ga_solver.parallelism = 0;  // auto
+  }
+  auto update_at = [](size_t i) { return i % 5 == 2; };
+  auto update_edge = [](size_t i) {
+    return std::pair<VertexId, VertexId>(static_cast<VertexId>(i),
+                                         static_cast<VertexId>(i + 40));
+  };
+
+  // Reference: synchronous replay of the same op order.
+  MinerSession reference = MustCreate(g1, *g2);
+  std::vector<std::string> expected;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (update_at(i)) {
+      const auto [u, v] = update_edge(i);
+      ASSERT_TRUE(reference.ApplyUpdate(UpdateSide::kG2, u, v, 4.0).ok());
+    }
+    Result<MiningResponse> mined = reference.Mine(requests[i]);
+    ASSERT_TRUE(mined.ok());
+    // Subgraphs only: these requests take the auto parallelism share, so
+    // their work counters may vary with thread timing on multi-core hosts.
+    expected.push_back(::dcs::testing::SerializeSubgraphs(*mined));
+  }
+
+  MiningService service(MustCreate(g1, *g2));
+  std::vector<JobId> ids;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (update_at(i)) {
+      const auto [u, v] = update_edge(i);
+      ASSERT_TRUE(service.ApplyUpdate(UpdateSide::kG2, u, v, 4.0).ok());
+    }
+    Result<JobId> id = service.Submit(requests[i]);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Result<JobStatus> status = service.Wait(ids[i]);
+    ASSERT_TRUE(status.ok());
+    ASSERT_EQ(status->state, JobState::kDone) << "job #" << i;
+    EXPECT_EQ(::dcs::testing::SerializeSubgraphs(status->response), expected[i])
+        << "job #" << i;
+  }
+}
+
+// --- retention ------------------------------------------------------------
+
+TEST(MiningServiceTest, FinishedJobsAreEvictedBeyondTheRetentionCap) {
+  MiningServiceOptions options;
+  options.max_finished_jobs = 2;
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()), options);
+  std::vector<JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    Result<JobId> id = service.Submit(MiningRequest{});
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  service.Drain();
+  EXPECT_TRUE(service.Poll(ids[0]).status().IsNotFound());
+  EXPECT_TRUE(service.Poll(ids[1]).status().IsNotFound());
+  EXPECT_EQ(service.Poll(ids[2])->state, JobState::kDone);
+  EXPECT_EQ(service.Poll(ids[3])->state, JobState::kDone);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -171,5 +171,55 @@ TEST(NewSeaParallelTest, CollectCliquesFallsBackToSequential) {
   }
 }
 
+TEST(NewSeaParallelTest, PreCancelledTokenAbortsWithCancelled) {
+  // The cooperative-cancellation hook of the seed loop, hit deterministically
+  // by arming the token before the solve: both the sequential loop and every
+  // shard observe it at their first check and abort without a result.
+  Rng rng(7);
+  Result<Graph> gd =
+      RandomSignedGraph(/*n=*/200, /*m=*/1500, /*positive_fraction=*/0.7,
+                        /*magnitude_lo=*/0.5, /*magnitude_hi=*/3.0, &rng);
+  ASSERT_TRUE(gd.ok());
+  const Graph gd_plus = gd->PositivePart();
+  const SmartInitBounds bounds = ComputeSmartInitBounds(gd_plus);
+
+  CancelToken token;
+  token.Cancel();
+  for (const uint32_t threads : kThreadCounts) {
+    DcsgaOptions options;
+    options.parallelism = threads;
+    options.cancel = &token;
+    Result<DcsgaResult> run = RunNewSea(gd_plus, bounds, options);
+    ASSERT_FALSE(run.ok()) << threads << " threads";
+    EXPECT_TRUE(run.status().IsCancelled()) << threads << " threads";
+  }
+}
+
+TEST(NewSeaParallelTest, UnfiredTokenKeepsResultsBitIdentical) {
+  // Threading a live-but-silent token through the solve must not perturb
+  // anything — the uncancelled path stays the exact sequential answer.
+  Rng rng(19);
+  Result<Graph> gd =
+      RandomSignedGraph(/*n=*/200, /*m=*/1500, /*positive_fraction=*/0.7,
+                        /*magnitude_lo=*/0.5, /*magnitude_hi=*/3.0, &rng);
+  ASSERT_TRUE(gd.ok());
+  const Graph gd_plus = gd->PositivePart();
+  const SmartInitBounds bounds = ComputeSmartInitBounds(gd_plus);
+
+  Result<DcsgaResult> reference = RunNewSea(gd_plus, bounds, DcsgaOptions{});
+  ASSERT_TRUE(reference.ok());
+  CancelToken token;  // never fired
+  for (const uint32_t threads : kThreadCounts) {
+    DcsgaOptions options;
+    options.parallelism = threads;
+    options.cancel = &token;
+    Result<DcsgaResult> run = RunNewSea(gd_plus, bounds, options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->affinity, reference->affinity) << threads << " threads";
+    EXPECT_EQ(run->support, reference->support) << threads << " threads";
+    EXPECT_EQ(run->x.x, reference->x.x) << threads << " threads";
+  }
+}
+
 }  // namespace
 }  // namespace dcs

@@ -1,0 +1,226 @@
+// Stress harness for the async mining service (ctest label `stress`).
+//
+// The acceptance bar of the async surface: a run of ≥ 64 submitted jobs —
+// mixed measures and pipelines, streaming updates fenced into the queue,
+// random cancellations, submissions racing from several threads — completes
+// with every finished job's affinity/support/embedding bit-identical to a
+// synchronous reference solve of the same request against the same graph
+// snapshot.
+
+#include "api/mining_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "api/miner_session.h"
+#include "gen/random_graphs.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::MakeGraph;
+
+MinerSession MustCreate(const Graph& g1, const Graph& g2,
+                        SessionOptions options = {}) {
+  Result<MinerSession> session = MinerSession::Create(g1, g2, options);
+  DCS_CHECK(session.ok()) << session.status().ToString();
+  return std::move(*session);
+}
+
+// The subgraph fields the determinism guarantee covers: affinity / support /
+// embedding (and the DCSAD analogues), at full double precision.
+std::string SerializeSubgraphs(const MiningResponse& response) {
+  return ::dcs::testing::SerializeSubgraphs(response);
+}
+
+// A deterministic function of (rng) producing a mixed request.
+MiningRequest RandomRequest(Rng* rng) {
+  MiningRequest request;
+  switch (rng->NextBounded(3)) {
+    case 0:
+      request.measure = Measure::kGraphAffinity;
+      break;
+    case 1:
+      request.measure = Measure::kBoth;
+      break;
+    default:
+      request.measure = Measure::kAverageDegree;
+      break;
+  }
+  request.alpha = 1.0 + static_cast<double>(rng->NextBounded(3));
+  request.flip = rng->NextBounded(4) == 0;
+  request.top_k = rng->NextBounded(5) == 0 ? 2 : 1;
+  request.ga_solver.parallelism = 0;  // auto: share the session budget
+  return request;
+}
+
+std::pair<Graph, Graph> StressGraphs() {
+  Rng rng(1729);
+  Result<Graph> g2 = RandomSignedGraph(/*n=*/150, /*m=*/1200,
+                                       /*positive_fraction=*/0.7,
+                                       /*magnitude_lo=*/0.5,
+                                       /*magnitude_hi=*/3.0, &rng);
+  DCS_CHECK(g2.ok()) << g2.status().ToString();
+  return {MakeGraph(150, {}), std::move(*g2)};
+}
+
+// Part 1 — the full acceptance scenario, single submitter so the fence
+// order (and therefore each job's reference snapshot) is deterministic:
+// 64 jobs, an update queued every 8th op, ~1 in 6 jobs randomly cancelled.
+TEST(MiningServiceStressTest, MixedJobsUpdatesAndCancellationsStayExact) {
+  const auto [g1, g2] = StressGraphs();
+  constexpr size_t kJobs = 64;
+  Rng rng(20180416);
+
+  // Script the whole run up front so the reference replay sees the exact
+  // same op sequence.
+  std::vector<MiningRequest> requests;
+  std::vector<bool> update_before;  // queue an update before job i?
+  std::vector<bool> try_cancel;     // cancel job i after the submit burst?
+  for (size_t i = 0; i < kJobs; ++i) {
+    requests.push_back(RandomRequest(&rng));
+    update_before.push_back(i % 8 == 5);
+    try_cancel.push_back(rng.NextBounded(6) == 0);
+  }
+  auto update_edge = [](size_t i) {
+    return std::pair<VertexId, VertexId>(static_cast<VertexId>(i),
+                                         static_cast<VertexId>(i + 60));
+  };
+
+  // Reference: synchronous replay. Cancellation never touches session
+  // state, so the replay ignores it — a cancelled job simply has no
+  // response to compare.
+  MinerSession reference = MustCreate(g1, g2);
+  std::vector<std::string> expected;
+  for (size_t i = 0; i < kJobs; ++i) {
+    if (update_before[i]) {
+      const auto [u, v] = update_edge(i);
+      ASSERT_TRUE(reference.ApplyUpdate(UpdateSide::kG2, u, v, 2.5).ok());
+    }
+    Result<MiningResponse> mined = reference.Mine(requests[i]);
+    ASSERT_TRUE(mined.ok()) << "reference job #" << i << ": "
+                            << mined.status().ToString();
+    expected.push_back(SerializeSubgraphs(*mined));
+  }
+
+  // The async run, on a session with a real thread budget so NewSEA solves
+  // shard across the pool while the queue churns.
+  SessionOptions session_options;
+  session_options.max_parallelism = 4;
+  MiningService service(MustCreate(g1, g2, session_options));
+  size_t max_pending = 0;
+  std::vector<JobId> ids;
+  for (size_t i = 0; i < kJobs; ++i) {
+    if (update_before[i]) {
+      const auto [u, v] = update_edge(i);
+      ASSERT_TRUE(service.ApplyUpdate(UpdateSide::kG2, u, v, 2.5).ok());
+    }
+    Result<JobId> id = service.Submit(requests[i]);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+    max_pending = std::max(max_pending, service.num_pending_jobs());
+  }
+  // Random cancellations racing the executor: depending on timing each
+  // victim is already done (no-op), running (token abort) or queued
+  // (terminal immediately) — all three must leave the run consistent.
+  for (size_t i = 0; i < kJobs; ++i) {
+    if (try_cancel[i]) {
+      ASSERT_TRUE(service.Cancel(ids[i]).ok());
+    }
+  }
+
+  size_t done = 0;
+  size_t cancelled = 0;
+  for (size_t i = 0; i < kJobs; ++i) {
+    Result<JobStatus> status = service.Wait(ids[i]);
+    ASSERT_TRUE(status.ok());
+    if (status->state == JobState::kCancelled) {
+      EXPECT_TRUE(try_cancel[i]) << "job #" << i << " cancelled unasked";
+      EXPECT_TRUE(status->response.graph_affinity.empty());
+      EXPECT_TRUE(status->response.average_degree.empty());
+      ++cancelled;
+      continue;
+    }
+    ASSERT_EQ(status->state, JobState::kDone)
+        << "job #" << i << ": " << status->failure.ToString();
+    EXPECT_EQ(SerializeSubgraphs(status->response), expected[i])
+        << "job #" << i << " diverged from its synchronous reference";
+    ++done;
+  }
+  EXPECT_EQ(done + cancelled, kJobs);
+  EXPECT_LE(cancelled, static_cast<size_t>(std::count(
+                           try_cancel.begin(), try_cancel.end(), true)));
+  // Submitting is instant while each solve takes real work, so the burst
+  // genuinely backs up the queue — the stress ran concurrent jobs, it
+  // didn't accidentally serialize submit → wait → submit.
+  EXPECT_GT(max_pending, 1u);
+}
+
+// Part 2 — thread-safety of the submit surface: several submitter threads
+// race Submit against one fixed snapshot (no updates), so every job's
+// reference depends only on its request. All must finish bit-identical.
+TEST(MiningServiceStressTest, ConcurrentSubmittersGetExactResults) {
+  const auto [g1, g2] = StressGraphs();
+  constexpr size_t kThreads = 4;
+  constexpr size_t kJobsPerThread = 16;
+
+  // Distinct request variants, references computed synchronously once.
+  std::vector<MiningRequest> variants;
+  for (size_t i = 0; i < 6; ++i) {
+    MiningRequest request;
+    request.measure = i % 2 == 0 ? Measure::kGraphAffinity : Measure::kBoth;
+    request.alpha = 1.0 + static_cast<double>(i % 3);
+    request.ga_solver.parallelism = 0;
+    variants.push_back(request);
+  }
+  MinerSession reference = MustCreate(g1, g2);
+  std::vector<std::string> expected;
+  for (const MiningRequest& request : variants) {
+    Result<MiningResponse> mined = reference.Mine(request);
+    ASSERT_TRUE(mined.ok());
+    expected.push_back(SerializeSubgraphs(*mined));
+  }
+
+  SessionOptions session_options;
+  session_options.max_parallelism = 4;
+  MiningService service(MustCreate(g1, g2, session_options));
+  std::vector<std::vector<std::pair<JobId, size_t>>> submitted(kThreads);
+  {
+    std::vector<std::thread> submitters;
+    for (size_t t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        Rng rng(7000 + t);
+        for (size_t i = 0; i < kJobsPerThread; ++i) {
+          const size_t variant = rng.NextBounded(variants.size());
+          Result<JobId> id = service.Submit(variants[variant]);
+          DCS_CHECK(id.ok()) << id.status().ToString();
+          submitted[t].push_back({*id, variant});
+        }
+      });
+    }
+    for (std::thread& submitter : submitters) submitter.join();
+  }
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (const auto& [id, variant] : submitted[t]) {
+      Result<JobStatus> status = service.Wait(id);
+      ASSERT_TRUE(status.ok());
+      ASSERT_EQ(status->state, JobState::kDone);
+      EXPECT_EQ(SerializeSubgraphs(status->response), expected[variant])
+          << "submitter " << t << " job " << id;
+    }
+  }
+  EXPECT_EQ(service.num_submitted(), kThreads * kJobsPerThread);
+}
+
+}  // namespace
+}  // namespace dcs

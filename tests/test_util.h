@@ -3,15 +3,69 @@
 #ifndef DCS_TESTS_TEST_UTIL_H_
 #define DCS_TESTS_TEST_UTIL_H_
 
+#include <cstdio>
+#include <string>
 #include <tuple>
 #include <vector>
 
+#include "api/mining.h"
 #include "graph/difference.h"
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
 #include "util/logging.h"
 
 namespace dcs::testing {
+
+/// Serializes a response's ranked subgraphs at full double precision — the
+/// fields the determinism guarantee covers (vertices, embedding weights,
+/// value, ratio bound, clique flag). Safe to compare across thread counts:
+/// mined subgraphs are parallelism-invariant.
+inline std::string SerializeSubgraphs(const MiningResponse& response) {
+  std::string out;
+  char buf[64];
+  for (const std::vector<RankedSubgraph>* list :
+       {&response.average_degree, &response.graph_affinity}) {
+    for (const RankedSubgraph& s : *list) {
+      out += "[";
+      for (VertexId v : s.vertices) {
+        std::snprintf(buf, sizeof(buf), "%u,", v);
+        out += buf;
+      }
+      out += "|";
+      for (double w : s.weights) {
+        std::snprintf(buf, sizeof(buf), "%.17g,", w);
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf), "|v=%.17g|r=%.17g|c=%d]", s.value,
+                    s.ratio_bound, s.positive_clique ? 1 : 0);
+      out += buf;
+    }
+    out += ";";
+  }
+  return out;
+}
+
+/// SerializeSubgraphs plus every deterministic telemetry field (wall times
+/// are the documented exception). Only meaningful when the solve's work
+/// counters are timing-independent — i.e. sequential seed loops
+/// (ga_solver.parallelism == 1); with intra-request sharding the counters
+/// legitimately vary, use SerializeSubgraphs instead.
+inline std::string SerializeDeterministic(const MiningResponse& response) {
+  std::string out = SerializeSubgraphs(response);
+  char buf[96];
+  std::snprintf(
+      buf, sizeof(buf), "T:%llu,%llu,%llu,%llu,%u,%llu,%d,%d",
+      static_cast<unsigned long long>(response.telemetry.initializations),
+      static_cast<unsigned long long>(response.telemetry.pruned_seeds),
+      static_cast<unsigned long long>(response.telemetry.cd_iterations),
+      static_cast<unsigned long long>(response.telemetry.replicator_sweeps),
+      response.telemetry.expansion_errors,
+      static_cast<unsigned long long>(response.telemetry.session_rebuilds),
+      response.telemetry.reused_cached_difference ? 1 : 0,
+      response.telemetry.warm_start_used ? 1 : 0);
+  out += buf;
+  return out;
+}
 
 /// Builds a graph from (u, v, w) triples; aborts on invalid input.
 inline Graph MakeGraph(VertexId n,

@@ -17,6 +17,10 @@ set -u
 
 required_top=(bench seed hardware_concurrency records)
 required_record=(dataset threads wall_ms initializations pruned_seeds affinity)
+# Benches may append extra per-record fields; those are schema too. The
+# async throughput bench must carry its latency/throughput columns.
+required_async_record=(jobs throughput_jobs_per_s mean_latency_ms
+                       p95_latency_ms mean_queue_ms)
 
 files=()
 if [ "${1:-}" = "--run" ]; then
@@ -48,9 +52,11 @@ for f in "${files[@]}"; do
     continue
   fi
   if command -v python3 > /dev/null 2>&1; then
-    python3 - "$f" "${required_top[*]}" "${required_record[*]}" << 'EOF'
+    python3 - "$f" "${required_top[*]}" "${required_record[*]}" \
+        "${required_async_record[*]}" << 'EOF'
 import json, sys
 path, top_keys, record_keys = sys.argv[1], sys.argv[2].split(), sys.argv[3].split()
+async_keys = sys.argv[4].split()
 try:
     with open(path) as fh:
         doc = json.load(fh)
@@ -61,6 +67,8 @@ if missing:
     sys.exit(f"check_bench_json: {path}: missing top-level keys {missing}")
 if not isinstance(doc["records"], list) or not doc["records"]:
     sys.exit(f"check_bench_json: {path}: 'records' must be a non-empty array")
+if doc["bench"] == "async_throughput":
+    record_keys = record_keys + async_keys
 for i, record in enumerate(doc["records"]):
     missing = [k for k in record_keys if k not in record]
     if missing:
@@ -68,7 +76,11 @@ for i, record in enumerate(doc["records"]):
 EOF
     [ "$?" -eq 0 ] || status=1
   else
-    for key in "${required_top[@]}" "${required_record[@]}"; do
+    keys=("${required_top[@]}" "${required_record[@]}")
+    if grep -q '"bench": "async_throughput"' "$f"; then
+      keys+=("${required_async_record[@]}")
+    fi
+    for key in "${keys[@]}"; do
       if ! grep -q "\"$key\"" "$f"; then
         echo "check_bench_json: $f: missing key \"$key\"" >&2
         status=1

@@ -9,6 +9,8 @@
 //   --discrete             apply the paper's Discrete weight mapping
 //   --flip                 mine G1 − G2 instead of G2 − G1 (disappearing)
 //   --topk <k>             mine up to k (disjoint) subgraphs (default: 1)
+//   --async                submit through the MiningService job queue and
+//                          poll the queued → running → done lifecycle
 //   --quiet                print only the result lines
 //
 // Input files use the dcs edge-list format (see src/graph/io.h):
@@ -19,14 +21,17 @@
 // pipeline lives behind MinerSession.
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "api/miner_session.h"
 #include "api/mining.h"
+#include "api/mining_service.h"
 #include "graph/io.h"
 
 namespace {
@@ -41,6 +46,7 @@ struct Args {
   bool discrete = false;
   bool flip = false;
   uint32_t topk = 1;
+  bool async = false;
   bool quiet = false;
 };
 
@@ -49,7 +55,7 @@ void PrintUsage(const char* prog) {
       stderr,
       "usage: %s --g1 <edge-list> --g2 <edge-list>\n"
       "          [--measure ad|ga|both] [--alpha <a>] [--discrete]\n"
-      "          [--flip] [--topk <k>] [--quiet]\n",
+      "          [--flip] [--topk <k>] [--async] [--quiet]\n",
       prog);
 }
 
@@ -116,6 +122,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                      value);
         return false;
       }
+    } else if (flag == "--async") {
+      args->async = true;
     } else if (flag == "--discrete") {
       args->discrete = true;
     } else if (flag == "--flip") {
@@ -200,7 +208,53 @@ int main(int argc, char** argv) {
     }
   }
 
-  Result<MiningResponse> response = session->Mine(request);
+  Result<MiningResponse> response = Status::Internal("not mined");
+  if (args.async) {
+    // The async path: the same request goes through the MiningService job
+    // queue — submit, poll the lifecycle, wait for the terminal snapshot.
+    MiningService service(std::move(*session));
+    Result<JobId> job = service.Submit(request);
+    if (!job.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   job.status().ToString().c_str());
+      return 1;
+    }
+    if (!args.quiet) {
+      std::printf("# submitted job %llu\n",
+                  static_cast<unsigned long long>(*job));
+      JobState last = JobState::kQueued;
+      std::printf("# job state: %s\n", JobStateToString(last));
+      while (true) {
+        Result<JobStatus> polled = service.Poll(*job);
+        if (!polled.ok() || polled->terminal()) break;
+        if (polled->state != last) {
+          last = polled->state;
+          std::printf("# job state: %s\n", JobStateToString(last));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    Result<JobStatus> final_status = service.Wait(*job);
+    if (!final_status.ok()) {
+      std::fprintf(stderr, "wait failed: %s\n",
+                   final_status.status().ToString().c_str());
+      return 1;
+    }
+    if (!args.quiet) {
+      std::printf("# job state: %s (queued %.1f ms, ran %.1f ms)\n",
+                  JobStateToString(final_status->state),
+                  final_status->queue_seconds * 1e3,
+                  final_status->run_seconds * 1e3);
+    }
+    if (final_status->state != JobState::kDone) {
+      std::fprintf(stderr, "mining failed: %s\n",
+                   final_status->failure.ToString().c_str());
+      return 1;
+    }
+    response = std::move(final_status->response);
+  } else {
+    response = session->Mine(request);
+  }
   if (!response.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  response.status().ToString().c_str());
