@@ -105,9 +105,9 @@ int main(int argc, char** argv) {
     double mean_ms = 0.0;
     for (const double l : latencies_ms) mean_ms += l;
     mean_ms /= static_cast<double>(latencies_ms.size());
+    // Nearest-rank p95: the ceil(0.95 * n)-th smallest sample.
     const double p95_ms =
-        latencies_ms[std::min(latencies_ms.size() - 1,
-                              latencies_ms.size() * 95 / 100)];
+        latencies_ms[(latencies_ms.size() * 95 + 99) / 100 - 1];
     const double mean_queue_ms =
         queue_ms_total / static_cast<double>(num_jobs);
     const double throughput =

@@ -53,6 +53,12 @@ MiningService::~MiningService() {
   work_available_.notify_all();
   job_finished_.notify_all();
   executor_.join();
+  // Every job is terminal now, so all Wait()ers are waking up. Let them get
+  // back out of job_finished_.wait and off mutex_ before either is
+  // destroyed; TakeSnapshot's unlocked response copy is safe afterwards
+  // because each waiter pinned its Job with a local shared_ptr.
+  std::unique_lock<std::mutex> lock(mutex_);
+  waiters_done_.wait(lock, [this] { return active_waiters_ == 0; });
 }
 
 Result<JobId> MiningService::Submit(MiningRequest request) {
@@ -69,6 +75,12 @@ Result<JobId> MiningService::Submit(MiningRequest request) {
   auto job = std::make_shared<Job>();
   job->id = next_job_id_++;
   job->request = std::move(request);
+  // The service owns cancellation for queued work: a caller-embedded
+  // DcsgaOptions::cancel pointer could dangle before the executor runs the
+  // job and would shadow the per-job token (making Cancel(id) a silent
+  // no-op for the seed loop), so it is stripped — Cancel(JobId) is the one
+  // cancellation path.
+  job->request.ga_solver.cancel = nullptr;
   jobs_.emplace(job->id, job);
   queue_.push_back(QueuedOp{job});
   ++num_queued_jobs_;
@@ -122,7 +134,11 @@ Result<JobStatus> MiningService::Poll(JobId id) const {
     return Status::NotFound("unknown (or evicted) job id " +
                             std::to_string(id));
   }
-  return TakeSnapshot(&lock, it->second);
+  // Pin the job before TakeSnapshot drops the lock: jobs_ is the sole
+  // long-term owner, and a concurrent finish can evict this entry (and with
+  // it the Job) while the unlocked response copy is in flight.
+  std::shared_ptr<Job> job = it->second;
+  return TakeSnapshot(&lock, job);
 }
 
 Result<JobStatus> MiningService::Wait(JobId id) {
@@ -134,11 +150,16 @@ Result<JobStatus> MiningService::Wait(JobId id) {
   }
   // Hold the job alive across the wait: eviction only erases the map entry.
   std::shared_ptr<Job> job = it->second;
-  job_finished_.wait(lock, [&job] {
-    const JobState s = job->state;
-    return s == JobState::kDone || s == JobState::kFailed ||
-           s == JobState::kCancelled;
-  });
+  // Registered waiters block destruction: ~MiningService may not tear down
+  // mutex_/job_finished_ while we sleep on them.
+  {
+    ScopedWaiter waiter(this);
+    job_finished_.wait(lock, [&job] {
+      const JobState s = job->state;
+      return s == JobState::kDone || s == JobState::kFailed ||
+             s == JobState::kCancelled;
+    });
+  }
   return TakeSnapshot(&lock, job);
 }
 
@@ -166,6 +187,9 @@ Result<JobStatus> MiningService::Cancel(JobId id) {
 
 void MiningService::Drain() {
   std::unique_lock<std::mutex> lock(mutex_);
+  // Same registration as Wait(): the destructor must not tear down
+  // mutex_/job_finished_ while a drainer sleeps on them.
+  ScopedWaiter waiter(this);
   job_finished_.wait(lock, [this] {
     return (queue_.empty() && !running_job_ && !executor_busy_) || stopping_;
   });
@@ -179,6 +203,11 @@ uint64_t MiningService::num_submitted() const {
 size_t MiningService::num_pending_jobs() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return num_queued_jobs_ + (running_job_ ? 1 : 0);
+}
+
+size_t MiningService::num_active_waiters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_waiters_;
 }
 
 void MiningService::FinishLocked(const std::shared_ptr<Job>& job) {

@@ -101,8 +101,16 @@ struct MiningServiceOptions {
 ///
 /// Submit/Poll/Wait/Cancel/ApplyUpdate are thread-safe and non-blocking
 /// (Wait blocks only its caller). Destruction cancels every queued job,
-/// fires the running job's token, and joins the executor; outstanding
-/// Wait() calls return with the terminal snapshots.
+/// fires the running job's token, joins the executor, and then blocks until
+/// every Wait()/Drain() caller blocked inside the service has woken and
+/// moved off the service's mutex and condition variables. A Wait() caller
+/// may still be finishing its snapshot's response copy (from its own
+/// pinned Job — safe) when the destructor returns, so join caller threads
+/// before reading results they write. The guarantee covers only calls that
+/// already entered the service's lock before destruction started; a call
+/// still contending for entry — or begun afterwards — races the teardown
+/// and is undefined behavior, as for any object, so callers needing that
+/// must synchronize externally.
 class MiningService {
  public:
   /// Takes ownership of `session`. The session's own knobs
@@ -122,6 +130,10 @@ class MiningService {
   /// callers have one place to look. Fails only on backpressure
   /// (OutOfRange, see MiningServiceOptions::max_queued_jobs) or after
   /// shutdown began (Cancelled).
+  ///
+  /// Any caller-set `request.ga_solver.cancel` pointer is stripped: it
+  /// could dangle before the job runs and would shadow the per-job token.
+  /// Cancel(JobId) is the only way to abort a submitted job.
   Result<JobId> Submit(MiningRequest request);
 
   /// \brief Queues a streaming weight update at the current fence position
@@ -153,6 +165,11 @@ class MiningService {
   uint64_t num_submitted() const;
   /// Jobs currently queued or running.
   size_t num_pending_jobs() const;
+  /// Wait()/Drain() callers currently registered as blocked inside the
+  /// service — the population the destructor drains. A caller observed here
+  /// is covered by the teardown guarantee; the probe exists so tests can
+  /// positively establish that instead of sleeping.
+  size_t num_active_waiters() const;
 
  private:
   // One submitted job. Owned by jobs_ (and finished_order_) via shared_ptr
@@ -179,6 +196,27 @@ class MiningService {
     double delta = 0.0;
   };
 
+  // RAII registration of a Wait()/Drain() caller about to block on
+  // job_finished_. Constructed and destroyed with mutex_ held; the
+  // destructor decrements and wakes ~MiningService even if the wait throws,
+  // so the teardown drain can never be left hanging on a leaked count.
+  class ScopedWaiter {
+   public:
+    explicit ScopedWaiter(MiningService* service) : service_(service) {
+      ++service_->active_waiters_;
+    }
+    ~ScopedWaiter() {
+      if (--service_->active_waiters_ == 0) {
+        service_->waiters_done_.notify_all();
+      }
+    }
+    ScopedWaiter(const ScopedWaiter&) = delete;
+    ScopedWaiter& operator=(const ScopedWaiter&) = delete;
+
+   private:
+    MiningService* service_;
+  };
+
   void ExecutorLoop();
   // Marks `job` terminal, records it for retention/eviction and wakes
   // waiters. Mutex held.
@@ -194,6 +232,9 @@ class MiningService {
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable job_finished_;
+  // Wakes the destructor once the last registered Wait()/Drain() caller has
+  // left job_finished_.wait (see active_waiters_).
+  std::condition_variable waiters_done_;
   std::deque<QueuedOp> queue_;
   std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
   // Terminal jobs in finish order, for max_finished_jobs eviction.
@@ -204,6 +245,9 @@ class MiningService {
   bool running_job_ = false;
   bool executor_busy_ = false;  // applying an update outside the lock
   bool stopping_ = false;
+  // Wait()/Drain() calls currently blocked on job_finished_; the destructor
+  // must not destroy mutex_/job_finished_ until this drops to zero.
+  size_t active_waiters_ = 0;
 
   std::thread executor_;  // last member: joins before the rest tears down
 };

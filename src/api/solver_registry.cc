@@ -78,7 +78,12 @@ Result<std::vector<RankedSubgraph>> SolveDcsgaBuiltin(
   }
   solver_options.assume_nonnegative =
       solver_options.assume_nonnegative || context.positive_part_validated;
-  if (solver_options.cancel == nullptr) {
+  // The explicit per-solve token (Mine/MineAll's `cancel` argument, the
+  // async service's per-job token) always wins over a request-embedded
+  // DcsgaOptions::cancel — otherwise an embedded token would make the
+  // documented cancel argument unreachable for the seed loop. The embedded
+  // token still applies when no per-solve token is given.
+  if (context.cancel != nullptr) {
     solver_options.cancel = context.cancel;
   }
 

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -333,6 +334,110 @@ TEST(MiningServiceTest, DestructionCancelsOutstandingJobs) {
     // observes it), cancels the queued job, joins — must not hang.
   }
   EXPECT_EQ(g_counting_runs.load(), 0);
+}
+
+TEST(MiningServiceTest, DestructionReleasesOutstandingWaiters) {
+  RegisterTestSolvers();
+  g_release.store(false);
+
+  auto service =
+      std::make_unique<MiningService>(MustCreate(Fig1G1(), Fig1G2()));
+  MiningRequest blocking;
+  blocking.measure = Measure::kAverageDegree;
+  blocking.ad_solver_name = "blocking-solver";
+  Result<JobId> running = service->Submit(blocking);
+  ASSERT_TRUE(running.ok());
+  Result<JobId> queued = service->Submit(blocking);
+  ASSERT_TRUE(queued.ok());
+  ASSERT_TRUE(WaitForState(*service, *running, JobState::kRunning));
+
+  constexpr size_t kWaiters = 4;
+  std::vector<Result<JobStatus>> results(kWaiters, Status::OK());
+  std::vector<std::thread> waiters;
+  for (size_t i = 0; i < kWaiters; ++i) {
+    const JobId target = (i % 2 == 0) ? *running : *queued;
+    waiters.emplace_back(
+        [&, i, target] { results[i] = service->Wait(target); });
+  }
+  // A registered waiter is positively inside the service (the population
+  // the teardown drain covers) — only then is destroying it defined.
+  WallTimer timer;
+  while (service->num_active_waiters() < kWaiters) {
+    if (timer.Seconds() > 30.0) {
+      // Let the jobs finish so the waiters return and can be joined before
+      // failing — returning with joinable threads would std::terminate.
+      g_release.store(true);
+      for (std::thread& t : waiters) t.join();
+      FAIL() << "waiters never registered inside Wait()";
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The destructor cancels both jobs, joins the executor, then blocks until
+  // every outstanding Wait() has returned — so the waiters above must all
+  // come back with terminal snapshots instead of touching freed sync
+  // primitives.
+  service.reset();
+  for (std::thread& t : waiters) t.join();
+  for (const Result<JobStatus>& status : results) {
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(status->state, JobState::kCancelled);
+  }
+}
+
+TEST(MiningServiceTest, SubmitStripsCallerEmbeddedCancelToken) {
+  RegisterTestSolvers();
+
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()));
+  CancelToken caller_token;
+  caller_token.Cancel();
+  MiningRequest request;
+  request.measure = Measure::kGraphAffinity;  // the builtin NewSEA seed loop
+  request.ga_solver.cancel = &caller_token;
+  Result<JobId> id = service.Submit(std::move(request));
+  ASSERT_TRUE(id.ok());
+  Result<JobStatus> done = service.Wait(*id);
+  ASSERT_TRUE(done.ok());
+  // The embedded (already-fired, dangle-prone) token was stripped at
+  // Submit: the job is governed solely by its per-job token — which also
+  // means Cancel(JobId) actually reaches the seed loop for such requests.
+  EXPECT_EQ(done->state, JobState::kDone);
+}
+
+TEST(MiningServiceTest, PollIsSafeAgainstConcurrentEviction) {
+  RegisterTestSolvers();
+  g_release.store(true);
+
+  MiningServiceOptions options;
+  options.max_finished_jobs = 1;  // evict on every finish
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()), options);
+  MiningRequest counted;
+  counted.measure = Measure::kAverageDegree;
+  counted.ad_solver_name = "counting-solver";
+
+  // Hammer Poll on the most recent job while new finishes evict it: the
+  // snapshot's unlocked response copy must pin the Job with its own
+  // shared_ptr (use-after-free regression; sanitizer runs enforce it).
+  std::atomic<JobId> latest{0};
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      const JobId id = latest.load();
+      if (id == 0) continue;
+      Result<JobStatus> snapshot = service.Poll(id);
+      if (!snapshot.ok()) {
+        EXPECT_EQ(snapshot.status().code(), StatusCode::kNotFound);
+      }
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    Result<JobId> id = service.Submit(counted);
+    if (!id.ok()) break;
+    latest.store(*id);
+    EXPECT_TRUE(service.Wait(*id).ok());
+  }
+  stop.store(true);
+  poller.join();
 }
 
 // --- backpressure ---------------------------------------------------------

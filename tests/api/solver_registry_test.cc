@@ -9,12 +9,14 @@
 
 #include "api/miner_session.h"
 #include "test_util.h"
+#include "util/cancellation.h"
 
 namespace dcs {
 namespace {
 
 using ::dcs::testing::Fig1G1;
 using ::dcs::testing::Fig1G2;
+using ::dcs::testing::Fig1Gd;
 
 TEST(SolverRegistryTest, BuiltinsAreRegistered) {
   const std::vector<std::string> names = SolverRegistry::Global().Names();
@@ -57,6 +59,30 @@ Result<std::vector<RankedSubgraph>> HeaviestEdgeSolver(
   std::vector<RankedSubgraph> out;
   if (!best.vertices.empty()) out.push_back(std::move(best));
   return out;
+}
+
+TEST(SolverRegistryTest, PerSolveCancelTokenWinsOverRequestEmbeddedToken) {
+  const Graph gd = Fig1Gd();
+  const Graph gd_plus = gd.PositivePart();
+  SolverContext context;
+  context.difference = &gd;
+  context.positive_part = &gd_plus;
+  CancelToken per_solve;
+  per_solve.Cancel();
+  context.cancel = &per_solve;
+
+  MiningRequest request;
+  request.measure = Measure::kGraphAffinity;
+  CancelToken embedded;  // never fired — must not shadow the fired token
+  request.ga_solver.cancel = &embedded;
+
+  SolverFn solver = SolverRegistry::Global().Find("dcsga");
+  ASSERT_NE(solver, nullptr);
+  MiningTelemetry telemetry;
+  // The seed loop polls the per-solve token between chunks: with the
+  // explicit token already fired, the solve must abort even though the
+  // request embeds its own (unfired) token.
+  EXPECT_TRUE(solver(context, request, &telemetry).status().IsCancelled());
 }
 
 TEST(SolverRegistryTest, CustomSolverDispatchesThroughSession) {
