@@ -1,9 +1,10 @@
 // Shared dataset roster for the benchmark harness.
 //
-// Rebuilds the paper's Table II roster from the synthetic generators
-// (substitutions documented in DESIGN.md §3), scaled so the entire harness
-// runs in minutes on a laptop. Every bench prints the seed it used; all
-// datasets are deterministic functions of that seed.
+// Rebuilds the paper's Table II roster from the synthetic generators (each
+// gen/ header documents its substitution for the unavailable real dataset),
+// scaled so the entire harness runs in minutes on a laptop. Every bench
+// prints the seed it used; all datasets are deterministic functions of that
+// seed.
 
 #ifndef DCS_BENCH_BENCH_UTIL_H_
 #define DCS_BENCH_BENCH_UTIL_H_

@@ -14,18 +14,26 @@
 
 namespace dcs {
 
-MinerSession::PipelineKey MinerSession::PipelineKey::Of(
-    const MiningRequest& request) {
-  return PipelineKey{request.alpha, request.flip, request.discretize,
-                     request.clamp_weights_above};
-}
-
 MinerSession::MinerSession(VertexId num_vertices, Graph g1, Graph g2,
                            SessionOptions options)
     : num_vertices_(num_vertices),
       options_(options),
       g1_(std::move(g1)),
-      g2_(std::move(g2)) {}
+      g2_(std::move(g2)) {
+  if (options_.pipeline_cache != nullptr) {
+    cache_ = options_.pipeline_cache;
+    private_cache_ = false;
+  } else {
+    PipelineCacheOptions cache_options;
+    // 0 meant "evict everything but the fresh pipeline" before the cache
+    // extraction, not PipelineCacheOptions' 0 = unbounded; keep that.
+    cache_options.max_entries =
+        std::max<size_t>(1, options_.max_cached_pipelines);
+    cache_ = std::make_shared<PipelineCache>(cache_options);
+    private_cache_ = true;
+  }
+  graph_fingerprint_ = PipelineGraphFingerprint(g1_, g2_);
+}
 
 Result<MinerSession> MinerSession::Create(Graph g1, Graph g2,
                                           SessionOptions options) {
@@ -51,6 +59,12 @@ Result<MinerSession> MinerSession::CreateStreaming(VertexId num_vertices,
   }
   return MinerSession(num_vertices, Graph(num_vertices), Graph(num_vertices),
                       options);
+}
+
+void MinerSession::UsePipelineCache(std::shared_ptr<PipelineCache> cache) {
+  DCS_CHECK(cache != nullptr) << "UsePipelineCache needs a cache";
+  cache_ = std::move(cache);
+  private_cache_ = false;
 }
 
 Status MinerSession::ValidateUpdate(VertexId num_vertices, VertexId u,
@@ -102,62 +116,77 @@ Status MinerSession::FlushUpdates() {
     DCS_ASSIGN_OR_RETURN(g2_, rebuild(g2_, &pending_g2_));
     pending_g2_.clear();
   }
-  // Dirty-snapshot invalidation: every cached pipeline refers to the old
-  // graphs and re-materializes on demand.
-  pipelines_.clear();
+  // Copy-on-write invalidation: the refreshed fingerprint redirects this
+  // session to fresh cache keys. A private cache holds no other session's
+  // entries, so the stale ones are dropped eagerly (today's memory profile);
+  // in a shared cache they may still serve sessions whose graphs kept the
+  // old content, and age out via LRU otherwise.
+  const uint64_t stale_fingerprint = graph_fingerprint_;
+  graph_fingerprint_ = PipelineGraphFingerprint(g1_, g2_);
+  if (private_cache_) cache_->EraseFingerprint(stale_fingerprint);
   graphs_dirty_ = false;
   return Status::OK();
 }
 
-Result<MinerSession::PreparedPipeline*> MinerSession::PreparePipeline(
-    const MiningRequest& request, bool* reused) {
+Result<PipelineCache::Snapshot> MinerSession::PreparePipeline(
+    const MiningRequest& request, bool need_ga, bool* reused) {
   DCS_RETURN_NOT_OK(FlushUpdates());
-  const PipelineKey key = PipelineKey::Of(request);
-  for (const auto& pipeline : pipelines_) {
-    if (pipeline->key == key) {
-      *reused = true;
-      return pipeline.get();
+  PipelineCacheKey key;
+  key.graph_fingerprint = graph_fingerprint_;
+  key.alpha = request.alpha;
+  key.flip = request.flip;
+  key.discretize = request.discretize;
+  key.clamp_weights_above = request.clamp_weights_above;
+
+  // Runs on this thread inside GetOrPrepare (without the cache lock), at
+  // most once per key across every session attached to the cache.
+  bool built_difference = false;
+  auto build =
+      [&](const PreparedPipeline* reuse) -> Result<PreparedPipeline> {
+    PreparedPipeline out;
+    if (reuse != nullptr) {
+      // GA upgrade of a difference-only entry: reuse the cached graph.
+      out.difference = reuse->difference;
+    } else {
+      const Graph& first = request.flip ? g2_ : g1_;
+      const Graph& second = request.flip ? g1_ : g2_;
+      DCS_ASSIGN_OR_RETURN(out.difference,
+                           BuildDifferenceGraph(first, second, request.alpha));
+      if (request.discretize) {
+        DCS_ASSIGN_OR_RETURN(
+            out.difference,
+            DiscretizeWeights(out.difference, *request.discretize));
+      }
+      if (request.clamp_weights_above) {
+        out.difference =
+            out.difference.WeightsClampedAbove(*request.clamp_weights_above);
+      }
+      built_difference = true;
     }
-  }
-  *reused = false;
-
-  auto pipeline = std::make_unique<PreparedPipeline>();
-  pipeline->key = key;
-
-  const Graph& first = request.flip ? g2_ : g1_;
-  const Graph& second = request.flip ? g1_ : g2_;
-  DCS_ASSIGN_OR_RETURN(pipeline->difference,
-                       BuildDifferenceGraph(first, second, request.alpha));
-  if (request.discretize) {
-    DCS_ASSIGN_OR_RETURN(
-        pipeline->difference,
-        DiscretizeWeights(pipeline->difference, *request.discretize));
-  }
-  if (request.clamp_weights_above) {
-    pipeline->difference =
-        pipeline->difference.WeightsClampedAbove(*request.clamp_weights_above);
-  }
-  ++num_rebuilds_;
-
-  while (!pipelines_.empty() &&
-         pipelines_.size() + 1 > options_.max_cached_pipelines) {
-    if (batch_in_flight_) retired_.push_back(std::move(pipelines_.front()));
-    pipelines_.erase(pipelines_.begin());
-  }
-  pipelines_.push_back(std::move(pipeline));
-  return pipelines_.back().get();
+    if (need_ga) {
+      out.positive_part = out.difference.PositivePart();
+      out.smart_bounds = ComputeSmartInitBounds(out.positive_part);
+      // Validate once per prepared pipeline; every solve against it then
+      // skips the per-call O(m) scan. PositivePart output cannot fail the
+      // scan, so a failure here is a library bug, not bad input.
+      DCS_CHECK(ValidateNonNegativeWeights(out.positive_part).ok());
+      out.validated_nonnegative = true;
+      out.has_ga_artifacts = true;
+    }
+    return out;
+  };
+  DCS_ASSIGN_OR_RETURN(PipelineCache::Snapshot snapshot,
+                       cache_->GetOrPrepare(key, need_ga, build, reused));
+  if (built_difference) ++num_rebuilds_;
+  return snapshot;
 }
 
-void MinerSession::EnsureGaArtifacts(PreparedPipeline* pipeline) {
-  if (pipeline->has_ga_artifacts) return;
-  pipeline->positive_part = pipeline->difference.PositivePart();
-  pipeline->smart_bounds = ComputeSmartInitBounds(pipeline->positive_part);
-  // Validate once per materialized pipeline; every solve against it then
-  // skips the per-call O(m) scan. PositivePart output cannot fail the scan,
-  // so a failure here is a library bug, not bad input.
-  DCS_CHECK(ValidateNonNegativeWeights(pipeline->positive_part).ok());
-  pipeline->validated_nonnegative = true;
-  pipeline->has_ga_artifacts = true;
+// True when the request needs only the builtin average-degree solve. Custom
+// solvers may want GD+ regardless of measure, so artifacts are prepared
+// unless the request is a pure builtin average-degree mine.
+bool MinerSession::AverageDegreeOnly(const MiningRequest& request) {
+  return request.measure == Measure::kAverageDegree &&
+         request.ad_solver_name == "dcsad";
 }
 
 // True when the request's solve path can consume the shared pool: the knob
@@ -190,6 +219,13 @@ ThreadPool* MinerSession::EnsurePool(size_t concurrency) {
     pool_ = std::make_unique<ThreadPool>(target - 1);
   }
   return pool_.get();
+}
+
+void MinerSession::FillCacheTelemetry(MiningTelemetry* telemetry) const {
+  const PipelineCacheStats stats = cache_->stats();
+  telemetry->pipeline_cache_hits = stats.hits;
+  telemetry->pipeline_cache_misses = stats.misses;
+  telemetry->pipeline_cache_bytes = stats.bytes;
 }
 
 Status MinerSession::Solve(const PreparedPipeline& pipeline,
@@ -259,16 +295,13 @@ Result<MiningResponse> MinerSession::Mine(const MiningRequest& request,
   MiningResponse response;
   WallTimer build_timer;
   bool reused = false;
-  DCS_ASSIGN_OR_RETURN(PreparedPipeline * pipeline,
-                       PreparePipeline(request, &reused));
-  // Custom solvers may want GD+ regardless of measure, so artifacts are
-  // prepared unless the request is a pure builtin average-degree mine.
-  const bool ad_only = request.measure == Measure::kAverageDegree &&
-                       request.ad_solver_name == "dcsad";
-  if (!ad_only) EnsureGaArtifacts(pipeline);
+  DCS_ASSIGN_OR_RETURN(
+      PipelineCache::Snapshot pipeline,
+      PreparePipeline(request, !AverageDegreeOnly(request), &reused));
   response.telemetry.build_seconds = build_timer.Seconds();
   response.telemetry.reused_cached_difference = reused;
   response.telemetry.session_rebuilds = num_rebuilds_;
+  FillCacheTelemetry(&response.telemetry);
 
   WallTimer solve_timer;
   const std::span<const VertexId> warm =
@@ -309,37 +342,25 @@ Result<std::vector<MiningResponse>> MinerSession::MineAll(
   }
   DCS_RETURN_NOT_OK(FlushUpdates());
 
-  // Keeps batch_in_flight_/retired_ consistent on every exit path — without
-  // it, a throwing solver (or bad_alloc in phase 1) would leave the flag
-  // stuck and retired_ growing forever.
-  struct BatchGuard {
-    MinerSession* session;
-    explicit BatchGuard(MinerSession* s) : session(s) {
-      session->batch_in_flight_ = true;
-    }
-    ~BatchGuard() {
-      session->batch_in_flight_ = false;
-      session->retired_.clear();
-    }
-  } batch_guard(this);
-
-  // Phase 1 (caller thread): materialize every pipeline, in request order so
-  // cache hits, evictions and rebuild counters match sequential mining.
-  std::vector<PreparedPipeline*> pipelines(requests.size(), nullptr);
+  // Phase 1 (caller thread): prepare every pipeline, in request order so
+  // cache hits, evictions and rebuild counters match sequential mining. The
+  // snapshots pin the prepared artifacts, so concurrent eviction — by this
+  // batch's own later preparations or by other sessions sharing the cache —
+  // cannot invalidate a solve in phase 2.
+  std::vector<PipelineCache::Snapshot> pipelines(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     WallTimer build_timer;
     bool reused = false;
-    Result<PreparedPipeline*> prepared = PreparePipeline(requests[i], &reused);
+    Result<PipelineCache::Snapshot> prepared =
+        PreparePipeline(requests[i], !AverageDegreeOnly(requests[i]), &reused);
     if (!prepared.ok()) {
       return prepared.status();
     }
-    pipelines[i] = *prepared;
-    const bool ad_only = requests[i].measure == Measure::kAverageDegree &&
-                         requests[i].ad_solver_name == "dcsad";
-    if (!ad_only) EnsureGaArtifacts(pipelines[i]);
+    pipelines[i] = std::move(*prepared);
     responses[i].telemetry.build_seconds = build_timer.Seconds();
     responses[i].telemetry.reused_cached_difference = reused;
     responses[i].telemetry.session_rebuilds = num_rebuilds_;
+    FillCacheTelemetry(&responses[i].telemetry);
   }
 
   // Phase 2 (worker pool): solve. Solvers only read the prepared pipelines;
@@ -426,8 +447,8 @@ Result<Graph> MinerSession::DifferenceSnapshot(double alpha, bool flip) {
 Result<Graph> MinerSession::DifferenceSnapshot(const MiningRequest& request) {
   DCS_RETURN_NOT_OK(request.Validate());
   bool reused = false;
-  DCS_ASSIGN_OR_RETURN(PreparedPipeline * pipeline,
-                       PreparePipeline(request, &reused));
+  DCS_ASSIGN_OR_RETURN(PipelineCache::Snapshot pipeline,
+                       PreparePipeline(request, /*need_ga=*/false, &reused));
   return pipeline->difference;
 }
 

@@ -1,19 +1,37 @@
 // MinerSession — the session-oriented entry point of libdcs.
 //
 // A session owns the two input graphs G1/G2 (or grows them from a stream of
-// weight updates), materializes each requested difference-graph pipeline
-// (alpha/flip/discretize/clamp) at most once, lazily derives the DCSGA
-// artifacts — GD+ and the §V-D smart-initialization bounds — per pipeline,
-// and dispatches measures to solvers through the SolverRegistry. This is the
-// one API tools, examples and services program against; core/ and densest/
-// are internal layers behind it.
+// weight updates), prepares each requested difference-graph pipeline
+// (alpha/flip/discretize/clamp) through a PipelineCache — private by
+// default, shareable across sessions (api/pipeline_cache.h) — lazily
+// derives the DCSGA artifacts (GD+ and the §V-D smart-initialization
+// bounds) per pipeline, and dispatches measures to solvers through the
+// SolverRegistry. This is the one API tools, examples and services program
+// against; core/ and densest/ are internal layers behind it.
+//
+// Ownership: a session owns its graphs, its pending update stream, its warm
+// start seed and its worker pool; it owns its pipeline cache only when no
+// shared cache was supplied (SessionOptions::pipeline_cache), otherwise it
+// holds a shared_ptr co-owning the cache with the other attached sessions.
+//
+// Thread safety: single-threaded by design except for MineAll's internal
+// worker pool — one session per serving thread is the intended deployment
+// shape, with api/mining_service.h as the queueing layer when callers are
+// concurrent. A *shared PipelineCache* is the one deliberately concurrent
+// seam: any number of sessions on any threads may attach to one cache.
+//
+// Determinism: responses are pure functions of the session's graphs and the
+// request (given warm_start off); neither the thread count, nor batching
+// through MineAll, nor serving pipelines from a shared cache changes a
+// mined subgraph bit — only the wall-time and cache-counter telemetry vary.
 //
 // Scale path: the session owns one shared ThreadPool (util/thread_pool.h).
-// MineAll runs independent requests on it against the read-only pipeline
-// cache, and a single request's NewSEA solve can additionally shard its
-// seed loop across the same pool (intra-request parallelism, bit-identical
-// to sequential — see core/newsea.h). MineAll splits the pool budget
-// between the two levels.
+// MineAll runs independent requests on it against the pipeline cache, and a
+// single request's NewSEA solve can additionally shard its seed loop across
+// the same pool (intra-request parallelism, bit-identical to sequential —
+// see core/newsea.h). MineAll splits the pool budget between the two
+// levels. Cross-session, a shared PipelineCache makes N sessions over the
+// same dataset pay the pipeline-preparation prefix once.
 
 #ifndef DCS_API_MINER_SESSION_H_
 #define DCS_API_MINER_SESSION_H_
@@ -25,6 +43,7 @@
 #include <vector>
 
 #include "api/mining.h"
+#include "api/pipeline_cache.h"
 #include "graph/graph.h"
 #include "util/cancellation.h"
 #include "util/status.h"
@@ -34,8 +53,16 @@ namespace dcs {
 
 /// Session-level tuning.
 struct SessionOptions {
-  /// Distinct difference-graph pipelines kept materialized (FIFO eviction).
+  /// Capacity of the session's *private* pipeline cache (LRU eviction);
+  /// 0 behaves as 1 — the most recent pipeline is always kept. Ignored when
+  /// `pipeline_cache` is set — the shared cache then applies its own
+  /// PipelineCacheOptions.
   size_t max_cached_pipelines = 8;
+  /// Cross-session shared pipeline cache. Null (default) gives the session
+  /// a private cache, preserving single-session behavior exactly; non-null
+  /// attaches the session to the shared cache so equal datasets prepare
+  /// their pipelines once across all attached sessions.
+  std::shared_ptr<PipelineCache> pipeline_cache;
   /// Total thread budget of the session's shared worker pool; 0 =
   /// std::thread::hardware_concurrency(). MineAll splits it between
   /// concurrent requests (inter) and each request's NewSEA seed shards
@@ -50,8 +77,8 @@ struct SessionOptions {
 
 /// \brief A mining session over a pair of graphs on a fixed vertex universe.
 ///
-/// Single-threaded by design except for MineAll's internal worker pool; one
-/// session per serving thread is the intended deployment shape.
+/// See the file comment for the ownership / thread-safety / determinism
+/// contract.
 class MinerSession {
  public:
   /// Batch construction: both graphs up front. Fails when the vertex counts
@@ -71,8 +98,11 @@ class MinerSession {
 
   /// \brief Adds `delta` to the weight of undirected edge {u,v} on `side`.
   ///
-  /// O(1); the CSR graphs and every cached pipeline are refreshed lazily at
-  /// the next query (dirty-snapshot invalidation). Fails on self-loops,
+  /// O(1); the CSR graphs are refreshed lazily at the next query, and cached
+  /// pipelines are invalidated copy-on-write: the session's graph
+  /// fingerprint changes, so its next queries prepare fresh entries while
+  /// other sessions sharing the cache — and snapshots pinned by in-flight
+  /// solves — keep the old, immutable ones. Fails on self-loops,
   /// out-of-range endpoints, or non-finite deltas.
   Status ApplyUpdate(UpdateSide side, VertexId u, VertexId v, double delta);
 
@@ -118,62 +148,56 @@ class MinerSession {
 
   /// Streaming updates accepted so far.
   uint64_t num_updates() const { return num_updates_; }
-  /// Difference graphs materialized so far (flat across cached queries).
+  /// Difference graphs *this session* materialized so far (flat across
+  /// cached queries — including queries served by entries another session
+  /// sharing the cache prepared).
   uint64_t num_rebuilds() const { return num_rebuilds_; }
-  /// Pipelines currently materialized.
-  size_t num_cached_pipelines() const { return pipelines_.size(); }
+  /// Pipelines currently resident in the cache for this session's graphs.
+  size_t num_cached_pipelines() const {
+    return cache_->EntriesFor(graph_fingerprint_);
+  }
 
-  /// Drops every cached pipeline (they re-materialize on demand).
-  void InvalidateCaches() { pipelines_.clear(); }
+  /// The cache preparing this session's pipelines (private or shared);
+  /// never null. Exposes hit/miss/bytes via PipelineCache::stats.
+  const std::shared_ptr<PipelineCache>& pipeline_cache() const {
+    return cache_;
+  }
+
+  /// \brief Re-attaches the session to `cache` (non-null) for all
+  /// subsequent queries; the previous cache keeps any entries it holds.
+  /// Used by MiningService to apply MiningServiceOptions::shared_cache.
+  void UsePipelineCache(std::shared_ptr<PipelineCache> cache);
+
+  /// Drops this session's cached pipelines from the cache; they
+  /// re-materialize on demand. Entries of other datasets in a shared cache
+  /// are untouched (and pinned snapshots stay valid).
+  void InvalidateCaches() { cache_->EraseFingerprint(graph_fingerprint_); }
   /// Forgets the warm-start seed carried between DCSGA queries.
   void ClearWarmStart() { warm_support_.clear(); }
 
  private:
-  // The MiningRequest fields that determine the materialized difference
-  // graph; equal keys share one cached pipeline.
-  struct PipelineKey {
-    double alpha = 1.0;
-    bool flip = false;
-    std::optional<DiscretizeSpec> discretize;
-    std::optional<double> clamp_weights_above;
-
-    static PipelineKey Of(const MiningRequest& request);
-    friend bool operator==(const PipelineKey&, const PipelineKey&) = default;
-  };
-
-  // One materialized difference-graph pipeline plus its lazy DCSGA
-  // artifacts.
-  struct PreparedPipeline {
-    PipelineKey key;
-    Graph difference{0};
-    bool has_ga_artifacts = false;
-    Graph positive_part{0};
-    SmartInitBounds smart_bounds;
-    // GD+ passed the non-negativity scan once; solves against this pipeline
-    // skip their own O(m) scan.
-    bool validated_nonnegative = false;
-  };
-
   MinerSession(VertexId num_vertices, Graph g1, Graph g2,
                SessionOptions options);
 
-  // Folds pending streaming deltas into g1_/g2_ and clears the pipeline
-  // cache when dirty.
+  // Folds pending streaming deltas into g1_/g2_ when dirty; refreshes the
+  // graph fingerprint (copy-on-write invalidation) and, on a private cache,
+  // drops the now-unreachable entries.
   Status FlushUpdates();
 
-  // Returns the cached pipeline for the request's pipeline fields, building
-  // (and possibly evicting) as needed. The pointer stays valid until the
-  // next ApplyUpdate/eviction. `reused` reports a cache hit.
-  Result<PreparedPipeline*> PreparePipeline(const MiningRequest& request,
-                                            bool* reused);
-
-  // Derives GD+ and the smart-init bounds of `pipeline` once, including the
-  // one-time non-negativity validation.
-  void EnsureGaArtifacts(PreparedPipeline* pipeline);
+  // Returns the cache snapshot for the request's pipeline fields, building
+  // (at most once across sessions) as needed. `need_ga` also prepares the
+  // DCSGA artifacts; `reused` reports whether the difference graph came
+  // from the cache.
+  Result<PipelineCache::Snapshot> PreparePipeline(const MiningRequest& request,
+                                                  bool need_ga, bool* reused);
 
   // True when `request`'s solve path can consume the shared pool (the
   // intra-parallelism knob is set and a path exists that honors it).
   static bool WantsIntraParallelism(const MiningRequest& request);
+
+  // True when the request needs only the builtin average-degree solve, so
+  // pipeline preparation can skip the DCSGA artifacts.
+  static bool AverageDegreeOnly(const MiningRequest& request);
 
   // The session's total thread budget (max_parallelism, hardware-resolved).
   size_t ParallelismBudget() const;
@@ -192,6 +216,9 @@ class MinerSession {
                uint32_t parallelism_budget, const CancelToken* cancel,
                MiningResponse* response) const;
 
+  // Copies the cache's hit/miss/bytes counters into `telemetry`.
+  void FillCacheTelemetry(MiningTelemetry* telemetry) const;
+
   VertexId num_vertices_;
   SessionOptions options_;
   Graph g1_{0};
@@ -200,14 +227,14 @@ class MinerSession {
   std::unordered_map<uint64_t, double> pending_g1_;
   std::unordered_map<uint64_t, double> pending_g2_;
   bool graphs_dirty_ = false;
-  // FIFO cache; unique_ptr keeps PreparedPipeline* stable across growth.
-  std::vector<std::unique_ptr<PreparedPipeline>> pipelines_;
-  // While a MineAll batch is in flight, evicted pipelines are parked here so
-  // that the batch's PreparedPipeline* stay valid; cleared when it returns.
-  // Eviction order itself is unchanged, keeping cache state (and therefore
-  // rebuild counters) identical to sequential mining.
-  bool batch_in_flight_ = false;
-  std::vector<std::unique_ptr<PreparedPipeline>> retired_;
+  // The cache preparing this session's pipelines; private unless
+  // SessionOptions::pipeline_cache (or UsePipelineCache) attached a shared
+  // one. Never null.
+  std::shared_ptr<PipelineCache> cache_;
+  bool private_cache_ = true;
+  // PipelineGraphFingerprint of (g1_, g2_) after the last flush — the
+  // content half of this session's cache keys.
+  uint64_t graph_fingerprint_ = 0;
   // Shared worker pool for MineAll batches and intra-request NewSEA seed
   // sharding; created lazily by EnsurePool.
   std::unique_ptr<ThreadPool> pool_;

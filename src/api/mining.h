@@ -8,6 +8,19 @@
 // layer; this header deliberately re-exports the few internal types a caller
 // legitimately needs (Graph, DiscretizeSpec, the DCSGA solver knobs) so that
 // consumers never include core/ or densest/ headers directly.
+//
+// Ownership: every type here is a plain value — requests, responses and
+// telemetry own their data outright, are freely copyable/movable, and hold
+// no reference back into any session.
+//
+// Thread safety: values, so const access is safe anywhere; distinct
+// instances never share state.
+//
+// Determinism: with warm_start off, a MiningResponse is a pure function of
+// the session's graphs and the request — independent of thread counts,
+// batching, async queueing and pipeline-cache sharing. The exceptions are
+// enumerated on MiningTelemetry (wall times, cache counters, and — under
+// intra-request parallelism — the work counters).
 
 #ifndef DCS_API_MINING_H_
 #define DCS_API_MINING_H_
@@ -144,12 +157,23 @@ struct MiningTelemetry {
   /// Session-lifetime difference-graph rebuild count *after* this request
   /// (flat across requests ⇔ the cache served them).
   uint64_t session_rebuilds = 0;
-  /// True iff this request's difference graph came from the session cache.
+  /// True iff this request's difference graph came from the pipeline cache —
+  /// prepared earlier by this session, or by *any* session sharing the cache
+  /// (api/pipeline_cache.h).
   bool reused_cached_difference = false;
+  /// PipelineCache counters *after* this request. Cache-lifetime values,
+  /// shared across every session attached to the cache, so under a shared
+  /// cache they depend on which sessions got there first — like the
+  /// wall-times, they are telemetry, never part of the mined result.
+  uint64_t pipeline_cache_hits = 0;
+  uint64_t pipeline_cache_misses = 0;
+  /// Bytes resident in the pipeline cache after this request.
+  uint64_t pipeline_cache_bytes = 0;
   /// True iff a warm-start seed was attempted for the DCSGA solve.
   bool warm_start_used = false;
   /// Wall time spent materializing pipeline artifacts (0 on cache hits) and
-  /// solving. The only non-deterministic response fields.
+  /// solving. Like the pipeline_cache_* counters above, non-deterministic;
+  /// every other response field is a pure function of graphs + request.
   double build_seconds = 0.0;
   double solve_seconds = 0.0;
 };

@@ -25,6 +25,10 @@ const char* JobStateToString(JobState state) {
 MiningService::MiningService(MinerSession session,
                              MiningServiceOptions options)
     : session_(std::move(session)), options_(options) {
+  // Attach before the executor exists — no solve can be in flight yet.
+  if (options_.shared_cache != nullptr) {
+    session_.UsePipelineCache(options_.shared_cache);
+  }
   executor_ = std::thread([this] { ExecutorLoop(); });
 }
 

@@ -95,6 +95,12 @@ struct MiningServiceOptions {
   /// polling an evicted job returns NotFound. 0 = retain everything (only
   /// sensible for tests and short-lived batch drivers).
   size_t max_finished_jobs = 4096;
+  /// Cross-session shared pipeline cache (api/pipeline_cache.h). When set,
+  /// the owned session is re-attached to it before the executor starts, so
+  /// N services over the same dataset prepare each pipeline once. Null
+  /// (default) keeps whatever cache the session came with — private unless
+  /// the caller already attached a shared one via SessionOptions.
+  std::shared_ptr<PipelineCache> shared_cache;
 };
 
 /// \brief Asynchronous mining facade over one MinerSession.

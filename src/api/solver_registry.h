@@ -6,6 +6,20 @@
 // solver variants plug in by registering a function — callers keep using
 // MinerSession::Mine unchanged and select the variant through
 // MiningRequest::{ad,ga}_solver_name.
+//
+// Ownership: the registry stores bare function pointers; it owns nothing.
+// A SolverContext only *borrows* session state — every pointer in it is
+// owned by the session (or its PipelineCache snapshot) and outlives the
+// solver call; solvers must not retain any of them past their return.
+//
+// Thread safety: Register/Find/Names are mutex-guarded and callable from
+// any thread. Registration is global and permanent (no unregister), so
+// Find'ing a function pointer once published is always safe to call.
+//
+// Determinism: a registered solver must be a pure function of
+// (context, request) — MinerSession::MineAll invokes solvers from multiple
+// worker threads concurrently, and the facade's bit-identical batching /
+// shared-cache guarantees only extend to solvers that honor this.
 
 #ifndef DCS_API_SOLVER_REGISTRY_H_
 #define DCS_API_SOLVER_REGISTRY_H_

@@ -1,10 +1,12 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace dcs {
@@ -103,6 +105,20 @@ Graph Graph::WeightsClampedAbove(double cap) const {
   Graph out = *this;
   for (Neighbor& nb : out.neighbors_) nb.weight = std::min(nb.weight, cap);
   return out;
+}
+
+uint64_t Graph::ContentFingerprint() const {
+  uint64_t h = MixFingerprint(0x6463735f67726170ull,  // "dcs_grap"
+                              NumVertices());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    // Row boundaries are implied by the (u, to) pairs; hashing each directed
+    // half keeps the loop branch-free and still pins the full structure.
+    for (const Neighbor& nb : NeighborsOf(u)) {
+      h = MixFingerprint(h, (static_cast<uint64_t>(u) << 32) | nb.to);
+      h = MixFingerprint(h, std::bit_cast<uint64_t>(nb.weight));
+    }
+  }
+  return h;
 }
 
 std::string Graph::DebugString() const {

@@ -120,6 +120,24 @@ class Graph {
   /// cap > 0 (the §III-D heavy-edge adjustment; Actor "Discrete" setting).
   Graph WeightsClampedAbove(double cap) const;
 
+  /// \brief Stable 64-bit fingerprint of the graph's content (vertex count,
+  /// adjacency structure and exact weight bit patterns).
+  ///
+  /// Two graphs built from the same edges — regardless of insertion order,
+  /// since GraphBuilder canonicalizes to sorted CSR — fingerprint equal; any
+  /// structural or weight difference changes it (modulo the 2^-64 collision
+  /// probability, which the cross-session PipelineCache accepts as content
+  /// equality). The value is a pure function of the content: stable across
+  /// processes, runs and platforms with IEEE-754 doubles. O(n + m).
+  uint64_t ContentFingerprint() const;
+
+  /// Approximate heap footprint of this graph in bytes (CSR arrays); used
+  /// for the PipelineCache byte budget.
+  size_t ApproxBytes() const {
+    return sizeof(Graph) + offsets_.capacity() * sizeof(size_t) +
+           neighbors_.capacity() * sizeof(Neighbor);
+  }
+
   /// Human-readable one-line summary ("Graph(n=..., m=..., m+=..., m-=...)").
   std::string DebugString() const;
 

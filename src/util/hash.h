@@ -1,0 +1,37 @@
+// Hash mixing shared by the content-fingerprint machinery.
+//
+// Graph::ContentFingerprint and the PipelineCache keys chain the same
+// splitmix64 finalization step, so the construction lives here once; the
+// cross-file claims ("same construction as ...") stay true by definition.
+
+#ifndef DCS_UTIL_HASH_H_
+#define DCS_UTIL_HASH_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace dcs {
+
+/// \brief One splitmix64 finalization step folding `v` into `h`.
+///
+/// Stable across processes and platforms. Note h and v are *added* before
+/// mixing, so a single step is symmetric in its arguments — chain two steps
+/// (mix a seed, then each operand in turn) when order must matter, as the
+/// (G1, G2) pair fingerprint does.
+inline uint64_t MixFingerprint(uint64_t h, uint64_t v) {
+  uint64_t z = h + 0x9e3779b97f4a7c15ull + v;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// MixFingerprint over a double's exact bit pattern (distinguishes -0.0
+/// from 0.0 and is NaN-stable, matching the bitwise key equality of the
+/// pipeline cache).
+inline uint64_t MixFingerprintDouble(uint64_t h, double v) {
+  return MixFingerprint(h, std::bit_cast<uint64_t>(v));
+}
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_HASH_H_

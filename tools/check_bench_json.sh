@@ -18,9 +18,12 @@ set -u
 required_top=(bench seed hardware_concurrency records)
 required_record=(dataset threads wall_ms initializations pruned_seeds affinity)
 # Benches may append extra per-record fields; those are schema too. The
-# async throughput bench must carry its latency/throughput columns.
+# async throughput bench must carry its latency/throughput columns, the
+# pipeline-cache bench its session/hit/miss/bytes columns.
 required_async_record=(jobs throughput_jobs_per_s mean_latency_ms
                        p95_latency_ms mean_queue_ms)
+required_cache_record=(sessions requests rebuilds cache_hits cache_misses
+                       cache_bytes)
 
 files=()
 if [ "${1:-}" = "--run" ]; then
@@ -53,10 +56,11 @@ for f in "${files[@]}"; do
   fi
   if command -v python3 > /dev/null 2>&1; then
     python3 - "$f" "${required_top[*]}" "${required_record[*]}" \
-        "${required_async_record[*]}" << 'EOF'
+        "${required_async_record[*]}" "${required_cache_record[*]}" << 'EOF'
 import json, sys
 path, top_keys, record_keys = sys.argv[1], sys.argv[2].split(), sys.argv[3].split()
 async_keys = sys.argv[4].split()
+cache_keys = sys.argv[5].split()
 try:
     with open(path) as fh:
         doc = json.load(fh)
@@ -69,6 +73,8 @@ if not isinstance(doc["records"], list) or not doc["records"]:
     sys.exit(f"check_bench_json: {path}: 'records' must be a non-empty array")
 if doc["bench"] == "async_throughput":
     record_keys = record_keys + async_keys
+if doc["bench"] == "pipeline_cache":
+    record_keys = record_keys + cache_keys
 for i, record in enumerate(doc["records"]):
     missing = [k for k in record_keys if k not in record]
     if missing:
@@ -79,6 +85,9 @@ EOF
     keys=("${required_top[@]}" "${required_record[@]}")
     if grep -q '"bench": "async_throughput"' "$f"; then
       keys+=("${required_async_record[@]}")
+    fi
+    if grep -q '"bench": "pipeline_cache"' "$f"; then
+      keys+=("${required_cache_record[@]}")
     fi
     for key in "${keys[@]}"; do
       if ! grep -q "\"$key\"" "$f"; then

@@ -3,40 +3,64 @@
 // Usage:
 //   dcs_mine --g1 <edge-list> --g2 <edge-list> [options]
 //
-// Options:
-//   --measure ad|ga|both   density measure(s) to mine (default: both)
-//   --alpha <a>            scale G1 by a in the difference (default: 1.0)
-//   --discrete             apply the paper's Discrete weight mapping
-//   --flip                 mine G1 − G2 instead of G2 − G1 (disappearing)
-//   --topk <k>             mine up to k (disjoint) subgraphs (default: 1)
-//   --async                submit through the MiningService job queue and
-//                          poll the queued → running → done lifecycle
-//   --quiet                print only the result lines
-//
-// Input files use the dcs edge-list format (see src/graph/io.h):
-//   <num_vertices> header line, then "<u> <v> <weight>" per edge.
+// The full flag reference is generated from kFlagTable below — run
+// `dcs_mine --help`. Input files use the dcs edge-list format (see
+// src/graph/io.h): a <num_vertices> header line, then "<u> <v> <weight>"
+// per edge.
 //
 // This tool consumes the api/ facade only (see tools/check_layering.sh):
-// the whole BuildDifferenceGraph → Discretize → PositivePart → solve → rank
-// pipeline lives behind MinerSession.
+// the whole difference-graph pipeline (build → discretize → clamp →
+// GD+/smart-bounds → solve → rank) lives behind MinerSession, the async
+// path behind MiningService, and the cross-session path behind a shared
+// PipelineCache.
 
 #include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "api/miner_session.h"
 #include "api/mining.h"
 #include "api/mining_service.h"
+#include "api/pipeline_cache.h"
 #include "graph/io.h"
 
 namespace {
 
 using namespace dcs;
+
+// The single source of truth for the CLI surface: PrintUsage renders it,
+// ParseArgs rejects anything not listed here, and tools/check_docs.sh greps
+// it so README/ARCHITECTURE.md cannot reference a flag that does not exist.
+struct FlagSpec {
+  const char* name;
+  const char* value;  // "" for boolean flags
+  const char* help;
+};
+
+constexpr FlagSpec kFlagTable[] = {
+    {"--g1", "<edge-list>", "baseline graph G1 (required)"},
+    {"--g2", "<edge-list>", "current graph G2 (required)"},
+    {"--measure", "ad|ga|both", "density measure(s) to mine (default: both)"},
+    {"--alpha", "<a>", "scale G1 by a in the difference (default: 1.0)"},
+    {"--discrete", "", "apply the paper's Discrete weight mapping"},
+    {"--flip", "", "mine G1 - G2 instead of G2 - G1 (disappearing)"},
+    {"--topk", "<k>", "mine up to k (disjoint) subgraphs (default: 1)"},
+    {"--async", "",
+     "submit through the MiningService job queue and poll the "
+     "queued -> running -> done lifecycle"},
+    {"--shared-cache", "<n>",
+     "mine through n concurrent sessions attached to one shared "
+     "PipelineCache; prints per-session and cache telemetry"},
+    {"--quiet", "", "print only the result lines"},
+    {"--help", "", "print this flag reference and exit"},
+};
 
 struct Args {
   std::string g1_path;
@@ -47,16 +71,30 @@ struct Args {
   bool flip = false;
   uint32_t topk = 1;
   bool async = false;
+  uint32_t shared_cache_sessions = 0;  // 0 = single-session mode
   bool quiet = false;
+  bool help = false;
 };
 
-void PrintUsage(const char* prog) {
-  std::fprintf(
-      stderr,
-      "usage: %s --g1 <edge-list> --g2 <edge-list>\n"
-      "          [--measure ad|ga|both] [--alpha <a>] [--discrete]\n"
-      "          [--flip] [--topk <k>] [--async] [--quiet]\n",
-      prog);
+void PrintUsage(const char* prog, std::FILE* out) {
+  std::fprintf(out, "usage: %s --g1 <edge-list> --g2 <edge-list> [options]\n\n",
+               prog);
+  for (const FlagSpec& flag : kFlagTable) {
+    char left[40];
+    std::snprintf(left, sizeof(left), "%s %s", flag.name, flag.value);
+    std::fprintf(out, "  %-26s %s\n", left, flag.help);
+  }
+  std::fprintf(out,
+               "\ninput files use the dcs edge-list format (src/graph/io.h):"
+               "\n  <num_vertices> header line, then \"<u> <v> <weight>\" per "
+               "edge\n");
+}
+
+bool IsKnownFlag(const std::string& flag) {
+  for (const FlagSpec& spec : kFlagTable) {
+    if (flag == spec.name) return true;
+  }
+  return false;
 }
 
 // Strict numeric parsing: the whole token must be consumed, the value must
@@ -93,6 +131,10 @@ bool ParseUint32Strict(const char* text, uint32_t* out) {
 bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (!IsKnownFlag(flag)) {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return false;
+    }
     auto next_value = [&](const char** out) {
       if (i + 1 >= argc) return false;
       *out = argv[++i];
@@ -122,6 +164,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                      value);
         return false;
       }
+    } else if (flag == "--shared-cache" && next_value(&value)) {
+      if (!ParseUint32Strict(value, &args->shared_cache_sessions) ||
+          args->shared_cache_sessions == 0) {
+        std::fprintf(stderr,
+                     "invalid session count for --shared-cache: '%s'\n",
+                     value);
+        return false;
+      }
     } else if (flag == "--async") {
       args->async = true;
     } else if (flag == "--discrete") {
@@ -130,8 +180,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->flip = true;
     } else if (flag == "--quiet") {
       args->quiet = true;
+    } else if (flag == "--help") {
+      args->help = true;
+      return true;
     } else {
-      std::fprintf(stderr, "unknown or incomplete flag '%s'\n", flag.c_str());
+      std::fprintf(stderr, "flag '%s' is missing its %s value\n",
+                   flag.c_str(), flag.c_str());
       return false;
     }
   }
@@ -145,6 +199,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (!(args->alpha > 0.0)) {
     std::fprintf(stderr, "--alpha must be positive\n");
+    return false;
+  }
+  if (args->async && args->shared_cache_sessions > 0) {
+    std::fprintf(stderr, "--async and --shared-cache are exclusive\n");
     return false;
   }
   return true;
@@ -163,13 +221,88 @@ void PrintSubsets(const char* tag, const char* value_name,
   }
 }
 
+bool SameRanking(const std::vector<RankedSubgraph>& a,
+                 const std::vector<RankedSubgraph>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].vertices != b[i].vertices || a[i].value != b[i].value ||
+        a[i].weights != b[i].weights) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The --shared-cache path: n sessions over copies of the same graphs, all
+// attached to one PipelineCache, mining `request` concurrently. Exactly one
+// session pays the pipeline preparation; every response must be
+// bit-identical (the cross-session determinism guarantee). Returns the
+// response of session 0, or an error status.
+Result<MiningResponse> MineSharedCache(const Args& args, const Graph& g1,
+                                       const Graph& g2,
+                                       const MiningRequest& request) {
+  const uint32_t n = args.shared_cache_sessions;
+  auto cache = std::make_shared<PipelineCache>();
+  std::vector<Result<MiningResponse>> responses(
+      n, Result<MiningResponse>(Status::Internal("not mined")));
+  std::vector<uint64_t> rebuilds(n, 0);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      threads.emplace_back([&, i] {
+        SessionOptions options;
+        options.pipeline_cache = cache;
+        Result<MinerSession> session = MinerSession::Create(g1, g2, options);
+        if (!session.ok()) {
+          responses[i] = session.status();
+          return;
+        }
+        responses[i] = session->Mine(request);
+        rebuilds[i] = session->num_rebuilds();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!responses[i].ok()) return responses[i].status();
+  }
+  for (uint32_t i = 1; i < n; ++i) {
+    if (!SameRanking(responses[0]->average_degree,
+                     responses[i]->average_degree) ||
+        !SameRanking(responses[0]->graph_affinity,
+                     responses[i]->graph_affinity)) {
+      return Status::Internal("session " + std::to_string(i) +
+                              " diverged from session 0 — cross-session "
+                              "determinism violated");
+    }
+  }
+  if (!args.quiet) {
+    uint64_t prepared = 0;
+    for (uint32_t i = 0; i < n; ++i) prepared += rebuilds[i];
+    const PipelineCacheStats stats = cache->stats();
+    std::printf(
+        "# shared cache: %u sessions, %llu prepared the pipeline, "
+        "%llu hits / %llu misses, %zu bytes resident\n",
+        n, static_cast<unsigned long long>(prepared),
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses), stats.bytes);
+    std::printf("# all %u responses bit-identical\n", n);
+  }
+  return std::move(responses[0]);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) {
-    PrintUsage(argv[0]);
+    PrintUsage(argv[0], stderr);
     return 2;
+  }
+  if (args.help) {
+    PrintUsage(argv[0], stdout);
+    return 0;
   }
 
   Result<Graph> g1 = ReadEdgeListFile(args.g1_path);
@@ -185,14 +318,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Result<MinerSession> session =
-      MinerSession::Create(std::move(*g1), std::move(*g2));
-  if (!session.ok()) {
-    std::fprintf(stderr, "session setup failed: %s\n",
-                 session.status().ToString().c_str());
-    return 1;
-  }
-
   MiningRequest request;
   request.measure = args.measure;
   request.alpha = args.alpha;
@@ -200,65 +325,82 @@ int main(int argc, char** argv) {
   request.top_k = args.topk;
   if (args.discrete) request.discretize = DiscretizeSpec{};
 
-  if (!args.quiet) {
-    // The snapshot of the exact pipeline being mined (incl. --discrete).
-    Result<Graph> gd = session->DifferenceSnapshot(request);
-    if (gd.ok()) {
-      std::printf("# difference graph: %s\n", gd->DebugString().c_str());
-    }
-  }
-
   Result<MiningResponse> response = Status::Internal("not mined");
-  if (args.async) {
-    // The async path: the same request goes through the MiningService job
-    // queue — submit, poll the lifecycle, wait for the terminal snapshot.
-    MiningService service(std::move(*session));
-    Result<JobId> job = service.Submit(request);
-    if (!job.ok()) {
-      std::fprintf(stderr, "submit failed: %s\n",
-                   job.status().ToString().c_str());
+  if (args.shared_cache_sessions > 0) {
+    response = MineSharedCache(args, *g1, *g2, request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "shared-cache mining failed: %s\n",
+                   response.status().ToString().c_str());
       return 1;
     }
+  } else {
+    Result<MinerSession> session =
+        MinerSession::Create(std::move(*g1), std::move(*g2));
+    if (!session.ok()) {
+      std::fprintf(stderr, "session setup failed: %s\n",
+                   session.status().ToString().c_str());
+      return 1;
+    }
+
     if (!args.quiet) {
-      std::printf("# submitted job %llu\n",
-                  static_cast<unsigned long long>(*job));
-      JobState last = JobState::kQueued;
-      std::printf("# job state: %s\n", JobStateToString(last));
-      while (true) {
-        Result<JobStatus> polled = service.Poll(*job);
-        if (!polled.ok() || polled->terminal()) break;
-        if (polled->state != last) {
-          last = polled->state;
-          std::printf("# job state: %s\n", JobStateToString(last));
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      // The snapshot of the exact pipeline being mined (incl. --discrete).
+      Result<Graph> gd = session->DifferenceSnapshot(request);
+      if (gd.ok()) {
+        std::printf("# difference graph: %s\n", gd->DebugString().c_str());
       }
     }
-    Result<JobStatus> final_status = service.Wait(*job);
-    if (!final_status.ok()) {
-      std::fprintf(stderr, "wait failed: %s\n",
-                   final_status.status().ToString().c_str());
-      return 1;
+
+    if (args.async) {
+      // The async path: the same request goes through the MiningService job
+      // queue — submit, poll the lifecycle, wait for the terminal snapshot.
+      MiningService service(std::move(*session));
+      Result<JobId> job = service.Submit(request);
+      if (!job.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     job.status().ToString().c_str());
+        return 1;
+      }
+      if (!args.quiet) {
+        std::printf("# submitted job %llu\n",
+                    static_cast<unsigned long long>(*job));
+        JobState last = JobState::kQueued;
+        std::printf("# job state: %s\n", JobStateToString(last));
+        while (true) {
+          Result<JobStatus> polled = service.Poll(*job);
+          if (!polled.ok() || polled->terminal()) break;
+          if (polled->state != last) {
+            last = polled->state;
+            std::printf("# job state: %s\n", JobStateToString(last));
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      Result<JobStatus> final_status = service.Wait(*job);
+      if (!final_status.ok()) {
+        std::fprintf(stderr, "wait failed: %s\n",
+                     final_status.status().ToString().c_str());
+        return 1;
+      }
+      if (!args.quiet) {
+        std::printf("# job state: %s (queued %.1f ms, ran %.1f ms)\n",
+                    JobStateToString(final_status->state),
+                    final_status->queue_seconds * 1e3,
+                    final_status->run_seconds * 1e3);
+      }
+      if (final_status->state != JobState::kDone) {
+        std::fprintf(stderr, "mining failed: %s\n",
+                     final_status->failure.ToString().c_str());
+        return 1;
+      }
+      response = std::move(final_status->response);
+    } else {
+      response = session->Mine(request);
     }
-    if (!args.quiet) {
-      std::printf("# job state: %s (queued %.1f ms, ran %.1f ms)\n",
-                  JobStateToString(final_status->state),
-                  final_status->queue_seconds * 1e3,
-                  final_status->run_seconds * 1e3);
-    }
-    if (final_status->state != JobState::kDone) {
+    if (!response.ok()) {
       std::fprintf(stderr, "mining failed: %s\n",
-                   final_status->failure.ToString().c_str());
+                   response.status().ToString().c_str());
       return 1;
     }
-    response = std::move(final_status->response);
-  } else {
-    response = session->Mine(request);
-  }
-  if (!response.ok()) {
-    std::fprintf(stderr, "mining failed: %s\n",
-                 response.status().ToString().c_str());
-    return 1;
   }
 
   if (args.measure != Measure::kGraphAffinity) {
