@@ -101,13 +101,8 @@ int main(int argc, char** argv) {
     }
     const double wall_ms = wall.Millis();
 
-    std::sort(latencies_ms.begin(), latencies_ms.end());
-    double mean_ms = 0.0;
-    for (const double l : latencies_ms) mean_ms += l;
-    mean_ms /= static_cast<double>(latencies_ms.size());
-    // Nearest-rank p95: the ceil(0.95 * n)-th smallest sample.
-    const double p95_ms =
-        latencies_ms[(latencies_ms.size() * 95 + 99) / 100 - 1];
+    const double mean_ms = MeanOf(latencies_ms);
+    const double p95_ms = P95Of(latencies_ms);
     const double mean_queue_ms =
         queue_ms_total / static_cast<double>(num_jobs);
     const double throughput =

@@ -49,20 +49,6 @@ struct RunResult {
   std::string serialized;         // all responses, for the identity check
 };
 
-std::string Serialize(const MiningResponse& response) {
-  std::string out;
-  char buf[64];
-  for (const RankedSubgraph& s : response.graph_affinity) {
-    for (VertexId v : s.vertices) {
-      std::snprintf(buf, sizeof(buf), "%u,", v);
-      out += buf;
-    }
-    std::snprintf(buf, sizeof(buf), "|%.17g;", s.value);
-    out += buf;
-  }
-  return out;
-}
-
 // Runs `sessions` concurrent sessions over (g1, g2), each mining the
 // request mix. `shared` attaches all of them to one PipelineCache.
 RunResult RunSessions(const Graph& g1, const Graph& g2, uint32_t sessions,
@@ -100,7 +86,7 @@ RunResult RunSessions(const Graph& g1, const Graph& g2, uint32_t sessions,
   for (uint32_t i = 0; i < sessions; ++i) {
     out.rebuilds += rebuilds[i];
     for (const MiningResponse& response : responses[i]) {
-      out.serialized += Serialize(response);
+      out.serialized += SerializeAffinityRanking(response);
       out.serialized += "#";
     }
   }

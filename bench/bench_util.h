@@ -9,6 +9,7 @@
 #ifndef DCS_BENCH_BENCH_UTIL_H_
 #define DCS_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -18,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/mining.h"
 #include "gen/coauthor.h"
 #include "gen/interest_social.h"
 #include "gen/keywords.h"
@@ -53,6 +55,38 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Mean of the samples; 0 when empty.
+inline double MeanOf(const std::vector<double>& samples) {
+  double total = 0.0;
+  for (const double s : samples) total += s;
+  return samples.empty() ? 0.0 : total / static_cast<double>(samples.size());
+}
+
+/// Nearest-rank p95: the ceil(0.95·n)-th smallest sample; 0 when empty. The
+/// one percentile definition every bench shares, so the committed
+/// BENCH_*.json latency columns are comparable across drivers.
+inline double P95Of(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  return samples[(samples.size() * 95 + 99) / 100 - 1];
+}
+
+/// Full-precision serialization of a response's DCSGA ranking — the
+/// bit-identity checksum the cross-session and streaming benches compare.
+inline std::string SerializeAffinityRanking(const MiningResponse& response) {
+  std::string out;
+  char buf[64];
+  for (const RankedSubgraph& s : response.graph_affinity) {
+    for (VertexId v : s.vertices) {
+      std::snprintf(buf, sizeof(buf), "%u,", v);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "|%.17g;", s.value);
+    out += buf;
+  }
+  return out;
 }
 
 /// One measured configuration of a bench run.

@@ -104,9 +104,11 @@ int main(int argc, char** argv) {
                 keywords.c_str());
   }
   std::printf(
-      "\nupdates applied: %llu, difference rebuilds: %llu (lazy: one per "
-      "queried tick)\n",
+      "\nupdates applied: %llu, difference rebuilds: %llu, patched flushes: "
+      "%llu (the bulk load rebuilds once; each later tick's batch is spliced "
+      "in O(delta) and the cached pipeline republished)\n",
       static_cast<unsigned long long>(monitor->num_updates()),
-      static_cast<unsigned long long>(monitor->num_rebuilds()));
+      static_cast<unsigned long long>(monitor->num_rebuilds()),
+      static_cast<unsigned long long>(monitor->num_update_patches()));
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "api/solver_registry.h"
 #include "core/newsea.h"
+#include "graph/csr_patcher.h"
 #include "graph/difference.h"
 #include "graph/graph_builder.h"
 #include "util/logging.h"
@@ -14,12 +15,71 @@
 
 namespace dcs {
 
+namespace {
+
+// The one canonical batch order: ascending PackVertexPair. Every consumer of
+// a pair-keyed map (pending deltas, overlay materialization) folds through
+// this so the determinism contract cannot drift between paths.
+std::vector<std::pair<uint64_t, double>> SortedByPackedPair(
+    const std::unordered_map<uint64_t, double>& by_pair) {
+  std::vector<std::pair<uint64_t, double>> sorted(by_pair.begin(),
+                                                  by_pair.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return sorted;
+}
+
+}  // namespace
+
+// Canonicalizes one side's pending map to ascending PackVertexPair order, so
+// both flush paths fold the batch deterministically (satisfying the
+// determinism contract regardless of hash-map iteration order).
+std::vector<MinerSession::PendingDelta> MinerSession::SortedPending(
+    const std::unordered_map<uint64_t, double>& pending) {
+  std::vector<PendingDelta> out;
+  out.reserve(pending.size());
+  for (const auto& [key, delta] : SortedByPackedPair(pending)) {
+    const VertexPair pair = UnpackVertexPair(key);
+    out.push_back({pair.u, pair.v, delta});
+  }
+  return out;
+}
+
+namespace {
+
+// Establishes the session invariant that every resident edge satisfies
+// |w| > zero_eps. Graphs built elsewhere (default-eps builders, io) may
+// carry smaller weights when the session uses a larger zero_eps; the first
+// rebuild-path flush would silently drop those, so normalize once up front
+// to keep the patch and rebuild paths bit-identical.
+Graph NormalizedForZeroEps(Graph graph, double zero_eps) {
+  bool needs_filter = false;
+  for (VertexId u = 0; u < graph.NumVertices() && !needs_filter; ++u) {
+    for (const Neighbor& nb : graph.NeighborsOf(u)) {
+      if (std::fabs(nb.weight) <= zero_eps) {
+        needs_filter = true;
+        break;
+      }
+    }
+  }
+  if (!needs_filter) return graph;
+  GraphBuilder builder(graph.NumVertices());
+  for (const Edge& e : graph.UndirectedEdges()) {
+    builder.AddEdgeUnchecked(e.u, e.v, e.weight);
+  }
+  Result<Graph> filtered = builder.Build(zero_eps);
+  DCS_CHECK(filtered.ok()) << filtered.status().ToString();
+  return std::move(filtered).value();
+}
+
+}  // namespace
+
 MinerSession::MinerSession(VertexId num_vertices, Graph g1, Graph g2,
                            SessionOptions options)
     : num_vertices_(num_vertices),
       options_(options),
-      g1_(std::move(g1)),
-      g2_(std::move(g2)) {
+      g1_(NormalizedForZeroEps(std::move(g1), options.zero_eps)),
+      g2_(NormalizedForZeroEps(std::move(g2), options.zero_eps)) {
   if (options_.pipeline_cache != nullptr) {
     cache_ = options_.pipeline_cache;
     private_cache_ = false;
@@ -32,11 +92,41 @@ MinerSession::MinerSession(VertexId num_vertices, Graph g1, Graph g2,
     cache_ = std::make_shared<PipelineCache>(cache_options);
     private_cache_ = true;
   }
-  graph_fingerprint_ = PipelineGraphFingerprint(g1_, g2_);
+  g1_accumulator_ = g1_.ContentAccumulator();
+  g2_accumulator_ = g2_.ContentAccumulator();
+  graph_fingerprint_ = CurrentFingerprint();
 }
+
+uint64_t MinerSession::CurrentFingerprint() const {
+  return PipelineGraphFingerprintFromParts(
+      Graph::FingerprintFromAccumulator(num_vertices_, g1_accumulator_),
+      Graph::FingerprintFromAccumulator(num_vertices_, g2_accumulator_));
+}
+
+namespace {
+
+// The numeric session knobs feed DCS_CHECK-free hot paths (the overlay fold,
+// CsrPatcher's drop rule, the crossover compare), where a NaN or negative
+// value would corrupt results silently instead of failing loudly the way
+// GraphBuilder::Build rejects a bad zero_eps. Validate once at creation.
+Status ValidateSessionOptions(const SessionOptions& options) {
+  if (!std::isfinite(options.zero_eps) || options.zero_eps < 0.0) {
+    return Status::InvalidArgument(
+        "SessionOptions::zero_eps must be finite and >= 0");
+  }
+  if (std::isnan(options.patch_rebuild_ratio) ||
+      options.patch_rebuild_ratio < 0.0) {
+    return Status::InvalidArgument(
+        "SessionOptions::patch_rebuild_ratio must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<MinerSession> MinerSession::Create(Graph g1, Graph g2,
                                           SessionOptions options) {
+  DCS_RETURN_NOT_OK(ValidateSessionOptions(options));
   if (g1.NumVertices() != g2.NumVertices()) {
     return Status::InvalidArgument(
         "G1 and G2 must share one vertex set (got " +
@@ -54,6 +144,7 @@ Result<MinerSession> MinerSession::Create(Graph g1, Graph g2,
 
 Result<MinerSession> MinerSession::CreateStreaming(VertexId num_vertices,
                                                    SessionOptions options) {
+  DCS_RETURN_NOT_OK(ValidateSessionOptions(options));
   if (num_vertices == 0) {
     return Status::InvalidArgument("session needs at least one vertex");
   }
@@ -94,38 +185,234 @@ Status MinerSession::ApplyUpdate(UpdateSide side, VertexId u, VertexId v,
 
 Status MinerSession::FlushUpdates() {
   if (!graphs_dirty_) return Status::OK();
-  auto rebuild =
-      [&](const Graph& base,
-          std::unordered_map<uint64_t, double>* pending) -> Result<Graph> {
-    GraphBuilder builder(num_vertices_);
-    for (const Edge& e : base.UndirectedEdges()) {
-      builder.AddEdgeUnchecked(e.u, e.v, e.weight);
-    }
-    for (const auto& [key, delta] : *pending) {
-      builder.AddEdgeUnchecked(static_cast<VertexId>(key >> 32),
-                               static_cast<VertexId>(key & 0xFFFFFFFFull),
-                               delta);
-    }
-    return builder.Build(options_.zero_eps);
-  };
-  if (!pending_g1_.empty()) {
-    DCS_ASSIGN_OR_RETURN(g1_, rebuild(g1_, &pending_g1_));
-    pending_g1_.clear();
-  }
-  if (!pending_g2_.empty()) {
-    DCS_ASSIGN_OR_RETURN(g2_, rebuild(g2_, &pending_g2_));
-    pending_g2_.clear();
-  }
-  // Copy-on-write invalidation: the refreshed fingerprint redirects this
-  // session to fresh cache keys. A private cache holds no other session's
-  // entries, so the stale ones are dropped eagerly (today's memory profile);
-  // in a shared cache they may still serve sessions whose graphs kept the
-  // old content, and age out via LRU otherwise.
+  const std::vector<PendingDelta> d1 = SortedPending(pending_g1_);
+  const std::vector<PendingDelta> d2 = SortedPending(pending_g2_);
   const uint64_t stale_fingerprint = graph_fingerprint_;
-  graph_fingerprint_ = PipelineGraphFingerprint(g1_, g2_);
-  if (private_cache_) cache_->EraseFingerprint(stale_fingerprint);
+
+  // Crossover: a batch of Δ distinct pairs small relative to the resident
+  // edge mass takes the O(Δ) patch path; the rest — including the initial
+  // bulk load, where m = 0 — takes the full rebuild. The paths are
+  // bit-identical (the streaming equivalence tests pin this), so the choice
+  // is purely a latency decision. The CSR edge counts ignore any pending
+  // overlay (a bounded, within-crossover perturbation) — this is a
+  // heuristic threshold, not a correctness input.
+  const size_t delta_pairs = d1.size() + d2.size();
+  const size_t edge_mass = g1_.NumEdges() + g2_.NumEdges();
+  const bool patch =
+      options_.patch_rebuild_ratio > 0.0 &&
+      static_cast<double>(delta_pairs) <=
+          options_.patch_rebuild_ratio * static_cast<double>(edge_mass);
+
+  if (patch) {
+    PatchGraphsAndPipelines(d1, d2, stale_fingerprint);
+    ++num_update_patches_;
+    // Amortized materialization: once the overlay itself outgrows the
+    // crossover, fold it into the CSR arrays in one splice so per-pair
+    // lookups stay O(log deg) with a small constant.
+    if (static_cast<double>(overlay_g1_.size() + overlay_g2_.size()) >
+        options_.patch_rebuild_ratio * static_cast<double>(edge_mass)) {
+      MaterializeBaseGraphs();
+    }
+  } else {
+    MaterializeBaseGraphs();
+    auto rebuild = [&](const Graph& base,
+                       const std::vector<PendingDelta>& deltas)
+        -> Result<Graph> {
+      GraphBuilder builder(num_vertices_);
+      for (const Edge& e : base.UndirectedEdges()) {
+        builder.AddEdgeUnchecked(e.u, e.v, e.weight);
+      }
+      for (const PendingDelta& d : deltas) {
+        builder.AddEdgeUnchecked(d.u, d.v, d.delta);
+      }
+      return builder.Build(options_.zero_eps);
+    };
+    if (!d1.empty()) {
+      DCS_ASSIGN_OR_RETURN(g1_, rebuild(g1_, d1));
+      g1_accumulator_ = g1_.ContentAccumulator();
+    }
+    if (!d2.empty()) {
+      DCS_ASSIGN_OR_RETURN(g2_, rebuild(g2_, d2));
+      g2_accumulator_ = g2_.ContentAccumulator();
+    }
+    ++num_update_rebuilds_;
+  }
+  pending_g1_.clear();
+  pending_g2_.clear();
+
+  // Copy-on-write invalidation: the refreshed fingerprint redirects this
+  // session to fresh cache keys — pre-populated by the patch path's
+  // republish walk. A private cache holds no other session's entries, so
+  // the stale ones are dropped eagerly (today's memory profile); in a
+  // shared cache they may still serve sessions whose graphs kept the old
+  // content, and age out via LRU otherwise. A net-zero batch leaves the
+  // fingerprint unchanged — the resident entries are still this session's,
+  // so nothing is erased.
+  graph_fingerprint_ = CurrentFingerprint();
+  if (private_cache_ && graph_fingerprint_ != stale_fingerprint) {
+    cache_->EraseFingerprint(stale_fingerprint);
+  }
   graphs_dirty_ = false;
   return Status::OK();
+}
+
+double MinerSession::OverlaidWeight(
+    const Graph& base, const std::unordered_map<uint64_t, double>& overlay,
+    VertexId u, VertexId v) const {
+  if (!overlay.empty()) {
+    const auto it = overlay.find(PackVertexPair(u, v));
+    if (it != overlay.end()) {
+      // Mirror the builder's drop rule: a (near-)cancelled weight is absent.
+      return std::fabs(it->second) > options_.zero_eps ? it->second : 0.0;
+    }
+  }
+  return base.EdgeWeight(u, v);
+}
+
+void MinerSession::MaterializeBaseGraphs() {
+  auto splice = [&](Graph* graph, std::unordered_map<uint64_t, double>* overlay) {
+    if (overlay->empty()) return;
+    std::vector<EdgePatch> patches;
+    patches.reserve(overlay->size());
+    for (const auto& [key, weight] : SortedByPackedPair(*overlay)) {
+      const VertexPair pair = UnpackVertexPair(key);
+      patches.push_back(EdgePatch{pair.u, pair.v, weight});
+    }
+    // Accumulators were maintained when the overlay entries were recorded,
+    // so the splice must not re-apply them.
+    *graph = CsrPatcher::Apply(*graph, patches, options_.zero_eps,
+                               /*accumulator=*/nullptr);
+    overlay->clear();
+  };
+  splice(&g1_, &overlay_g1_);
+  splice(&g2_, &overlay_g2_);
+}
+
+void MinerSession::PatchGraphsAndPipelines(const std::vector<PendingDelta>& d1,
+                                           const std::vector<PendingDelta>& d2,
+                                           uint64_t stale_fingerprint) {
+  // Fold each side's deltas into absolute overlay assignments: old + delta
+  // is the exact expression the rebuild's duplicate merge evaluates, so the
+  // materialized weight is bit-identical to a rebuild's. The base CSR
+  // arrays are untouched — their unchanged spans are shared as-is until
+  // MaterializeBaseGraphs has a reason to splice.
+  auto fold = [&](const Graph& base, const std::vector<PendingDelta>& deltas,
+                  std::unordered_map<uint64_t, double>* overlay,
+                  uint64_t* accumulator) {
+    for (const PendingDelta& d : deltas) {
+      const double old_weight = OverlaidWeight(base, *overlay, d.u, d.v);
+      const double new_weight = old_weight + d.delta;
+      if (old_weight != 0.0) {
+        *accumulator -= Graph::UndirectedEdgeHash(d.u, d.v, old_weight);
+      }
+      if (std::fabs(new_weight) > options_.zero_eps) {
+        *accumulator += Graph::UndirectedEdgeHash(d.u, d.v, new_weight);
+      }
+      (*overlay)[PackVertexPair(d.u, d.v)] = new_weight;
+    }
+  };
+  fold(g1_, d1, &overlay_g1_, &g1_accumulator_);
+  fold(g2_, d2, &overlay_g2_, &g2_accumulator_);
+
+  // Union of pairs touched on either side, sorted — the only pairs whose
+  // difference-graph image can have changed.
+  std::vector<std::pair<VertexId, VertexId>> changed;
+  changed.reserve(d1.size() + d2.size());
+  for (const PendingDelta& d : d1) changed.emplace_back(d.u, d.v);
+  for (const PendingDelta& d : d2) changed.emplace_back(d.u, d.v);
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+
+  // Republish this fingerprint's cached pipelines, delta-patched, under the
+  // refreshed fingerprint: post-update queries hit instead of cold-missing.
+  // Copy-on-write — other sessions sharing the cache (and pinned snapshots)
+  // keep the old, untouched entries. A net-zero batch (every pair's deltas
+  // cancelled) leaves the fingerprint — and therefore every cached entry —
+  // valid as-is: nothing to republish.
+  const uint64_t fresh_fingerprint = CurrentFingerprint();
+  if (fresh_fingerprint == stale_fingerprint) return;
+  for (const auto& [key, snapshot] : cache_->SnapshotsFor(stale_fingerprint)) {
+    PipelineCacheKey fresh_key = key;
+    fresh_key.graph_fingerprint = fresh_fingerprint;
+    cache_->Publish(fresh_key,
+                    std::make_shared<const PreparedPipeline>(
+                        PatchPipeline(*snapshot, key, changed)));
+    ++num_republished_;
+  }
+}
+
+PreparedPipeline MinerSession::PatchPipeline(
+    const PreparedPipeline& old_pipeline, const PipelineCacheKey& key,
+    std::span<const std::pair<VertexId, VertexId>> changed_pairs) const {
+  const Graph& first = key.flip ? g2_ : g1_;
+  const Graph& second = key.flip ? g1_ : g2_;
+  const auto& first_overlay = key.flip ? overlay_g2_ : overlay_g1_;
+  const auto& second_overlay = key.flip ? overlay_g1_ : overlay_g2_;
+
+  // Re-derive the pipeline image of every changed pair from the patched
+  // content (CSR ⊕ overlay), mirroring BuildDifferenceGraph →
+  // DiscretizeWeights → WeightsClampedAbove exactly (stored weights are
+  // never zero, so weight == 0 means the pair is absent on that side). A
+  // zero assignment drops the pair.
+  std::vector<EdgePatch> difference_patches;
+  difference_patches.reserve(changed_pairs.size());
+  for (const auto& [u, v] : changed_pairs) {
+    const double w1 = OverlaidWeight(first, first_overlay, u, v);
+    const double w2 = OverlaidWeight(second, second_overlay, u, v);
+    double d;
+    if (w1 != 0.0 && w2 != 0.0) {
+      d = w2 - key.alpha * w1;
+    } else if (w1 != 0.0) {
+      d = -key.alpha * w1;
+    } else {
+      d = w2;  // 0 when absent on both sides → dropped below
+    }
+    double weight = 0.0;
+    if (d != 0.0 && std::fabs(d) > kDefaultZeroEps) {
+      weight = d;
+      if (key.discretize) {
+        const double mapped = key.discretize->Map(d);
+        weight = mapped != 0.0 && std::fabs(mapped) > kDefaultZeroEps
+                     ? mapped
+                     : 0.0;
+      }
+      if (weight != 0.0 && key.clamp_weights_above) {
+        weight = std::min(weight, *key.clamp_weights_above);
+      }
+    }
+    difference_patches.push_back(EdgePatch{u, v, weight});
+  }
+
+  PreparedPipeline out;
+  out.difference = CsrPatcher::Apply(old_pipeline.difference,
+                                     difference_patches, /*zero_eps=*/0.0);
+  if (!old_pipeline.has_ga_artifacts) return out;
+
+  // GD+ and the §V-D bounds follow the same delta: a changed pair's positive
+  // image is its new difference weight when positive, absent otherwise.
+  std::vector<EdgePatch> positive_patches;
+  std::vector<PositivePairDelta> positive_changes;
+  positive_patches.reserve(difference_patches.size());
+  for (const EdgePatch& patch : difference_patches) {
+    const double old_d = old_pipeline.difference.EdgeWeight(patch.u, patch.v);
+    const double old_positive = old_d > 0.0 ? old_d : 0.0;
+    const double new_positive = patch.weight > 0.0 ? patch.weight : 0.0;
+    positive_patches.push_back(EdgePatch{patch.u, patch.v, new_positive});
+    if (old_positive != new_positive) {
+      positive_changes.push_back(
+          PositivePairDelta{patch.u, patch.v, old_positive, new_positive});
+    }
+  }
+  out.positive_part = CsrPatcher::Apply(old_pipeline.positive_part,
+                                        positive_patches, /*zero_eps=*/0.0);
+  out.smart_bounds = old_pipeline.smart_bounds;
+  ApplySmartInitBoundsDelta(old_pipeline.positive_part, out.positive_part,
+                            positive_changes, &out.smart_bounds);
+  out.has_ga_artifacts = true;
+  // GD+ holds only strictly positive assignments by construction, so the
+  // non-negativity mark carries over without an O(m) rescan.
+  out.validated_nonnegative = old_pipeline.validated_nonnegative;
+  return out;
 }
 
 Result<PipelineCache::Snapshot> MinerSession::PreparePipeline(
@@ -148,6 +435,9 @@ Result<PipelineCache::Snapshot> MinerSession::PreparePipeline(
       // GA upgrade of a difference-only entry: reuse the cached graph.
       out.difference = reuse->difference;
     } else {
+      // A cold build consumes the base graphs as real CSR arrays; fold any
+      // deferred overlay in first (no-op when none is pending).
+      MaterializeBaseGraphs();
       const Graph& first = request.flip ? g2_ : g1_;
       const Graph& second = request.flip ? g1_ : g2_;
       DCS_ASSIGN_OR_RETURN(out.difference,
@@ -226,6 +516,9 @@ void MinerSession::FillCacheTelemetry(MiningTelemetry* telemetry) const {
   telemetry->pipeline_cache_hits = stats.hits;
   telemetry->pipeline_cache_misses = stats.misses;
   telemetry->pipeline_cache_bytes = stats.bytes;
+  telemetry->update_patches = num_update_patches_;
+  telemetry->update_rebuilds = num_update_rebuilds_;
+  telemetry->patched_entries_republished = num_republished_;
 }
 
 Status MinerSession::Solve(const PreparedPipeline& pipeline,

@@ -32,6 +32,14 @@
 // see core/newsea.h). MineAll splits the pool budget between the two
 // levels. Cross-session, a shared PipelineCache makes N sessions over the
 // same dataset pay the pipeline-preparation prefix once.
+//
+// Streaming path: a small ApplyUpdate batch is folded in O(Δ) — base
+// graphs through a CSR overlay (graph/csr_patcher.h), the fingerprint
+// through incremental accumulators, and every cached pipeline by a delta
+// patch republished under the new fingerprint — with a full-rebuild
+// fallback past the SessionOptions::patch_rebuild_ratio crossover. Both
+// paths are bit-identical; see ARCHITECTURE.md "Streaming update data
+// flow".
 
 #ifndef DCS_API_MINER_SESSION_H_
 #define DCS_API_MINER_SESSION_H_
@@ -73,6 +81,18 @@ struct SessionOptions {
   /// Magnitude below which an accumulated weight counts as cancelled when
   /// streaming updates are folded into the graphs.
   double zero_eps = 1e-12;
+  /// Streaming update crossover: a flush whose batch of Δ distinct pending
+  /// pairs satisfies Δ <= patch_rebuild_ratio · (m1 + m2) is folded by the
+  /// O(Δ) patch path — the CSR graphs are spliced in place
+  /// (graph/csr_patcher.h), the graph fingerprint is updated incrementally,
+  /// and every cached pipeline of the old fingerprint is delta-patched and
+  /// republished under the new one, so the next queries hit instead of
+  /// rebuilding. Larger batches (and the initial bulk load, where m = 0)
+  /// take the classic full rebuild; both paths are bit-identical. 0 disables
+  /// patching. The default sits safely under the measured crossover — the
+  /// patch path stays ahead of a rebuild well past Δ/m = 0.25 (see
+  /// bench_streaming_updates / BENCH_streaming_updates.json).
+  double patch_rebuild_ratio = 0.25;
 };
 
 /// \brief A mining session over a pair of graphs on a fixed vertex universe.
@@ -98,12 +118,16 @@ class MinerSession {
 
   /// \brief Adds `delta` to the weight of undirected edge {u,v} on `side`.
   ///
-  /// O(1); the CSR graphs are refreshed lazily at the next query, and cached
-  /// pipelines are invalidated copy-on-write: the session's graph
-  /// fingerprint changes, so its next queries prepare fresh entries while
-  /// other sessions sharing the cache — and snapshots pinned by in-flight
-  /// solves — keep the old, immutable ones. Fails on self-loops,
-  /// out-of-range endpoints, or non-finite deltas.
+  /// O(1); the graphs are refreshed lazily at the next query. A small batch
+  /// (see SessionOptions::patch_rebuild_ratio) is folded by the O(Δ) patch
+  /// path: the CSR content is spliced, and this session's cached pipelines
+  /// are delta-patched and *republished* under the refreshed fingerprint —
+  /// the next query hits the cache instead of rebuilding. Larger batches
+  /// fall back to a full rebuild whose next queries prepare fresh entries.
+  /// Either way the move is copy-on-write: other sessions sharing the cache
+  /// — and snapshots pinned by in-flight solves — keep the old, immutable
+  /// entries. Fails on self-loops, out-of-range endpoints, or non-finite
+  /// deltas.
   Status ApplyUpdate(UpdateSide side, VertexId u, VertexId v, double delta);
 
   /// The validation ApplyUpdate performs, exposed so queueing layers
@@ -150,8 +174,17 @@ class MinerSession {
   uint64_t num_updates() const { return num_updates_; }
   /// Difference graphs *this session* materialized so far (flat across
   /// cached queries — including queries served by entries another session
-  /// sharing the cache prepared).
+  /// sharing the cache prepared, and across patched flushes, which splice
+  /// cached differences instead of materializing fresh ones).
   uint64_t num_rebuilds() const { return num_rebuilds_; }
+  /// Pending-update flushes folded by the O(Δ) patch path.
+  uint64_t num_update_patches() const { return num_update_patches_; }
+  /// Pending-update flushes that took the full-rebuild fallback (batch past
+  /// the Δ/m crossover, the initial bulk load, or patching disabled).
+  uint64_t num_update_rebuilds() const { return num_update_rebuilds_; }
+  /// Cached pipeline entries delta-patched and republished under this
+  /// session's new fingerprint across all patched flushes.
+  uint64_t num_republished_entries() const { return num_republished_; }
   /// Pipelines currently resident in the cache for this session's graphs.
   size_t num_cached_pipelines() const {
     return cache_->EntriesFor(graph_fingerprint_);
@@ -176,13 +209,64 @@ class MinerSession {
   void ClearWarmStart() { warm_support_.clear(); }
 
  private:
+  // One side's pending batch entry, canonicalized to u < v.
+  struct PendingDelta {
+    VertexId u;
+    VertexId v;
+    double delta;
+  };
+
   MinerSession(VertexId num_vertices, Graph g1, Graph g2,
                SessionOptions options);
 
+  // One side's pending map in ascending PackVertexPair order — the batch
+  // order both flush paths fold deterministically.
+  static std::vector<PendingDelta> SortedPending(
+      const std::unordered_map<uint64_t, double>& pending);
+
   // Folds pending streaming deltas into g1_/g2_ when dirty; refreshes the
   // graph fingerprint (copy-on-write invalidation) and, on a private cache,
-  // drops the now-unreachable entries.
+  // drops the now-unreachable entries. Small batches (see
+  // SessionOptions::patch_rebuild_ratio) take the O(Δ) patch path; the rest
+  // take the full rebuild. Both fold the batch in sorted PackVertexPair
+  // order, so the result is independent of hash-map iteration order.
   Status FlushUpdates();
+
+  // The O(Δ) path: folds both sides' batches into the base-graph overlays
+  // (maintaining the fingerprint accumulators), then delta-patches every
+  // cached pipeline of `stale_fingerprint` and republishes it under the
+  // refreshed fingerprint. The base CSR arrays are *not* copied here — the
+  // untouched spans are shared by leaving them in place and recording the
+  // changed pairs in the overlay; MaterializeBaseGraphs splices lazily.
+  void PatchGraphsAndPipelines(const std::vector<PendingDelta>& d1,
+                               const std::vector<PendingDelta>& d2,
+                               uint64_t stale_fingerprint);
+
+  // The weight of {u,v} in one side's current content: the overlay entry
+  // when present (values within zero_eps of 0 read as absent, mirroring the
+  // builder's drop rule), the CSR weight otherwise.
+  double OverlaidWeight(const Graph& base,
+                        const std::unordered_map<uint64_t, double>& overlay,
+                        VertexId u, VertexId v) const;
+
+  // Splices any pending overlays into the CSR graphs (bit-identical to a
+  // rebuild of the same content) and clears them. Called before anything
+  // that needs a real CSR of the current content: a cold pipeline build,
+  // the full-rebuild flush path, or overlay growth past the crossover.
+  void MaterializeBaseGraphs();
+
+  // Delta-derives the patched counterpart of one cached pipeline: re-derives
+  // D(u,v) (and its discretize/clamp image) from the already-patched
+  // g1_/g2_ for exactly the changed pairs, splices difference and GD+, and
+  // maintains the smart-init bounds. Bit-identical to a from-scratch
+  // preparation on the patched graphs.
+  PreparedPipeline PatchPipeline(
+      const PreparedPipeline& old_pipeline, const PipelineCacheKey& key,
+      std::span<const std::pair<VertexId, VertexId>> changed_pairs) const;
+
+  // The session's current pair fingerprint, derived from the incrementally
+  // maintained per-graph content accumulators.
+  uint64_t CurrentFingerprint() const;
 
   // Returns the cache snapshot for the request's pipeline fields, building
   // (at most once across sessions) as needed. `need_ga` also prepares the
@@ -223,6 +307,12 @@ class MinerSession {
   SessionOptions options_;
   Graph g1_{0};
   Graph g2_{0};
+  // Patched-but-not-yet-spliced base-graph content: absolute weights per
+  // packed pair, layered over g1_/g2_ (the session's true graphs are
+  // CSR ⊕ overlay). Keeping the batch here instead of copying the CSR
+  // arrays is what makes a small flush O(Δ); see MaterializeBaseGraphs.
+  std::unordered_map<uint64_t, double> overlay_g1_;
+  std::unordered_map<uint64_t, double> overlay_g2_;
   // Pending streaming deltas keyed by packed (min,max) vertex pair.
   std::unordered_map<uint64_t, double> pending_g1_;
   std::unordered_map<uint64_t, double> pending_g2_;
@@ -233,13 +323,20 @@ class MinerSession {
   std::shared_ptr<PipelineCache> cache_;
   bool private_cache_ = true;
   // PipelineGraphFingerprint of (g1_, g2_) after the last flush — the
-  // content half of this session's cache keys.
+  // content half of this session's cache keys — plus the per-graph content
+  // accumulators it is derived from (Graph::ContentAccumulator), maintained
+  // incrementally by the patch path.
   uint64_t graph_fingerprint_ = 0;
+  uint64_t g1_accumulator_ = 0;
+  uint64_t g2_accumulator_ = 0;
   // Shared worker pool for MineAll batches and intra-request NewSEA seed
   // sharding; created lazily by EnsurePool.
   std::unique_ptr<ThreadPool> pool_;
   uint64_t num_updates_ = 0;
   uint64_t num_rebuilds_ = 0;
+  uint64_t num_update_patches_ = 0;
+  uint64_t num_update_rebuilds_ = 0;
+  uint64_t num_republished_ = 0;
   // Support of the most recent DCSGA answer, offered to warm_start requests.
   std::vector<VertexId> warm_support_;
 };

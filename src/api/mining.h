@@ -157,6 +157,15 @@ struct MiningTelemetry {
   /// Session-lifetime difference-graph rebuild count *after* this request
   /// (flat across requests ⇔ the cache served them).
   uint64_t session_rebuilds = 0;
+  /// Streaming update-path counters *after* this request (session-lifetime,
+  /// deterministic): pending-update flushes folded by the O(Δ) CSR patch
+  /// path vs. by a full graph rebuild (the Δ/m crossover of
+  /// SessionOptions::patch_rebuild_ratio), and cached pipeline entries the
+  /// patch path republished under the new graph fingerprint instead of
+  /// letting post-update queries cold-miss.
+  uint64_t update_patches = 0;
+  uint64_t update_rebuilds = 0;
+  uint64_t patched_entries_republished = 0;
   /// True iff this request's difference graph came from the pipeline cache —
   /// prepared earlier by this session, or by *any* session sharing the cache
   /// (api/pipeline_cache.h).

@@ -1,5 +1,6 @@
 #include "api/pipeline_cache.h"
 
+#include <algorithm>
 #include <bit>
 #include <string>
 #include <utility>
@@ -62,14 +63,19 @@ bool operator==(const PipelineCacheKey& a, const PipelineCacheKey& b) {
          BitEqual(da.level_one, db.level_one);
 }
 
-uint64_t PipelineGraphFingerprint(const Graph& g1, const Graph& g2) {
+uint64_t PipelineGraphFingerprintFromParts(uint64_t g1_fingerprint,
+                                           uint64_t g2_fingerprint) {
   // Two chained steps, not one: MixFingerprint(h, v) adds h and v before
   // mixing, so a single step would make the pair fingerprint symmetric and
   // collide (G1, G2) with (G2, G1) — the flip direction must distinguish.
-  const uint64_t h =
-      MixFingerprint(0x6463735f70616972ull,  // "dcs_pair"
-                     g1.ContentFingerprint());
-  return MixFingerprint(h, g2.ContentFingerprint());
+  const uint64_t h = MixFingerprint(0x6463735f70616972ull,  // "dcs_pair"
+                                    g1_fingerprint);
+  return MixFingerprint(h, g2_fingerprint);
+}
+
+uint64_t PipelineGraphFingerprint(const Graph& g1, const Graph& g2) {
+  return PipelineGraphFingerprintFromParts(g1.ContentFingerprint(),
+                                           g2.ContentFingerprint());
 }
 
 size_t PreparedPipeline::ApproxBytes() const {
@@ -77,7 +83,9 @@ size_t PreparedPipeline::ApproxBytes() const {
          positive_part.ApproxBytes() +
          smart_bounds.w.capacity() * sizeof(double) +
          smart_bounds.tau.capacity() * sizeof(uint32_t) +
-         smart_bounds.mu.capacity() * sizeof(double);
+         smart_bounds.mu.capacity() * sizeof(double) +
+         smart_bounds.max_incident.capacity() * sizeof(double) +
+         smart_bounds.order.capacity() * sizeof(VertexId);
 }
 
 PipelineCache::PipelineCache(PipelineCacheOptions options)
@@ -178,6 +186,32 @@ void PipelineCache::EvictLocked(
   if (count_eviction) ++evictions_;
 }
 
+void PipelineCache::Publish(const PipelineCacheKey& key, Snapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++republishes_;
+  InsertLocked(key, std::move(snapshot));
+}
+
+std::vector<std::pair<PipelineCacheKey, PipelineCache::Snapshot>>
+PipelineCache::SnapshotsFor(uint64_t graph_fingerprint) const {
+  std::vector<std::pair<PipelineCacheKey, Snapshot>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, entry] : entries_) {
+      if (key.graph_fingerprint == graph_fingerprint) {
+        out.emplace_back(key, entry.prepared);
+      }
+    }
+  }
+  // Deterministic order (by the platform-stable key hash), so a republish
+  // walk inserts into the LRU list identically everywhere — hash-map
+  // iteration order must not leak into eviction behavior.
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first.Hash() < b.first.Hash();
+  });
+  return out;
+}
+
 void PipelineCache::EraseFingerprint(uint64_t graph_fingerprint) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end();) {
@@ -211,6 +245,7 @@ PipelineCacheStats PipelineCache::stats() const {
   stats.hits = hits_;
   stats.misses = misses_;
   stats.upgrades = upgrades_;
+  stats.republishes = republishes_;
   stats.evictions = evictions_;
   stats.entries = entries_.size();
   stats.bytes = bytes_;

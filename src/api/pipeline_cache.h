@@ -51,6 +51,8 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "core/newsea.h"       // SmartInitBounds
 #include "graph/difference.h"  // DiscretizeSpec
@@ -83,6 +85,13 @@ struct PipelineCacheKey {
 /// \brief Order-sensitive fingerprint of a (G1, G2) session graph pair for
 /// PipelineCacheKey::graph_fingerprint; flipping the pair changes the value.
 uint64_t PipelineGraphFingerprint(const Graph& g1, const Graph& g2);
+
+/// \brief The same pair fingerprint from precomputed per-graph
+/// ContentFingerprint values — the O(1) tail of the streaming patch path,
+/// whose per-graph halves are maintained incrementally via
+/// Graph::FingerprintFromAccumulator.
+uint64_t PipelineGraphFingerprintFromParts(uint64_t g1_fingerprint,
+                                           uint64_t g2_fingerprint);
 
 /// \brief The immutable artifacts of one materialized pipeline: the
 /// difference graph after discretize/clamp, and — once a graph-affinity
@@ -128,6 +137,10 @@ struct PipelineCacheStats {
   /// Calls that reused a cached difference graph but added the GA artifacts
   /// (counted separately from hits/misses).
   uint64_t upgrades = 0;
+  /// Entries published directly via Publish — the streaming patch path
+  /// re-homing a session's pipelines under its new graph fingerprint instead
+  /// of letting every key cold-miss after an update.
+  uint64_t republishes = 0;
   uint64_t evictions = 0;
   size_t entries = 0;
   /// Resident bytes (sum of entry ApproxBytes).
@@ -172,6 +185,23 @@ class PipelineCache {
   /// racing waiters of the key retry the build themselves.
   Result<Snapshot> GetOrPrepare(const PipelineCacheKey& key, bool need_ga,
                                 const BuildFn& build, bool* reused_difference);
+
+  /// \brief Publishes a ready-made snapshot under `key`, replacing any
+  /// resident entry and counting toward the LRU/byte limits.
+  ///
+  /// This is the streaming delta-maintenance hook: after an ApplyUpdate
+  /// batch is patched in O(Δ), MinerSession republishes each of its old
+  /// fingerprint's entries — patched the same way — under the new
+  /// fingerprint, so the post-update queries hit instead of rebuilding.
+  /// Copy-on-write throughout: the old entries (and any pinned snapshots)
+  /// are untouched.
+  void Publish(const PipelineCacheKey& key, Snapshot snapshot);
+
+  /// Resident entries of one graph-pair fingerprint, for the republish walk
+  /// above. Snapshots are pinned by the returned vector, so concurrent
+  /// eviction cannot invalidate them.
+  std::vector<std::pair<PipelineCacheKey, Snapshot>> SnapshotsFor(
+      uint64_t graph_fingerprint) const;
 
   /// Drops every resident entry of one graph-pair fingerprint (pinned
   /// snapshots stay valid). Sessions re-materialize on demand.
@@ -223,6 +253,7 @@ class PipelineCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t upgrades_ = 0;
+  uint64_t republishes_ = 0;
   uint64_t evictions_ = 0;
 };
 

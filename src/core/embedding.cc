@@ -26,7 +26,12 @@ Embedding Embedding::UniformOn(VertexId n, std::span<const VertexId> members) {
 }
 
 std::vector<VertexId> Embedding::Support() const {
+  // Count first so the result is allocated exactly once; supports are tiny
+  // next to n, so the default doubling growth wasted both space and copies.
+  size_t count = 0;
+  for (VertexId v = 0; v < size(); ++v) count += x[v] > 0.0 ? 1 : 0;
   std::vector<VertexId> support;
+  support.reserve(count);
   for (VertexId v = 0; v < size(); ++v) {
     if (x[v] > 0.0) support.push_back(v);
   }

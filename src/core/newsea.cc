@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -231,33 +232,198 @@ Status ValidateNonNegativeWeights(const Graph& gd_plus) {
   return Status::OK();
 }
 
+namespace {
+
+// The scalar formulas the full pass and the delta path share; keeping them
+// in one place is what makes the delta path bit-identical by construction.
+double SmartBoundW(const Graph& gd_plus, const std::vector<double>& max_incident,
+                   VertexId u) {
+  double w = max_incident[u];
+  for (const Neighbor& nb : gd_plus.NeighborsOf(u)) {
+    w = std::max(w, max_incident[nb.to]);
+  }
+  return w;
+}
+
+double SmartBoundMu(uint32_t tau_u, double w_u) {
+  if (tau_u == 0 || !std::isfinite(w_u)) {
+    return 0.0;  // isolated in GD+: best possible affinity is 0
+  }
+  const double tau = static_cast<double>(tau_u);
+  return tau * w_u / (tau + 1.0);
+}
+
+double MaxIncidentOf(const Graph& gd_plus, VertexId u) {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const Neighbor& nb : gd_plus.NeighborsOf(u)) {
+    best = std::max(best, nb.weight);
+  }
+  return best;
+}
+
+// The unique total seed order: descending μ, ties by ascending id. Being
+// total (no equal elements) is what lets the delta path reproduce a full
+// sort exactly via remove-and-merge.
+bool SeedOrderLess(const std::vector<double>& mu, VertexId a, VertexId b) {
+  return mu[a] != mu[b] ? mu[a] > mu[b] : a < b;
+}
+
+}  // namespace
+
 SmartInitBounds ComputeSmartInitBounds(const Graph& gd_plus) {
   const VertexId n = gd_plus.NumVertices();
   SmartInitBounds bounds;
-  // Step 1: max incident weight per vertex.
-  const std::vector<double> max_incident = gd_plus.MaxIncidentWeightPerVertex();
+  // Step 1: max incident weight per vertex (kept for the delta path).
+  bounds.max_incident = gd_plus.MaxIncidentWeightPerVertex();
   // Step 2: w_u = max over the closed neighborhood T_u of max_incident —
   // an upper bound on the heaviest edge with an endpoint in T_u.
   bounds.w.assign(n, -std::numeric_limits<double>::infinity());
   for (VertexId u = 0; u < n; ++u) {
-    bounds.w[u] = max_incident[u];
-    for (const Neighbor& nb : gd_plus.NeighborsOf(u)) {
-      bounds.w[u] = std::max(bounds.w[u], max_incident[nb.to]);
-    }
+    bounds.w[u] = SmartBoundW(gd_plus, bounds.max_incident, u);
   }
   // Step 3: τ_u (core numbers) and μ_u = τ_u·w_u/(τ_u+1) (Theorem 6 with the
   // clique size bound k_u ≤ τ_u + 1).
   bounds.tau = CoreNumbers(gd_plus);
   bounds.mu.assign(n, 0.0);
   for (VertexId u = 0; u < n; ++u) {
-    if (bounds.tau[u] == 0 || !std::isfinite(bounds.w[u])) {
-      bounds.mu[u] = 0.0;  // isolated in GD+: best possible affinity is 0
-    } else {
-      const double tau = static_cast<double>(bounds.tau[u]);
-      bounds.mu[u] = tau * bounds.w[u] / (tau + 1.0);
+    bounds.mu[u] = SmartBoundMu(bounds.tau[u], bounds.w[u]);
+  }
+  // Step 4: the seed order, paid once here instead of on every solve.
+  bounds.order.resize(n);
+  std::iota(bounds.order.begin(), bounds.order.end(), VertexId{0});
+  std::sort(bounds.order.begin(), bounds.order.end(),
+            [&](VertexId a, VertexId b) { return SeedOrderLess(bounds.mu, a, b); });
+  return bounds;
+}
+
+void ApplySmartInitBoundsDelta(const Graph& old_gd_plus,
+                               const Graph& new_gd_plus,
+                               std::span<const PositivePairDelta> changes,
+                               SmartInitBounds* bounds) {
+  const VertexId n = new_gd_plus.NumVertices();
+  DCS_CHECK(old_gd_plus.NumVertices() == n && bounds->mu.size() == n &&
+            bounds->max_incident.size() == n)
+      << "bounds were computed for a different graph";
+  if (changes.empty()) return;
+
+  // --- τ: incremental core maintenance on the structural changes ----------
+  // Past this many insert/delete traversals one bucket-peeling pass over the
+  // new graph is cheaper (and trivially exact), so fall back.
+  constexpr size_t kMaxIncrementalCoreEdges = 32;
+  std::vector<uint64_t> inserted_pairs;
+  std::vector<uint64_t> removed_pairs;
+  for (const PositivePairDelta& change : changes) {
+    if (change.old_weight == 0.0 && change.new_weight != 0.0) {
+      inserted_pairs.push_back(PackVertexPair(change.u, change.v));
+    } else if (change.old_weight != 0.0 && change.new_weight == 0.0) {
+      removed_pairs.push_back(PackVertexPair(change.u, change.v));
     }
   }
-  return bounds;
+  std::vector<VertexId> tau_changed;
+  if (inserted_pairs.size() + removed_pairs.size() >
+      kMaxIncrementalCoreEdges) {
+    std::vector<uint32_t> fresh = CoreNumbers(new_gd_plus);
+    for (VertexId u = 0; u < n; ++u) {
+      if (fresh[u] != bounds->tau[u]) tau_changed.push_back(u);
+    }
+    bounds->tau = std::move(fresh);
+  } else if (!inserted_pairs.empty() || !removed_pairs.empty()) {
+    // Replay one edge at a time against the two CSR snapshots we hold:
+    // removals run on the old graph with the already-removed pairs hidden,
+    // insertions then run on the new graph with the not-yet-applied
+    // insertions hidden — at every step the visible adjacency is exactly
+    // the intermediate graph the single-edge traversal requires.
+    std::unordered_set<uint64_t> hidden;
+    for (const uint64_t key : removed_pairs) {
+      hidden.insert(key);
+      const VertexPair pair = UnpackVertexPair(key);
+      CoreNumbersAfterRemove(old_gd_plus, pair.u, pair.v, hidden,
+                             &bounds->tau, &tau_changed);
+    }
+    hidden.clear();
+    hidden.insert(inserted_pairs.begin(), inserted_pairs.end());
+    for (const uint64_t key : inserted_pairs) {
+      hidden.erase(key);
+      const VertexPair pair = UnpackVertexPair(key);
+      CoreNumbersAfterInsert(new_gd_plus, pair.u, pair.v, hidden,
+                             &bounds->tau, &tau_changed);
+    }
+  }
+
+  // --- max_incident: recompute at the changed pairs' endpoints ------------
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(changes.size() * 2);
+  for (const PositivePairDelta& change : changes) {
+    endpoints.push_back(change.u);
+    endpoints.push_back(change.v);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  std::vector<VertexId> incident_changed;
+  for (const VertexId e : endpoints) {
+    const double fresh = MaxIncidentOf(new_gd_plus, e);
+    if (std::bit_cast<uint64_t>(fresh) !=
+        std::bit_cast<uint64_t>(bounds->max_incident[e])) {
+      bounds->max_incident[e] = fresh;
+      incident_changed.push_back(e);
+    }
+  }
+
+  // --- w: recompute over the closed neighborhoods that could have moved ---
+  // w_x changes only when x's row membership changed (x is an endpoint of a
+  // structural pair) or some y in x's closed neighborhood changed its
+  // max_incident (x is y or one of y's current neighbors; a *former*
+  // neighbor lost the edge, making x a structural endpoint — covered).
+  std::vector<VertexId> w_targets = endpoints;
+  for (const VertexId y : incident_changed) {
+    for (const Neighbor& nb : new_gd_plus.NeighborsOf(y)) {
+      w_targets.push_back(nb.to);
+    }
+  }
+  std::sort(w_targets.begin(), w_targets.end());
+  w_targets.erase(std::unique(w_targets.begin(), w_targets.end()),
+                  w_targets.end());
+  for (const VertexId x : w_targets) {
+    bounds->w[x] = SmartBoundW(new_gd_plus, bounds->max_incident, x);
+  }
+
+  // --- μ: re-derive wherever τ or w may have moved ------------------------
+  std::vector<VertexId> mu_targets = std::move(w_targets);
+  mu_targets.insert(mu_targets.end(), tau_changed.begin(), tau_changed.end());
+  std::sort(mu_targets.begin(), mu_targets.end());
+  mu_targets.erase(std::unique(mu_targets.begin(), mu_targets.end()),
+                   mu_targets.end());
+  for (const VertexId x : mu_targets) {
+    bounds->mu[x] = SmartBoundMu(bounds->tau[x], bounds->w[x]);
+  }
+
+  // --- seed order: remove the re-derived vertices, merge them back --------
+  // The untouched vertices keep their relative order (their sort keys are
+  // unchanged), and the order is a unique total order, so this remove-and-
+  // merge reproduces a from-scratch sort bit for bit in O(n + c log c).
+  if (bounds->order.size() == n && !mu_targets.empty()) {
+    std::vector<char> is_target(n, 0);
+    for (const VertexId x : mu_targets) is_target[x] = 1;
+    std::vector<VertexId> reinsert = mu_targets;
+    std::sort(reinsert.begin(), reinsert.end(),
+              [&](VertexId a, VertexId b) {
+                return SeedOrderLess(bounds->mu, a, b);
+              });
+    std::vector<VertexId> merged;
+    merged.reserve(n);
+    size_t ri = 0;
+    for (const VertexId x : bounds->order) {
+      if (is_target[x]) continue;  // re-inserted from `reinsert` instead
+      while (ri < reinsert.size() &&
+             SeedOrderLess(bounds->mu, reinsert[ri], x)) {
+        merged.push_back(reinsert[ri++]);
+      }
+      merged.push_back(x);
+    }
+    while (ri < reinsert.size()) merged.push_back(reinsert[ri++]);
+    bounds->order = std::move(merged);
+  }
 }
 
 Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
@@ -285,11 +451,20 @@ Result<DcsgaResult> RunNewSea(const Graph& gd_plus,
         "smart-init bounds were computed for a different graph");
   }
 
-  std::vector<VertexId> order(n);
-  std::iota(order.begin(), order.end(), VertexId{0});
-  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
-    return bounds.mu[a] > bounds.mu[b];
-  });
+  // A cached pipeline's bounds carry the seed order precomputed (and
+  // delta-maintained); fall back to sorting only for hand-built bounds.
+  std::vector<VertexId> local_order;
+  const std::vector<VertexId>* order_ptr = &bounds.order;
+  if (bounds.order.size() != n) {
+    local_order.resize(n);
+    std::iota(local_order.begin(), local_order.end(), VertexId{0});
+    std::sort(local_order.begin(), local_order.end(),
+              [&](VertexId a, VertexId b) {
+                return SeedOrderLess(bounds.mu, a, b);
+              });
+    order_ptr = &local_order;
+  }
+  const std::vector<VertexId>& order = *order_ptr;
 
   DcsgaOptions inner = options;
   inner.shrink = ShrinkKind::kCoordinateDescent;  // NewSEA is CD by definition
@@ -361,17 +536,40 @@ std::vector<CliqueRecord> FilterMaximalCliques(std::vector<CliqueRecord> in) {
   });
   // For every kept clique, index it by its smallest member: any superset of
   // a clique C contains C's first vertex, so looking up that one bucket
-  // suffices for the subset test.
-  std::unordered_map<VertexId, std::vector<size_t>> kept_by_vertex;
+  // suffices for the subset test. The index is a flat epoch-stamped vector
+  // over the vertex range rather than a hash map: bucket lookups become one
+  // array access, and the scratch persists across calls (thread_local, like
+  // AffinityState::Renormalize's visited set) — a stale bucket (stamp !=
+  // current epoch) reads as empty, so repeated top-k harvests pay neither
+  // rehashing nor O(n) clearing.
+  VertexId max_vertex = 0;
+  for (const CliqueRecord& record : in) {
+    for (VertexId v : record.members) max_vertex = std::max(max_vertex, v);
+  }
+  thread_local std::vector<std::vector<size_t>> buckets;
+  thread_local std::vector<uint32_t> bucket_epoch;
+  thread_local uint32_t epoch = 0;
+  if (++epoch == 0) {
+    // Stamp wrap-around: every stale stamp could alias the fresh epoch, so
+    // reset once per 2^32 calls.
+    std::fill(bucket_epoch.begin(), bucket_epoch.end(), 0u);
+    epoch = 1;
+  }
+  const uint32_t kEpoch = epoch;
+  if (buckets.size() <= max_vertex) {
+    buckets.resize(static_cast<size_t>(max_vertex) + 1);
+    bucket_epoch.resize(static_cast<size_t>(max_vertex) + 1, 0);
+  }
   std::vector<char> kept(in.size(), 0);
   for (size_t idx : order) {
     const std::vector<VertexId>& members = in[idx].members;
     bool subsumed = false;
     if (!members.empty()) {
-      for (VertexId v : members) {
-        auto it = kept_by_vertex.find(v);
-        if (it == kept_by_vertex.end()) continue;
-        for (size_t candidate : it->second) {
+      // One bucket is enough: supersets contain every member, so checking
+      // the first member's bucket covers them all.
+      const VertexId first = members.front();
+      if (bucket_epoch[first] == kEpoch) {
+        for (size_t candidate : buckets[first]) {
           const std::vector<VertexId>& big = in[candidate].members;
           if (big.size() < members.size()) continue;
           if (std::includes(big.begin(), big.end(), members.begin(),
@@ -380,12 +578,17 @@ std::vector<CliqueRecord> FilterMaximalCliques(std::vector<CliqueRecord> in) {
             break;
           }
         }
-        break;  // one bucket is enough: supersets contain every member
       }
     }
     if (!subsumed) {
       kept[idx] = 1;
-      for (VertexId v : in[idx].members) kept_by_vertex[v].push_back(idx);
+      for (VertexId v : in[idx].members) {
+        if (bucket_epoch[v] != kEpoch) {
+          bucket_epoch[v] = kEpoch;
+          buckets[v].clear();
+        }
+        buckets[v].push_back(idx);
+      }
     }
   }
   std::vector<CliqueRecord> out;

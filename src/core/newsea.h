@@ -20,6 +20,7 @@
 #define DCS_CORE_NEWSEA_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/coordinate_descent.h"
@@ -99,10 +100,46 @@ struct SmartInitBounds {
   std::vector<double> w;    ///< w_u: max edge weight touching the ego net T_u
   std::vector<uint32_t> tau;///< τ_u: core number in GD+
   std::vector<double> mu;   ///< μ_u = τ_u·w_u/(τ_u+1)
+  /// Max incident edge weight per vertex (−inf when isolated) — the
+  /// intermediate w_u is the closed-neighborhood max of. Kept so the
+  /// streaming delta path can re-derive w only around changed edges.
+  std::vector<double> max_incident;
+  /// The Algorithm 5 seed order: vertices by descending μ, ties by
+  /// ascending id — a *unique* total order, so the streaming delta path can
+  /// maintain it bit-identically by a remove-and-merge instead of a fresh
+  /// O(n log n) sort, and RunNewSea can skip its per-solve sort entirely
+  /// when bounds come from a cached pipeline.
+  std::vector<VertexId> order;
 };
 
 /// Computes w_u, τ_u and μ_u for every vertex of `gd_plus` in O(m + n).
 SmartInitBounds ComputeSmartInitBounds(const Graph& gd_plus);
+
+/// One undirected GD+ pair whose weight changed between two graph versions
+/// (0 encodes "absent on that side"; a weight can never be 0 otherwise).
+struct PositivePairDelta {
+  VertexId u = 0;
+  VertexId v = 0;
+  double old_weight = 0.0;
+  double new_weight = 0.0;
+};
+
+/// \brief Maintains ComputeSmartInitBounds output across a batch of GD+
+/// edge changes — the §V-D half of the streaming O(Δ) update path.
+///
+/// `bounds` must hold ComputeSmartInitBounds(old_gd_plus) on entry and holds
+/// values *bit-identical* to ComputeSmartInitBounds(new_gd_plus) on return
+/// (the property the streaming equivalence tests pin): w/μ are re-derived by
+/// the exact full-computation formulas, but only over the closed
+/// neighborhoods of the changed pairs, and τ is maintained by the
+/// incremental core-update traversals of graph/kcore.h (falling back to one
+/// full CoreNumbers pass when the batch changes many GD+ edges
+/// structurally). `changes` lists every pair whose GD+ weight differs
+/// between the versions, in any order, with no duplicates.
+void ApplySmartInitBoundsDelta(const Graph& old_gd_plus,
+                               const Graph& new_gd_plus,
+                               std::span<const PositivePairDelta> changes,
+                               SmartInitBounds* bounds);
 
 /// \brief The precondition scan of every DCSGA driver: fails with
 /// InvalidArgument if `gd_plus` has a negative edge weight. O(m). Callers

@@ -1,0 +1,67 @@
+// CsrPatcher — O(Δ)-work splicing of a batch of edge assignments into an
+// immutable CSR graph, the substrate of the streaming update path.
+//
+// A MinerSession that receives Δ streaming weight updates used to pay a full
+// GraphBuilder rebuild (sort + merge of all m edges) at the next query. The
+// patcher instead *splices*: only the ≤ 2Δ adjacency rows touched by the
+// batch are re-merged; every untouched row is carried over with one bulk
+// contiguous copy, and the new offset array is a single prefix-sum pass. The
+// cost is O(Δ·(log Δ + deg) + n) merge work plus a memcpy-speed pass over
+// the arrays — no per-edge sorting of the whole graph.
+//
+// Semantics are *assignment*, not accumulation: each EdgePatch carries the
+// new absolute weight of its pair (callers fold pending deltas into
+// absolute weights first), with |weight| <= zero_eps meaning "ensure the
+// edge is absent". That makes one patch rule serve every layer of the
+// pipeline: base graphs (old + delta), difference graphs (recomputed
+// D(u,v)), and GD+ (positive part of the recomputed weight) — and it is
+// what makes the result bit-identical to a from-scratch GraphBuilder
+// rebuild, which the streaming equivalence tests pin.
+//
+// The patcher also maintains Graph::ContentAccumulator incrementally
+// (subtract the rewritten edges' hashes, add the replacements'), so the
+// session fingerprint refresh after a patch is O(Δ) instead of O(m).
+
+#ifndef DCS_GRAPH_CSR_PATCHER_H_
+#define DCS_GRAPH_CSR_PATCHER_H_
+
+#include <span>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace dcs {
+
+/// One undirected edge assignment of a patch batch (canonical u < v).
+struct EdgePatch {
+  VertexId u;
+  VertexId v;
+  /// New absolute weight of {u,v}; |weight| <= the batch's zero_eps drops
+  /// the edge (mirroring GraphBuilder::Build's zero rule).
+  double weight;
+};
+
+/// \brief Splices sorted edge assignments into an immutable CSR graph.
+///
+/// A pure function of (base, patches, zero_eps); the result is bit-identical
+/// to rebuilding `base`'s surviving edges plus the kept patches through
+/// GraphBuilder with the same zero_eps.
+class CsrPatcher {
+ public:
+  /// \brief Returns `base` with every patch applied.
+  ///
+  /// Contract (DCS_CHECKed — callers are internal layers that canonicalize
+  /// first): patches are sorted ascending by PackVertexPair(u, v) with no
+  /// duplicate pairs, u < v, v < base.NumVertices(), finite weights.
+  ///
+  /// `accumulator` (nullable, in/out) must hold base.ContentAccumulator()
+  /// on entry and holds the patched graph's accumulator on return — the
+  /// O(Δ) fingerprint maintenance.
+  static Graph Apply(const Graph& base, std::span<const EdgePatch> patches,
+                     double zero_eps = kDefaultZeroEps,
+                     uint64_t* accumulator = nullptr);
+};
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_CSR_PATCHER_H_

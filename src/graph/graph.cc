@@ -107,18 +107,36 @@ Graph Graph::WeightsClampedAbove(double cap) const {
   return out;
 }
 
-uint64_t Graph::ContentFingerprint() const {
-  uint64_t h = MixFingerprint(0x6463735f67726170ull,  // "dcs_grap"
-                              NumVertices());
+uint64_t Graph::UndirectedEdgeHash(VertexId u, VertexId v, double weight) {
+  // Each edge gets a full two-step splitmix chain of its own, so the
+  // wrapping sum over edges in ContentAccumulator keeps the 2^-64-grade
+  // collision behavior the pipeline cache accepts as content equality.
+  const uint64_t h = MixFingerprint(0x6463735f65646765ull,  // "dcs_edge"
+                                    (static_cast<uint64_t>(u) << 32) | v);
+  return MixFingerprint(h, std::bit_cast<uint64_t>(weight));
+}
+
+uint64_t Graph::ContentAccumulator() const {
+  // A commutative (wrapping-sum) combination: row boundaries are implied by
+  // the canonical (u < v) endpoint pair inside each edge hash, and the sum
+  // form is what lets CsrPatcher maintain the fingerprint in O(Δ).
+  uint64_t acc = 0;
   for (VertexId u = 0; u < NumVertices(); ++u) {
-    // Row boundaries are implied by the (u, to) pairs; hashing each directed
-    // half keeps the loop branch-free and still pins the full structure.
     for (const Neighbor& nb : NeighborsOf(u)) {
-      h = MixFingerprint(h, (static_cast<uint64_t>(u) << 32) | nb.to);
-      h = MixFingerprint(h, std::bit_cast<uint64_t>(nb.weight));
+      if (u < nb.to) acc += UndirectedEdgeHash(u, nb.to, nb.weight);
     }
   }
-  return h;
+  return acc;
+}
+
+uint64_t Graph::FingerprintFromAccumulator(VertexId n, uint64_t accumulator) {
+  const uint64_t h = MixFingerprint(0x6463735f67726170ull,  // "dcs_grap"
+                                    n);
+  return MixFingerprint(h, accumulator);
+}
+
+uint64_t Graph::ContentFingerprint() const {
+  return FingerprintFromAccumulator(NumVertices(), ContentAccumulator());
 }
 
 std::string Graph::DebugString() const {

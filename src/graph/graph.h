@@ -37,6 +37,19 @@ inline uint64_t PackVertexPair(VertexId u, VertexId v) {
   return (static_cast<uint64_t>(u) << 32) | v;
 }
 
+/// An unordered vertex pair as unpacked from a PackVertexPair key (u < v).
+struct VertexPair {
+  VertexId u;
+  VertexId v;
+};
+
+/// \brief Inverse of PackVertexPair — the one place that knows the packing,
+/// so every pair-keyed map consumer round-trips through the same layout.
+inline VertexPair UnpackVertexPair(uint64_t key) {
+  return {static_cast<VertexId>(key >> 32),
+          static_cast<VertexId>(key & 0xFFFFFFFFull)};
+}
+
 /// One directed half of an undirected edge as stored in CSR adjacency.
 struct Neighbor {
   VertexId to;
@@ -129,7 +142,27 @@ class Graph {
   /// probability, which the cross-session PipelineCache accepts as content
   /// equality). The value is a pure function of the content: stable across
   /// processes, runs and platforms with IEEE-754 doubles. O(n + m).
+  ///
+  /// Construction: the fingerprint folds the vertex count with a wrapping
+  /// *sum* of per-edge hashes (ContentAccumulator), so a streaming patch can
+  /// maintain it in O(Δ) — subtract the hashes of the edges it rewrites, add
+  /// the hashes of their replacements — instead of rehashing the graph (see
+  /// graph/csr_patcher.h).
   uint64_t ContentFingerprint() const;
+
+  /// Hash of one undirected edge (canonical u < v) as summed by
+  /// ContentAccumulator. Exposed for the O(Δ) incremental maintenance above.
+  static uint64_t UndirectedEdgeHash(VertexId u, VertexId v, double weight);
+
+  /// Wrapping sum of UndirectedEdgeHash over all undirected edges — the
+  /// order-free, incrementally maintainable half of ContentFingerprint.
+  /// O(n + m).
+  uint64_t ContentAccumulator() const;
+
+  /// Folds a vertex count and a ContentAccumulator value into the final
+  /// ContentFingerprint; FingerprintFromAccumulator(NumVertices(),
+  /// ContentAccumulator()) == ContentFingerprint() by definition.
+  static uint64_t FingerprintFromAccumulator(VertexId n, uint64_t accumulator);
 
   /// Approximate heap footprint of this graph in bytes (CSR arrays); used
   /// for the PipelineCache byte budget.
@@ -142,6 +175,7 @@ class Graph {
   std::string DebugString() const;
 
   friend class GraphBuilder;
+  friend class CsrPatcher;
 
  private:
   Graph(std::vector<size_t> offsets, std::vector<Neighbor> neighbors)

@@ -10,6 +10,12 @@
 
 namespace dcs {
 
+/// Magnitude below which an accumulated edge weight counts as zero when no
+/// caller-specific threshold applies — GraphBuilder::Build's default, and the
+/// drop rule the streaming CSR patch path (graph/csr_patcher.h) must mirror
+/// to stay bit-identical to a rebuild.
+inline constexpr double kDefaultZeroEps = 1e-12;
+
 /// \brief Collects undirected weighted edges and builds a Graph.
 ///
 /// Duplicate (u,v) contributions are *accumulated* (summed), which is the
@@ -38,7 +44,7 @@ class GraphBuilder {
   /// \param zero_eps magnitude below which an accumulated weight counts as
   ///        zero (exact cancellation in difference graphs produces tiny
   ///        residues when weights are non-integral).
-  Result<Graph> Build(double zero_eps = 1e-12);
+  Result<Graph> Build(double zero_eps = kDefaultZeroEps);
 
  private:
   struct Entry {

@@ -1,8 +1,55 @@
 #include "graph/kcore.h"
 
 #include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
 
 namespace dcs {
+
+namespace {
+
+// Applies `fn` to every neighbor of `x` whose pair is not hidden.
+template <typename Fn>
+void ForEachVisibleNeighbor(const Graph& graph, VertexId x,
+                            const std::unordered_set<uint64_t>& hidden,
+                            Fn&& fn) {
+  for (const Neighbor& nb : graph.NeighborsOf(x)) {
+    if (!hidden.empty() && hidden.count(PackVertexPair(x, nb.to)) != 0) {
+      continue;
+    }
+    fn(nb.to);
+  }
+}
+
+// Collects the subcore of the change: every vertex with core == K reachable
+// from the roots through core-K vertices (over the visible adjacency). Only
+// these vertices can change after a single edge insertion/removal at level
+// K — a core-K neighbor of a subcore vertex is by definition reachable
+// through it, so the subcore is closed under core-K adjacency, and the
+// candidates' support counts can use "core >= K" uniformly. Returns the
+// candidates in discovery order with support count slots initialized to 0.
+std::unordered_map<VertexId, uint32_t> CollectSubcore(
+    const Graph& graph, const std::unordered_set<uint64_t>& hidden,
+    std::initializer_list<VertexId> roots, uint32_t K,
+    const std::vector<uint32_t>& cores, std::vector<VertexId>* order) {
+  std::unordered_map<VertexId, uint32_t> support;
+  std::vector<VertexId> stack;
+  for (VertexId r : roots) {
+    if (cores[r] == K && support.emplace(r, 0).second) stack.push_back(r);
+  }
+  while (!stack.empty()) {
+    const VertexId x = stack.back();
+    stack.pop_back();
+    order->push_back(x);
+    ForEachVisibleNeighbor(graph, x, hidden, [&](VertexId y) {
+      if (cores[y] == K && support.emplace(y, 0).second) stack.push_back(y);
+    });
+  }
+  return support;
+}
+
+}  // namespace
 
 std::vector<uint32_t> CoreNumbers(const Graph& graph) {
   const VertexId n = graph.NumVertices();
@@ -59,6 +106,92 @@ uint32_t Degeneracy(const Graph& graph) {
   uint32_t best = 0;
   for (uint32_t c : CoreNumbers(graph)) best = std::max(best, c);
   return best;
+}
+
+void CoreNumbersAfterInsert(const Graph& graph, VertexId u, VertexId v,
+                            const std::unordered_set<uint64_t>& hidden,
+                            std::vector<uint32_t>* cores,
+                            std::vector<VertexId>* changed) {
+  std::vector<uint32_t>& c = *cores;
+  DCS_CHECK(u < c.size() && v < c.size());
+  const uint32_t K = std::min(c[u], c[v]);
+  // Candidates for a +1 promotion: the subcore of the lower-core endpoint in
+  // the graph *with* the new edge (when both endpoints sit at level K, the
+  // edge itself connects their subcores, so one BFS from u covers both).
+  std::vector<VertexId> order;
+  std::unordered_map<VertexId, uint32_t> support =
+      CollectSubcore(graph, hidden, {c[u] <= c[v] ? u : v}, K, c, &order);
+  // support(w) = neighbors that could sit in the (K+1)-core with w: vertices
+  // already at core > K, plus fellow candidates (see CollectSubcore).
+  for (const VertexId x : order) {
+    uint32_t s = 0;
+    ForEachVisibleNeighbor(graph, x, hidden,
+                           [&](VertexId y) { s += c[y] >= K ? 1 : 0; });
+    support[x] = s;
+  }
+  // Peel candidates that cannot reach degree K+1; cascades stay inside the
+  // candidate set. Survivors are exactly the vertices the insertion lifts.
+  std::vector<VertexId> queue;
+  std::unordered_set<VertexId> evicted;
+  for (const auto& [x, s] : support) {
+    if (s <= K) queue.push_back(x);
+  }
+  while (!queue.empty()) {
+    const VertexId x = queue.back();
+    queue.pop_back();
+    if (!evicted.insert(x).second) continue;
+    ForEachVisibleNeighbor(graph, x, hidden, [&](VertexId y) {
+      auto it = support.find(y);
+      if (it == support.end() || evicted.count(y) != 0) return;
+      if (it->second-- == K + 1) queue.push_back(y);  // just fell to K
+    });
+  }
+  for (const auto& [x, s] : support) {
+    if (evicted.count(x) == 0) {
+      c[x] = K + 1;
+      changed->push_back(x);
+    }
+  }
+}
+
+void CoreNumbersAfterRemove(const Graph& graph, VertexId u, VertexId v,
+                            const std::unordered_set<uint64_t>& hidden,
+                            std::vector<uint32_t>* cores,
+                            std::vector<VertexId>* changed) {
+  std::vector<uint32_t>& c = *cores;
+  DCS_CHECK(u < c.size() && v < c.size());
+  const uint32_t K = std::min(c[u], c[v]);
+  DCS_CHECK(K > 0) << "removed edge's endpoints had degree >= 1, so cores >= 1";
+  // Only level-K endpoints can demote; with the edge gone their subcores may
+  // be disjoint, so seed the BFS from both.
+  std::vector<VertexId> order;
+  std::unordered_map<VertexId, uint32_t> support =
+      CollectSubcore(graph, hidden, {u, v}, K, c, &order);
+  for (const VertexId x : order) {
+    uint32_t s = 0;
+    ForEachVisibleNeighbor(graph, x, hidden,
+                           [&](VertexId y) { s += c[y] >= K ? 1 : 0; });
+    support[x] = s;
+  }
+  // Reverse peel: a candidate whose level-K support fell below K drops to
+  // K − 1 and withdraws its support from fellow candidates.
+  std::vector<VertexId> queue;
+  std::unordered_set<VertexId> dropped;
+  for (const auto& [x, s] : support) {
+    if (s < K) queue.push_back(x);
+  }
+  while (!queue.empty()) {
+    const VertexId x = queue.back();
+    queue.pop_back();
+    if (!dropped.insert(x).second) continue;
+    c[x] = K - 1;
+    changed->push_back(x);
+    ForEachVisibleNeighbor(graph, x, hidden, [&](VertexId y) {
+      auto it = support.find(y);
+      if (it == support.end() || dropped.count(y) != 0) return;
+      if (it->second-- == K) queue.push_back(y);  // just fell below K
+    });
+  }
 }
 
 }  // namespace dcs

@@ -9,6 +9,7 @@
 #define DCS_GRAPH_KCORE_H_
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/graph.h"
@@ -23,6 +24,37 @@ std::vector<uint32_t> CoreNumbers(const Graph& graph);
 
 /// \brief Degeneracy of the graph: max over vertices of the core number.
 uint32_t Degeneracy(const Graph& graph);
+
+/// \brief Incremental core maintenance after inserting undirected edge
+/// (u, v) — the traversal algorithm of the streaming k-core literature.
+///
+/// `graph` must contain the edge; `cores` must hold the exact core numbers
+/// of the graph *without* it, and is updated in place to equal
+/// CoreNumbers(graph with the edge) — a single insertion raises cores by at
+/// most 1, and only inside the affected subcore, so the cost is the size of
+/// that subcore rather than O(n + m). Vertices whose core changed are
+/// appended to `changed`.
+///
+/// Batch replay: adjacency reads skip pairs listed in `hidden` (as
+/// PackVertexPair keys), so a caller holding only the *final* CSR snapshot
+/// of a batch can apply its insertions one at a time — hide the
+/// not-yet-applied insertions, shrink the set as each edge is processed.
+void CoreNumbersAfterInsert(const Graph& graph, VertexId u, VertexId v,
+                            const std::unordered_set<uint64_t>& hidden,
+                            std::vector<uint32_t>* cores,
+                            std::vector<VertexId>* changed);
+
+/// \brief Incremental core maintenance after removing undirected edge
+/// (u, v); the mirror of CoreNumbersAfterInsert.
+///
+/// `graph` must *not* contain the edge (for batch replay against the
+/// pre-batch snapshot, add the already-removed pairs — including (u, v)
+/// itself — to `hidden`); `cores` must hold the exact core numbers of the
+/// graph with the edge, and is updated in place to the post-removal values.
+void CoreNumbersAfterRemove(const Graph& graph, VertexId u, VertexId v,
+                            const std::unordered_set<uint64_t>& hidden,
+                            std::vector<uint32_t>* cores,
+                            std::vector<VertexId>* changed);
 
 }  // namespace dcs
 

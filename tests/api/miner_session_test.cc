@@ -38,6 +38,29 @@ TEST(MinerSessionTest, CreateRejectsMismatchedOrEmptyGraphs) {
   EXPECT_TRUE(MinerSession::Create(Fig1G1(), Fig1G2()).ok());
 }
 
+TEST(MinerSessionTest, CreateRejectsInvalidNumericOptions) {
+  SessionOptions nan_eps;
+  nan_eps.zero_eps = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(MinerSession::Create(Fig1G1(), Fig1G2(), nan_eps)
+                  .status()
+                  .IsInvalidArgument());
+  SessionOptions negative_eps;
+  negative_eps.zero_eps = -1.0;
+  EXPECT_TRUE(MinerSession::CreateStreaming(4, negative_eps)
+                  .status()
+                  .IsInvalidArgument());
+  SessionOptions nan_ratio;
+  nan_ratio.patch_rebuild_ratio = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(MinerSession::Create(Fig1G1(), Fig1G2(), nan_ratio)
+                  .status()
+                  .IsInvalidArgument());
+  SessionOptions negative_ratio;
+  negative_ratio.patch_rebuild_ratio = -0.5;
+  EXPECT_TRUE(MinerSession::CreateStreaming(4, negative_ratio)
+                  .status()
+                  .IsInvalidArgument());
+}
+
 TEST(MinerSessionTest, MineValidatesTheRequest) {
   Result<MinerSession> session = MinerSession::Create(Fig1G1(), Fig1G2());
   ASSERT_TRUE(session.ok());
@@ -258,7 +281,10 @@ TEST(MinerSessionTest, ApplyUpdateRejectsBadInput) {
   EXPECT_EQ(session->num_updates(), 0u);
 }
 
-TEST(MinerSessionTest, ApplyUpdateInvalidatesCachedPipelines) {
+TEST(MinerSessionTest, ApplyUpdateRepatchesCachedPipelines) {
+  // Default crossover: a 1-pair batch against Fig. 1's 11 edges takes the
+  // O(Δ) patch path — the cached pipeline is republished under the new
+  // fingerprint, so the post-update mine *hits* with the patched content.
   Result<MinerSession> session = MinerSession::Create(Fig1G1(), Fig1G2());
   ASSERT_TRUE(session.ok());
   MiningRequest request;
@@ -270,8 +296,14 @@ TEST(MinerSessionTest, ApplyUpdateInvalidatesCachedPipelines) {
   ASSERT_TRUE(session->ApplyUpdate(UpdateSide::kG2, 0, 1, 2.0).ok());
   Result<MiningResponse> after = session->Mine(request);
   ASSERT_TRUE(after.ok());
-  EXPECT_EQ(session->num_rebuilds(), 2u) << "update must force a rebuild";
-  EXPECT_FALSE(after->telemetry.reused_cached_difference);
+  EXPECT_EQ(session->num_rebuilds(), 1u)
+      << "a patched flush must not rematerialize the difference";
+  EXPECT_TRUE(after->telemetry.reused_cached_difference);
+  EXPECT_EQ(session->num_update_patches(), 1u);
+  EXPECT_EQ(session->num_update_rebuilds(), 0u);
+  EXPECT_EQ(session->num_republished_entries(), 1u);
+  EXPECT_EQ(after->telemetry.update_patches, 1u);
+  EXPECT_EQ(after->telemetry.patched_entries_republished, 1u);
   Result<Graph> snapshot = session->DifferenceSnapshot();
   ASSERT_TRUE(snapshot.ok());
   EXPECT_DOUBLE_EQ(snapshot->EdgeWeight(0, 1), 6.0);
@@ -283,6 +315,32 @@ TEST(MinerSessionTest, ApplyUpdateInvalidatesCachedPipelines) {
   snapshot = session->DifferenceSnapshot();
   ASSERT_TRUE(snapshot.ok());
   EXPECT_FALSE(snapshot->HasEdge(0, 3));
+}
+
+TEST(MinerSessionTest, ApplyUpdateWithPatchingDisabledForcesARebuild) {
+  // patch_rebuild_ratio = 0 pins the pre-patch behavior: the update
+  // invalidates copy-on-write and the next mine rebuilds cold.
+  SessionOptions options;
+  options.patch_rebuild_ratio = 0.0;
+  Result<MinerSession> session =
+      MinerSession::Create(Fig1G1(), Fig1G2(), options);
+  ASSERT_TRUE(session.ok());
+  MiningRequest request;
+  request.measure = Measure::kAverageDegree;
+  ASSERT_TRUE(session->Mine(request).ok());
+  EXPECT_EQ(session->num_rebuilds(), 1u);
+
+  ASSERT_TRUE(session->ApplyUpdate(UpdateSide::kG2, 0, 1, 2.0).ok());
+  Result<MiningResponse> after = session->Mine(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(session->num_rebuilds(), 2u) << "update must force a rebuild";
+  EXPECT_FALSE(after->telemetry.reused_cached_difference);
+  EXPECT_EQ(session->num_update_patches(), 0u);
+  EXPECT_EQ(session->num_update_rebuilds(), 1u);
+  EXPECT_EQ(after->telemetry.update_rebuilds, 1u);
+  Result<Graph> snapshot = session->DifferenceSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_DOUBLE_EQ(snapshot->EdgeWeight(0, 1), 6.0);
 }
 
 TEST(MinerSessionTest, WarmStartTracksAcrossUpdates) {

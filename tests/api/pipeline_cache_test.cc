@@ -176,12 +176,16 @@ TEST(PipelineCacheTest, ApplyUpdateInvalidatesOnlyTheTouchedEntry) {
   EXPECT_TRUE(b_before->telemetry.reused_cached_difference);
   ASSERT_EQ(cache->stats().entries, 1u);
 
-  // A's update redirects A to a fresh key (copy-on-write): a new entry is
-  // built, and the old one stays resident untouched.
+  // A's update redirects A to a fresh key (copy-on-write): the patch path
+  // republishes A's pipeline — delta-patched — under the new fingerprint,
+  // and the old entry stays resident untouched.
   ASSERT_TRUE(a->ApplyUpdate(UpdateSide::kG2, 0, 1, 2.5).ok());
   Result<MiningResponse> a_after = a->Mine(request);
   ASSERT_TRUE(a_after.ok());
-  EXPECT_FALSE(a_after->telemetry.reused_cached_difference);
+  EXPECT_TRUE(a_after->telemetry.reused_cached_difference)
+      << "the republished entry must serve the post-update mine";
+  EXPECT_EQ(a->num_republished_entries(), 1u);
+  EXPECT_GE(cache->stats().republishes, 1u);
   EXPECT_NE(SerializeSubgraphs(*a_after), SerializeSubgraphs(*a_before));
   EXPECT_EQ(cache->stats().entries, 2u);
 

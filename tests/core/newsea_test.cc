@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <map>
+#include <string>
 
 #include "densest/exact.h"
+#include "graph/csr_patcher.h"
 #include "gen/random_graphs.h"
 #include "graph/stats.h"
 #include "test_util.h"
@@ -207,6 +211,96 @@ TEST(FilterMaximalCliquesTest, RemovesSubsetsAndDuplicates) {
 
 TEST(FilterMaximalCliquesTest, EmptyInput) {
   EXPECT_TRUE(FilterMaximalCliques({}).empty());
+}
+
+// --- smart-init bound delta maintenance (streaming update path) -----------
+
+TEST(SmartInitBoundsDeltaTest, RandomizedBatchesMatchFullRecompute) {
+  // Every field — w, τ, μ, max_incident and the seed order — must come out
+  // bit-identical to ComputeSmartInitBounds on the new graph, across
+  // randomized batches of GD+ inserts, removals and weight rewrites.
+  Rng rng(62026);
+  const VertexId n = 45;
+  for (int round = 0; round < 25; ++round) {
+    Result<Graph> start = ErdosRenyiWeighted(n, 0.09, 0.1, 3.0, &rng);
+    ASSERT_TRUE(start.ok());
+    Graph old_gd_plus = *start;
+    SmartInitBounds bounds = ComputeSmartInitBounds(old_gd_plus);
+
+    for (int batch = 0; batch < 4; ++batch) {
+      // Assemble a batch of positive-part changes.
+      std::map<uint64_t, double> edges;
+      for (const Edge& e : old_gd_plus.UndirectedEdges()) {
+        edges[PackVertexPair(e.u, e.v)] = e.weight;
+      }
+      std::vector<PositivePairDelta> changes;
+      std::map<uint64_t, double> assignments;
+      const size_t batch_size = 1 + rng.NextBounded(6);
+      for (size_t i = 0; i < batch_size; ++i) {
+        const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+        VertexId v = static_cast<VertexId>(rng.NextBounded(n - 1));
+        if (v >= u) ++v;
+        const uint64_t key = PackVertexPair(u, v);
+        if (assignments.count(key) != 0) continue;  // one change per pair
+        const double old_weight =
+            edges.count(key) != 0 ? edges[key] : 0.0;
+        double new_weight;
+        const uint64_t kind = rng.NextBounded(3);
+        if (kind == 0 && old_weight != 0.0) {
+          new_weight = 0.0;  // removal
+        } else if (kind == 1 && old_weight != 0.0) {
+          new_weight = rng.Uniform(0.1, 3.0);  // weight rewrite
+        } else {
+          new_weight = rng.Uniform(0.1, 3.0);  // insert (or rewrite)
+        }
+        if (old_weight == new_weight) continue;
+        assignments[key] = new_weight;
+        changes.push_back(PositivePairDelta{
+            static_cast<VertexId>(key >> 32),
+            static_cast<VertexId>(key & 0xFFFFFFFFull), old_weight,
+            new_weight});
+      }
+      std::vector<EdgePatch> patches;
+      for (const auto& [key, weight] : assignments) {
+        patches.push_back(EdgePatch{static_cast<VertexId>(key >> 32),
+                                    static_cast<VertexId>(key & 0xFFFFFFFFull),
+                                    weight});
+      }
+      const Graph new_gd_plus =
+          CsrPatcher::Apply(old_gd_plus, patches, /*zero_eps=*/0.0);
+
+      ApplySmartInitBoundsDelta(old_gd_plus, new_gd_plus, changes, &bounds);
+      const SmartInitBounds expected = ComputeSmartInitBounds(new_gd_plus);
+      const std::string label =
+          "round " + std::to_string(round) + " batch " + std::to_string(batch);
+      ASSERT_EQ(bounds.tau, expected.tau) << label;
+      ASSERT_EQ(bounds.order, expected.order) << label;
+      for (VertexId x = 0; x < n; ++x) {
+        ASSERT_EQ(std::bit_cast<uint64_t>(bounds.w[x]),
+                  std::bit_cast<uint64_t>(expected.w[x]))
+            << label << " w[" << x << "]";
+        ASSERT_EQ(std::bit_cast<uint64_t>(bounds.mu[x]),
+                  std::bit_cast<uint64_t>(expected.mu[x]))
+            << label << " mu[" << x << "]";
+        ASSERT_EQ(std::bit_cast<uint64_t>(bounds.max_incident[x]),
+                  std::bit_cast<uint64_t>(expected.max_incident[x]))
+            << label << " max_incident[" << x << "]";
+      }
+      old_gd_plus = new_gd_plus;
+    }
+  }
+}
+
+TEST(SmartInitBoundsDeltaTest, EmptyChangeListIsANoOp) {
+  const Graph gd_plus =
+      ::dcs::testing::MakeGraph(4, {{0, 1, 2.0}, {1, 2, 1.0}});
+  SmartInitBounds bounds = ComputeSmartInitBounds(gd_plus);
+  const SmartInitBounds before = bounds;
+  ApplySmartInitBoundsDelta(gd_plus, gd_plus, {}, &bounds);
+  EXPECT_EQ(bounds.tau, before.tau);
+  EXPECT_EQ(bounds.order, before.order);
+  EXPECT_EQ(bounds.w, before.w);
+  EXPECT_EQ(bounds.mu, before.mu);
 }
 
 }  // namespace

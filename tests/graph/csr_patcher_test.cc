@@ -1,0 +1,168 @@
+// CsrPatcher tests: spliced graphs (and their incrementally maintained
+// content accumulators) must be bit-identical to a from-scratch
+// GraphBuilder rebuild on randomized batches and on the structural edge
+// cases (row growth/shrink/emptying, first/last rows, drop-absent no-ops).
+
+#include "graph/csr_patcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <bit>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "gen/random_graphs.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::MakeGraph;
+
+// Rebuilds the expected graph from an explicit (pair -> weight) map through
+// GraphBuilder — the reference the patcher must match bit for bit.
+Graph RebuildFromMap(VertexId n, const std::map<uint64_t, double>& edges,
+                     double zero_eps) {
+  GraphBuilder builder(n);
+  for (const auto& [key, weight] : edges) {
+    builder.AddEdgeUnchecked(static_cast<VertexId>(key >> 32),
+                             static_cast<VertexId>(key & 0xFFFFFFFFull),
+                             weight);
+  }
+  Result<Graph> graph = builder.Build(zero_eps);
+  DCS_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+// Structural + bitwise-weight equality of two graphs.
+void ExpectBitIdentical(const Graph& actual, const Graph& expected) {
+  ASSERT_EQ(actual.NumVertices(), expected.NumVertices());
+  ASSERT_EQ(actual.NumEdges(), expected.NumEdges());
+  const std::vector<Edge> a = actual.UndirectedEdges();
+  const std::vector<Edge> b = expected.UndirectedEdges();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i].weight),
+              std::bit_cast<uint64_t>(b[i].weight))
+        << "weight bits diverge on (" << a[i].u << "," << a[i].v << ")";
+  }
+  EXPECT_EQ(actual.ContentFingerprint(), expected.ContentFingerprint());
+}
+
+TEST(CsrPatcherTest, EmptyBatchReturnsTheBaseUnchanged) {
+  const Graph base = MakeGraph(4, {{0, 1, 1.0}, {2, 3, -2.0}});
+  uint64_t accumulator = base.ContentAccumulator();
+  const Graph patched = CsrPatcher::Apply(base, {}, 1e-12, &accumulator);
+  ExpectBitIdentical(patched, base);
+  EXPECT_EQ(accumulator, base.ContentAccumulator());
+}
+
+TEST(CsrPatcherTest, InsertOverwriteAndDropAcrossRowBoundaries) {
+  // Touches the first and last rows, grows a row, empties a row, drops an
+  // absent pair (no-op), and overwrites in place — all in one batch.
+  const Graph base = MakeGraph(6, {{0, 1, 1.0},
+                                   {0, 5, 2.0},
+                                   {1, 2, 3.0},
+                                   {4, 5, -1.5}});
+  const std::vector<EdgePatch> patches = {
+      {0, 1, 0.0},    // drop
+      {0, 2, 7.0},    // insert (grows row 0 and row 2)
+      {1, 2, -4.0},   // overwrite with a sign flip
+      {2, 3, 0.0},    // drop of an absent pair: no-op
+      {4, 5, 0.0},    // drop: empties rows 4 and 5 on that side
+  };
+  std::map<uint64_t, double> expected_edges = {
+      {PackVertexPair(0, 5), 2.0},
+      {PackVertexPair(0, 2), 7.0},
+      {PackVertexPair(1, 2), -4.0},
+  };
+  uint64_t accumulator = base.ContentAccumulator();
+  const Graph patched = CsrPatcher::Apply(base, patches, 1e-12, &accumulator);
+  const Graph expected = RebuildFromMap(6, expected_edges, 1e-12);
+  ExpectBitIdentical(patched, expected);
+  EXPECT_EQ(accumulator, expected.ContentAccumulator());
+}
+
+TEST(CsrPatcherTest, InsertIntoAnEmptyGraph) {
+  const Graph base(3);
+  const std::vector<EdgePatch> patches = {{0, 2, 1.25}};
+  uint64_t accumulator = base.ContentAccumulator();
+  const Graph patched = CsrPatcher::Apply(base, patches, 1e-12, &accumulator);
+  const Graph expected = MakeGraph(3, {{0, 2, 1.25}});
+  ExpectBitIdentical(patched, expected);
+  EXPECT_EQ(accumulator, expected.ContentAccumulator());
+}
+
+TEST(CsrPatcherTest, ZeroEpsGovernsTheDropRule) {
+  const Graph base = MakeGraph(2, {{0, 1, 1.0}});
+  // |w| <= eps drops; just above survives.
+  const Graph dropped =
+      CsrPatcher::Apply(base, {{EdgePatch{0, 1, 0.5}}}, /*zero_eps=*/0.5);
+  EXPECT_EQ(dropped.NumEdges(), 0u);
+  const Graph kept =
+      CsrPatcher::Apply(base, {{EdgePatch{0, 1, 0.500001}}}, /*zero_eps=*/0.5);
+  EXPECT_EQ(kept.NumEdges(), 1u);
+}
+
+TEST(CsrPatcherTest, RandomizedBatchesMatchFullRebuilds) {
+  Rng rng(20260729);
+  for (int round = 0; round < 20; ++round) {
+    const VertexId n = static_cast<VertexId>(20 + rng.NextBounded(60));
+    Result<Graph> start =
+        ErdosRenyiWeighted(n, 0.08, -2.0, 3.0, &rng);
+    ASSERT_TRUE(start.ok());
+    Graph graph = *start;
+    std::map<uint64_t, double> edges;
+    for (const Edge& e : graph.UndirectedEdges()) {
+      edges[PackVertexPair(e.u, e.v)] = e.weight;
+    }
+    uint64_t accumulator = graph.ContentAccumulator();
+
+    for (int batch = 0; batch < 6; ++batch) {
+      const size_t batch_size = 1 + rng.NextBounded(10);
+      std::map<uint64_t, double> assignments;
+      for (size_t i = 0; i < batch_size; ++i) {
+        const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+        VertexId v = static_cast<VertexId>(rng.NextBounded(n - 1));
+        if (v >= u) ++v;
+        const uint64_t key = PackVertexPair(u, v);
+        // Mix of inserts/overwrites, drops and sign flips.
+        double weight;
+        const uint64_t kind = rng.NextBounded(4);
+        if (kind == 0) {
+          weight = 0.0;  // drop (possibly of an absent pair)
+        } else if (kind == 1 && edges.count(key) != 0) {
+          weight = -edges[key];  // sign flip
+        } else {
+          weight = rng.Uniform(-3.0, 3.0);
+        }
+        assignments[key] = weight;
+      }
+      std::vector<EdgePatch> patches;
+      for (const auto& [key, weight] : assignments) {
+        patches.push_back(EdgePatch{static_cast<VertexId>(key >> 32),
+                                    static_cast<VertexId>(key & 0xFFFFFFFFull),
+                                    weight});
+        if (std::fabs(weight) > 1e-12) {
+          edges[key] = weight;
+        } else {
+          edges.erase(key);
+        }
+      }
+      graph = CsrPatcher::Apply(graph, patches, 1e-12, &accumulator);
+      const Graph expected = RebuildFromMap(n, edges, 1e-12);
+      ExpectBitIdentical(graph, expected);
+      ASSERT_EQ(accumulator, expected.ContentAccumulator())
+          << "incremental accumulator diverged in round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcs

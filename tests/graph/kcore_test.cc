@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "gen/random_graphs.h"
@@ -124,6 +126,112 @@ TEST_P(KcorePropertyTest, CoreNumberUpperBoundsCliqueMembership) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KcorePropertyTest,
                          ::testing::Values(7, 14, 21, 28, 35, 42));
+
+// --- incremental maintenance (streaming update path) ----------------------
+
+// Builds a graph from a (pair -> present) edge set with unit weights.
+Graph GraphFromPairs(VertexId n, const std::set<uint64_t>& pairs) {
+  GraphBuilder builder(n);
+  for (const uint64_t key : pairs) {
+    builder.AddEdgeUnchecked(static_cast<VertexId>(key >> 32),
+                             static_cast<VertexId>(key & 0xFFFFFFFFull), 1.0);
+  }
+  auto graph = builder.Build();
+  DCS_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(KcoreIncrementalTest, RandomSingleEdgeStreamMatchesRecompute) {
+  Rng rng(515);
+  const VertexId n = 40;
+  std::set<uint64_t> pairs;
+  Graph graph(n);
+  std::vector<uint32_t> cores(n, 0);
+  const std::unordered_set<uint64_t> no_hidden;
+  for (int step = 0; step < 400; ++step) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n - 1));
+    if (v >= u) ++v;
+    const uint64_t key = PackVertexPair(u, v);
+    const std::vector<uint32_t> before = cores;
+    std::vector<VertexId> changed;
+    if (pairs.count(key) == 0) {
+      pairs.insert(key);
+      graph = GraphFromPairs(n, pairs);  // graph WITH the edge
+      CoreNumbersAfterInsert(graph, u, v, no_hidden, &cores, &changed);
+    } else {
+      pairs.erase(key);
+      graph = GraphFromPairs(n, pairs);  // graph WITHOUT the edge
+      CoreNumbersAfterRemove(graph, u, v, no_hidden, &cores, &changed);
+    }
+    const std::vector<uint32_t> expected = CoreNumbers(graph);
+    ASSERT_EQ(cores, expected) << "diverged at step " << step;
+    // `changed` must name exactly the vertices the step moved (by the ±1
+    // theorem every move is reported once).
+    std::set<VertexId> reported(changed.begin(), changed.end());
+    std::set<VertexId> moved;
+    for (VertexId x = 0; x < n; ++x) {
+      if (before[x] != expected[x]) moved.insert(x);
+    }
+    ASSERT_EQ(reported, moved) << "changed-set mismatch at step " << step;
+  }
+}
+
+TEST(KcoreIncrementalTest, BatchReplayThroughHiddenSetsMatchesRecompute) {
+  // The streaming pipeline holds only the pre- and post-batch CSR
+  // snapshots; removals replay against the old graph and insertions against
+  // the new one, with the not-yet-applied edges hidden — exactly how
+  // ApplySmartInitBoundsDelta drives these functions.
+  Rng rng(8282);
+  const VertexId n = 50;
+  for (int round = 0; round < 30; ++round) {
+    auto base = ErdosRenyi(n, 0.08, &rng);
+    ASSERT_TRUE(base.ok());
+    std::set<uint64_t> old_pairs;
+    for (const Edge& e : base->UndirectedEdges()) {
+      old_pairs.insert(PackVertexPair(e.u, e.v));
+    }
+    // A batch of removals (sampled from the graph) and insertions (sampled
+    // from its complement).
+    std::vector<uint64_t> removals, insertions;
+    std::set<uint64_t> new_pairs = old_pairs;
+    const std::vector<uint64_t> old_list(old_pairs.begin(), old_pairs.end());
+    for (int i = 0; i < 4 && !old_list.empty(); ++i) {
+      const uint64_t key = old_list[rng.NextBounded(old_list.size())];
+      if (new_pairs.erase(key) != 0) removals.push_back(key);
+    }
+    for (int i = 0; i < 4; ++i) {
+      const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n - 1));
+      if (v >= u) ++v;
+      const uint64_t key = PackVertexPair(u, v);
+      if (new_pairs.insert(key).second && old_pairs.count(key) == 0) {
+        insertions.push_back(key);
+      }
+    }
+    const Graph old_graph = GraphFromPairs(n, old_pairs);
+    const Graph new_graph = GraphFromPairs(n, new_pairs);
+
+    std::vector<uint32_t> cores = CoreNumbers(old_graph);
+    std::vector<VertexId> changed;
+    std::unordered_set<uint64_t> hidden;
+    for (const uint64_t key : removals) {
+      hidden.insert(key);
+      CoreNumbersAfterRemove(old_graph, static_cast<VertexId>(key >> 32),
+                             static_cast<VertexId>(key & 0xFFFFFFFFull),
+                             hidden, &cores, &changed);
+    }
+    hidden.clear();
+    hidden.insert(insertions.begin(), insertions.end());
+    for (const uint64_t key : insertions) {
+      hidden.erase(key);
+      CoreNumbersAfterInsert(new_graph, static_cast<VertexId>(key >> 32),
+                             static_cast<VertexId>(key & 0xFFFFFFFFull),
+                             hidden, &cores, &changed);
+    }
+    EXPECT_EQ(cores, CoreNumbers(new_graph)) << "round " << round;
+  }
+}
 
 }  // namespace
 }  // namespace dcs

@@ -1,0 +1,110 @@
+// Long randomized streaming soak: hundreds of mixed update batches (weight
+// drift, deletes-to-zero, sign flips, structural churn on both sides)
+// through the O(Δ) patch path, each round cross-checked bit-for-bit against
+// a from-scratch session — the heavyweight sibling of
+// tests/api/streaming_update_test.cc, under the `stress` ctest label.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/miner_session.h"
+#include "api/mining.h"
+#include "graph/graph_builder.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::SerializeSubgraphs;
+
+TEST(StreamingEquivalenceStressTest, LongMixedStreamStaysBitIdentical) {
+  Rng rng(424243);
+  const VertexId n = 120;
+  Result<MinerSession> session = MinerSession::CreateStreaming(n);
+  ASSERT_TRUE(session.ok());
+  std::map<uint64_t, double> ledger_g1, ledger_g2;
+
+  auto apply = [&](UpdateSide side, VertexId u, VertexId v, double delta) {
+    ASSERT_TRUE(session->ApplyUpdate(side, u, v, delta).ok());
+    auto& ledger = side == UpdateSide::kG1 ? ledger_g1 : ledger_g2;
+    ledger[PackVertexPair(u, v)] += delta;
+  };
+  auto random_pair = [&](VertexId* u, VertexId* v) {
+    *u = static_cast<VertexId>(rng.NextBounded(n));
+    *v = static_cast<VertexId>(rng.NextBounded(n - 1));
+    if (*v >= *u) ++*v;
+  };
+  auto build = [&](const std::map<uint64_t, double>& ledger) {
+    GraphBuilder builder(n);
+    for (const auto& [key, weight] : ledger) {
+      builder.AddEdgeUnchecked(static_cast<VertexId>(key >> 32),
+                               static_cast<VertexId>(key & 0xFFFFFFFFull),
+                               weight);
+    }
+    Result<Graph> graph = builder.Build();
+    DCS_CHECK(graph.ok());
+    return std::move(graph).value();
+  };
+
+  // Bulk load.
+  for (int i = 0; i < 900; ++i) {
+    VertexId u, v;
+    random_pair(&u, &v);
+    apply(rng.Bernoulli(0.5) ? UpdateSide::kG1 : UpdateSide::kG2, u, v,
+          rng.Uniform(-2.0, 3.0));
+  }
+
+  std::vector<MiningRequest> requests(3);
+  requests[0].measure = Measure::kBoth;
+  requests[1].measure = Measure::kBoth;
+  requests[1].flip = true;
+  requests[2].measure = Measure::kBoth;
+  requests[2].discretize = DiscretizeSpec{};
+
+  for (int round = 0; round < 60; ++round) {
+    const int batch = 1 + static_cast<int>(rng.NextBounded(6));
+    for (int i = 0; i < batch; ++i) {
+      VertexId u, v;
+      random_pair(&u, &v);
+      const UpdateSide side =
+          rng.Bernoulli(0.4) ? UpdateSide::kG1 : UpdateSide::kG2;
+      const auto& ledger =
+          side == UpdateSide::kG1 ? ledger_g1 : ledger_g2;
+      const auto it = ledger.find(PackVertexPair(u, v));
+      double delta;
+      const uint64_t kind = rng.NextBounded(4);
+      if (kind == 0 && it != ledger.end()) {
+        delta = -it->second;  // delete-to-zero
+      } else if (kind == 1 && it != ledger.end()) {
+        delta = -2.0 * it->second;  // sign flip
+      } else {
+        delta = rng.Uniform(-2.0, 2.0);
+      }
+      apply(side, u, v, delta);
+    }
+    // Cross-check one rotating request per round (all three shapes get
+    // exercised many times over the soak).
+    const MiningRequest& request = requests[round % requests.size()];
+    Result<MiningResponse> streamed = session->Mine(request);
+    ASSERT_TRUE(streamed.ok());
+    Result<MinerSession> control =
+        MinerSession::Create(build(ledger_g1), build(ledger_g2));
+    ASSERT_TRUE(control.ok());
+    Result<MiningResponse> expected = control->Mine(request);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(SerializeSubgraphs(*streamed), SerializeSubgraphs(*expected))
+        << "round " << round;
+  }
+  // The soak must have exercised the patch path heavily.
+  EXPECT_GT(session->num_update_patches(), 30u);
+  EXPECT_GT(session->num_republished_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -24,6 +24,8 @@ required_async_record=(jobs throughput_jobs_per_s mean_latency_ms
                        p95_latency_ms mean_queue_ms)
 required_cache_record=(sessions requests rebuilds cache_hits cache_misses
                        cache_bytes)
+required_streaming_record=(delta_edges edge_mass update_ms p95_update_ms
+                           rebuild_ms p95_rebuild_ms speedup)
 
 files=()
 if [ "${1:-}" = "--run" ]; then
@@ -56,11 +58,13 @@ for f in "${files[@]}"; do
   fi
   if command -v python3 > /dev/null 2>&1; then
     python3 - "$f" "${required_top[*]}" "${required_record[*]}" \
-        "${required_async_record[*]}" "${required_cache_record[*]}" << 'EOF'
+        "${required_async_record[*]}" "${required_cache_record[*]}" \
+        "${required_streaming_record[*]}" << 'EOF'
 import json, sys
 path, top_keys, record_keys = sys.argv[1], sys.argv[2].split(), sys.argv[3].split()
 async_keys = sys.argv[4].split()
 cache_keys = sys.argv[5].split()
+streaming_keys = sys.argv[6].split()
 try:
     with open(path) as fh:
         doc = json.load(fh)
@@ -75,6 +79,8 @@ if doc["bench"] == "async_throughput":
     record_keys = record_keys + async_keys
 if doc["bench"] == "pipeline_cache":
     record_keys = record_keys + cache_keys
+if doc["bench"] == "streaming_updates":
+    record_keys = record_keys + streaming_keys
 for i, record in enumerate(doc["records"]):
     missing = [k for k in record_keys if k not in record]
     if missing:
@@ -88,6 +94,9 @@ EOF
     fi
     if grep -q '"bench": "pipeline_cache"' "$f"; then
       keys+=("${required_cache_record[@]}")
+    fi
+    if grep -q '"bench": "streaming_updates"' "$f"; then
+      keys+=("${required_streaming_record[@]}")
     fi
     for key in "${keys[@]}"; do
       if ! grep -q "\"$key\"" "$f"; then

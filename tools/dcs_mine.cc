@@ -403,6 +403,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!args.quiet) {
+    // Streaming update-path counters (api/mining.h MiningTelemetry): zero in
+    // this one-shot CLI unless the session streamed updates, but printed so
+    // service logs piping through the same formatter surface the patched vs
+    // rebuilt split.
+    const MiningTelemetry& telemetry = response->telemetry;
+    std::printf("# update path: %llu patched flushes, %llu full rebuilds, "
+                "%llu pipeline entries republished\n",
+                static_cast<unsigned long long>(telemetry.update_patches),
+                static_cast<unsigned long long>(telemetry.update_rebuilds),
+                static_cast<unsigned long long>(
+                    telemetry.patched_entries_republished));
+  }
   if (args.measure != Measure::kGraphAffinity) {
     PrintSubsets("DCSAD", "density_diff", response->average_degree);
     if (response->average_degree.empty() && !args.quiet) {
