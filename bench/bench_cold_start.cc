@@ -1,0 +1,220 @@
+// Persistent artifact store: cold-start vs warm-boot restart cost.
+//
+// Models the restart scenario the store exists for: a process dies (or a
+// nightly job re-launches) and a fresh MinerSession must answer its first
+// request over the same (G1, G2) pair. Without a store the session pays the
+// full pipeline prefix again — difference graph, GD+, smart-init bounds.
+// With a store the prefix is hydrated from disk at attach time. Four cycles
+// per dataset:
+//   no-store   fresh session, no persistence (the pre-store baseline)
+//   cold       store attached but empty — pays the build AND writes it back
+//   warm       fresh process reopens the store file — pure hydration
+//   corrupt    a bit of the store file is flipped first — the session must
+//              detect it, silently rebuild, and overwrite
+// Every cycle's responses are checked bit-identical against the no-store
+// run — the store determinism bar — and the JSON rows carry the store
+// telemetry so the committed BENCH_cold_start.json shows the warm speedup.
+//
+// `--json out.json` emits the BENCH_cold_start.json record tracked in the
+// repo; `--smoke` shrinks the dataset so the ctest `bench_smoke_store`
+// wiring finishes in well under a second.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/artifact_store.h"
+#include "api/miner_session.h"
+#include "api/mining.h"
+#include "bench_util.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace dcs;
+using namespace dcs::bench;
+
+// The restart request mix: two pipeline keys, so a warm boot hydrates more
+// than one record and the GA artifacts (GD+, smart bounds) are exercised.
+std::vector<MiningRequest> RequestMix() {
+  std::vector<MiningRequest> requests(2);
+  requests[0].measure = Measure::kGraphAffinity;
+  requests[0].alpha = 1.0;
+  requests[1].measure = Measure::kGraphAffinity;
+  requests[1].alpha = 2.0;
+  return requests;
+}
+
+struct CycleResult {
+  double wall_ms = 0.0;            // open + create + full request mix
+  double first_response_ms = 0.0;  // open + create + first response only
+  uint64_t store_hits = 0;
+  uint64_t store_misses = 0;
+  uint64_t store_corrupt_pages = 0;
+  MiningResponse first_response;
+  std::string serialized;  // all responses, for the bit-identity check
+};
+
+// One simulated process lifetime: open the store (when `store_path` is
+// non-empty), create a session over (g1, g2), answer the request mix. The
+// async write-back is flushed OUTSIDE the timed window — by design the hot
+// path never blocks on disk, and the bench measures what a client sees.
+CycleResult RunCycle(const Graph& g1, const Graph& g2,
+                     const std::string& store_path) {
+  const std::vector<MiningRequest> requests = RequestMix();
+  CycleResult out;
+  std::shared_ptr<ArtifactStore> store;
+
+  WallTimer timer;
+  if (!store_path.empty()) {
+    Result<std::shared_ptr<ArtifactStore>> opened =
+        ArtifactStore::Open(store_path);
+    DCS_CHECK(opened.ok()) << opened.status().ToString();
+    store = std::move(opened).value();
+  }
+  SessionOptions options;
+  options.artifact_store = store;
+  Result<MinerSession> session = MinerSession::Create(g1, g2, options);
+  DCS_CHECK(session.ok()) << session.status().ToString();
+  bool first = true;
+  for (const MiningRequest& request : requests) {
+    Result<MiningResponse> response = session->Mine(request);
+    DCS_CHECK(response.ok()) << response.status().ToString();
+    if (first) {
+      out.first_response_ms = timer.Seconds() * 1e3;
+      out.first_response = *response;
+      first = false;
+    }
+    out.store_corrupt_pages = response->telemetry.store_corrupt_pages;
+    out.serialized += SerializeAffinityRanking(*response);
+    out.serialized += "#";
+  }
+  out.wall_ms = timer.Seconds() * 1e3;
+
+  out.store_hits = session->num_store_hits();
+  out.store_misses = session->num_store_misses();
+  if (store != nullptr) store->Flush();
+  return out;
+}
+
+void FlipOneBit(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DCS_CHECK(in.good()) << "cannot read " << path;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  DCS_CHECK(bytes.size() > 64) << "store file implausibly small";
+  bytes[bytes.size() / 2] ^= 0x04;
+  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+  outf.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  DCS_CHECK(outf.good()) << "cannot rewrite " << path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const uint64_t seed = 20180416;
+  std::printf("seed = %llu, hardware_concurrency = %u%s\n\n",
+              static_cast<unsigned long long>(seed),
+              std::thread::hardware_concurrency(),
+              args.smoke ? " (smoke mode)" : "");
+
+  struct PairDataset {
+    std::string label;
+    Graph g1;
+    Graph g2;
+  };
+  std::vector<PairDataset> datasets;
+  if (args.smoke) {
+    const CoauthorData tiny = MakeDblpAnalog(seed, /*num_authors=*/600);
+    datasets.push_back({"DBLP-tiny", tiny.g1, tiny.g2});
+  } else {
+    const CoauthorData dblp = MakeDblpAnalog(seed);
+    datasets.push_back({"DBLP", dblp.g1, dblp.g2});
+    const CoauthorData dblp_c = MakeDblpCAnalog(seed + 4);
+    datasets.push_back({"DBLP-C", dblp_c.g1, dblp_c.g2});
+  }
+
+  JsonReporter reporter("cold_start", seed);
+  TablePrinter table(
+      "Persistent store: restart cost, cold vs warm vs corrupt-rebuild",
+      {"Data", "Cycle", "Wall ms", "First ms", "Hits", "Misses", "Corrupt",
+       "Speedup", "Bit-identical?"});
+  for (const PairDataset& dataset : datasets) {
+    const std::string store_path =
+        (std::filesystem::temp_directory_path() /
+         ("dcs_bench_cold_start_" + dataset.label + ".dcs"))
+            .string();
+    std::filesystem::remove(store_path);
+
+    struct Cycle {
+      const char* name;
+      CycleResult result;
+    };
+    std::vector<Cycle> cycles;
+    cycles.push_back({"no-store", RunCycle(dataset.g1, dataset.g2, "")});
+    cycles.push_back({"cold", RunCycle(dataset.g1, dataset.g2, store_path)});
+    cycles.push_back({"warm", RunCycle(dataset.g1, dataset.g2, store_path)});
+    FlipOneBit(store_path);
+    cycles.push_back({"corrupt", RunCycle(dataset.g1, dataset.g2, store_path)});
+
+    // The determinism bar: every cycle — including the rebuild after
+    // corruption — answers bit-identically to the storeless baseline.
+    for (const Cycle& cycle : cycles) {
+      DCS_CHECK(cycle.result.serialized == cycles[0].result.serialized)
+          << dataset.label << " / " << cycle.name
+          << " diverged from the no-store baseline";
+    }
+    // The store contract sanity-checks the bench setup itself.
+    DCS_CHECK(cycles[1].result.store_misses > 0) << "cold cycle never missed";
+    DCS_CHECK(cycles[2].result.store_hits > 0) << "warm cycle never hit";
+    DCS_CHECK(cycles[2].result.store_misses == 0) << "warm cycle missed";
+    DCS_CHECK(cycles[3].result.store_corrupt_pages > 0)
+        << "corrupt cycle saw no corruption";
+
+    const double cold_wall = cycles[1].result.wall_ms;
+    for (const Cycle& cycle : cycles) {
+      const CycleResult& r = cycle.result;
+      const double speedup = r.wall_ms > 0.0 ? cold_wall / r.wall_ms : 0.0;
+      const MiningTelemetry& telemetry = r.first_response.telemetry;
+      BenchRecord record;
+      record.dataset = dataset.label + " / " + cycle.name;
+      record.threads = 1;
+      record.wall_ms = r.wall_ms;
+      record.initializations = telemetry.initializations;
+      record.pruned_seeds = telemetry.pruned_seeds;
+      record.affinity = r.first_response.graph_affinity.empty()
+                            ? 0.0
+                            : r.first_response.graph_affinity[0].value;
+      record.extra = {
+          {"first_response_ms", r.first_response_ms},
+          {"store_hits", static_cast<double>(r.store_hits)},
+          {"store_misses", static_cast<double>(r.store_misses)},
+          {"store_corrupt_pages", static_cast<double>(r.store_corrupt_pages)},
+          {"speedup", speedup},
+      };
+      reporter.Add(record);
+      table.AddRow({dataset.label, cycle.name, TablePrinter::Fmt(r.wall_ms, 2),
+                    TablePrinter::Fmt(r.first_response_ms, 2),
+                    TablePrinter::Fmt(r.store_hits),
+                    TablePrinter::Fmt(r.store_misses),
+                    TablePrinter::Fmt(r.store_corrupt_pages),
+                    TablePrinter::Fmt(speedup, 2), "Yes"});
+    }
+    std::filesystem::remove(store_path);
+    std::fflush(stdout);
+  }
+  table.Print();
+
+  if (!args.json_path.empty()) {
+    DCS_CHECK(reporter.WriteTo(args.json_path))
+        << "cannot write " << args.json_path;
+    std::printf("\nwrote %s\n", args.json_path.c_str());
+  }
+  return 0;
+}

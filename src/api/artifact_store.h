@@ -1,0 +1,15 @@
+// Facade re-export of the persistent artifact store.
+//
+// The store/ layer is internal like core/, but the disk-backed artifact
+// cache (ArtifactStore) is part of the deployment surface: tools
+// (dcs_mine --store, dcs_store) and examples open stores, inspect them and
+// hand them to sessions via SessionOptions::artifact_store. They include
+// this header instead of reaching into store/ so the layering rule — tools
+// and examples consume api/, graph/io.h and util/ only — stays greppable.
+
+#ifndef DCS_API_ARTIFACT_STORE_H_
+#define DCS_API_ARTIFACT_STORE_H_
+
+#include "store/artifact_store.h"  // ArtifactStore, stats/fsck reports
+
+#endif  // DCS_API_ARTIFACT_STORE_H_

@@ -7,6 +7,7 @@
 
 #include "api/solver_registry.h"
 #include "core/newsea.h"
+#include "store/artifact_store.h"
 #include "graph/csr_patcher.h"
 #include "graph/difference.h"
 #include "graph/graph_builder.h"
@@ -95,6 +96,9 @@ MinerSession::MinerSession(VertexId num_vertices, Graph g1, Graph g2,
   g1_accumulator_ = g1_.ContentAccumulator();
   g2_accumulator_ = g2_.ContentAccumulator();
   graph_fingerprint_ = CurrentFingerprint();
+  if (options_.artifact_store != nullptr) {
+    UseArtifactStore(options_.artifact_store);
+  }
 }
 
 uint64_t MinerSession::CurrentFingerprint() const {
@@ -156,6 +160,31 @@ void MinerSession::UsePipelineCache(std::shared_ptr<PipelineCache> cache) {
   DCS_CHECK(cache != nullptr) << "UsePipelineCache needs a cache";
   cache_ = std::move(cache);
   private_cache_ = false;
+}
+
+void MinerSession::UseArtifactStore(std::shared_ptr<ArtifactStore> store) {
+  DCS_CHECK(store != nullptr) << "UseArtifactStore needs a store";
+  store_ = std::move(store);
+  // Warm boot: hydrate every valid stored pipeline of this graph pair into
+  // the cache, so the first post-restart queries hit instead of rebuilding.
+  // Corrupt records are skipped (and counted by the store); a skipped or
+  // missing record just falls back to the lazy load / cold build below.
+  store_hits_ +=
+      store_->WarmBootFingerprint(graph_fingerprint_, cache_.get());
+  // Persist the base pair when its CSR content is current (no pending
+  // updates), so the file also identifies the dataset it caches
+  // (dcs_store ls). Deduped by content fingerprint: reattaching — or a
+  // second process over the same data — appends nothing.
+  if (!graphs_dirty_ && overlay_g1_.empty() && overlay_g2_.empty()) {
+    for (const Graph* graph : {&g1_, &g2_}) {
+      if (!store_->ContainsGraph(graph->ContentFingerprint())) {
+        // Best-effort: a full store disk loses the dataset record, not the
+        // session (the write-back path absorbs I/O errors the same way).
+        const Status ignored = store_->PutGraph(*graph);
+        (void)ignored;
+      }
+    }
+  }
 }
 
 Status MinerSession::ValidateUpdate(VertexId num_vertices, VertexId u,
@@ -334,9 +363,13 @@ void MinerSession::PatchGraphsAndPipelines(const std::vector<PendingDelta>& d1,
   for (const auto& [key, snapshot] : cache_->SnapshotsFor(stale_fingerprint)) {
     PipelineCacheKey fresh_key = key;
     fresh_key.graph_fingerprint = fresh_fingerprint;
-    cache_->Publish(fresh_key,
-                    std::make_shared<const PreparedPipeline>(
-                        PatchPipeline(*snapshot, key, changed)));
+    auto patched = std::make_shared<const PreparedPipeline>(
+        PatchPipeline(*snapshot, key, changed));
+    cache_->Publish(fresh_key, patched);
+    // Write the republished pipeline back so a restart after the update
+    // warm-boots the *patched* content (asynchronously — the flush path
+    // stays O(Δ) on this thread).
+    if (store_ != nullptr) store_->PutPipelineAsync(fresh_key, patched);
     ++num_republished_;
   }
 }
@@ -428,13 +461,37 @@ Result<PipelineCache::Snapshot> MinerSession::PreparePipeline(
   // Runs on this thread inside GetOrPrepare (without the cache lock), at
   // most once per key across every session attached to the cache.
   bool built_difference = false;
+  bool store_hit = false;
+  bool store_miss = false;
+  bool write_back = false;
   auto build =
       [&](const PreparedPipeline* reuse) -> Result<PreparedPipeline> {
     PreparedPipeline out;
+    bool have_difference = false;
     if (reuse != nullptr) {
       // GA upgrade of a difference-only entry: reuse the cached graph.
       out.difference = reuse->difference;
-    } else {
+      have_difference = true;
+    } else if (store_ != nullptr) {
+      // Lazy store load for a key the warm boot did not hydrate (evicted
+      // since, or stored by another process after this session attached).
+      // LoadPipeline verifies checksum and exact key; anything corrupt or
+      // stale reads as absent and the cold build below rebuilds over it.
+      Result<PreparedPipeline> stored = store_->LoadPipeline(key);
+      if (stored.ok()) {
+        store_hit = true;
+        if (!need_ga || stored->has_ga_artifacts) {
+          return std::move(stored).value();
+        }
+        // The stored record is difference-only; derive the GA artifacts
+        // below and write the upgraded pipeline back.
+        out.difference = std::move(stored->difference);
+        have_difference = true;
+      } else {
+        store_miss = true;
+      }
+    }
+    if (!have_difference) {
       // A cold build consumes the base graphs as real CSR arrays; fold any
       // deferred overlay in first (no-op when none is pending).
       MaterializeBaseGraphs();
@@ -463,11 +520,21 @@ Result<PipelineCache::Snapshot> MinerSession::PreparePipeline(
       out.validated_nonnegative = true;
       out.has_ga_artifacts = true;
     }
+    // Anything not loaded verbatim from the store — a cold build, a GA
+    // upgrade of a cached or stored difference — is worth writing back.
+    write_back = true;
     return out;
   };
   DCS_ASSIGN_OR_RETURN(PipelineCache::Snapshot snapshot,
                        cache_->GetOrPrepare(key, need_ga, build, reused));
   if (built_difference) ++num_rebuilds_;
+  if (store_hit) ++store_hits_;
+  if (store_miss) ++store_misses_;
+  if (write_back && store_ != nullptr) {
+    // Asynchronous: the background writer appends after this query returns;
+    // the hot path never blocks on disk.
+    store_->PutPipelineAsync(key, snapshot);
+  }
   return snapshot;
 }
 
@@ -519,6 +586,10 @@ void MinerSession::FillCacheTelemetry(MiningTelemetry* telemetry) const {
   telemetry->update_patches = num_update_patches_;
   telemetry->update_rebuilds = num_update_rebuilds_;
   telemetry->patched_entries_republished = num_republished_;
+  telemetry->store_hits = store_hits_;
+  telemetry->store_misses = store_misses_;
+  telemetry->store_corrupt_pages =
+      store_ != nullptr ? store_->stats().corrupt_pages : 0;
 }
 
 Status MinerSession::Solve(const PreparedPipeline& pipeline,

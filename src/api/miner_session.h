@@ -59,6 +59,9 @@
 
 namespace dcs {
 
+class ArtifactStore;  // store/artifact_store.h (re-exported by
+                      // api/artifact_store.h)
+
 /// Session-level tuning.
 struct SessionOptions {
   /// Capacity of the session's *private* pipeline cache (LRU eviction);
@@ -71,6 +74,15 @@ struct SessionOptions {
   /// attaches the session to the shared cache so equal datasets prepare
   /// their pipelines once across all attached sessions.
   std::shared_ptr<PipelineCache> pipeline_cache;
+  /// Persistent artifact store (api/artifact_store.h). Null (default)
+  /// keeps the session memory-only. Non-null warm-boots the session at
+  /// creation — every valid stored pipeline of its graph pair is hydrated
+  /// into the pipeline cache — and thereafter pipelines this session builds
+  /// (or upgrades, or republishes after a streaming patch) are written back
+  /// asynchronously, so a restarted process serves its first queries from
+  /// disk instead of rebuilding. Corrupt or stale records are silently
+  /// rebuilt over; responses are bit-identical either way.
+  std::shared_ptr<ArtifactStore> artifact_store;
   /// Total thread budget of the session's shared worker pool; 0 =
   /// std::thread::hardware_concurrency(). MineAll splits it between
   /// concurrent requests (inter) and each request's NewSEA seed shards
@@ -201,6 +213,25 @@ class MinerSession {
   /// Used by MiningService to apply MiningServiceOptions::shared_cache.
   void UsePipelineCache(std::shared_ptr<PipelineCache> cache);
 
+  /// \brief Attaches the persistent `store` (non-null) and warm-boots from
+  /// it: every valid stored pipeline of this session's graph pair is
+  /// hydrated into the pipeline cache, and subsequent builds/upgrades/
+  /// republishes are written back asynchronously. See
+  /// SessionOptions::artifact_store.
+  void UseArtifactStore(std::shared_ptr<ArtifactStore> store);
+
+  /// The attached persistent store; null when the session is memory-only.
+  const std::shared_ptr<ArtifactStore>& artifact_store() const {
+    return store_;
+  }
+
+  /// Pipelines this session served from the store: warm-boot hydrations
+  /// plus lazy per-key loads (including difference-only records upgraded
+  /// with GA artifacts in memory).
+  uint64_t num_store_hits() const { return store_hits_; }
+  /// Pipelines this session asked the store for and had to build cold.
+  uint64_t num_store_misses() const { return store_misses_; }
+
   /// Drops this session's cached pipelines from the cache; they
   /// re-materialize on demand. Entries of other datasets in a shared cache
   /// are untouched (and pinned snapshots stay valid).
@@ -322,6 +353,11 @@ class MinerSession {
   // one. Never null.
   std::shared_ptr<PipelineCache> cache_;
   bool private_cache_ = true;
+  // The attached persistent store (SessionOptions::artifact_store or
+  // UseArtifactStore); null for a memory-only session.
+  std::shared_ptr<ArtifactStore> store_;
+  uint64_t store_hits_ = 0;
+  uint64_t store_misses_ = 0;
   // PipelineGraphFingerprint of (g1_, g2_) after the last flush — the
   // content half of this session's cache keys — plus the per-graph content
   // accumulators it is derived from (Graph::ContentAccumulator), maintained

@@ -178,6 +178,16 @@ struct MiningTelemetry {
   uint64_t pipeline_cache_misses = 0;
   /// Bytes resident in the pipeline cache after this request.
   uint64_t pipeline_cache_bytes = 0;
+  /// Persistent-store counters *after* this request (all 0 when no
+  /// ArtifactStore is attached — see SessionOptions::artifact_store).
+  /// Hits/misses are session-lifetime: pipelines this session served from
+  /// disk (warm boots and lazy loads) vs. pipelines it asked the store for
+  /// and had to build. Corrupt pages are store-lifetime: record pages the
+  /// attached store rejected (bad checksum, bad framing, content-key
+  /// mismatch) and silently rebuilt over.
+  uint64_t store_hits = 0;
+  uint64_t store_misses = 0;
+  uint64_t store_corrupt_pages = 0;
   /// True iff a warm-start seed was attempted for the DCSGA solve.
   bool warm_start_used = false;
   /// Wall time spent materializing pipeline artifacts (0 on cache hits) and

@@ -26,8 +26,13 @@ MiningService::MiningService(MinerSession session,
                              MiningServiceOptions options)
     : session_(std::move(session)), options_(options) {
   // Attach before the executor exists — no solve can be in flight yet.
+  // Cache first, store second: the warm boot must hydrate the cache the
+  // service actually mines against.
   if (options_.shared_cache != nullptr) {
     session_.UsePipelineCache(options_.shared_cache);
+  }
+  if (options_.artifact_store != nullptr) {
+    session_.UseArtifactStore(options_.artifact_store);
   }
   executor_ = std::thread([this] { ExecutorLoop(); });
 }

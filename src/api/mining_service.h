@@ -101,6 +101,14 @@ struct MiningServiceOptions {
   /// (default) keeps whatever cache the session came with — private unless
   /// the caller already attached a shared one via SessionOptions.
   std::shared_ptr<PipelineCache> shared_cache;
+  /// Persistent artifact store (api/artifact_store.h). When set, the owned
+  /// session is attached to it before the executor starts — warm-booting
+  /// the pipeline cache from disk and writing built pipelines back
+  /// asynchronously, so a restarted service answers its first jobs without
+  /// rebuilding. Applied after `shared_cache`, so the warm boot hydrates
+  /// the cache the service actually mines against. Null (default) keeps
+  /// whatever store the session came with.
+  std::shared_ptr<ArtifactStore> artifact_store;
 };
 
 /// \brief Asynchronous mining facade over one MinerSession.

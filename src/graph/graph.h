@@ -176,6 +176,7 @@ class Graph {
 
   friend class GraphBuilder;
   friend class CsrPatcher;
+  friend class GraphSerializer;  // graph/serialize.cc: flat CSR round trip
 
  private:
   Graph(std::vector<size_t> offsets, std::vector<Neighbor> neighbors)

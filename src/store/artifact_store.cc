@@ -1,0 +1,824 @@
+#include "store/artifact_store.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "graph/serialize.h"
+#include "util/checksum.h"
+#include "util/logging.h"
+
+namespace dcs {
+
+namespace {
+
+// ---- on-disk framing -------------------------------------------------------
+
+// "DCSSTOR1" as a little-endian u64.
+constexpr uint64_t kSuperMagic = 0x31524F5453534344ull;
+// "PAGE" as a little-endian u32.
+constexpr uint32_t kPageMagic = 0x45474150u;
+constexpr uint32_t kEndianTag = 0x01020304u;
+constexpr size_t kSuperblockBytes = 32;
+constexpr size_t kPageHeaderBytes = 32;
+
+constexpr uint32_t kGraphRecord = 1;
+constexpr uint32_t kPipelineRecord = 2;
+
+// Superblock layout: magic u64 | version u32 | endian u32 | checksum u64 of
+// the preceding 16 bytes | reserved u64.
+// Page header layout: magic u32 | type u32 | key u64 | payload_bytes u64 |
+// payload checksum u64.
+
+void AppendU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool ReadU32(std::span<const uint8_t> bytes, size_t* cursor, uint32_t* v) {
+  if (bytes.size() - *cursor < 4) return false;
+  std::memcpy(v, bytes.data() + *cursor, 4);
+  *cursor += 4;
+  return true;
+}
+
+bool ReadU64(std::span<const uint8_t> bytes, size_t* cursor, uint64_t* v) {
+  if (bytes.size() - *cursor < 8) return false;
+  std::memcpy(v, bytes.data() + *cursor, 8);
+  *cursor += 8;
+  return true;
+}
+
+std::string SerializeSuperblock() {
+  std::string out;
+  out.reserve(kSuperblockBytes);
+  AppendU64(kSuperMagic, &out);
+  AppendU32(ArtifactStore::kFormatVersion, &out);
+  AppendU32(kEndianTag, &out);
+  AppendU64(PageChecksum(out.data(), out.size()), &out);
+  AppendU64(0, &out);  // reserved
+  DCS_CHECK(out.size() == kSuperblockBytes);
+  return out;
+}
+
+// Validates a superblock image; reports the version it claims (0 when the
+// magic/endianness/checksum already disqualify it).
+bool ValidSuperblock(std::span<const uint8_t> bytes, uint32_t* version) {
+  *version = 0;
+  if (bytes.size() < kSuperblockBytes) return false;
+  size_t cursor = 0;
+  uint64_t magic = 0, checksum = 0;
+  uint32_t file_version = 0, endian = 0;
+  ReadU64(bytes, &cursor, &magic);
+  ReadU32(bytes, &cursor, &file_version);
+  ReadU32(bytes, &cursor, &endian);
+  ReadU64(bytes, &cursor, &checksum);
+  if (magic != kSuperMagic || endian != kEndianTag ||
+      checksum != PageChecksum(bytes.data(), 16)) {
+    return false;
+  }
+  *version = file_version;
+  // A future format version is unreadable by construction: treat the whole
+  // file as untrusted rather than guessing at its layout.
+  return file_version == ArtifactStore::kFormatVersion;
+}
+
+std::string SerializePageHeader(uint32_t type, uint64_t key,
+                                const std::string& payload) {
+  std::string out;
+  out.reserve(kPageHeaderBytes);
+  AppendU32(kPageMagic, &out);
+  AppendU32(type, &out);
+  AppendU64(key, &out);
+  AppendU64(payload.size(), &out);
+  AppendU64(PageChecksum(payload.data(), payload.size()), &out);
+  DCS_CHECK(out.size() == kPageHeaderBytes);
+  return out;
+}
+
+struct PageHeader {
+  uint32_t type = 0;
+  uint64_t key = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t checksum = 0;
+};
+
+bool ParsePageHeader(std::span<const uint8_t> bytes, size_t* cursor,
+                     PageHeader* header) {
+  uint32_t magic = 0;
+  return ReadU32(bytes, cursor, &magic) && magic == kPageMagic &&
+         ReadU32(bytes, cursor, &header->type) &&
+         (header->type == kGraphRecord || header->type == kPipelineRecord) &&
+         ReadU64(bytes, cursor, &header->key) &&
+         ReadU64(bytes, cursor, &header->payload_bytes) &&
+         ReadU64(bytes, cursor, &header->checksum);
+}
+
+// ---- pipeline payloads -----------------------------------------------------
+
+void AppendDoubleBits(double v, std::string* out) {
+  AppendU64(std::bit_cast<uint64_t>(v), out);
+}
+
+bool ReadDoubleBits(std::span<const uint8_t> bytes, size_t* cursor,
+                    double* v) {
+  uint64_t b = 0;
+  if (!ReadU64(bytes, cursor, &b)) return false;
+  *v = std::bit_cast<double>(b);
+  return true;
+}
+
+std::string SerializePipeline(const PipelineCacheKey& key,
+                              const PreparedPipeline& pipeline) {
+  std::string out;
+  AppendU64(key.graph_fingerprint, &out);
+  AppendDoubleBits(key.alpha, &out);
+  const uint8_t flags[8] = {
+      static_cast<uint8_t>(key.flip ? 1 : 0),
+      static_cast<uint8_t>(key.discretize ? 1 : 0),
+      static_cast<uint8_t>(key.clamp_weights_above ? 1 : 0),
+      static_cast<uint8_t>(pipeline.has_ga_artifacts ? 1 : 0),
+      static_cast<uint8_t>(pipeline.validated_nonnegative ? 1 : 0),
+      0, 0, 0};
+  out.append(reinterpret_cast<const char*>(flags), sizeof(flags));
+  if (key.discretize) {
+    AppendDoubleBits(key.discretize->strong_pos, &out);
+    AppendDoubleBits(key.discretize->weak_pos, &out);
+    AppendDoubleBits(key.discretize->strong_neg, &out);
+    AppendDoubleBits(key.discretize->level_two, &out);
+    AppendDoubleBits(key.discretize->level_one, &out);
+  }
+  if (key.clamp_weights_above) {
+    AppendDoubleBits(*key.clamp_weights_above, &out);
+  }
+  AppendGraphBytes(pipeline.difference, &out);
+  if (pipeline.has_ga_artifacts) {
+    AppendGraphBytes(pipeline.positive_part, &out);
+    const SmartInitBounds& b = pipeline.smart_bounds;
+    AppendU32(static_cast<uint32_t>(b.w.size()), &out);
+    for (const double v : b.w) AppendDoubleBits(v, &out);
+    for (const uint32_t v : b.tau) AppendU32(v, &out);
+    for (const double v : b.mu) AppendDoubleBits(v, &out);
+    for (const double v : b.max_incident) AppendDoubleBits(v, &out);
+    for (const VertexId v : b.order) AppendU32(v, &out);
+  }
+  return out;
+}
+
+Status PipelineTruncated() {
+  return Status::InvalidArgument("pipeline payload truncated");
+}
+
+Result<std::pair<PipelineCacheKey, PreparedPipeline>> ParsePipeline(
+    std::span<const uint8_t> bytes) {
+  size_t cursor = 0;
+  PipelineCacheKey key;
+  if (!ReadU64(bytes, &cursor, &key.graph_fingerprint) ||
+      !ReadDoubleBits(bytes, &cursor, &key.alpha)) {
+    return PipelineTruncated();
+  }
+  if (bytes.size() - cursor < 8) return PipelineTruncated();
+  const uint8_t* flags = bytes.data() + cursor;
+  cursor += 8;
+  for (size_t i = 0; i < 8; ++i) {
+    if (flags[i] > 1 || (i >= 5 && flags[i] != 0)) {
+      return Status::InvalidArgument("pipeline payload flags invalid");
+    }
+  }
+  key.flip = flags[0] != 0;
+  PreparedPipeline pipeline;
+  if (flags[1] != 0) {
+    DiscretizeSpec spec;
+    if (!ReadDoubleBits(bytes, &cursor, &spec.strong_pos) ||
+        !ReadDoubleBits(bytes, &cursor, &spec.weak_pos) ||
+        !ReadDoubleBits(bytes, &cursor, &spec.strong_neg) ||
+        !ReadDoubleBits(bytes, &cursor, &spec.level_two) ||
+        !ReadDoubleBits(bytes, &cursor, &spec.level_one)) {
+      return PipelineTruncated();
+    }
+    key.discretize = spec;
+  }
+  if (flags[2] != 0) {
+    double clamp = 0.0;
+    if (!ReadDoubleBits(bytes, &cursor, &clamp)) return PipelineTruncated();
+    key.clamp_weights_above = clamp;
+  }
+  DCS_ASSIGN_OR_RETURN(pipeline.difference, ParseGraphBytes(bytes, &cursor));
+  if (flags[3] != 0) {
+    pipeline.has_ga_artifacts = true;
+    DCS_ASSIGN_OR_RETURN(pipeline.positive_part,
+                         ParseGraphBytes(bytes, &cursor));
+    if (pipeline.positive_part.NumVertices() !=
+        pipeline.difference.NumVertices()) {
+      return Status::InvalidArgument("pipeline payload GD+ size mismatch");
+    }
+    uint32_t n = 0;
+    if (!ReadU32(bytes, &cursor, &n)) return PipelineTruncated();
+    if (n != pipeline.difference.NumVertices()) {
+      return Status::InvalidArgument("pipeline payload bounds size mismatch");
+    }
+    SmartInitBounds& b = pipeline.smart_bounds;
+    b.w.resize(n);
+    b.tau.resize(n);
+    b.mu.resize(n);
+    b.max_incident.resize(n);
+    b.order.resize(n);
+    for (double& v : b.w) {
+      if (!ReadDoubleBits(bytes, &cursor, &v)) return PipelineTruncated();
+    }
+    for (uint32_t& v : b.tau) {
+      if (!ReadU32(bytes, &cursor, &v)) return PipelineTruncated();
+    }
+    for (double& v : b.mu) {
+      if (!ReadDoubleBits(bytes, &cursor, &v)) return PipelineTruncated();
+    }
+    for (double& v : b.max_incident) {
+      if (!ReadDoubleBits(bytes, &cursor, &v)) return PipelineTruncated();
+    }
+    std::vector<bool> seen(n, false);
+    for (VertexId& v : b.order) {
+      if (!ReadU32(bytes, &cursor, &v)) return PipelineTruncated();
+      if (v >= n || seen[v]) {
+        return Status::InvalidArgument(
+            "pipeline payload seed order is not a permutation");
+      }
+      seen[v] = true;
+    }
+  }
+  pipeline.validated_nonnegative = flags[4] != 0;
+  if (cursor != bytes.size()) {
+    return Status::InvalidArgument("pipeline payload has trailing bytes");
+  }
+  return std::make_pair(std::move(key), std::move(pipeline));
+}
+
+// ---- advisory file locking -------------------------------------------------
+
+// flock() taken for the duration of one read or append. Advisory: every
+// store handle (in this or any other process) takes it around file I/O, so
+// appends never interleave and reads never observe a torn append. EINTR is
+// retried; other errors degrade to lockless I/O (single-process use still
+// correct via the handle mutex).
+class ScopedFileLock {
+ public:
+  ScopedFileLock(int fd, int op) : fd_(fd) {
+    while (flock(fd_, op) != 0 && errno == EINTR) {
+    }
+  }
+  ~ScopedFileLock() {
+    while (flock(fd_, LOCK_UN) != 0 && errno == EINTR) {
+    }
+  }
+  ScopedFileLock(const ScopedFileLock&) = delete;
+  ScopedFileLock& operator=(const ScopedFileLock&) = delete;
+
+ private:
+  int fd_;
+};
+
+Result<uint64_t> FileSize(int fd) {
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    return Status::IoError(std::string("fstat failed: ") +
+                           std::strerror(errno));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status ReadExact(int fd, uint64_t offset, size_t size, uint8_t* out) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = pread(fd, out + done, size - done,
+                            static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) return Status::IoError("unexpected end of store file");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteExact(int fd, uint64_t offset, const std::string& bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = pwrite(fd, bytes.data() + done, bytes.size() - done,
+                             static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pwrite failed: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---- open / scan -----------------------------------------------------------
+
+ArtifactStore::ArtifactStore(std::string path, ArtifactStoreOptions options,
+                             int fd)
+    : path_(std::move(path)), options_(options), fd_(fd) {
+  writer_ = std::thread(&ArtifactStore::WriterLoop, this);
+}
+
+Result<std::shared_ptr<ArtifactStore>> ArtifactStore::Open(
+    std::string path, ArtifactStoreOptions options) {
+  const int flags = options.create_if_missing ? (O_RDWR | O_CREAT) : O_RDWR;
+  const int fd = ::open(path.c_str(), flags | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    const std::string reason = std::strerror(errno);
+    if (errno == ENOENT) {
+      return Status::NotFound("artifact store " + path + ": " + reason);
+    }
+    return Status::IoError("cannot open artifact store " + path + ": " +
+                           reason);
+  }
+  auto store = std::shared_ptr<ArtifactStore>(
+      new ArtifactStore(std::move(path), options, fd));
+  {
+    std::lock_guard<std::mutex> lock(store->mutex_);
+    store->ScanLocked();
+  }
+  return store;
+}
+
+ArtifactStore::~ArtifactStore() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void ArtifactStore::ScanLocked() {
+  graphs_.clear();
+  pipelines_.clear();
+  ScopedFileLock file_lock(fd_, LOCK_SH);
+  Result<uint64_t> size = FileSize(fd_);
+  if (!size.ok()) {
+    reliable_end_ = 0;
+    tail_unreliable_ = true;
+    return;
+  }
+
+  if (*size == 0) {
+    // Brand-new file: trust nothing yet; the first append writes the
+    // superblock (ResetFileLocked), and until then the store is just empty.
+    reliable_end_ = 0;
+    tail_unreliable_ = true;
+    return;
+  }
+
+  // Structural walk only — superblock plus the page-header chain, O(records)
+  // I/O regardless of payload volume, so opening a large store is cheap.
+  // Payload checksums are NOT verified here: every load re-verifies before
+  // its bytes are used (ReadPayloadLocked), which is where "never trust the
+  // file" is actually enforced, and a record that rots after this scan
+  // would dodge an open-time checksum anyway.
+  uint8_t superblock[kSuperblockBytes];
+  uint32_t version = 0;
+  if (!ReadExact(fd_, 0, kSuperblockBytes, superblock).ok() ||
+      !ValidSuperblock(std::span<const uint8_t>(superblock, kSuperblockBytes),
+                       &version)) {
+    // Wrong magic, foreign endianness, bad checksum or a future format
+    // version: the whole file is untrusted. Open empty; the first append
+    // rewrites from scratch.
+    reliable_end_ = 0;
+    tail_unreliable_ = true;
+    ++corrupt_pages_;
+    return;
+  }
+
+  uint64_t cursor = kSuperblockBytes;
+  reliable_end_ = cursor;
+  tail_unreliable_ = false;
+  while (cursor < *size) {
+    const uint64_t record_offset = cursor;
+    uint8_t header_bytes[kPageHeaderBytes];
+    PageHeader header;
+    size_t header_cursor = 0;
+    if (*size - cursor < kPageHeaderBytes ||
+        !ReadExact(fd_, cursor, kPageHeaderBytes, header_bytes).ok() ||
+        !ParsePageHeader(
+            std::span<const uint8_t>(header_bytes, kPageHeaderBytes),
+            &header_cursor, &header) ||
+        header.payload_bytes > *size - cursor - kPageHeaderBytes) {
+      // Broken chain: a torn append or header garbage. Everything from here
+      // on is unreachable — stop indexing; the next append truncates.
+      ++corrupt_pages_;
+      tail_unreliable_ = true;
+      break;
+    }
+    cursor += kPageHeaderBytes + header.payload_bytes;
+    IndexEntry entry;
+    entry.offset = record_offset;
+    entry.payload_bytes = header.payload_bytes;
+    entry.type = header.type;
+    // Newest record per key wins (append-mostly overwrite).
+    (header.type == kGraphRecord ? graphs_ : pipelines_)[header.key] = entry;
+    reliable_end_ = cursor;
+  }
+}
+
+// ---- append path -----------------------------------------------------------
+
+Status ArtifactStore::ResetFileLocked() {
+  if (ftruncate(fd_, 0) != 0) {
+    return Status::IoError(std::string("ftruncate failed: ") +
+                           std::strerror(errno));
+  }
+  DCS_RETURN_NOT_OK(WriteExact(fd_, 0, SerializeSuperblock()));
+  graphs_.clear();
+  pipelines_.clear();
+  reliable_end_ = kSuperblockBytes;
+  tail_unreliable_ = false;
+  return Status::OK();
+}
+
+Status ArtifactStore::AppendLocked(uint32_t type, uint64_t key,
+                                   const std::string& payload) {
+  if (fd_ < 0) return Status::IoError("artifact store is closed");
+  ScopedFileLock file_lock(fd_, LOCK_EX);
+  if (tail_unreliable_) {
+    // Untrusted superblock (reliable_end_ == 0) rebuilds the whole file;
+    // a corrupt tail is truncated back to the last valid record.
+    if (reliable_end_ < kSuperblockBytes) {
+      DCS_RETURN_NOT_OK(ResetFileLocked());
+    } else {
+      Result<uint64_t> size = FileSize(fd_);
+      if (size.ok() && *size > reliable_end_) {
+        truncated_tail_bytes_ += *size - reliable_end_;
+      }
+      if (ftruncate(fd_, static_cast<off_t>(reliable_end_)) != 0) {
+        return Status::IoError(std::string("ftruncate failed: ") +
+                               std::strerror(errno));
+      }
+      tail_unreliable_ = false;
+    }
+  }
+  // Another process may have appended since our scan; never overwrite its
+  // records — append at the true end of file.
+  DCS_ASSIGN_OR_RETURN(uint64_t end, FileSize(fd_));
+  const uint64_t write_offset = std::max(end, reliable_end_);
+  std::string frame = SerializePageHeader(type, key, payload);
+  frame += payload;
+  DCS_RETURN_NOT_OK(WriteExact(fd_, write_offset, frame));
+  if (options_.sync_writes && fsync(fd_) != 0) {
+    return Status::IoError(std::string("fsync failed: ") +
+                           std::strerror(errno));
+  }
+  IndexEntry entry;
+  entry.offset = write_offset;
+  entry.payload_bytes = payload.size();
+  entry.type = type;
+  (type == kGraphRecord ? graphs_ : pipelines_)[key] = entry;
+  reliable_end_ = write_offset + frame.size();
+  ++appended_records_;
+  return Status::OK();
+}
+
+Status ArtifactStore::ReadPayloadLocked(uint64_t expected_key,
+                                        const IndexEntry& entry,
+                                        std::vector<uint8_t>* payload) {
+  ScopedFileLock file_lock(fd_, LOCK_SH);
+  std::vector<uint8_t> frame(kPageHeaderBytes +
+                             static_cast<size_t>(entry.payload_bytes));
+  Status read = ReadExact(fd_, entry.offset, frame.size(), frame.data());
+  PageHeader header;
+  size_t cursor = 0;
+  if (!read.ok() || !ParsePageHeader(frame, &cursor, &header) ||
+      header.type != entry.type || header.key != expected_key ||
+      header.payload_bytes != entry.payload_bytes ||
+      PageChecksum(frame.data() + kPageHeaderBytes,
+                   static_cast<size_t>(entry.payload_bytes)) !=
+          header.checksum) {
+    // The page rotted (the open-time scan is structural only; content is
+    // verified here, on first use). Drop it and every record behind it from
+    // the directory and mark the tail unreliable at its offset: the caller
+    // rebuilds, and the next write-back truncates the rot away so the file
+    // converges back to fsck-clean.
+    ++corrupt_pages_;
+    // `entry` references map storage that the erase loop below may free —
+    // copy the pivot offset out first.
+    const uint64_t bad_offset = entry.offset;
+    for (auto* directory : {&graphs_, &pipelines_}) {
+      for (auto it = directory->begin(); it != directory->end();) {
+        it = it->second.offset >= bad_offset ? directory->erase(it) : ++it;
+      }
+    }
+    if (!tail_unreliable_ || bad_offset < reliable_end_) {
+      reliable_end_ = std::max<uint64_t>(bad_offset, kSuperblockBytes);
+      tail_unreliable_ = true;
+    }
+    return Status::NotFound("artifact record failed verification");
+  }
+  payload->assign(frame.begin() + kPageHeaderBytes, frame.end());
+  return Status::OK();
+}
+
+// ---- graph records ---------------------------------------------------------
+
+Status ArtifactStore::PutGraph(const Graph& graph) {
+  std::string payload;
+  payload.reserve(GraphByteSize(graph));
+  AppendGraphBytes(graph, &payload);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AppendLocked(kGraphRecord, graph.ContentFingerprint(), payload);
+}
+
+Result<Graph> ArtifactStore::LoadGraph(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++loads_;
+  const auto it = graphs_.find(fingerprint);
+  if (it == graphs_.end()) {
+    ++load_misses_;
+    return Status::NotFound("no graph record for fingerprint");
+  }
+  std::vector<uint8_t> payload;
+  Status read = ReadPayloadLocked(fingerprint, it->second, &payload);
+  if (!read.ok()) {
+    ++load_misses_;
+    return read;
+  }
+  size_t cursor = 0;
+  Result<Graph> parsed = ParseGraphBytes(payload, &cursor);
+  if (!parsed.ok() || cursor != payload.size() ||
+      parsed->ContentFingerprint() != fingerprint) {
+    // Checksum-valid but unparseable or mis-keyed content (a stale or
+    // hand-edited file): never let it poison the caller.
+    ++corrupt_pages_;
+    ++load_misses_;
+    graphs_.erase(fingerprint);
+    return Status::NotFound("graph record failed content verification");
+  }
+  return parsed;
+}
+
+bool ArtifactStore::ContainsGraph(uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_.count(fingerprint) != 0;
+}
+
+// ---- pipeline records ------------------------------------------------------
+
+Status ArtifactStore::PutPipeline(const PipelineCacheKey& key,
+                                  const PreparedPipeline& pipeline) {
+  const std::string payload = SerializePipeline(key, pipeline);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AppendLocked(kPipelineRecord, key.Hash(), payload);
+}
+
+void ArtifactStore::PutPipelineAsync(
+    const PipelineCacheKey& key,
+    std::shared_ptr<const PreparedPipeline> pipeline) {
+  if (pipeline == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shutdown_) return;
+    pending_writes_.push_back(PendingWrite{key, std::move(pipeline)});
+  }
+  queue_cv_.notify_one();
+}
+
+Result<PreparedPipeline> ArtifactStore::LoadPipeline(
+    const PipelineCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++loads_;
+  const uint64_t hash = key.Hash();
+  const auto it = pipelines_.find(hash);
+  if (it == pipelines_.end()) {
+    ++load_misses_;
+    return Status::NotFound("no pipeline record for key");
+  }
+  std::vector<uint8_t> payload;
+  Status read = ReadPayloadLocked(hash, it->second, &payload);
+  if (!read.ok()) {
+    ++load_misses_;
+    return read;
+  }
+  Result<std::pair<PipelineCacheKey, PreparedPipeline>> parsed =
+      ParsePipeline(payload);
+  if (!parsed.ok()) {
+    ++corrupt_pages_;
+    ++load_misses_;
+    pipelines_.erase(hash);
+    return Status::NotFound("pipeline record failed content verification");
+  }
+  if (!(parsed->first == key)) {
+    // A 2^-64 hash collision with a different key: the record is healthy,
+    // just not ours.
+    ++load_misses_;
+    return Status::NotFound("pipeline record key mismatch");
+  }
+  return std::move(parsed->second);
+}
+
+size_t ArtifactStore::WarmBootFingerprint(uint64_t graph_fingerprint,
+                                          PipelineCache* cache) {
+  DCS_CHECK(cache != nullptr);
+  // Snapshot the candidate hashes, then load each through the verifying
+  // path without holding our mutex across Publish.
+  std::vector<uint64_t> hashes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hashes.reserve(pipelines_.size());
+    for (const auto& [hash, entry] : pipelines_) hashes.push_back(hash);
+  }
+  std::sort(hashes.begin(), hashes.end());
+
+  size_t hydrated = 0;
+  for (const uint64_t hash : hashes) {
+    std::vector<uint8_t> payload;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++loads_;
+      const auto it = pipelines_.find(hash);
+      if (it == pipelines_.end()) {
+        ++load_misses_;
+        continue;
+      }
+      if (!ReadPayloadLocked(hash, it->second, &payload).ok()) {
+        ++load_misses_;
+        continue;
+      }
+    }
+    Result<std::pair<PipelineCacheKey, PreparedPipeline>> parsed =
+        ParsePipeline(payload);
+    if (!parsed.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++corrupt_pages_;
+      ++load_misses_;
+      pipelines_.erase(hash);
+      continue;
+    }
+    if (parsed->first.Hash() != hash) {
+      // The record's embedded key must hash to its directory slot.
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++corrupt_pages_;
+      ++load_misses_;
+      pipelines_.erase(hash);
+      continue;
+    }
+    if (graph_fingerprint != 0 &&
+        parsed->first.graph_fingerprint != graph_fingerprint) {
+      continue;  // healthy record of another graph pair
+    }
+    cache->Publish(parsed->first, std::make_shared<const PreparedPipeline>(
+                                      std::move(parsed->second)));
+    ++hydrated;
+  }
+  return hydrated;
+}
+
+size_t ArtifactStore::WarmBootAll(PipelineCache* cache) {
+  return WarmBootFingerprint(0, cache);
+}
+
+// ---- async writer ----------------------------------------------------------
+
+void ArtifactStore::WriterLoop() {
+  while (true) {
+    PendingWrite write;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return shutdown_ || !pending_writes_.empty(); });
+      if (pending_writes_.empty()) return;  // shutdown with a drained queue
+      write = std::move(pending_writes_.front());
+      pending_writes_.pop_front();
+      writer_busy_ = true;
+    }
+    const Status status = PutPipeline(write.key, *write.pipeline);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      writer_busy_ = false;
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> stats_lock(mutex_);
+        ++write_errors_;
+      }
+      if (pending_writes_.empty()) queue_idle_cv_.notify_all();
+    }
+  }
+}
+
+void ArtifactStore::Flush() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_idle_cv_.wait(
+      lock, [this] { return pending_writes_.empty() && !writer_busy_; });
+}
+
+// ---- introspection ---------------------------------------------------------
+
+ArtifactStoreStats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ArtifactStoreStats stats;
+  stats.graph_records = graphs_.size();
+  stats.pipeline_records = pipelines_.size();
+  stats.corrupt_pages = corrupt_pages_;
+  stats.appended_records = appended_records_;
+  stats.loads = loads_;
+  stats.load_misses = load_misses_;
+  stats.write_errors = write_errors_;
+  stats.truncated_tail_bytes = truncated_tail_bytes_;
+  if (fd_ >= 0) {
+    Result<uint64_t> size = FileSize(fd_);
+    if (size.ok()) stats.file_bytes = *size;
+  }
+  return stats;
+}
+
+std::vector<ArtifactRecordInfo> ArtifactStore::ListRecords() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ArtifactRecordInfo> out;
+  out.reserve(graphs_.size() + pipelines_.size());
+  for (const auto* index : {&graphs_, &pipelines_}) {
+    for (const auto& [key, entry] : *index) {
+      ArtifactRecordInfo info;
+      info.type = entry.type;
+      info.key = key;
+      info.offset = entry.offset;
+      info.payload_bytes = entry.payload_bytes;
+      out.push_back(info);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ArtifactRecordInfo& a, const ArtifactRecordInfo& b) {
+              return a.offset < b.offset;
+            });
+  return out;
+}
+
+Result<ArtifactFsckReport> ArtifactStore::Fsck(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const std::string reason = std::strerror(errno);
+    if (errno == ENOENT) {
+      return Status::NotFound("artifact store " + path + ": " + reason);
+    }
+    return Status::IoError("cannot open artifact store " + path + ": " +
+                           reason);
+  }
+  ArtifactFsckReport report;
+  {
+    ScopedFileLock file_lock(fd, LOCK_SH);
+    Result<uint64_t> size = FileSize(fd);
+    if (!size.ok()) {
+      ::close(fd);
+      return size.status();
+    }
+    report.file_bytes = *size;
+    std::vector<uint8_t> bytes(static_cast<size_t>(*size));
+    Status read = ReadExact(fd, 0, bytes.size(), bytes.data());
+    ::close(fd);
+    if (!read.ok()) return read;
+
+    report.superblock_ok = ValidSuperblock(bytes, &report.format_version);
+    if (!report.superblock_ok) {
+      report.corrupt_pages = bytes.empty() ? 0 : 1;
+      report.unreliable_tail_bytes = bytes.size();
+      return report;
+    }
+    size_t cursor = kSuperblockBytes;
+    while (cursor < bytes.size()) {
+      PageHeader header;
+      const size_t record_offset = cursor;
+      if (!ParsePageHeader(bytes, &cursor, &header) ||
+          header.payload_bytes > bytes.size() - cursor ||
+          PageChecksum(bytes.data() + cursor,
+                       static_cast<size_t>(header.payload_bytes)) !=
+              header.checksum) {
+        ++report.corrupt_pages;
+        report.unreliable_tail_bytes = bytes.size() - record_offset;
+        break;
+      }
+      cursor += static_cast<size_t>(header.payload_bytes);
+      ++report.valid_records;
+    }
+  }
+  return report;
+}
+
+}  // namespace dcs

@@ -1,0 +1,53 @@
+// Page checksums for the persistent artifact store.
+//
+// The store (store/artifact_store.h) frames its file into checksummed pages
+// in the single-file storage-engine style: every page header carries a
+// 64-bit checksum of its payload, and a mismatch on load takes the
+// rebuild-and-overwrite path instead of trusting the bytes. The checksum is
+// built from the same splitmix64 finalization step as the content
+// fingerprints (util/hash.h) — one mixing construction for the whole repo —
+// chained over 8-byte words with the length folded in, so it is stable
+// across processes and platforms, detects any single flipped bit, and
+// distinguishes payloads that differ only by trailing zero bytes.
+
+#ifndef DCS_UTIL_CHECKSUM_H_
+#define DCS_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace dcs {
+
+/// \brief 64-bit checksum of `size` bytes at `data`.
+///
+/// Chains MixFingerprint over the payload's 8-byte little-endian words (the
+/// tail word zero-padded) seeded with the payload length, so two payloads of
+/// different length never reduce to the same word sequence. Order-sensitive:
+/// unlike the commutative content accumulators, swapping two words changes
+/// the value. O(size); `data` may be null when `size` is 0.
+inline uint64_t PageChecksum(const void* data, size_t size) {
+  // Seed distinguishes the checksum domain from the fingerprint domain and
+  // folds the length up front (no zero-padding ambiguity at the tail).
+  uint64_t h = MixFingerprint(0x6463735f70616765ull,  // "dcs_page"
+                              static_cast<uint64_t>(size));
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes + i, 8);
+    h = MixFingerprint(h, word);
+  }
+  if (i < size) {
+    uint64_t word = 0;
+    std::memcpy(&word, bytes + i, size - i);
+    h = MixFingerprint(h, word);
+  }
+  return h;
+}
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_CHECKSUM_H_

@@ -1,0 +1,66 @@
+// PageChecksum tests: determinism, sensitivity to every byte and to length,
+// and independence from buffer alignment/packaging.
+
+#include "util/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcs {
+namespace {
+
+TEST(PageChecksumTest, DeterministicAcrossCalls) {
+  const std::string data = "density contrast subgraph";
+  EXPECT_EQ(PageChecksum(data.data(), data.size()),
+            PageChecksum(data.data(), data.size()));
+  const std::string copy = data;
+  EXPECT_EQ(PageChecksum(data.data(), data.size()),
+            PageChecksum(copy.data(), copy.size()));
+}
+
+TEST(PageChecksumTest, EmptyBufferHasStableNonzeroValue) {
+  const uint64_t empty = PageChecksum(nullptr, 0);
+  EXPECT_EQ(empty, PageChecksum("x", 0));
+  // splitmix64 of the seeded length never lands on 0 for these inputs; a
+  // zero would be a red flag for an uninitialized checksum path.
+  EXPECT_NE(empty, 0u);
+}
+
+TEST(PageChecksumTest, EveryBitPositionMatters) {
+  // A 20-byte buffer spans both the 8-byte word loop and the padded tail.
+  std::vector<uint8_t> data(20);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  const uint64_t baseline = PageChecksum(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> flipped = data;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(PageChecksum(flipped.data(), flipped.size()), baseline)
+          << "flip of byte " << byte << " bit " << bit << " went undetected";
+    }
+  }
+}
+
+TEST(PageChecksumTest, LengthIsPartOfTheChecksum) {
+  // The tail is zero-padded into the last word, so a trailing zero byte
+  // would collide with the shorter buffer if length were not folded in.
+  const std::vector<uint8_t> with_zero = {1, 2, 3, 0};
+  EXPECT_NE(PageChecksum(with_zero.data(), 3),
+            PageChecksum(with_zero.data(), 4));
+  EXPECT_NE(PageChecksum(nullptr, 0), PageChecksum("\0", 1));
+}
+
+TEST(PageChecksumTest, IndependentOfSurroundingBytes) {
+  // The checksum of a span must not read past its bounds.
+  const std::string a = "XXpayloadYY";
+  const std::string b = "ZZpayloadWW";
+  EXPECT_EQ(PageChecksum(a.data() + 2, 7), PageChecksum(b.data() + 2, 7));
+}
+
+}  // namespace
+}  // namespace dcs

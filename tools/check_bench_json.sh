@@ -26,6 +26,8 @@ required_cache_record=(sessions requests rebuilds cache_hits cache_misses
                        cache_bytes)
 required_streaming_record=(delta_edges edge_mass update_ms p95_update_ms
                            rebuild_ms p95_rebuild_ms speedup)
+required_cold_start_record=(first_response_ms store_hits store_misses
+                            store_corrupt_pages speedup)
 
 files=()
 if [ "${1:-}" = "--run" ]; then
@@ -59,12 +61,14 @@ for f in "${files[@]}"; do
   if command -v python3 > /dev/null 2>&1; then
     python3 - "$f" "${required_top[*]}" "${required_record[*]}" \
         "${required_async_record[*]}" "${required_cache_record[*]}" \
-        "${required_streaming_record[*]}" << 'EOF'
+        "${required_streaming_record[*]}" "${required_cold_start_record[*]}" \
+        << 'EOF'
 import json, sys
 path, top_keys, record_keys = sys.argv[1], sys.argv[2].split(), sys.argv[3].split()
 async_keys = sys.argv[4].split()
 cache_keys = sys.argv[5].split()
 streaming_keys = sys.argv[6].split()
+cold_start_keys = sys.argv[7].split()
 try:
     with open(path) as fh:
         doc = json.load(fh)
@@ -81,6 +85,8 @@ if doc["bench"] == "pipeline_cache":
     record_keys = record_keys + cache_keys
 if doc["bench"] == "streaming_updates":
     record_keys = record_keys + streaming_keys
+if doc["bench"] == "cold_start":
+    record_keys = record_keys + cold_start_keys
 for i, record in enumerate(doc["records"]):
     missing = [k for k in record_keys if k not in record]
     if missing:
@@ -97,6 +103,9 @@ EOF
     fi
     if grep -q '"bench": "streaming_updates"' "$f"; then
       keys+=("${required_streaming_record[@]}")
+    fi
+    if grep -q '"bench": "cold_start"' "$f"; then
+      keys+=("${required_cold_start_record[@]}")
     fi
     for key in "${keys[@]}"; do
       if ! grep -q "\"$key\"" "$f"; then

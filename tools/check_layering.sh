@@ -3,11 +3,12 @@
 #
 # Facade rule: tools/ and examples/ program against the public surface only —
 #   allowed:   api/*, graph/io.h, util/*
-#   forbidden: core/*, densest/*, baseline/*, gen/*, and any graph/* header
-#              other than graph/io.h
+#   forbidden: core/*, densest/*, baseline/*, gen/*, store/*, and any
+#              graph/* header other than graph/io.h
 # The api/ layer re-exports what consumers legitimately need (Graph,
-# DiscretizeSpec, solver knobs, dataset generators via api/datasets.h), so a
-# forbidden include is always a layering bug, not a missing feature.
+# DiscretizeSpec, solver knobs, dataset generators via api/datasets.h, the
+# persistent store via api/artifact_store.h), so a forbidden include is
+# always a layering bug, not a missing feature.
 #
 # Usage: check_layering.sh [repo-root]
 
@@ -29,7 +30,7 @@ fi
 status=0
 for f in "${files[@]}"; do
   violations=$(grep -nE \
-    '^[[:space:]]*#[[:space:]]*include[[:space:]]*"(core|densest|baseline|gen)/' \
+    '^[[:space:]]*#[[:space:]]*include[[:space:]]*"(core|densest|baseline|gen|store)/' \
     "$f")
   graph_violations=$(grep -nE \
     '^[[:space:]]*#[[:space:]]*include[[:space:]]*"graph/' "$f" \

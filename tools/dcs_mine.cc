@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/artifact_store.h"
 #include "api/miner_session.h"
 #include "api/mining.h"
 #include "api/mining_service.h"
@@ -58,6 +59,9 @@ constexpr FlagSpec kFlagTable[] = {
     {"--shared-cache", "<n>",
      "mine through n concurrent sessions attached to one shared "
      "PipelineCache; prints per-session and cache telemetry"},
+    {"--store", "<path>",
+     "attach a persistent artifact store: warm-boot prepared pipelines "
+     "from <path> and write new ones back (created when missing)"},
     {"--quiet", "", "print only the result lines"},
     {"--help", "", "print this flag reference and exit"},
 };
@@ -72,6 +76,7 @@ struct Args {
   uint32_t topk = 1;
   bool async = false;
   uint32_t shared_cache_sessions = 0;  // 0 = single-session mode
+  std::string store_path;              // empty = memory-only
   bool quiet = false;
   bool help = false;
 };
@@ -172,6 +177,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                      value);
         return false;
       }
+    } else if (flag == "--store" && next_value(&value)) {
+      args->store_path = value;
     } else if (flag == "--async") {
       args->async = true;
     } else if (flag == "--discrete") {
@@ -238,9 +245,10 @@ bool SameRanking(const std::vector<RankedSubgraph>& a,
 // session pays the pipeline preparation; every response must be
 // bit-identical (the cross-session determinism guarantee). Returns the
 // response of session 0, or an error status.
-Result<MiningResponse> MineSharedCache(const Args& args, const Graph& g1,
-                                       const Graph& g2,
-                                       const MiningRequest& request) {
+Result<MiningResponse> MineSharedCache(
+    const Args& args, const Graph& g1, const Graph& g2,
+    const MiningRequest& request,
+    const std::shared_ptr<ArtifactStore>& store) {
   const uint32_t n = args.shared_cache_sessions;
   auto cache = std::make_shared<PipelineCache>();
   std::vector<Result<MiningResponse>> responses(
@@ -253,6 +261,7 @@ Result<MiningResponse> MineSharedCache(const Args& args, const Graph& g1,
       threads.emplace_back([&, i] {
         SessionOptions options;
         options.pipeline_cache = cache;
+        options.artifact_store = store;
         Result<MinerSession> session = MinerSession::Create(g1, g2, options);
         if (!session.ok()) {
           responses[i] = session.status();
@@ -325,17 +334,34 @@ int main(int argc, char** argv) {
   request.top_k = args.topk;
   if (args.discrete) request.discretize = DiscretizeSpec{};
 
+  // Open (or create) the persistent store before any session exists, so
+  // every mode warm-boots from it and writes built pipelines back.
+  std::shared_ptr<ArtifactStore> store;
+  if (!args.store_path.empty()) {
+    Result<std::shared_ptr<ArtifactStore>> opened =
+        ArtifactStore::Open(args.store_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "failed to open store %s: %s\n",
+                   args.store_path.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(*opened);
+  }
+
   Result<MiningResponse> response = Status::Internal("not mined");
   if (args.shared_cache_sessions > 0) {
-    response = MineSharedCache(args, *g1, *g2, request);
+    response = MineSharedCache(args, *g1, *g2, request, store);
     if (!response.ok()) {
       std::fprintf(stderr, "shared-cache mining failed: %s\n",
                    response.status().ToString().c_str());
       return 1;
     }
   } else {
-    Result<MinerSession> session =
-        MinerSession::Create(std::move(*g1), std::move(*g2));
+    SessionOptions session_options;
+    session_options.artifact_store = store;
+    Result<MinerSession> session = MinerSession::Create(
+        std::move(*g1), std::move(*g2), session_options);
     if (!session.ok()) {
       std::fprintf(stderr, "session setup failed: %s\n",
                    session.status().ToString().c_str());
@@ -415,6 +441,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(telemetry.update_rebuilds),
                 static_cast<unsigned long long>(
                     telemetry.patched_entries_republished));
+    if (store != nullptr) {
+      store->Flush();  // settle async write-backs so the stats are final
+      const ArtifactStoreStats stats = store->stats();
+      std::printf(
+          "# store: %llu hits / %llu misses, %llu corrupt pages, "
+          "%llu graph + %llu pipeline records, %llu bytes (%s)\n",
+          static_cast<unsigned long long>(telemetry.store_hits),
+          static_cast<unsigned long long>(telemetry.store_misses),
+          static_cast<unsigned long long>(telemetry.store_corrupt_pages),
+          static_cast<unsigned long long>(stats.graph_records),
+          static_cast<unsigned long long>(stats.pipeline_records),
+          static_cast<unsigned long long>(stats.file_bytes),
+          args.store_path.c_str());
+    }
   }
   if (args.measure != Measure::kGraphAffinity) {
     PrintSubsets("DCSAD", "density_diff", response->average_degree);

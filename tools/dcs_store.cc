@@ -1,0 +1,120 @@
+// dcs_store — inspect and check persistent artifact store files.
+//
+// Usage:
+//   dcs_store stat <path>   summarize the store (version, records, bytes)
+//   dcs_store fsck <path>   verify the superblock and every page checksum
+//   dcs_store ls <path>     list the indexed records, offset-ascending
+//
+// `stat` and `ls` open a store handle (indexing only valid records, as a
+// session would see them); `fsck` is a read-only offline scan that reports
+// corruption without modifying the file — exit status 1 flags a store a
+// writer would truncate or rebuild. This tool consumes the api/ facade only
+// (see tools/check_layering.sh).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "api/artifact_store.h"
+
+namespace {
+
+using namespace dcs;
+
+void PrintUsage(const char* prog, std::FILE* out) {
+  std::fprintf(out,
+               "usage: %s <command> <path>\n\n"
+               "  stat <path>   summarize the store (version, records, bytes)\n"
+               "  fsck <path>   verify the superblock and every page checksum\n"
+               "  ls <path>     list the indexed records, offset-ascending\n",
+               prog);
+}
+
+// Opens a handle without creating the file: inspecting a path that does not
+// exist is an error, not an empty store.
+Result<std::shared_ptr<ArtifactStore>> OpenExisting(const std::string& path) {
+  ArtifactStoreOptions options;
+  options.create_if_missing = false;
+  return ArtifactStore::Open(path, options);
+}
+
+int RunStat(const std::string& path) {
+  Result<std::shared_ptr<ArtifactStore>> store = OpenExisting(path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  const ArtifactStoreStats stats = (*store)->stats();
+  std::printf("store:            %s\n", path.c_str());
+  std::printf("format version:   %u\n", ArtifactStore::kFormatVersion);
+  std::printf("graph records:    %llu\n",
+              static_cast<unsigned long long>(stats.graph_records));
+  std::printf("pipeline records: %llu\n",
+              static_cast<unsigned long long>(stats.pipeline_records));
+  std::printf("corrupt pages:    %llu\n",
+              static_cast<unsigned long long>(stats.corrupt_pages));
+  std::printf("file bytes:       %llu\n",
+              static_cast<unsigned long long>(stats.file_bytes));
+  return 0;
+}
+
+int RunFsck(const std::string& path) {
+  Result<ArtifactFsckReport> report = ArtifactStore::Fsck(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("superblock:            %s\n",
+              report->superblock_ok ? "ok" : "INVALID");
+  if (report->superblock_ok) {
+    std::printf("format version:        %u\n", report->format_version);
+  }
+  std::printf("valid records:         %llu\n",
+              static_cast<unsigned long long>(report->valid_records));
+  std::printf("corrupt pages:         %llu\n",
+              static_cast<unsigned long long>(report->corrupt_pages));
+  std::printf("unreliable tail bytes: %llu\n",
+              static_cast<unsigned long long>(report->unreliable_tail_bytes));
+  std::printf("file bytes:            %llu\n",
+              static_cast<unsigned long long>(report->file_bytes));
+  const bool clean = report->superblock_ok && report->corrupt_pages == 0;
+  std::printf("%s\n", clean ? "clean" : "NOT CLEAN (a writer would "
+                                        "truncate or rebuild this store)");
+  return clean ? 0 : 1;
+}
+
+int RunLs(const std::string& path) {
+  Result<std::shared_ptr<ArtifactStore>> store = OpenExisting(path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-10s %-18s %12s %12s\n", "type", "key", "offset", "payload");
+  for (const ArtifactRecordInfo& record : (*store)->ListRecords()) {
+    std::printf("%-10s %016llx %12llu %12llu\n",
+                record.type == 1 ? "graph" : "pipeline",
+                static_cast<unsigned long long>(record.key),
+                static_cast<unsigned long long>(record.offset),
+                static_cast<unsigned long long>(record.payload_bytes));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    PrintUsage(argv[0], stderr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  if (command == "stat") return RunStat(path);
+  if (command == "fsck") return RunFsck(path);
+  if (command == "ls") return RunLs(path);
+  std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+  PrintUsage(argv[0], stderr);
+  return 2;
+}
