@@ -1,0 +1,274 @@
+// Failure-domain hardening: the cost of carrying the hooks, and the cost of
+// surviving the faults.
+//
+// Three cycles per dataset:
+//   baseline   no store, fault registry disarmed — the reference wall time
+//              and the bit-identity oracle
+//   counted    every fault site armed with prob=0: behaviorally inert, but
+//              the per-site hit counters now measure exactly how many hook
+//              crossings one cycle executes — the input to the disarmed-
+//              overhead bound below
+//   faulted    store attached and the storm armed: every other append
+//              fails (recovered by the store's bounded retry), every third
+//              read fails (ditto), every other flock degrades to lockless —
+//              the cycle must still answer every request, bit-identically
+//
+// The two numbers the bench exists to pin:
+//   overhead_pct  hook crossings × measured disarmed FaultHit cost, as a
+//                 percentage of the baseline wall — DCS_CHECKed < 1%, the
+//                 "shipping the hooks costs nothing" contract
+//   recovery_ms   faulted wall minus baseline wall — what the injected
+//                 fault storm (plus retry/backoff) added end to end
+//
+// `--json out.json` emits the BENCH_fault_recovery.json record tracked in
+// the repo; `--smoke` shrinks the dataset for the ctest `bench_smoke_fault`
+// wiring.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/artifact_store.h"
+#include "api/miner_session.h"
+#include "api/mining.h"
+#include "bench_util.h"
+#include "util/fault_injection.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace dcs;
+using namespace dcs::bench;
+
+// Two pipeline keys, so the store sees multiple append/read crossings and
+// the GA artifacts (GD+, smart bounds) are exercised.
+std::vector<MiningRequest> RequestMix() {
+  std::vector<MiningRequest> requests(2);
+  requests[0].measure = Measure::kGraphAffinity;
+  requests[0].alpha = 1.0;
+  requests[1].measure = Measure::kGraphAffinity;
+  requests[1].alpha = 2.0;
+  return requests;
+}
+
+struct CycleResult {
+  double wall_ms = 0.0;
+  uint64_t injected_faults = 0;
+  uint64_t store_retries = 0;
+  uint64_t store_write_errors = 0;
+  uint64_t hook_hits = 0;  // counted cycle only: hook crossings executed
+  MiningResponse first_response;
+  std::string serialized;  // all responses, for the bit-identity check
+};
+
+// One cycle: open the store (when `store_path` is non-empty), create a
+// session, answer the request mix. The async write-back settles OUTSIDE the
+// timed window (the hot path never blocks on disk) but before the failure
+// counters are read, so retries/write errors from this cycle are visible.
+CycleResult RunCycle(const Graph& g1, const Graph& g2,
+                     const std::string& store_path) {
+  const std::vector<MiningRequest> requests = RequestMix();
+  CycleResult out;
+  std::shared_ptr<ArtifactStore> store;
+
+  WallTimer timer;
+  if (!store_path.empty()) {
+    Result<std::shared_ptr<ArtifactStore>> opened =
+        ArtifactStore::Open(store_path);
+    DCS_CHECK(opened.ok()) << opened.status().ToString();
+    store = std::move(opened).value();
+  }
+  SessionOptions options;
+  options.artifact_store = store;
+  Result<MinerSession> session = MinerSession::Create(g1, g2, options);
+  DCS_CHECK(session.ok()) << session.status().ToString();
+  bool first = true;
+  for (const MiningRequest& request : requests) {
+    Result<MiningResponse> response = session->Mine(request);
+    DCS_CHECK(response.ok()) << response.status().ToString();
+    if (first) {
+      out.first_response = *response;
+      first = false;
+    }
+    out.serialized += SerializeAffinityRanking(*response);
+    out.serialized += "#";
+  }
+  out.wall_ms = timer.Seconds() * 1e3;
+
+  if (store != nullptr) {
+    const Status settled = store->Flush();
+    DCS_CHECK(settled.ok()) << "write-back failed past the retry budget: "
+                            << settled.ToString();
+    const ArtifactStoreStats stats = store->stats();
+    out.store_retries = stats.io_retries;
+    out.store_write_errors = stats.write_errors;
+  }
+  FaultInjection& faults = FaultInjection::Global();
+  out.injected_faults = faults.total_fires();
+  for (const char* site :
+       {fault_sites::kStoreRead, fault_sites::kStoreAppend,
+        fault_sites::kStoreFlock, fault_sites::kCacheBuild,
+        fault_sites::kPoolDispatch}) {
+    out.hook_hits += faults.hits(site);
+  }
+  return out;
+}
+
+// Measures the disarmed FaultHit cost: the one relaxed atomic load every
+// hook crossing pays when nothing is armed. The accumulator keeps the loop
+// from being optimized away (a disarmed hit can never return true).
+double DisarmedNsPerCall(uint64_t iters) {
+  DCS_CHECK(!FaultInjection::armed());
+  uint64_t fired = 0;
+  WallTimer timer;
+  for (uint64_t i = 0; i < iters; ++i) {
+    fired += FaultHit("bench.noop") ? 1 : 0;
+  }
+  const double ns = timer.Seconds() * 1e9;
+  DCS_CHECK(fired == 0) << "disarmed registry fired";
+  return ns / static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const uint64_t seed = 20180607;
+  std::printf("seed = %llu, hardware_concurrency = %u%s\n\n",
+              static_cast<unsigned long long>(seed),
+              std::thread::hardware_concurrency(),
+              args.smoke ? " (smoke mode)" : "");
+
+  struct PairDataset {
+    std::string label;
+    Graph g1;
+    Graph g2;
+  };
+  std::vector<PairDataset> datasets;
+  if (args.smoke) {
+    const CoauthorData tiny = MakeDblpAnalog(seed, /*num_authors=*/600);
+    datasets.push_back({"DBLP-tiny", tiny.g1, tiny.g2});
+  } else {
+    const CoauthorData dblp = MakeDblpAnalog(seed);
+    datasets.push_back({"DBLP", dblp.g1, dblp.g2});
+    const CoauthorData dblp_c = MakeDblpCAnalog(seed + 4);
+    datasets.push_back({"DBLP-C", dblp_c.g1, dblp_c.g2});
+  }
+
+  const uint64_t overhead_iters = args.smoke ? 2'000'000ull : 20'000'000ull;
+  const double ns_per_call = DisarmedNsPerCall(overhead_iters);
+
+  JsonReporter reporter("fault_recovery", seed);
+  TablePrinter table(
+      "Fault injection: disarmed-hook overhead and recovery under faults",
+      {"Data", "Cycle", "Wall ms", "Faults", "Retries", "WriteErr",
+       "Recovery ms", "Overhead %", "Bit-identical?"});
+  for (const PairDataset& dataset : datasets) {
+    const std::string store_path =
+        (std::filesystem::temp_directory_path() /
+         ("dcs_bench_fault_recovery_" + dataset.label + ".dcs"))
+            .string();
+
+    struct Cycle {
+      const char* name;
+      CycleResult result;
+    };
+    std::vector<Cycle> cycles;
+
+    FaultInjection::Global().Reset();
+    cycles.push_back({"baseline", RunCycle(dataset.g1, dataset.g2, "")});
+
+    // prob=0: hits are counted at every crossing, nothing ever fires —
+    // the cycle is behaviorally identical while measuring hook traffic.
+    std::filesystem::remove(store_path);
+    DCS_CHECK(FaultInjection::Global()
+                  .ArmText("store.read:prob=0;store.append:prob=0;"
+                           "store.flock:prob=0;cache.build:prob=0;"
+                           "pool.dispatch:prob=0")
+                  .ok());
+    cycles.push_back({"counted", RunCycle(dataset.g1, dataset.g2, store_path)});
+
+    // The recoverable storm: every fault below is absorbed by a hardening
+    // layer (bounded retry for read/append, lockless degrade for flock), so
+    // every request still succeeds — slower, never wrong.
+    std::filesystem::remove(store_path);
+    DCS_CHECK(FaultInjection::Global()
+                  .ArmText("store.append:every=2;store.read:every=3;"
+                           "store.flock:every=2")
+                  .ok());
+    cycles.push_back({"faulted", RunCycle(dataset.g1, dataset.g2, store_path)});
+    FaultInjection::Global().Reset();
+    std::filesystem::remove(store_path);
+
+    // Per-cycle bit-identity: hooks, counters and injected faults must
+    // never reach the mined subgraphs.
+    for (const Cycle& cycle : cycles) {
+      DCS_CHECK(cycle.result.serialized == cycles[0].result.serialized)
+          << dataset.label << " / " << cycle.name
+          << " diverged from the fault-free baseline";
+    }
+    DCS_CHECK(cycles[1].result.hook_hits > 0) << "counted cycle saw no hooks";
+    DCS_CHECK(cycles[1].result.injected_faults == 0) << "prob=0 fired";
+    DCS_CHECK(cycles[2].result.injected_faults > 0) << "storm never fired";
+    DCS_CHECK(cycles[2].result.store_retries > 0) << "no retry was needed";
+    DCS_CHECK(cycles[2].result.store_write_errors == 0)
+        << "a recoverable fault leaked into a write error";
+
+    // The disarmed-overhead bound: crossings × per-call cost vs. the
+    // baseline wall. This is the cost of SHIPPING the hooks disarmed.
+    const double overhead_pct =
+        cycles[0].result.wall_ms > 0.0
+            ? 100.0 * (static_cast<double>(cycles[1].result.hook_hits) *
+                       ns_per_call / 1e6) /
+                  cycles[0].result.wall_ms
+            : 0.0;
+    DCS_CHECK(overhead_pct < 1.0)
+        << "disarmed hooks cost " << overhead_pct << "% of the baseline wall";
+    const double recovery_ms =
+        cycles[2].result.wall_ms - cycles[0].result.wall_ms;
+
+    for (const Cycle& cycle : cycles) {
+      const CycleResult& r = cycle.result;
+      const MiningTelemetry& telemetry = r.first_response.telemetry;
+      BenchRecord record;
+      record.dataset = dataset.label + " / " + cycle.name;
+      record.threads = 1;
+      record.wall_ms = r.wall_ms;
+      record.initializations = telemetry.initializations;
+      record.pruned_seeds = telemetry.pruned_seeds;
+      record.affinity = r.first_response.graph_affinity.empty()
+                            ? 0.0
+                            : r.first_response.graph_affinity[0].value;
+      record.extra = {
+          {"injected_faults", static_cast<double>(r.injected_faults)},
+          {"store_retries", static_cast<double>(r.store_retries)},
+          {"store_write_errors", static_cast<double>(r.store_write_errors)},
+          {"recovery_ms", recovery_ms},
+          {"overhead_pct", overhead_pct},
+      };
+      reporter.Add(record);
+      table.AddRow({dataset.label, cycle.name, TablePrinter::Fmt(r.wall_ms, 2),
+                    TablePrinter::Fmt(r.injected_faults),
+                    TablePrinter::Fmt(r.store_retries),
+                    TablePrinter::Fmt(r.store_write_errors),
+                    TablePrinter::Fmt(recovery_ms, 2),
+                    TablePrinter::Fmt(overhead_pct, 4), "Yes"});
+    }
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf("\ndisarmed FaultHit: %.2f ns/call over %llu calls\n",
+              ns_per_call,
+              static_cast<unsigned long long>(overhead_iters));
+
+  if (!args.json_path.empty()) {
+    DCS_CHECK(reporter.WriteTo(args.json_path))
+        << "cannot write " << args.json_path;
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  return 0;
+}

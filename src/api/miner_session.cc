@@ -165,6 +165,11 @@ void MinerSession::UsePipelineCache(std::shared_ptr<PipelineCache> cache) {
 void MinerSession::UseArtifactStore(std::shared_ptr<ArtifactStore> store) {
   DCS_CHECK(store != nullptr) << "UseArtifactStore needs a store";
   store_ = std::move(store);
+  // Attaching (or re-attaching) resets the degradation ladder: the new store
+  // gets a fresh chance at persistence. Its failure counters are
+  // store-lifetime, so a store that is already failing re-degrades on the
+  // next RefreshHealth instead of being grandfathered in as healthy.
+  health_ = HealthState::kHealthy;
   // Warm boot: hydrate every valid stored pipeline of this graph pair into
   // the cache, so the first post-restart queries hit instead of rebuilding.
   // Corrupt records are skipped (and counted by the store); a skipped or
@@ -590,6 +595,39 @@ void MinerSession::FillCacheTelemetry(MiningTelemetry* telemetry) const {
   telemetry->store_misses = store_misses_;
   telemetry->store_corrupt_pages =
       store_ != nullptr ? store_->stats().corrupt_pages : 0;
+  telemetry->store_write_errors = store_write_errors_;
+  telemetry->store_retries = store_retries_;
+  telemetry->health_state = health_;
+  telemetry->health_transitions = health_transitions_;
+}
+
+HealthState MinerSession::RefreshHealth() {
+  // Snapshot the attached store's failure counters into session members so
+  // the telemetry keeps reporting them after a store-offline detach.
+  if (store_ != nullptr) {
+    const ArtifactStoreStats stats = store_->stats();
+    store_write_errors_ = stats.write_errors;
+    store_retries_ = stats.io_retries;
+  }
+  HealthState next = health_;
+  if (health_ != HealthState::kStoreOffline && store_ != nullptr) {
+    if (options_.store_failure_threshold != 0 &&
+        store_write_errors_ >= options_.store_failure_threshold) {
+      next = HealthState::kStoreOffline;
+    } else if (store_write_errors_ > 0) {
+      next = HealthState::kDegraded;
+    }
+  }
+  if (next != health_) {
+    health_ = next;
+    ++health_transitions_;
+    if (health_ == HealthState::kStoreOffline) {
+      // Detach: drop our reference (other owners are unaffected). Mining
+      // continues memory-only and bit-identically; only persistence stops.
+      store_ = nullptr;
+    }
+  }
+  return health_;
 }
 
 Status MinerSession::Solve(const PreparedPipeline& pipeline,
@@ -655,6 +693,10 @@ Result<MiningResponse> MinerSession::Mine(const MiningRequest& request) {
 Result<MiningResponse> MinerSession::Mine(const MiningRequest& request,
                                           const CancelToken* cancel) {
   DCS_RETURN_NOT_OK(request.Validate());
+  // Advance the degradation ladder before touching the store: write-back
+  // failures from earlier requests are observed here, and a store that just
+  // crossed the threshold is detached before this request would use it.
+  RefreshHealth();
 
   MiningResponse response;
   WallTimer build_timer;
@@ -705,6 +747,7 @@ Result<std::vector<MiningResponse>> MinerSession::MineAll(
     }
   }
   DCS_RETURN_NOT_OK(FlushUpdates());
+  RefreshHealth();  // same entry-point ladder step as Mine
 
   // Phase 1 (caller thread): prepare every pipeline, in request order so
   // cache hits, evictions and rebuild counters match sequential mining. The

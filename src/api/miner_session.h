@@ -83,6 +83,13 @@ struct SessionOptions {
   /// disk instead of rebuilding. Corrupt or stale records are silently
   /// rebuilt over; responses are bit-identical either way.
   std::shared_ptr<ArtifactStore> artifact_store;
+  /// Graceful-degradation ladder (see HealthState in api/mining.h): once
+  /// the attached store has accumulated this many failed write-backs, the
+  /// session detaches it and continues memory-only — mining results are
+  /// unchanged bit for bit, only persistence stops. Any failure count below
+  /// the threshold reads as kDegraded. 0 disables the ladder (the session
+  /// never detaches, staying at most kDegraded).
+  uint32_t store_failure_threshold = 4;
   /// Total thread budget of the session's shared worker pool; 0 =
   /// std::thread::hardware_concurrency(). MineAll splits it between
   /// concurrent requests (inter) and each request's NewSEA seed shards
@@ -232,6 +239,24 @@ class MinerSession {
   /// Pipelines this session asked the store for and had to build cold.
   uint64_t num_store_misses() const { return store_misses_; }
 
+  /// \brief Re-evaluates the degradation ladder against the attached
+  /// store's failure counters and returns the (possibly advanced) state —
+  /// detaching the store when the failure count crossed
+  /// SessionOptions::store_failure_threshold. Every Mine/MineAll runs this
+  /// on entry; callers that just flushed a store can invoke it directly to
+  /// observe the transition without mining.
+  HealthState RefreshHealth();
+
+  /// Current position on the degradation ladder (as of the last
+  /// RefreshHealth / Mine / MineAll).
+  HealthState health() const { return health_; }
+  /// Ladder transitions over the session's lifetime.
+  uint64_t num_health_transitions() const { return health_transitions_; }
+  /// Store failure counters as last snapshotted by RefreshHealth — retained
+  /// across a store-offline detach, unlike store_->stats().
+  uint64_t num_store_write_errors() const { return store_write_errors_; }
+  uint64_t num_store_retries() const { return store_retries_; }
+
   /// Drops this session's cached pipelines from the cache; they
   /// re-materialize on demand. Entries of other datasets in a shared cache
   /// are untouched (and pinned snapshots stay valid).
@@ -358,6 +383,13 @@ class MinerSession {
   std::shared_ptr<ArtifactStore> store_;
   uint64_t store_hits_ = 0;
   uint64_t store_misses_ = 0;
+  // Degradation-ladder state (see RefreshHealth): current rung, lifetime
+  // transition count, and the last observed store failure counters (kept
+  // here so telemetry survives a store-offline detach).
+  HealthState health_ = HealthState::kHealthy;
+  uint64_t health_transitions_ = 0;
+  uint64_t store_write_errors_ = 0;
+  uint64_t store_retries_ = 0;
   // PipelineGraphFingerprint of (g1_, g2_) after the last flush — the
   // content half of this session's cache keys — plus the per-graph content
   // accumulators it is derived from (Graph::ContentAccumulator), maintained

@@ -18,6 +18,18 @@ const char* MeasureToString(Measure measure) {
   return "unknown";
 }
 
+const char* HealthStateToString(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kStoreOffline:
+      return "store-offline";
+  }
+  return "unknown";
+}
+
 Result<Measure> ParseMeasure(std::string_view name) {
   if (name == "ad") return Measure::kAverageDegree;
   if (name == "ga") return Measure::kGraphAffinity;
@@ -56,6 +68,10 @@ Status MiningRequest::Validate() const {
   }
   if (ad_solver_name.empty() || ga_solver_name.empty()) {
     return Status::InvalidArgument("solver names must be non-empty");
+  }
+  if (!std::isfinite(deadline_seconds) || deadline_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "deadline_seconds must be finite and >= 0 (0 = no deadline)");
   }
   return Status::OK();
 }

@@ -52,6 +52,26 @@ const char* MeasureToString(Measure measure);
 /// Parses "ad" / "ga" / "both" (the dcs_mine flag values); fails otherwise.
 Result<Measure> ParseMeasure(std::string_view name);
 
+/// \brief Position on the graceful-degradation ladder of a session (or the
+/// service wrapping it) with respect to its persistent store.
+///
+/// kHealthy: no store failures observed (or no store attached — persistence
+/// was never promised). kDegraded: the store reported write-back failures
+/// but stays attached; loads and write-backs keep being attempted.
+/// kStoreOffline: failures reached SessionOptions::store_failure_threshold
+/// and the session *detached* the store — mining continues memory-only and
+/// bit-identically (results never depended on persistence), only warm-boot
+/// durability is lost. Transitions are strictly downward and counted in
+/// MiningTelemetry::health_transitions.
+enum class HealthState : uint8_t {
+  kHealthy,
+  kDegraded,
+  kStoreOffline,
+};
+
+/// "healthy", "degraded" or "store-offline".
+const char* HealthStateToString(HealthState state);
+
 /// Which input graph a streaming update applies to.
 enum class UpdateSide : uint8_t {
   kG1,  ///< baseline / historical graph (enters D with weight −α·w)
@@ -117,6 +137,16 @@ struct MiningRequest {
   /// the session's graphs — the precondition for batched MineAll to equal
   /// sequential mining bit-for-bit.
   bool warm_start = false;
+
+  /// Per-job deadline in seconds, measured from submission (so queue wait
+  /// counts — the admission-control view). 0 = no deadline. Enforced by
+  /// MiningService's watchdog, which fires the job's CancelToken at the
+  /// deadline: the job lands in kFailed carrying StatusCode::
+  /// kDeadlineExceeded, keeps no partial result, and the session stays
+  /// reusable. Synchronous MinerSession::Mine ignores the field (callers
+  /// owning the thread can wrap their own CancelToken; dcs_mine --deadline
+  /// does exactly that).
+  double deadline_seconds = 0.0;
 
   /// Registry names of the solvers to dispatch to (api/solver_registry.h);
   /// replaceable without touching MinerSession.
@@ -188,6 +218,15 @@ struct MiningTelemetry {
   uint64_t store_hits = 0;
   uint64_t store_misses = 0;
   uint64_t store_corrupt_pages = 0;
+  /// Failure-domain counters *after* this request. Write errors and retries
+  /// are store-lifetime (snapshotted by the session, so they survive a
+  /// store-offline detach); the health fields are session-lifetime. All
+  /// telemetry-only: like the cache counters, they never influence mined
+  /// subgraphs — a degraded or store-offline session mines bit-identically.
+  uint64_t store_write_errors = 0;
+  uint64_t store_retries = 0;
+  HealthState health_state = HealthState::kHealthy;
+  uint64_t health_transitions = 0;
   /// True iff a warm-start seed was attempted for the DCSGA solve.
   bool warm_start_used = false;
   /// Wall time spent materializing pipeline artifacts (0 on cache hits) and

@@ -1,10 +1,27 @@
 #include "api/mining_service.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
 #include <utility>
 
 #include "util/logging.h"
 
 namespace dcs {
+
+namespace {
+
+// Only positive finite deadlines are enforced. Anything else either means
+// "no deadline" (0) or is an invalid request — which Submit intentionally
+// does not reject; it surfaces through the job's kFailed state when
+// MinerSession::Mine validates it.
+bool HasDeadline(const MiningRequest& request) {
+  return std::isfinite(request.deadline_seconds) &&
+         request.deadline_seconds > 0.0;
+}
+
+}  // namespace
 
 const char* JobStateToString(JobState state) {
   switch (state) {
@@ -35,6 +52,7 @@ MiningService::MiningService(MinerSession session,
     session_.UseArtifactStore(options_.artifact_store);
   }
   executor_ = std::thread([this] { ExecutorLoop(); });
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
 }
 
 MiningService::~MiningService() {
@@ -61,7 +79,9 @@ MiningService::~MiningService() {
   }
   work_available_.notify_all();
   job_finished_.notify_all();
+  deadline_work_.notify_all();
   executor_.join();
+  watchdog_.join();
   // Every job is terminal now, so all Wait()ers are waking up. Let them get
   // back out of job_finished_.wait and off mutex_ before either is
   // destroyed; TakeSnapshot's unlocked response copy is safe afterwards
@@ -94,6 +114,12 @@ Result<JobId> MiningService::Submit(MiningRequest request) {
   queue_.push_back(QueuedOp{job});
   ++num_queued_jobs_;
   ++num_submitted_;
+  if (HasDeadline(job->request)) {
+    // Register with the watchdog; waking it re-derives the sleep horizon,
+    // which this job may have moved up.
+    deadline_jobs_.push_back(job);
+    deadline_work_.notify_one();
+  }
   work_available_.notify_one();
   return job->id;
 }
@@ -180,6 +206,10 @@ Result<JobStatus> MiningService::Cancel(JobId id) {
                             std::to_string(id));
   }
   std::shared_ptr<Job> job = it->second;
+  // Explicit cancellation wins over a racing deadline: the caller asked
+  // first, so the terminal state is kCancelled even if the watchdog also
+  // fired this job's token (see Job::user_cancelled).
+  job->user_cancelled = true;
   job->cancel.Cancel();
   if (job->state == JobState::kQueued) {
     // Terminal immediately: the executor skips the stale queue entry, so a
@@ -217,6 +247,91 @@ size_t MiningService::num_pending_jobs() const {
 size_t MiningService::num_active_waiters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return active_waiters_;
+}
+
+uint64_t MiningService::num_deadline_exceeded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_deadline_exceeded_;
+}
+
+HealthState MiningService::health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return health_;
+}
+
+uint64_t MiningService::num_health_transitions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return health_transitions_;
+}
+
+uint64_t MiningService::num_store_write_errors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_write_errors_;
+}
+
+uint64_t MiningService::num_store_retries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_retries_;
+}
+
+void MiningService::ExpireQueuedLocked(const std::shared_ptr<Job>& job) {
+  DCS_CHECK(job->state == JobState::kQueued);
+  job->queue_seconds = job->since_submit.Seconds();
+  DCS_CHECK(num_queued_jobs_ > 0);
+  --num_queued_jobs_;
+  job->state = JobState::kFailed;
+  job->failure = Status::DeadlineExceeded(
+      "deadline of " + std::to_string(job->request.deadline_seconds) +
+      "s elapsed before the job left the queue");
+  ++num_deadline_exceeded_;
+  FinishLocked(job);
+}
+
+void MiningService::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    // One pass over the watched jobs: prune terminal entries, expire
+    // overdue ones, and derive the next sleep horizon from the rest.
+    double earliest = 0.0;
+    bool have_pending = false;
+    for (auto it = deadline_jobs_.begin(); it != deadline_jobs_.end();) {
+      const std::shared_ptr<Job>& job = *it;
+      const JobState state = job->state;
+      if (state != JobState::kQueued && state != JobState::kRunning) {
+        it = deadline_jobs_.erase(it);
+        continue;
+      }
+      const double remaining =
+          job->request.deadline_seconds - job->since_submit.Seconds();
+      if (remaining > 0.0) {
+        earliest = have_pending ? std::min(earliest, remaining) : remaining;
+        have_pending = true;
+        ++it;
+        continue;
+      }
+      if (state == JobState::kQueued) {
+        // Guaranteed to never start: the executor skips the stale queue_
+        // entry exactly like a cancelled-while-queued job's.
+        ExpireQueuedLocked(job);
+      } else {
+        // Running: fire the per-job token. The solve aborts between seed
+        // chunks with no partial result, and the executor's finish path
+        // maps the Cancelled status to kFailed + kDeadlineExceeded. If the
+        // solve completes before observing the token, the job stays kDone
+        // with its full (bit-identical) result — the deadline is a latency
+        // bound, not a result invalidator.
+        job->deadline_fired = true;
+        job->cancel.Cancel();
+      }
+      it = deadline_jobs_.erase(it);
+    }
+    if (stopping_) return;
+    if (!have_pending) {
+      deadline_work_.wait(lock);  // re-derives on submit/shutdown wakeups
+    } else {
+      deadline_work_.wait_for(lock, std::chrono::duration<double>(earliest));
+    }
+  }
 }
 
 void MiningService::FinishLocked(const std::shared_ptr<Job>& job) {
@@ -260,10 +375,19 @@ void MiningService::ExecutorLoop() {
 
     std::shared_ptr<Job> job = std::move(op.job);
     if (job->state != JobState::kQueued) {
-      // Cancelled while queued: the job went terminal under Cancel(); this
-      // is just its stale queue entry. Draining it may empty the queue, so
-      // wake Drain() here too — its notify at cancel time saw a non-empty
-      // queue.
+      // Cancelled (or deadline-expired) while queued: the job went terminal
+      // under Cancel() or the watchdog; this is just its stale queue entry.
+      // Draining it may empty the queue, so wake Drain() here too — its
+      // notify at finish time saw a non-empty queue.
+      if (queue_.empty()) job_finished_.notify_all();
+      continue;
+    }
+    if (HasDeadline(job->request) &&
+        job->since_submit.Seconds() >= job->request.deadline_seconds) {
+      // Dequeue-time expiry check: with a deadline shorter than the
+      // watchdog's wakeup latency the job must still fail deterministically
+      // instead of racing into a solve.
+      ExpireQueuedLocked(job);
       if (queue_.empty()) job_finished_.notify_all();
       continue;
     }
@@ -287,15 +411,34 @@ void MiningService::ExecutorLoop() {
       mined = Status::Internal("solver threw a non-std exception");
     }
     const double run_seconds = run_timer.Seconds();
+    // Ladder step on the executor thread (the session's only user once the
+    // service owns it), so the mirror below reflects write-back failures as
+    // soon as the store reported them — not one job late.
+    session_.RefreshHealth();
     lock.lock();
 
     running_job_ = false;
+    health_ = session_.health();
+    health_transitions_ = session_.num_health_transitions();
+    store_write_errors_ = session_.num_store_write_errors();
+    store_retries_ = session_.num_store_retries();
     job->run_seconds = run_seconds;
     if (mined.ok()) {
       job->state = JobState::kDone;
       job->response = std::move(*mined);
     } else if (mined.status().IsCancelled()) {
-      job->state = JobState::kCancelled;
+      if (job->deadline_fired && !job->user_cancelled) {
+        // The watchdog — not a caller — stopped this solve: surface it as
+        // the failure it is, carrying kDeadlineExceeded, with no partial
+        // result. The session stays reusable for the next queued job.
+        job->state = JobState::kFailed;
+        job->failure = Status::DeadlineExceeded(
+            "deadline of " + std::to_string(job->request.deadline_seconds) +
+            "s exceeded while running");
+        ++num_deadline_exceeded_;
+      } else {
+        job->state = JobState::kCancelled;
+      }
     } else {
       // Failure propagation: a bad measure/solver id or invalid request
       // becomes a terminal failed job carrying the solver's status — the

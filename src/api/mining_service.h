@@ -37,6 +37,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "api/miner_session.h"
 #include "api/mining.h"
@@ -51,7 +52,10 @@ using JobId = uint64_t;
 
 /// The job lifecycle: kQueued → kRunning → one of the terminal states
 /// (kDone / kFailed / kCancelled). A queued job may also go straight to
-/// kCancelled without ever running.
+/// kCancelled without ever running. A job whose
+/// MiningRequest::deadline_seconds elapses lands in kFailed carrying
+/// StatusCode::kDeadlineExceeded — kCancelled is reserved for explicit
+/// Cancel() calls and shutdown.
 enum class JobState : uint8_t {
   kQueued,
   kRunning,
@@ -179,6 +183,17 @@ class MiningService {
   uint64_t num_submitted() const;
   /// Jobs currently queued or running.
   size_t num_pending_jobs() const;
+  /// Jobs that terminated kFailed with StatusCode::kDeadlineExceeded.
+  uint64_t num_deadline_exceeded() const;
+  /// \brief The owned session's position on the graceful-degradation ladder
+  /// (api/mining.h), mirrored into the service after every executed job so
+  /// callers never race the executor for the session. A service that has
+  /// not run a job yet reports kHealthy.
+  HealthState health() const;
+  /// Ladder transitions / store failure counters, mirrored like health().
+  uint64_t num_health_transitions() const;
+  uint64_t num_store_write_errors() const;
+  uint64_t num_store_retries() const;
   /// Wait()/Drain() callers currently registered as blocked inside the
   /// service — the population the destructor drains. A caller observed here
   /// is covered by the teardown guarantee; the probe exists so tests can
@@ -198,6 +213,14 @@ class MiningService {
     WallTimer since_submit;  // running from Submit
     double queue_seconds = 0.0;
     double run_seconds = 0.0;
+    // Deadline bookkeeping (request.deadline_seconds > 0 only). The
+    // watchdog sets deadline_fired before firing `cancel`; the executor's
+    // finish path uses it to map the resulting Cancelled status to kFailed
+    // + kDeadlineExceeded. An explicit Cancel() sets user_cancelled, which
+    // takes precedence — the caller asked first, so they see kCancelled
+    // even if the deadline also fired.
+    bool deadline_fired = false;
+    bool user_cancelled = false;
   };
 
   // One queue entry, in fence order: either a job or a pre-validated
@@ -232,6 +255,12 @@ class MiningService {
   };
 
   void ExecutorLoop();
+  // Deadline enforcement thread: sleeps until the earliest pending
+  // deadline, then expires it — a queued job goes kFailed immediately, a
+  // running job gets its CancelToken fired (see Job::deadline_fired).
+  void WatchdogLoop();
+  // Fails a still-queued job with kDeadlineExceeded. Mutex held.
+  void ExpireQueuedLocked(const std::shared_ptr<Job>& job);
   // Marks `job` terminal, records it for retention/eviction and wakes
   // waiters. Mutex held.
   void FinishLocked(const std::shared_ptr<Job>& job);
@@ -246,6 +275,9 @@ class MiningService {
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable job_finished_;
+  // Wakes the watchdog when a deadline-carrying job is submitted (its sleep
+  // horizon may have moved up) and at shutdown.
+  std::condition_variable deadline_work_;
   // Wakes the destructor once the last registered Wait()/Drain() caller has
   // left job_finished_.wait (see active_waiters_).
   std::condition_variable waiters_done_;
@@ -253,8 +285,18 @@ class MiningService {
   std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
   // Terminal jobs in finish order, for max_finished_jobs eviction.
   std::deque<JobId> finished_order_;
+  // Non-terminal jobs with a deadline, watched by WatchdogLoop; entries are
+  // pruned as they go terminal or fire.
+  std::vector<std::shared_ptr<Job>> deadline_jobs_;
   JobId next_job_id_ = 1;
   uint64_t num_submitted_ = 0;
+  uint64_t num_deadline_exceeded_ = 0;
+  // Session health mirror, refreshed by the executor after every job (see
+  // health() above).
+  HealthState health_ = HealthState::kHealthy;
+  uint64_t health_transitions_ = 0;
+  uint64_t store_write_errors_ = 0;
+  uint64_t store_retries_ = 0;
   size_t num_queued_jobs_ = 0;  // kQueued jobs inside queue_
   bool running_job_ = false;
   bool executor_busy_ = false;  // applying an update outside the lock
@@ -263,7 +305,9 @@ class MiningService {
   // must not destroy mutex_/job_finished_ until this drops to zero.
   size_t active_waiters_ = 0;
 
-  std::thread executor_;  // last member: joins before the rest tears down
+  // Last members: both joined in ~MiningService before the rest tears down.
+  std::thread executor_;
+  std::thread watchdog_;
 };
 
 }  // namespace dcs

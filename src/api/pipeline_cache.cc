@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "util/fault_injection.h"
 #include "util/hash.h"
 
 namespace dcs {
@@ -123,6 +124,12 @@ Result<PipelineCache::Snapshot> PipelineCache::GetOrPrepare(
     // fns are not).
     Result<PreparedPipeline> built = [&]() -> Result<PreparedPipeline> {
       try {
+        // The cache.build fault site: an armed fault fails this build the
+        // same way a failing BuildFn would — the status propagates to the
+        // caller and racing waiters retry. Zero-overhead disarmed.
+        if (FaultHit(fault_sites::kCacheBuild)) {
+          return FaultInjection::InjectedError(fault_sites::kCacheBuild);
+        }
         return build(reuse.get());
       } catch (const std::exception& e) {
         return Status::Internal(std::string("pipeline build threw: ") +

@@ -8,11 +8,14 @@
 #include <algorithm>
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "graph/serialize.h"
 #include "util/checksum.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace dcs {
@@ -276,10 +279,17 @@ Result<std::pair<PipelineCacheKey, PreparedPipeline>> ParsePipeline(
 class ScopedFileLock {
  public:
   ScopedFileLock(int fd, int op) : fd_(fd) {
+    // The store.flock fault site models a failing flock() — the lock
+    // degrades to lockless I/O, exactly the real-error path below.
+    if (FaultHit(fault_sites::kStoreFlock)) {
+      fd_ = -1;
+      return;
+    }
     while (flock(fd_, op) != 0 && errno == EINTR) {
     }
   }
   ~ScopedFileLock() {
+    if (fd_ < 0) return;
     while (flock(fd_, LOCK_UN) != 0 && errno == EINTR) {
     }
   }
@@ -485,7 +495,24 @@ Status ArtifactStore::AppendLocked(uint32_t type, uint64_t key,
   const uint64_t write_offset = std::max(end, reliable_end_);
   std::string frame = SerializePageHeader(type, key, payload);
   frame += payload;
-  DCS_RETURN_NOT_OK(WriteExact(fd_, write_offset, frame));
+  // Transient write failures — and the store.append fault site — are
+  // retried with deterministic exponential backoff before surfacing. The
+  // pwrite targets fixed offsets, so a retry over a partial write is
+  // idempotent.
+  Status wrote;
+  for (uint32_t attempt = 0;; ++attempt) {
+    wrote = FaultHit(fault_sites::kStoreAppend)
+                ? FaultInjection::InjectedError(fault_sites::kStoreAppend)
+                : WriteExact(fd_, write_offset, frame);
+    if (wrote.ok() || !wrote.IsIoError() ||
+        attempt >= options_.max_io_retries) {
+      break;
+    }
+    ++io_retries_;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.retry_backoff_ms * static_cast<double>(1u << attempt)));
+  }
+  DCS_RETURN_NOT_OK(wrote);
   if (options_.sync_writes && fsync(fd_) != 0) {
     return Status::IoError(std::string("fsync failed: ") +
                            std::strerror(errno));
@@ -506,7 +533,22 @@ Status ArtifactStore::ReadPayloadLocked(uint64_t expected_key,
   ScopedFileLock file_lock(fd_, LOCK_SH);
   std::vector<uint8_t> frame(kPageHeaderBytes +
                              static_cast<size_t>(entry.payload_bytes));
-  Status read = ReadExact(fd_, entry.offset, frame.size(), frame.data());
+  // Same bounded-retry policy as AppendLocked, covering real transient
+  // pread failures and the store.read fault site. Only I/O errors retry;
+  // a checksum mismatch is content rot, not transience.
+  Status read;
+  for (uint32_t attempt = 0;; ++attempt) {
+    read = FaultHit(fault_sites::kStoreRead)
+               ? FaultInjection::InjectedError(fault_sites::kStoreRead)
+               : ReadExact(fd_, entry.offset, frame.size(), frame.data());
+    if (read.ok() || !read.IsIoError() ||
+        attempt >= options_.max_io_retries) {
+      break;
+    }
+    ++io_retries_;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.retry_backoff_ms * static_cast<double>(1u << attempt)));
+  }
   PageHeader header;
   size_t cursor = 0;
   if (!read.ok() || !ParsePageHeader(frame, &cursor, &header) ||
@@ -716,18 +758,30 @@ void ArtifactStore::WriterLoop() {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       writer_busy_ = false;
       if (!status.ok()) {
+        // A failed write-back (post-retry) is recorded, never dropped: the
+        // counter and retained Status are what Flush() and the session
+        // degradation ladder observe.
         std::lock_guard<std::mutex> stats_lock(mutex_);
         ++write_errors_;
+        last_write_error_ = status;
       }
       if (pending_writes_.empty()) queue_idle_cv_.notify_all();
     }
   }
 }
 
-void ArtifactStore::Flush() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  queue_idle_cv_.wait(
-      lock, [this] { return pending_writes_.empty() && !writer_busy_; });
+Status ArtifactStore::Flush() {
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_idle_cv_.wait(
+        lock, [this] { return pending_writes_.empty() && !writer_busy_; });
+  }
+  return last_write_error();
+}
+
+Status ArtifactStore::last_write_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_write_error_;
 }
 
 // ---- introspection ---------------------------------------------------------
@@ -742,6 +796,7 @@ ArtifactStoreStats ArtifactStore::stats() const {
   stats.loads = loads_;
   stats.load_misses = load_misses_;
   stats.write_errors = write_errors_;
+  stats.io_retries = io_retries_;
   stats.truncated_tail_bytes = truncated_tail_bytes_;
   if (fd_ >= 0) {
     Result<uint64_t> size = FileSize(fd_);

@@ -74,6 +74,15 @@ struct ArtifactStoreOptions {
   /// rebuildable artifacts, so losing a tail on power failure only costs a
   /// rebuild — the checksummed scan recovers the valid prefix either way.
   bool sync_writes = false;
+  /// Transient-I/O retry budget: a failing pread/pwrite inside one append or
+  /// payload read is retried up to this many extra times before the error
+  /// surfaces (counted in stats().io_retries). 0 disables retrying.
+  uint32_t max_io_retries = 3;
+  /// Base of the deterministic exponential backoff between retries: attempt
+  /// k sleeps retry_backoff_ms * 2^k milliseconds. No jitter on purpose —
+  /// recovery timing is reproducible, which the chaos tests and
+  /// bench_fault_recovery rely on.
+  double retry_backoff_ms = 0.5;
 };
 
 /// Store-lifetime counters (since Open).
@@ -90,9 +99,13 @@ struct ArtifactStoreStats {
   /// no valid record.
   uint64_t loads = 0;
   uint64_t load_misses = 0;
-  /// Async write-backs that failed (I/O errors are absorbed, not raised, on
-  /// the async path).
+  /// Async write-backs that failed after exhausting the retry budget. Never
+  /// silent: the most recent failure is retained (last_write_error()),
+  /// returned by Flush(), and feeds the session degradation ladder.
   uint64_t write_errors = 0;
+  /// Transient I/O attempts that were retried (reads and writes, including
+  /// retries that ultimately failed).
+  uint64_t io_retries = 0;
   /// Bytes the opening scan discarded as an unreliable tail.
   uint64_t truncated_tail_bytes = 0;
   /// Current file size in bytes.
@@ -179,8 +192,15 @@ class ArtifactStore {
   /// fingerprint (tools and multi-tenant boots). Returns the number hydrated.
   size_t WarmBootAll(PipelineCache* cache);
 
-  /// Blocks until the async write-back queue is empty and idle.
-  void Flush();
+  /// \brief Blocks until the async write-back queue is empty and idle, then
+  /// returns the most recent async write failure (OK when every write-back
+  /// since Open landed) — the synchronous observation point for errors the
+  /// async path would otherwise only count.
+  Status Flush();
+
+  /// The most recent async write-back failure; OK when none occurred.
+  /// Non-blocking (does not drain the queue — Flush() does).
+  Status last_write_error() const;
 
   /// Point-in-time counters.
   ArtifactStoreStats stats() const;
@@ -245,7 +265,10 @@ class ArtifactStore {
   uint64_t loads_ = 0;
   uint64_t load_misses_ = 0;
   uint64_t write_errors_ = 0;
+  uint64_t io_retries_ = 0;
   uint64_t truncated_tail_bytes_ = 0;
+  // Most recent async write-back failure (mutex_-guarded, like the stats).
+  Status last_write_error_;
 
   // Async writer.
   std::mutex queue_mutex_;

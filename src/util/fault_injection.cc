@@ -1,0 +1,209 @@
+#include "util/fault_injection.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+#include "util/hash.h"
+
+namespace dcs {
+
+std::atomic<bool> FaultInjection::armed_{false};
+
+FaultInjection& FaultInjection::Global() {
+  static FaultInjection* instance = new FaultInjection();
+  return *instance;
+}
+
+namespace {
+
+Status ValidateSpec(const FaultSpec& spec) {
+  if (spec.site.empty()) {
+    return Status::InvalidArgument("fault spec needs a site name");
+  }
+  if (spec.every == 0) {
+    return Status::InvalidArgument("fault spec 'every' must be >= 1");
+  }
+  if (!std::isfinite(spec.prob) || spec.prob < 0.0 || spec.prob > 1.0) {
+    return Status::InvalidArgument("fault spec 'prob' must be in [0, 1]");
+  }
+  if (!std::isfinite(spec.delay_ms) || spec.delay_ms < 0.0) {
+    return Status::InvalidArgument("fault spec 'delay_ms' must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultInjection::Arm(FaultSpec spec) {
+  DCS_RETURN_NOT_OK(ValidateSpec(spec));
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& state = sites_[spec.site];
+  state.spec = std::move(spec);
+  state.hit_count = 0;
+  state.fire_count = 0;
+  armed_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FaultInjection::ArmText(const std::string& text) {
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t end = std::min(text.find(';', begin), text.size());
+    const std::string one = text.substr(begin, end - begin);
+    if (!one.empty()) {
+      DCS_ASSIGN_OR_RETURN(FaultSpec spec, Parse(one));
+      DCS_RETURN_NOT_OK(Arm(std::move(spec)));
+    }
+    begin = end + 1;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Strict numeric field parsing, mirroring the CLI's rule: the whole value
+// must be consumed.
+bool ParseU64Field(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDoubleField(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<FaultSpec> FaultInjection::Parse(const std::string& text) {
+  FaultSpec spec;
+  const size_t colon = text.find(':');
+  spec.site = text.substr(0, colon);
+  if (spec.site.empty()) {
+    return Status::InvalidArgument("fault spec '" + text +
+                                   "' is missing its site name");
+  }
+  size_t begin = colon == std::string::npos ? text.size() : colon + 1;
+  while (begin < text.size()) {
+    const size_t end = std::min(text.find(',', begin), text.size());
+    const std::string field = text.substr(begin, end - begin);
+    begin = end + 1;
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault spec field '" + field +
+                                     "' is not key=value");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    bool ok = true;
+    if (key == "every") {
+      ok = ParseU64Field(value, &spec.every);
+    } else if (key == "after") {
+      ok = ParseU64Field(value, &spec.after);
+    } else if (key == "times") {
+      ok = ParseU64Field(value, &spec.times);
+    } else if (key == "seed") {
+      ok = ParseU64Field(value, &spec.seed);
+    } else if (key == "prob") {
+      ok = ParseDoubleField(value, &spec.prob);
+    } else if (key == "delay_ms") {
+      ok = ParseDoubleField(value, &spec.delay_ms);
+    } else if (key == "fail") {
+      uint64_t flag = 0;
+      ok = ParseU64Field(value, &flag) && flag <= 1;
+      spec.fail = flag != 0;
+    } else {
+      return Status::InvalidArgument("unknown fault spec key '" + key + "'");
+    }
+    if (!ok) {
+      return Status::InvalidArgument("invalid fault spec value '" + field +
+                                     "'");
+    }
+  }
+  DCS_RETURN_NOT_OK(ValidateSpec(spec));
+  return spec;
+}
+
+void FaultInjection::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  total_fires_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjection::Hit(const char* site) {
+  double delay_ms = 0.0;
+  bool fail = false;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end()) return false;
+    SiteState& state = it->second;
+    const FaultSpec& spec = state.spec;
+    const uint64_t index = state.hit_count++;
+    if (index < spec.after) return false;
+    if (spec.times != 0 && state.fire_count >= spec.times) return false;
+    if ((index - spec.after) % spec.every != 0) return false;
+    if (spec.prob < 1.0) {
+      // Per-hit deterministic coin: a splitmix64 hash of (seed, site name,
+      // hit index) mapped to [0, 1). No global RNG, so reruns reproduce the
+      // exact fire schedule.
+      uint64_t h = MixFingerprint(spec.seed, 0x66617565ull /* "faul" */);
+      for (const char* c = site; *c != '\0'; ++c) {
+        h = MixFingerprint(h, static_cast<uint64_t>(*c));
+      }
+      h = MixFingerprint(h, index);
+      const double coin = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (coin >= spec.prob) return false;
+    }
+    ++state.fire_count;
+    ++total_fires_;
+    fired = true;
+    fail = spec.fail;
+    delay_ms = spec.delay_ms;
+  }
+  if (fired && delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        delay_ms));
+  }
+  return fail;
+}
+
+Status FaultInjection::InjectedError(const char* site) {
+  return Status::IoError(std::string("injected fault at ") + site);
+}
+
+uint64_t FaultInjection::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it != sites_.end() ? it->second.hit_count : 0;
+}
+
+uint64_t FaultInjection::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it != sites_.end() ? it->second.fire_count : 0;
+}
+
+uint64_t FaultInjection::total_fires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_fires_;
+}
+
+}  // namespace dcs

@@ -28,6 +28,7 @@ enum class StatusCode : uint8_t {
   kNotConverged = 6,
   kInternal = 7,
   kCancelled = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// \brief Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
@@ -70,6 +71,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -80,6 +84,9 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsNotConverged() const { return code() == StatusCode::kNotConverged; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// The error message; empty for OK.
   const std::string& message() const;

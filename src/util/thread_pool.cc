@@ -1,8 +1,25 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "util/fault_injection.h"
 
 namespace dcs {
+
+namespace {
+
+// The pool.dispatch fault site: an armed fault surfaces as a task exception,
+// exercising the same capture-and-rethrow contract a throwing task would.
+// Zero-overhead when disarmed (one relaxed load in FaultHit).
+void MaybeInjectDispatchFault() {
+  if (FaultHit(fault_sites::kPoolDispatch)) {
+    throw std::runtime_error(
+        FaultInjection::InjectedError(fault_sites::kPoolDispatch).ToString());
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_workers) {
   workers_.reserve(num_workers);
@@ -54,6 +71,7 @@ void ThreadPool::RunOneIndex(Group* group, std::unique_lock<std::mutex>* lock) {
   lock->unlock();
   std::exception_ptr error;
   try {
+    MaybeInjectDispatchFault();
     (*group->fn)(index);
   } catch (...) {
     error = std::current_exception();
@@ -72,6 +90,7 @@ void ThreadPool::RunTasks(size_t num_tasks,
     std::exception_ptr error;
     for (size_t i = 0; i < num_tasks; ++i) {
       try {
+        MaybeInjectDispatchFault();
         fn(i);
       } catch (...) {
         if (!error) error = std::current_exception();

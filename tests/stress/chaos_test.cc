@@ -1,0 +1,364 @@
+// Chaos harness (ctest label `chaos`): the failure-domain acceptance bar.
+//
+// A MiningService is stormed with injected store faults, deadline
+// expirations and cancellations at once, and must hold the robustness
+// contract: every job reaches a terminal state, nothing crashes or leaks,
+// completed jobs are bit-identical to a fault-free reference solve, the
+// degradation ladder walks healthy → degraded → store-offline instead of
+// failing mining, and the store file stays fsck-clean through everything —
+// including a cancellation racing the async write-back mid-append.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/miner_session.h"
+#include "api/mining_service.h"
+#include "gen/random_graphs.h"
+#include "store/artifact_store.h"
+#include "test_util.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace dcs {
+namespace {
+
+using ::dcs::testing::Fig1G1;
+using ::dcs::testing::Fig1G2;
+using ::dcs::testing::MakeGraph;
+using ::dcs::testing::SerializeSubgraphs;
+
+// Every test arms the process-global fault registry; each must disarm it
+// for whatever suite runs next in this binary.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Global().Reset(); }
+};
+
+MinerSession MustCreate(const Graph& g1, const Graph& g2,
+                        SessionOptions options = {}) {
+  Result<MinerSession> session = MinerSession::Create(g1, g2, options);
+  DCS_CHECK(session.ok()) << session.status().ToString();
+  return std::move(*session);
+}
+
+std::shared_ptr<ArtifactStore> OpenOrDie(const std::string& path) {
+  Result<std::shared_ptr<ArtifactStore>> store = ArtifactStore::Open(path);
+  DCS_CHECK(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+// A deterministic function of (rng) producing a mixed request, mirroring
+// the stress suite's distribution.
+MiningRequest RandomRequest(Rng* rng) {
+  MiningRequest request;
+  switch (rng->NextBounded(3)) {
+    case 0:
+      request.measure = Measure::kGraphAffinity;
+      break;
+    case 1:
+      request.measure = Measure::kBoth;
+      break;
+    default:
+      request.measure = Measure::kAverageDegree;
+      break;
+  }
+  request.alpha = 1.0 + static_cast<double>(rng->NextBounded(3));
+  request.flip = rng->NextBounded(4) == 0;
+  request.top_k = rng->NextBounded(5) == 0 ? 2 : 1;
+  request.ga_solver.parallelism = 0;  // auto: share the session budget
+  return request;
+}
+
+std::pair<Graph, Graph> ChaosGraphs() {
+  Rng rng(4242);
+  Result<Graph> g2 = RandomSignedGraph(/*n=*/120, /*m=*/900,
+                                       /*positive_fraction=*/0.7,
+                                       /*magnitude_lo=*/0.5,
+                                       /*magnitude_hi=*/3.0, &rng);
+  DCS_CHECK(g2.ok()) << g2.status().ToString();
+  return {MakeGraph(120, {}), std::move(*g2)};
+}
+
+// The full storm: 48 scripted jobs submitted from 3 racing threads while a
+// canceller fires at random targets, with every store operation failing,
+// pipeline builds sporadically erroring, pool dispatch sporadically
+// throwing, and a slice of jobs carrying already-hopeless deadlines.
+TEST_F(ChaosTest, StormStaysTerminalAndBitIdentical) {
+  const auto [g1, g2] = ChaosGraphs();
+  constexpr size_t kJobs = 48;
+  Rng rng(20180607);
+
+  std::vector<MiningRequest> requests;
+  std::vector<bool> try_cancel;
+  for (size_t i = 0; i < kJobs; ++i) {
+    MiningRequest request = RandomRequest(&rng);
+    // Every 8th job is submitted with an unmeetable deadline — it must die
+    // kFailed/kDeadlineExceeded, never hang and never return a partial
+    // result.
+    if (i % 8 == 3) request.deadline_seconds = 1e-6;
+    requests.push_back(std::move(request));
+    try_cancel.push_back(rng.NextBounded(6) == 0);
+  }
+
+  // Fault-free reference for every request (requests are pure functions of
+  // the graphs — no streaming updates in this storm).
+  std::vector<std::string> expected;
+  {
+    MinerSession reference = MustCreate(g1, g2);
+    for (size_t i = 0; i < kJobs; ++i) {
+      MiningRequest plain = requests[i];
+      plain.deadline_seconds = 0.0;
+      Result<MiningResponse> mined = reference.Mine(plain);
+      ASSERT_TRUE(mined.ok()) << "reference #" << i << ": "
+                              << mined.status().ToString();
+      expected.push_back(SerializeSubgraphs(*mined));
+    }
+  }
+
+  const std::string path = ::testing::TempDir() + "chaos_storm.dcs";
+  std::filesystem::remove(path);
+  std::shared_ptr<ArtifactStore> store = OpenOrDie(path);
+
+  // Arm the storm: every store append fails outright (driving the ladder to
+  // store-offline at the session threshold), flock degrades to lockless,
+  // reads fail half the time, a bounded burst of pipeline builds error, and
+  // two pool dispatches throw.
+  ASSERT_TRUE(FaultInjection::Global()
+                  .ArmText("store.append;"
+                           "store.flock:every=2;"
+                           "store.read:prob=0.5,seed=11;"
+                           "cache.build:every=5,times=3;"
+                           "pool.dispatch:every=37,times=2")
+                  .ok());
+
+  SessionOptions session_options;
+  session_options.store_failure_threshold = 3;
+  MiningServiceOptions service_options;
+  service_options.artifact_store = store;
+  MiningService service(MustCreate(g1, g2, session_options), service_options);
+
+  std::vector<JobId> ids(kJobs, 0);
+  {
+    // 3 submitter threads racing Submit, plus a canceller hammering its
+    // scripted targets as soon as their ids appear.
+    constexpr size_t kSubmitters = 3;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t i = t; i < kJobs; i += kSubmitters) {
+          Result<JobId> id = service.Submit(requests[i]);
+          ASSERT_TRUE(id.ok()) << id.status().ToString();
+          ids[i] = *id;
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < kJobs; ++i) {
+        if (!try_cancel[i]) continue;
+        while (ids[i] == 0) std::this_thread::yield();
+        (void)service.Cancel(ids[i]);
+      }
+    });
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  size_t done = 0;
+  size_t failed = 0;
+  size_t cancelled = 0;
+  size_t deadline_failed = 0;
+  for (size_t i = 0; i < kJobs; ++i) {
+    Result<JobStatus> status = service.Wait(ids[i]);
+    ASSERT_TRUE(status.ok()) << status.status().ToString();
+    ASSERT_TRUE(status->terminal()) << "job #" << i << " not terminal";
+    switch (status->state) {
+      case JobState::kDone:
+        ++done;
+        // The heart of the contract: a completed job under the storm is
+        // bit-identical to the fault-free reference.
+        EXPECT_EQ(SerializeSubgraphs(status->response), expected[i])
+            << "job #" << i << " diverged under injected faults";
+        break;
+      case JobState::kFailed: {
+        ++failed;
+        const Status& failure = status->failure;
+        EXPECT_TRUE(failure.IsDeadlineExceeded() || failure.IsIoError() ||
+                    failure.code() == StatusCode::kInternal)
+            << "job #" << i << " unexpected failure: " << failure.ToString();
+        if (failure.IsDeadlineExceeded()) ++deadline_failed;
+        break;
+      }
+      case JobState::kCancelled:
+        ++cancelled;
+        break;
+      default:
+        FAIL() << "job #" << i << " in non-terminal state";
+    }
+  }
+  EXPECT_EQ(done + failed + cancelled, kJobs);
+  // The storm must not have failed everything: deadline-free, uncancelled
+  // jobs survive store faults by design.
+  EXPECT_GE(done, kJobs / 4);
+  // Every unmeetable-deadline job that was not cancelled first died with
+  // kDeadlineExceeded.
+  EXPECT_GE(deadline_failed, 1u);
+  EXPECT_EQ(service.num_deadline_exceeded(),
+            static_cast<uint64_t>(deadline_failed));
+
+  // The ladder ran its full course: write-backs failed, the threshold
+  // tripped, the store was detached — and mining kept answering above.
+  EXPECT_EQ(service.health(), HealthState::kStoreOffline);
+  EXPECT_GE(service.num_store_write_errors(), 3u);
+  EXPECT_GE(service.num_health_transitions(), 1u);
+
+  // No partial/torn on-disk state: an injected append fails before any byte
+  // is written, so the file must fsck clean (whatever made it in is valid).
+  FaultInjection::Global().Reset();
+  store.reset();
+  Result<ArtifactFsckReport> fsck = ArtifactStore::Fsck(path);
+  ASSERT_TRUE(fsck.ok()) << fsck.status().ToString();
+  EXPECT_TRUE(fsck->superblock_ok);
+  EXPECT_EQ(fsck->corrupt_pages, 0u);
+  std::filesystem::remove(path);
+}
+
+// Deadline semantics in isolation: a job expiring while queued behind a
+// slow build fails without ever running; one expiring mid-run is stopped by
+// the watchdog's token; and the session answers the next job untouched.
+TEST_F(ChaosTest, DeadlineExpiryWhileQueuedAndWhileRunning) {
+  const Graph g1 = Fig1G1();
+  const Graph g2 = Fig1G2();
+
+  MiningRequest slow;  // cold pipeline → delayed build below
+  slow.measure = Measure::kBoth;
+  MiningRequest expired = slow;
+  expired.deadline_seconds = 0.01;
+  MiningRequest mid_run = slow;
+  mid_run.alpha = 2.0;  // distinct pipeline: builds cold (and slow) again
+  mid_run.deadline_seconds = 0.02;
+
+  std::string reference_serialized;
+  {
+    MinerSession reference = MustCreate(g1, g2);
+    Result<MiningResponse> mined = reference.Mine(slow);
+    ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+    reference_serialized = SerializeSubgraphs(*mined);
+  }
+
+  // Delay-only injection: every cold pipeline build stalls 60ms without
+  // failing, so deadlines of 10–20ms reliably expire against it.
+  ASSERT_TRUE(
+      FaultInjection::Global().ArmText("cache.build:delay_ms=60,fail=0").ok());
+
+  MiningService service(MustCreate(g1, g2));
+
+  // Job A occupies the executor with the slow build; job B's 10ms deadline
+  // expires while it waits behind A.
+  Result<JobId> a = service.Submit(slow);
+  Result<JobId> b = service.Submit(expired);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<JobStatus> a_status = service.Wait(*a);
+  Result<JobStatus> b_status = service.Wait(*b);
+  ASSERT_TRUE(a_status.ok() && b_status.ok());
+  EXPECT_EQ(a_status->state, JobState::kDone);
+  EXPECT_EQ(SerializeSubgraphs(a_status->response), reference_serialized);
+  EXPECT_EQ(b_status->state, JobState::kFailed);
+  EXPECT_TRUE(b_status->failure.IsDeadlineExceeded())
+      << b_status->failure.ToString();
+  EXPECT_EQ(b_status->run_seconds, 0.0);  // guaranteed to never start
+
+  // Job C starts immediately (queue empty) and its 20ms deadline fires
+  // mid-build; the solve aborts at its first cancellation checkpoint with
+  // no partial result.
+  Result<JobId> c = service.Submit(mid_run);
+  ASSERT_TRUE(c.ok());
+  Result<JobStatus> c_status = service.Wait(*c);
+  ASSERT_TRUE(c_status.ok());
+  EXPECT_EQ(c_status->state, JobState::kFailed);
+  EXPECT_TRUE(c_status->failure.IsDeadlineExceeded())
+      << c_status->failure.ToString();
+  EXPECT_EQ(service.num_deadline_exceeded(), 2u);
+
+  // The session survived both expirations: the same request without a
+  // deadline completes bit-identically (the slow pipeline is cached by A's
+  // run, so no build delay applies).
+  Result<JobId> d = service.Submit(slow);
+  ASSERT_TRUE(d.ok());
+  Result<JobStatus> d_status = service.Wait(*d);
+  ASSERT_TRUE(d_status.ok());
+  EXPECT_EQ(d_status->state, JobState::kDone);
+  EXPECT_EQ(SerializeSubgraphs(d_status->response), reference_serialized);
+}
+
+// The satellite race: Cancel() lands while the store's writer thread is
+// mid-append (injected 25ms latency inside the write-back). The job must
+// terminate cleanly, the session must stay reusable, and the store file
+// must fsck clean with the record either fully present or fully absent.
+TEST_F(ChaosTest, CancelRacingAsyncWriteBackLeavesStoreClean) {
+  const Graph g1 = Fig1G1();
+  const Graph g2 = Fig1G2();
+  MiningRequest request;
+  request.measure = Measure::kBoth;
+
+  std::string reference_serialized;
+  {
+    MinerSession reference = MustCreate(g1, g2);
+    Result<MiningResponse> mined = reference.Mine(request);
+    ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+    reference_serialized = SerializeSubgraphs(*mined);
+  }
+
+  const std::string path = ::testing::TempDir() + "chaos_cancel_race.dcs";
+  std::filesystem::remove(path);
+  std::shared_ptr<ArtifactStore> store = OpenOrDie(path);
+
+  // Delay-only: appends succeed but take 25ms, widening the window in which
+  // the cancellation races the in-flight write-back.
+  ASSERT_TRUE(
+      FaultInjection::Global().ArmText("store.append:delay_ms=25,fail=0").ok());
+
+  MiningServiceOptions service_options;
+  service_options.artifact_store = store;
+  {
+    MiningService service(MustCreate(g1, g2), service_options);
+    Result<JobId> raced = service.Submit(request);
+    ASSERT_TRUE(raced.ok());
+    // Fire the cancel as fast as possible; whether it beats the solve is
+    // the race under test — both outcomes must leave a clean store.
+    (void)service.Cancel(*raced);
+    Result<JobStatus> raced_status = service.Wait(*raced);
+    ASSERT_TRUE(raced_status.ok());
+    ASSERT_TRUE(raced_status->terminal());
+
+    // Session reusable: the identical request completes bit-identically.
+    Result<JobId> retry = service.Submit(request);
+    ASSERT_TRUE(retry.ok());
+    Result<JobStatus> retry_status = service.Wait(*retry);
+    ASSERT_TRUE(retry_status.ok());
+    EXPECT_EQ(retry_status->state, JobState::kDone);
+    EXPECT_EQ(SerializeSubgraphs(retry_status->response),
+              reference_serialized);
+    EXPECT_EQ(service.health(), HealthState::kHealthy);
+  }
+
+  // Settle the delayed write-backs; nothing failed, so Flush reports OK.
+  EXPECT_TRUE(store->Flush().ok());
+  EXPECT_TRUE(store->last_write_error().ok());
+  FaultInjection::Global().Reset();
+  store.reset();
+  Result<ArtifactFsckReport> fsck = ArtifactStore::Fsck(path);
+  ASSERT_TRUE(fsck.ok()) << fsck.status().ToString();
+  EXPECT_TRUE(fsck->superblock_ok);
+  EXPECT_EQ(fsck->corrupt_pages, 0u);
+  EXPECT_GE(fsck->valid_records, 1u);  // the graphs and/or the pipeline
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -28,6 +28,8 @@ required_streaming_record=(delta_edges edge_mass update_ms p95_update_ms
                            rebuild_ms p95_rebuild_ms speedup)
 required_cold_start_record=(first_response_ms store_hits store_misses
                             store_corrupt_pages speedup)
+required_fault_recovery_record=(injected_faults store_retries
+                                store_write_errors recovery_ms overhead_pct)
 
 files=()
 if [ "${1:-}" = "--run" ]; then
@@ -62,6 +64,7 @@ for f in "${files[@]}"; do
     python3 - "$f" "${required_top[*]}" "${required_record[*]}" \
         "${required_async_record[*]}" "${required_cache_record[*]}" \
         "${required_streaming_record[*]}" "${required_cold_start_record[*]}" \
+        "${required_fault_recovery_record[*]}" \
         << 'EOF'
 import json, sys
 path, top_keys, record_keys = sys.argv[1], sys.argv[2].split(), sys.argv[3].split()
@@ -69,6 +72,7 @@ async_keys = sys.argv[4].split()
 cache_keys = sys.argv[5].split()
 streaming_keys = sys.argv[6].split()
 cold_start_keys = sys.argv[7].split()
+fault_recovery_keys = sys.argv[8].split()
 try:
     with open(path) as fh:
         doc = json.load(fh)
@@ -87,6 +91,8 @@ if doc["bench"] == "streaming_updates":
     record_keys = record_keys + streaming_keys
 if doc["bench"] == "cold_start":
     record_keys = record_keys + cold_start_keys
+if doc["bench"] == "fault_recovery":
+    record_keys = record_keys + fault_recovery_keys
 for i, record in enumerate(doc["records"]):
     missing = [k for k in record_keys if k not in record]
     if missing:
@@ -106,6 +112,9 @@ EOF
     fi
     if grep -q '"bench": "cold_start"' "$f"; then
       keys+=("${required_cold_start_record[@]}")
+    fi
+    if grep -q '"bench": "fault_recovery"' "$f"; then
+      keys+=("${required_fault_recovery_record[@]}")
     fi
     for key in "${keys[@]}"; do
       if ! grep -q "\"$key\"" "$f"; then

@@ -25,12 +25,17 @@
 #include <utility>
 #include <vector>
 
+#include <condition_variable>
+#include <mutex>
+
 #include "api/artifact_store.h"
 #include "api/miner_session.h"
 #include "api/mining.h"
 #include "api/mining_service.h"
 #include "api/pipeline_cache.h"
 #include "graph/io.h"
+#include "util/cancellation.h"
+#include "util/fault_injection.h"
 
 namespace {
 
@@ -62,6 +67,14 @@ constexpr FlagSpec kFlagTable[] = {
     {"--store", "<path>",
      "attach a persistent artifact store: warm-boot prepared pipelines "
      "from <path> and write new ones back (created when missing)"},
+    {"--deadline", "<seconds>",
+     "per-job deadline measured from submission; an expired job fails "
+     "with deadline-exceeded (exit code 3) and keeps no partial result"},
+    {"--inject", "<spec>",
+     "arm deterministic fault injection, e.g. store.append:every=2,times=3 "
+     "(sites: store.read store.append store.flock cache.build "
+     "pool.dispatch; keys: every after times prob seed delay_ms fail; "
+     "';' separates specs)"},
     {"--quiet", "", "print only the result lines"},
     {"--help", "", "print this flag reference and exit"},
 };
@@ -77,6 +90,8 @@ struct Args {
   bool async = false;
   uint32_t shared_cache_sessions = 0;  // 0 = single-session mode
   std::string store_path;              // empty = memory-only
+  double deadline_seconds = 0.0;       // 0 = no deadline
+  std::string inject_spec;             // empty = fault injection disarmed
   bool quiet = false;
   bool help = false;
 };
@@ -179,6 +194,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
     } else if (flag == "--store" && next_value(&value)) {
       args->store_path = value;
+    } else if (flag == "--deadline" && next_value(&value)) {
+      if (!ParseDoubleStrict(value, &args->deadline_seconds) ||
+          args->deadline_seconds <= 0.0) {
+        std::fprintf(stderr, "invalid value for --deadline: '%s'\n", value);
+        return false;
+      }
+    } else if (flag == "--inject" && next_value(&value)) {
+      args->inject_spec = value;
     } else if (flag == "--async") {
       args->async = true;
     } else if (flag == "--discrete") {
@@ -210,6 +233,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->async && args->shared_cache_sessions > 0) {
     std::fprintf(stderr, "--async and --shared-cache are exclusive\n");
+    return false;
+  }
+  if (args->deadline_seconds > 0.0 && args->shared_cache_sessions > 0) {
+    std::fprintf(stderr, "--deadline and --shared-cache are exclusive\n");
     return false;
   }
   return true;
@@ -313,6 +340,14 @@ int main(int argc, char** argv) {
     PrintUsage(argv[0], stdout);
     return 0;
   }
+  if (!args.inject_spec.empty()) {
+    const Status armed = FaultInjection::Global().ArmText(args.inject_spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "invalid --inject spec: %s\n",
+                   armed.ToString().c_str());
+      return 2;
+    }
+  }
 
   Result<Graph> g1 = ReadEdgeListFile(args.g1_path);
   if (!g1.ok()) {
@@ -332,6 +367,9 @@ int main(int argc, char** argv) {
   request.alpha = args.alpha;
   request.flip = args.flip;
   request.top_k = args.topk;
+  // Enforced by the MiningService watchdog in --async mode; the synchronous
+  // path wraps its own CancelToken below (Mine ignores the field).
+  request.deadline_seconds = args.deadline_seconds;
   if (args.discrete) request.discretize = DiscretizeSpec{};
 
   // Open (or create) the persistent store before any session exists, so
@@ -348,6 +386,16 @@ int main(int argc, char** argv) {
     }
     store = std::move(*opened);
   }
+
+  // Failure-domain telemetry gathered by whichever mode ran, printed with
+  // the other `#` lines below (the sources — session or service — go out of
+  // scope before then).
+  HealthState health = HealthState::kHealthy;
+  uint64_t health_transitions = 0;
+  uint64_t store_write_errors = 0;
+  uint64_t store_retries = 0;
+  bool have_health = false;
+  int exit_code = 0;
 
   Result<MiningResponse> response = Status::Internal("not mined");
   if (args.shared_cache_sessions > 0) {
@@ -414,11 +462,50 @@ int main(int argc, char** argv) {
                     final_status->run_seconds * 1e3);
       }
       if (final_status->state != JobState::kDone) {
-        std::fprintf(stderr, "mining failed: %s\n",
+        std::fprintf(stderr, "job %s: %s\n",
+                     JobStateToString(final_status->state),
                      final_status->failure.ToString().c_str());
-        return 1;
+        // Exit 3 distinguishes a deadline expiry from other failures (1),
+        // so timeout-retry wrappers can tell them apart.
+        return final_status->failure.IsDeadlineExceeded() ? 3 : 1;
       }
+      health = service.health();
+      health_transitions = service.num_health_transitions();
+      store_write_errors = service.num_store_write_errors();
+      store_retries = service.num_store_retries();
+      have_health = true;
       response = std::move(final_status->response);
+    } else if (args.deadline_seconds > 0.0) {
+      // Synchronous deadline: Mine ignores request.deadline_seconds (no
+      // service watchdog exists), so wrap the solve in a local one firing a
+      // CancelToken — the same mechanism the service uses.
+      CancelToken cancel;
+      std::mutex m;
+      std::condition_variable cv;
+      bool finished = false;
+      bool deadline_fired = false;
+      std::thread watchdog([&] {
+        std::unique_lock<std::mutex> lk(m);
+        if (!cv.wait_for(lk,
+                         std::chrono::duration<double>(args.deadline_seconds),
+                         [&] { return finished; })) {
+          deadline_fired = true;
+          cancel.Cancel();
+        }
+      });
+      response = session->Mine(request, &cancel);
+      {
+        std::lock_guard<std::mutex> lk(m);
+        finished = true;
+      }
+      cv.notify_one();
+      watchdog.join();
+      if (!response.ok() && response.status().IsCancelled() &&
+          deadline_fired) {
+        std::fprintf(stderr, "mining failed: deadline of %gs exceeded\n",
+                     args.deadline_seconds);
+        return 3;
+      }
     } else {
       response = session->Mine(request);
     }
@@ -426,6 +513,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "mining failed: %s\n",
                    response.status().ToString().c_str());
       return 1;
+    }
+    if (!args.async) {
+      // Settle async write-backs *before* sampling the ladder, so injected
+      // or real store failures from this very mine are already visible.
+      if (store != nullptr) {
+        const Status settled = store->Flush();
+        if (!settled.ok()) {
+          std::fprintf(stderr, "store write-back failed: %s\n",
+                       settled.ToString().c_str());
+          exit_code = 1;  // persistence was requested and not delivered
+        }
+        session->RefreshHealth();
+      }
+      health = session->health();
+      health_transitions = session->num_health_transitions();
+      store_write_errors = session->num_store_write_errors();
+      store_retries = session->num_store_retries();
+      have_health = true;
     }
   }
 
@@ -442,7 +547,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     telemetry.patched_entries_republished));
     if (store != nullptr) {
-      store->Flush();  // settle async write-backs so the stats are final
+      // Settle async write-backs so the stats are final; a failed write-back
+      // surfaces here (and in the health line) instead of vanishing.
+      const Status settled = store->Flush();
       const ArtifactStoreStats stats = store->stats();
       std::printf(
           "# store: %llu hits / %llu misses, %llu corrupt pages, "
@@ -454,6 +561,24 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(stats.pipeline_records),
           static_cast<unsigned long long>(stats.file_bytes),
           args.store_path.c_str());
+      if (!settled.ok()) {
+        std::printf("# store write-back error: %s\n",
+                    settled.ToString().c_str());
+      }
+    }
+    if (have_health) {
+      std::printf(
+          "# health: %s (%llu transitions, %llu store write errors, "
+          "%llu io retries)\n",
+          HealthStateToString(health),
+          static_cast<unsigned long long>(health_transitions),
+          static_cast<unsigned long long>(store_write_errors),
+          static_cast<unsigned long long>(store_retries));
+    }
+    if (!args.inject_spec.empty()) {
+      std::printf("# inject: %llu faults fired\n",
+                  static_cast<unsigned long long>(
+                      FaultInjection::Global().total_fires()));
     }
   }
   if (args.measure != Measure::kGraphAffinity) {
@@ -468,5 +593,5 @@ int main(int argc, char** argv) {
       std::printf("# DCSGA: no subgraph with positive affinity difference\n");
     }
   }
-  return 0;
+  return exit_code;
 }
