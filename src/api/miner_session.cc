@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "api/solver_registry.h"
+#include "core/kernels.h"
 #include "core/newsea.h"
 #include "store/artifact_store.h"
 #include "graph/csr_patcher.h"
@@ -502,21 +503,28 @@ Result<PipelineCache::Snapshot> MinerSession::PreparePipeline(
       MaterializeBaseGraphs();
       const Graph& first = request.flip ? g2_ : g1_;
       const Graph& second = request.flip ? g1_ : g2_;
-      DCS_ASSIGN_OR_RETURN(out.difference,
-                           BuildDifferenceGraph(first, second, request.alpha));
+      // Kernel-layer twins of the reference builders (core/kernels.h):
+      // direct-CSR merge and vectorized discretize/clamp, bit-identical to
+      // BuildDifferenceGraph / DiscretizeWeights / WeightsClampedAbove —
+      // which is what keeps the PatchPipeline mirror and the artifact-store
+      // fingerprints valid unchanged.
+      DCS_ASSIGN_OR_RETURN(
+          out.difference,
+          GraphKernels::BuildDifferenceGraph(first, second, request.alpha));
       if (request.discretize) {
         DCS_ASSIGN_OR_RETURN(
             out.difference,
-            DiscretizeWeights(out.difference, *request.discretize));
+            GraphKernels::DiscretizeWeights(out.difference,
+                                            *request.discretize));
       }
       if (request.clamp_weights_above) {
-        out.difference =
-            out.difference.WeightsClampedAbove(*request.clamp_weights_above);
+        out.difference = GraphKernels::WeightsClampedAbove(
+            out.difference, *request.clamp_weights_above);
       }
       built_difference = true;
     }
     if (need_ga) {
-      out.positive_part = out.difference.PositivePart();
+      out.positive_part = GraphKernels::PositivePart(out.difference);
       out.smart_bounds = ComputeSmartInitBounds(out.positive_part);
       // Validate once per prepared pipeline; every solve against it then
       // skips the per-call O(m) scan. PositivePart output cannot fail the
@@ -599,6 +607,10 @@ void MinerSession::FillCacheTelemetry(MiningTelemetry* telemetry) const {
   telemetry->store_retries = store_retries_;
   telemetry->health_state = health_;
   telemetry->health_transitions = health_transitions_;
+  const KernelCounters kernels = KernelCountersSnapshot();
+  telemetry->kernel_simd_calls = kernels.avx2_calls;
+  telemetry->kernel_scalar_calls = kernels.scalar_calls;
+  telemetry->kernel_simd_active = ActiveKernelIsa() == KernelIsa::kAvx2;
 }
 
 HealthState MinerSession::RefreshHealth() {
@@ -636,6 +648,16 @@ Status MinerSession::Solve(const PreparedPipeline& pipeline,
                            ThreadPool* pool, uint32_t parallelism_budget,
                            const CancelToken* cancel,
                            MiningResponse* response) const {
+  // SessionOptions::fast_math is a session-wide default: requests that did
+  // not opt in themselves get the reassociating reduction kernels switched
+  // on via a copy, so the caller's request object stays untouched.
+  MiningRequest fast_math_request;
+  const MiningRequest* effective = &request;
+  if (options_.fast_math && !request.ga_solver.fast_math) {
+    fast_math_request = request;
+    fast_math_request.ga_solver.fast_math = true;
+    effective = &fast_math_request;
+  }
   SolverContext context;
   context.difference = &pipeline.difference;
   if (pipeline.has_ga_artifacts) {
@@ -663,7 +685,7 @@ Status MinerSession::Solve(const PreparedPipeline& pipeline,
                               request.ad_solver_name + "'");
     }
     Result<std::vector<RankedSubgraph>> ranked =
-        solver(context, request, &response->telemetry);
+        solver(context, *effective, &response->telemetry);
     if (!ranked.ok()) return ranked.status();
     response->average_degree = std::move(*ranked);
   }
@@ -679,7 +701,7 @@ Status MinerSession::Solve(const PreparedPipeline& pipeline,
                               request.ga_solver_name + "'");
     }
     Result<std::vector<RankedSubgraph>> ranked =
-        solver(context, request, &response->telemetry);
+        solver(context, *effective, &response->telemetry);
     if (!ranked.ok()) return ranked.status();
     response->graph_affinity = std::move(*ranked);
   }

@@ -234,6 +234,15 @@ struct MiningTelemetry {
   /// every other response field is a pure function of graphs + request.
   double build_seconds = 0.0;
   double solve_seconds = 0.0;
+  /// Kernel-layer dispatch counters (core/kernels.h) *after* this request.
+  /// Process-lifetime (the kernel counters are shared by every session in
+  /// the process) and telemetry-only: which ISA served a kernel never
+  /// influences the mined subgraphs — the default kernels are bit-identical
+  /// across ISAs. kernel_simd_active reports whether dispatch currently
+  /// selects the AVX2 variants.
+  uint64_t kernel_simd_calls = 0;
+  uint64_t kernel_scalar_calls = 0;
+  bool kernel_simd_active = false;
 };
 
 /// \brief Response to one MiningRequest.

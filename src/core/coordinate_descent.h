@@ -33,7 +33,10 @@ struct CoordinateDescentOptions {
 /// Outcome of one descent run.
 struct CoordinateDescentStats {
   uint64_t iterations = 0;
-  bool converged = false;  ///< false iff max_iterations was exhausted
+  /// False iff the iteration budget ran out while the KKT gap was still
+  /// open. A run whose gap closes exactly on the max_iterations-th move
+  /// reports converged=true (the extremes are re-checked after the loop).
+  bool converged = false;
 };
 
 /// \brief Drives `state` to a local KKT point on the vertex set S given by

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels.h"
 #include "util/logging.h"
 
 namespace dcs {
@@ -69,7 +70,14 @@ AffinityState::AffinityState(const Graph& graph)
       dx_(graph.NumVertices(), 0.0),
       support_pos_(graph.NumVertices(), kNotInSupport),
       in_ever_support_(graph.NumVertices(), 0),
-      renorm_seen_(graph.NumVertices(), 0) {}
+      renorm_seen_(graph.NumVertices(), 0) {
+  adj_offsets_.reserve(graph.NumVertices() + size_t{1});
+  adj_offsets_.push_back(0);
+  StageAdjacencySoa(graph, &adj_targets_, &adj_weights_);
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    adj_offsets_.push_back(adj_offsets_.back() + graph.Degree(u));
+  }
+}
 
 void AffinityState::ResetToVertex(VertexId u) {
   DCS_CHECK(u < NumVertices());
@@ -78,7 +86,7 @@ void AffinityState::ResetToVertex(VertexId u) {
   // entry the run touched, including last-ulp cancellation residue at
   // neighbors of vertices that left the support mid-run.
   for (VertexId v : ever_support_) {
-    for (const Neighbor& nb : graph_->NeighborsOf(v)) dx_[nb.to] = 0.0;
+    for (VertexId t : StagedTargets(v)) dx_[t] = 0.0;
     x_[v] = 0.0;
     support_pos_[v] = kNotInSupport;
     in_ever_support_[v] = 0;
@@ -104,9 +112,8 @@ Status AffinityState::ResetToEmbedding(const Embedding& embedding) {
 }
 
 double AffinityState::Affinity() const {
-  double f = 0.0;
-  for (VertexId v : support_) f += x_[v] * dx_[v];
-  return f;
+  return SupportReduce(support_.data(), support_.size(), x_.data(), dx_.data(),
+                       /*allow_reassociation=*/fast_math_);
 }
 
 void AffinityState::AddToSupport(VertexId v) {
@@ -143,9 +150,9 @@ void AffinityState::SetX(VertexId v, double value) {
   } else {
     RemoveFromSupport(v);
   }
-  for (const Neighbor& nb : graph_->NeighborsOf(v)) {
-    dx_[nb.to] += nb.weight * delta;
-  }
+  const auto targets = StagedTargets(v);
+  AxpyScatter(targets.data(), StagedWeights(v), targets.size(), delta,
+              dx_.data());
 }
 
 void AffinityState::Renormalize() {
@@ -160,13 +167,18 @@ void AffinityState::Renormalize() {
   // runs once per Expand step, and the allocation dominated it on large n.
   const uint64_t epoch = ++renorm_epoch_;
   for (VertexId v : support_) {
-    for (const Neighbor& nb : graph_->NeighborsOf(v)) {
-      if (renorm_seen_[nb.to] != epoch) {
-        renorm_seen_[nb.to] = epoch;
-        dx_[nb.to] *= inv;
+    for (VertexId t : StagedTargets(v)) {
+      if (renorm_seen_[t] != epoch) {
+        renorm_seen_[t] = epoch;
+        dx_[t] *= inv;
       }
     }
   }
+}
+
+double AffinityState::StagedEdgeWeight(VertexId u, VertexId v) const {
+  const auto targets = StagedTargets(u);
+  return StagedRowLookup(targets.data(), StagedWeights(u), targets.size(), v);
 }
 
 Embedding AffinityState::ToEmbedding() const {
@@ -177,21 +189,16 @@ Embedding AffinityState::ToEmbedding() const {
 
 bool AffinityState::ComputeExtremes(std::span<const VertexId> candidates,
                                     GradientExtremes* out) const {
-  bool has_max = false, has_min = false;
-  for (VertexId k : candidates) {
-    const double grad = 2.0 * dx_[k];
-    if (x_[k] < 1.0 && (!has_max || grad > out->max_grad)) {
-      out->argmax = k;
-      out->max_grad = grad;
-      has_max = true;
-    }
-    if (x_[k] > 0.0 && (!has_min || grad < out->min_grad)) {
-      out->argmin = k;
-      out->min_grad = grad;
-      has_min = true;
-    }
+  GradExtremes ext;
+  if (!ScanGradientExtremes(candidates.data(), candidates.size(), x_.data(),
+                            dx_.data(), &ext)) {
+    return false;
   }
-  return has_max && has_min;
+  out->argmax = ext.argmax;
+  out->argmin = ext.argmin;
+  out->max_grad = ext.max_grad;
+  out->min_grad = ext.min_grad;
+  return true;
 }
 
 }  // namespace dcs

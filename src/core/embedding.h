@@ -56,6 +56,15 @@ struct Embedding {
 ///   f       = xᵀDx.
 /// Every mutation updates dx only along the edges of the vertices whose x
 /// changed. Gradient convention: ∇_v f = 2(Dx)_v; KKT multiplier λ = 2f.
+///
+/// Construction stages the adjacency into structure-of-arrays form (dense
+/// u32 target / f64 weight streams instead of the 16-byte Neighbor AoS) so
+/// the per-move hot loops run through core/kernels.h. The default kernels
+/// are bit-identical to the scalar loops they replaced; setting
+/// set_fast_math(true) additionally permits reassociated reduction kernels
+/// in Affinity() (opt-in via DcsgaOptions::fast_math, still deterministic
+/// for a fixed support sequence, but no longer bit-identical to the ordered
+/// scalar sum).
 class AffinityState {
  public:
   /// Starts from the all-zeros embedding.
@@ -104,11 +113,36 @@ class AffinityState {
   bool ComputeExtremes(std::span<const VertexId> candidates,
                        GradientExtremes* out) const;
 
+  /// Permit reassociating reduction kernels in Affinity(). Default off; the
+  /// solvers plumb DcsgaOptions::fast_math through here.
+  void set_fast_math(bool enabled) { fast_math_ = enabled; }
+  bool fast_math() const { return fast_math_; }
+
+  /// Weight of edge {u,v} from the staged adjacency — same result as
+  /// Graph::EdgeWeight(u, v) (0.0 when absent) without the AoS stride.
+  double StagedEdgeWeight(VertexId u, VertexId v) const;
+
  private:
   void AddToSupport(VertexId v);
   void RemoveFromSupport(VertexId v);
 
+  // Row slice [adj_offsets_[v], adj_offsets_[v+1]) of the staged SoA
+  // adjacency (same entries and order as graph_->NeighborsOf(v)).
+  std::span<const VertexId> StagedTargets(VertexId v) const {
+    return {adj_targets_.data() + adj_offsets_[v],
+            adj_targets_.data() + adj_offsets_[v + 1]};
+  }
+  const double* StagedWeights(VertexId v) const {
+    return adj_weights_.data() + adj_offsets_[v];
+  }
+
   const Graph* graph_;
+  // SoA copy of the CSR adjacency (core/kernels.h StageAdjacencySoa): the
+  // SetX/Renormalize/reset loops stream targets and weights at full
+  // cache-line density instead of striding the 16-byte Neighbor records.
+  std::vector<size_t> adj_offsets_;
+  std::vector<VertexId> adj_targets_;
+  std::vector<double> adj_weights_;
   std::vector<double> x_;
   std::vector<double> dx_;
   std::vector<VertexId> support_;
@@ -125,6 +159,7 @@ class AffinityState {
   // Epoch-stamped scratch for Renormalize's visited set (no O(n) clears).
   std::vector<uint64_t> renorm_seen_;
   uint64_t renorm_epoch_ = 0;
+  bool fast_math_ = false;
   static constexpr uint32_t kNotInSupport = static_cast<uint32_t>(-1);
 };
 

@@ -6,6 +6,32 @@
 #include "util/logging.h"
 
 namespace dcs {
+namespace {
+
+// Reusable per-thread scratch for the expansion steps. Expand runs once per
+// SEACD round over supports that are tiny next to n, so the former
+// O(n)-zeroed allocations per call dominated the step on large graphs;
+// epoch stamps make membership tests O(1) without ever clearing. gamma_of
+// entries are only read through their epoch stamp, so stale values from
+// earlier calls are unreachable.
+struct ExpansionScratch {
+  std::vector<uint64_t> considered_epoch;
+  std::vector<uint64_t> gamma_epoch;
+  std::vector<double> gamma_of;
+  uint64_t epoch = 0;
+};
+
+ExpansionScratch& LocalScratch(size_t n) {
+  thread_local ExpansionScratch scratch;
+  if (scratch.considered_epoch.size() < n) {
+    scratch.considered_epoch.resize(n, 0);
+    scratch.gamma_epoch.resize(n, 0);
+    scratch.gamma_of.resize(n, 0.0);
+  }
+  return scratch;
+}
+
+}  // namespace
 
 std::vector<VertexId> ComputeExpansionSet(const AffinityState& state,
                                           double margin,
@@ -13,16 +39,17 @@ std::vector<VertexId> ComputeExpansionSet(const AffinityState& state,
   const double f = state.Affinity();
   const Graph& graph = state.graph();
   std::vector<VertexId> z;
-  std::vector<char> considered(graph.NumVertices(), 0);
+  ExpansionScratch& scratch = LocalScratch(graph.NumVertices());
+  const uint64_t epoch = ++scratch.epoch;
   for (VertexId u : state.support()) {
-    considered[u] = 1;
+    scratch.considered_epoch[u] = epoch;
     if (include_support && state.dx(u) > f + margin) z.push_back(u);
   }
   for (VertexId u : state.support()) {
     for (const Neighbor& nb : graph.NeighborsOf(u)) {
       const VertexId v = nb.to;
-      if (considered[v]) continue;
-      considered[v] = 1;
+      if (scratch.considered_epoch[v] == epoch) continue;
+      scratch.considered_epoch[v] = epoch;
       if (state.dx(v) > f + margin) z.push_back(v);
     }
   }
@@ -41,21 +68,26 @@ ExpansionResult SeaExpand(AffinityState* state, double margin,
   const double f = result.f_before;
   double s = 0.0, zeta = 0.0;
   std::vector<double> gamma(z.size());
-  // Map vertex -> gamma for the ω accumulation.
+  // Map vertex -> gamma for the ω accumulation (epoch-stamped scratch; the
+  // stamp doubles as the in-Z membership test).
   const Graph& graph = state->graph();
-  std::vector<double> gamma_of(graph.NumVertices(), 0.0);
-  std::vector<char> in_z(graph.NumVertices(), 0);
+  ExpansionScratch& scratch = LocalScratch(graph.NumVertices());
+  const uint64_t epoch = ++scratch.epoch;
   for (size_t idx = 0; idx < z.size(); ++idx) {
     gamma[idx] = state->dx(z[idx]) - f;
     s += gamma[idx];
     zeta += gamma[idx] * gamma[idx];
-    gamma_of[z[idx]] = gamma[idx];
-    in_z[z[idx]] = 1;
+    scratch.gamma_of[z[idx]] = gamma[idx];
+    scratch.gamma_epoch[z[idx]] = epoch;
   }
   double omega = 0.0;  // Σ_{i,j∈Z} γ_i γ_j D(i,j): ordered pairs over edges
   for (VertexId i : z) {
     for (const Neighbor& nb : graph.NeighborsOf(i)) {
-      omega += gamma_of[i] * gamma_of[nb.to] * nb.weight;  // 0 outside Z
+      // Same arithmetic as the dense map: γ reads as +0.0 outside Z, so the
+      // off-Z terms still contribute their exactly-zero products.
+      const double gamma_to =
+          scratch.gamma_epoch[nb.to] == epoch ? scratch.gamma_of[nb.to] : 0.0;
+      omega += scratch.gamma_of[i] * gamma_to * nb.weight;
     }
   }
   DCS_CHECK(s > 0.0);
@@ -72,7 +104,7 @@ ExpansionResult SeaExpand(AffinityState* state, double margin,
   const double shrink_factor = 1.0 - tau * s;
   DCS_CHECK(shrink_factor >= -1e-12);
   for (VertexId v : old_support) {
-    if (in_z[v]) continue;
+    if (scratch.gamma_epoch[v] == epoch) continue;
     state->SetX(v, std::max(0.0, state->x(v) * shrink_factor));
   }
   for (size_t idx = 0; idx < z.size(); ++idx) {

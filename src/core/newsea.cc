@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/kernels.h"
 #include "core/refinement.h"
 #include "graph/kcore.h"
 #include "util/logging.h"
@@ -32,7 +33,9 @@ uint64_t HashMembers(const std::vector<VertexId>& members) {
 class MultiInitDriver {
  public:
   MultiInitDriver(const Graph& gd_plus, const DcsgaOptions& options)
-      : gd_plus_(gd_plus), options_(options), state_(gd_plus) {}
+      : gd_plus_(gd_plus), options_(options), state_(gd_plus) {
+    state_.set_fast_math(options.fast_math);
+  }
 
   // Runs one initialization from e_seed: Shrink/Expand then Refinement.
   // Updates the running best and (optionally) the clique collection.
@@ -151,6 +154,7 @@ DcsgaResult RunNewSeaSharded(const Graph& gd_plus,
   pool->RunTasks(shards, [&](size_t shard) {
     ShardState& local = locals[shard];
     AffinityState state(gd_plus);
+    state.set_fast_math(inner.fast_math);
     while (!exhausted.load(std::memory_order_relaxed)) {
       // Cooperative cancellation, polled once per seed chunk: shards stop
       // claiming work and the caller reports Status::Cancelled. On an
@@ -288,11 +292,11 @@ SmartInitBounds ComputeSmartInitBounds(const Graph& gd_plus) {
   for (VertexId u = 0; u < n; ++u) {
     bounds.mu[u] = SmartBoundMu(bounds.tau[u], bounds.w[u]);
   }
-  // Step 4: the seed order, paid once here instead of on every solve.
-  bounds.order.resize(n);
-  std::iota(bounds.order.begin(), bounds.order.end(), VertexId{0});
-  std::sort(bounds.order.begin(), bounds.order.end(),
-            [&](VertexId a, VertexId b) { return SeedOrderLess(bounds.mu, a, b); });
+  // Step 4: the seed order, paid once here instead of on every solve. The
+  // comparator sort is this function's hot spot on large graphs, so it runs
+  // through the kernel layer (SeedOrderSort: radix over packed μ keys on
+  // the dispatched path, the same order bit for bit).
+  SeedOrderSort(bounds.mu, &bounds.order);
   return bounds;
 }
 

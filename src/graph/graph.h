@@ -177,6 +177,7 @@ class Graph {
   friend class GraphBuilder;
   friend class CsrPatcher;
   friend class GraphSerializer;  // graph/serialize.cc: flat CSR round trip
+  friend class GraphKernels;     // core/kernels.cc: direct-CSR kernel builds
 
  private:
   Graph(std::vector<size_t> offsets, std::vector<Neighbor> neighbors)

@@ -140,6 +140,48 @@ TEST(CoordinateDescentTest, SimplexPreservedThroughDescent) {
   EXPECT_TRUE(e.IsOnSimplex(1e-6));
 }
 
+// Regression for the max_iterations boundary: a run whose KKT gap closes
+// exactly on the last budgeted move must report converged=true — the
+// extremes are re-checked after the loop instead of inferring "budget
+// exhausted ⇒ still open". Run A finds the exact iteration count N the
+// fixture needs; a fresh run B with max_iterations=N must converge in
+// exactly N moves.
+TEST(CoordinateDescentTest, GapClosingOnFinalBudgetedMoveReportsConverged) {
+  Rng rng(2018);
+  Result<Graph> gd = ErdosRenyiWeighted(40, 0.3, 0.5, 2.0, &rng);
+  ASSERT_TRUE(gd.ok());
+  const Graph gd_plus = gd->PositivePart();
+  std::vector<VertexId> allowed;
+  for (VertexId v = 0; v < gd_plus.NumVertices(); ++v) allowed.push_back(v);
+
+  AffinityState probe(gd_plus);
+  probe.ResetToVertex(0);
+  const auto unbounded = DescendToLocalKkt(&probe, allowed);
+  ASSERT_TRUE(unbounded.converged);
+  ASSERT_GT(unbounded.iterations, 0u);
+
+  CoordinateDescentOptions exact_budget;
+  exact_budget.max_iterations = unbounded.iterations;
+  AffinityState state(gd_plus);
+  state.ResetToVertex(0);
+  const auto bounded = DescendToLocalKkt(&state, allowed, exact_budget);
+  EXPECT_TRUE(bounded.converged)
+      << "gap closed on move " << bounded.iterations << "/"
+      << exact_budget.max_iterations << " but was reported unconverged";
+  EXPECT_EQ(bounded.iterations, unbounded.iterations);
+
+  // One budget short of the closing move must still report unconverged.
+  if (unbounded.iterations > 1) {
+    CoordinateDescentOptions short_budget;
+    short_budget.max_iterations = unbounded.iterations - 1;
+    AffinityState starved(gd_plus);
+    starved.ResetToVertex(0);
+    const auto unfinished = DescendToLocalKkt(&starved, allowed, short_budget);
+    EXPECT_FALSE(unfinished.converged);
+    EXPECT_EQ(unfinished.iterations, short_budget.max_iterations);
+  }
+}
+
 TEST(SatisfiesKktTest, UnitVectorWithNoBetterNeighborIsKkt) {
   // Isolated vertex: x = e_v is globally KKT (all gradients 0 = λ).
   Graph g = MakeGraph(3, {{1, 2, 1.0}});

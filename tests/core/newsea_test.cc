@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <bit>
 #include <map>
+#include <numeric>
 #include <string>
 
 #include "densest/exact.h"
@@ -211,6 +212,29 @@ TEST(FilterMaximalCliquesTest, RemovesSubsetsAndDuplicates) {
 
 TEST(FilterMaximalCliquesTest, EmptyInput) {
   EXPECT_TRUE(FilterMaximalCliques({}).empty());
+}
+
+TEST(SmartInitBoundsTest, SeedOrderMatchesComparatorSort) {
+  // The packed-key sort inside ComputeSmartInitBounds must reproduce the
+  // documented total order — descending μ, ties broken by ascending id —
+  // exactly, including on graphs full of duplicate μ values (regular-ish
+  // random graphs produce many equal τ·w/(τ+1) keys) and isolated vertices
+  // (μ = 0 ties at the tail).
+  Rng rng(91817);
+  for (int round = 0; round < 8; ++round) {
+    Result<Graph> g = ErdosRenyiWeighted(60, 0.08, 1.0, 2.0, &rng);
+    ASSERT_TRUE(g.ok());
+    const SmartInitBounds bounds = ComputeSmartInitBounds(*g);
+    std::vector<VertexId> expected(g->NumVertices());
+    std::iota(expected.begin(), expected.end(), VertexId{0});
+    std::stable_sort(expected.begin(), expected.end(),
+                     [&](VertexId a, VertexId b) {
+                       return bounds.mu[a] != bounds.mu[b]
+                                  ? bounds.mu[a] > bounds.mu[b]
+                                  : a < b;
+                     });
+    EXPECT_EQ(bounds.order, expected);
+  }
 }
 
 // --- smart-init bound delta maintenance (streaming update path) -----------

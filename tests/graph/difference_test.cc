@@ -117,6 +117,51 @@ TEST(DiscretizeSpecTest, DefaultMappingMatchesPaper) {
   EXPECT_DOUBLE_EQ(spec.Map(-100.0), -2.0);
 }
 
+// Exhaustive boundary audit of the threshold chain: every comparison in Map
+// is inclusive-on-the-threshold (>= strong_pos, >= weak_pos, <= strong_neg),
+// the open interval (0, weak_pos) and the exact zeros — including -0.0 —
+// map to +0.0, and one-ulp perturbations land on the correct side. The CD
+// inner loop and the vectorized discretize kernel both mirror this chain,
+// so these are the bits they must reproduce.
+TEST(DiscretizeSpecTest, MapThresholdBoundariesAreInclusive) {
+  const DiscretizeSpec spec;  // strong_pos=5, weak_pos=2, strong_neg=-4
+
+  // Exactly on each threshold.
+  EXPECT_EQ(spec.Map(spec.weak_pos), spec.level_one);
+  EXPECT_EQ(spec.Map(spec.strong_pos), spec.level_two);
+  EXPECT_EQ(spec.Map(spec.strong_neg), -spec.level_two);
+
+  // One ulp below / above each threshold.
+  EXPECT_EQ(spec.Map(std::nextafter(spec.weak_pos, 0.0)), 0.0);
+  EXPECT_EQ(spec.Map(std::nextafter(spec.weak_pos, 1e300)), spec.level_one);
+  EXPECT_EQ(spec.Map(std::nextafter(spec.strong_pos, 0.0)), spec.level_one);
+  EXPECT_EQ(spec.Map(std::nextafter(spec.strong_pos, 1e300)),
+            spec.level_two);
+  EXPECT_EQ(spec.Map(std::nextafter(spec.strong_neg, 0.0)), -spec.level_one);
+  EXPECT_EQ(spec.Map(std::nextafter(spec.strong_neg, -1e300)),
+            -spec.level_two);
+
+  // Zeros: both signed zeros map to +0.0 (−0.0 is not < 0.0), so a "zero
+  // difference" can never survive discretization with a sign bit attached.
+  EXPECT_EQ(spec.Map(0.0), 0.0);
+  EXPECT_EQ(spec.Map(-0.0), 0.0);
+  EXPECT_FALSE(std::signbit(spec.Map(-0.0)));
+  EXPECT_FALSE(std::signbit(spec.Map(0.0)));
+
+  // Denormal magnitudes sit strictly inside the open intervals.
+  EXPECT_EQ(spec.Map(5e-324), 0.0);
+  EXPECT_EQ(spec.Map(-5e-324), -spec.level_one);
+
+  // A spec with weak_pos == strong_pos classifies the shared threshold as
+  // strong (the >= strong_pos test runs first).
+  DiscretizeSpec merged;
+  merged.strong_pos = 2.0;
+  merged.weak_pos = 2.0;
+  ASSERT_TRUE(merged.Validate().ok());
+  EXPECT_EQ(merged.Map(2.0), merged.level_two);
+  EXPECT_EQ(merged.Map(std::nextafter(2.0, 0.0)), 0.0);
+}
+
 TEST(DiscretizeSpecTest, ValidationRejectsBadThresholds) {
   DiscretizeSpec spec;
   spec.strong_neg = 1.0;

@@ -4,8 +4,13 @@
 
 #include <cmath>
 #include <limits>
+#include <span>
+#include <string>
+#include <vector>
 
+#include "graph/csr_patcher.h"
 #include "graph/graph_builder.h"
+#include "graph/serialize.h"
 #include "test_util.h"
 
 namespace dcs {
@@ -218,6 +223,91 @@ TEST(GraphBuilderTest, SymmetryInvariant) {
       EXPECT_DOUBLE_EQ(g.EdgeWeight(nb.to, u), nb.weight);
     }
   }
+}
+
+// --- zero-weight edge semantics audit ---------------------------------------
+//
+// "Zero weight" means "no edge" at every layer: HasEdge is literally
+// EdgeWeight != 0.0 (graph.h), which only stays truthful because no
+// construction path can materialize a stored zero-weight Neighbor —
+// GraphBuilder::Build and CsrPatcher::Apply both drop |w| <= zero_eps, and
+// the binary serializer rejects zero-weight halves on parse. These tests pin
+// the agreement between the layers.
+
+TEST(ZeroWeightSemanticsTest, BuilderCancellationAgreesWithHasEdge) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 2.5).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0, -2.5).ok());  // cancels to exactly 0
+  ASSERT_TRUE(builder.AddEdge(1, 2, 1.0).ok());
+  Result<Graph> g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_FALSE(g->HasEdge(0, 1));
+  EXPECT_FALSE(g->HasEdge(1, 0));
+  EXPECT_EQ(g->EdgeWeight(0, 1), 0.0);
+  EXPECT_EQ(g->Degree(0), 0u);
+  EXPECT_TRUE(g->HasEdge(1, 2));
+  // Sub-epsilon residue counts as zero too (the kDefaultZeroEps rule).
+  GraphBuilder residue(2);
+  ASSERT_TRUE(residue.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(residue.AddEdge(0, 1, -1.0 + 1e-13).ok());
+  Result<Graph> r = residue.Build();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumEdges(), 0u);
+  EXPECT_FALSE(r->HasEdge(0, 1));
+}
+
+TEST(ZeroWeightSemanticsTest, PatchToZeroRemovesTheEdgeEverywhere) {
+  const Graph base = MakeGraph(4, {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, -0.5}});
+  uint64_t accumulator = base.ContentAccumulator();
+
+  // Patch (0,1) to exact 0.0 and (2,3) to -0.0: both must drop.
+  const std::vector<EdgePatch> patches = {{0, 1, 0.0}, {2, 3, -0.0}};
+  const Graph patched =
+      CsrPatcher::Apply(base, patches, kDefaultZeroEps, &accumulator);
+
+  EXPECT_EQ(patched.NumEdges(), 1u);
+  EXPECT_FALSE(patched.HasEdge(0, 1));
+  EXPECT_EQ(patched.EdgeWeight(0, 1), 0.0);
+  EXPECT_FALSE(patched.HasEdge(2, 3));
+  EXPECT_EQ(patched.Degree(0), 0u);
+  EXPECT_EQ(patched.Degree(3), 0u);
+  EXPECT_TRUE(patched.HasEdge(1, 2));
+
+  // The patched graph, its O(Δ)-maintained fingerprint, and a from-scratch
+  // rebuild of the surviving edge all agree.
+  const Graph rebuilt = MakeGraph(4, {{1, 2, 2.0}});
+  EXPECT_EQ(patched.ContentFingerprint(), rebuilt.ContentFingerprint());
+  EXPECT_EQ(Graph::FingerprintFromAccumulator(patched.NumVertices(),
+                                              accumulator),
+            patched.ContentFingerprint());
+}
+
+TEST(ZeroWeightSemanticsTest, SerializeRoundTripAfterPatchToZero) {
+  const Graph base = MakeGraph(3, {{0, 1, 1.5}, {1, 2, -2.25}});
+  const std::vector<EdgePatch> patches = {{0, 1, 0.0}};
+  const Graph patched = CsrPatcher::Apply(base, patches);
+
+  std::string bytes;
+  AppendGraphBytes(patched, &bytes);
+  size_t cursor = 0;
+  Result<Graph> parsed = ParseGraphBytes(
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()),
+      &cursor);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(cursor, bytes.size());
+  EXPECT_EQ(parsed->ContentFingerprint(), patched.ContentFingerprint());
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 0; v < 3; ++v) {
+      if (u == v) continue;
+      EXPECT_EQ(parsed->HasEdge(u, v), patched.HasEdge(u, v))
+          << u << "," << v;
+      EXPECT_EQ(parsed->EdgeWeight(u, v), patched.EdgeWeight(u, v));
+    }
+  }
+  EXPECT_FALSE(parsed->HasEdge(0, 1));
+  EXPECT_TRUE(parsed->HasEdge(1, 2));
 }
 
 }  // namespace

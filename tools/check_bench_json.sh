@@ -30,6 +30,8 @@ required_cold_start_record=(first_response_ms store_hits store_misses
                             store_corrupt_pages speedup)
 required_fault_recovery_record=(injected_faults store_retries
                                 store_write_errors recovery_ms overhead_pct)
+required_micro_kernels_record=(edges cycles_per_edge cycles_per_edge_scalar
+                               speedup bit_identical)
 
 files=()
 if [ "${1:-}" = "--run" ]; then
@@ -65,6 +67,7 @@ for f in "${files[@]}"; do
         "${required_async_record[*]}" "${required_cache_record[*]}" \
         "${required_streaming_record[*]}" "${required_cold_start_record[*]}" \
         "${required_fault_recovery_record[*]}" \
+        "${required_micro_kernels_record[*]}" \
         << 'EOF'
 import json, sys
 path, top_keys, record_keys = sys.argv[1], sys.argv[2].split(), sys.argv[3].split()
@@ -73,6 +76,7 @@ cache_keys = sys.argv[5].split()
 streaming_keys = sys.argv[6].split()
 cold_start_keys = sys.argv[7].split()
 fault_recovery_keys = sys.argv[8].split()
+micro_kernels_keys = sys.argv[9].split()
 try:
     with open(path) as fh:
         doc = json.load(fh)
@@ -93,6 +97,8 @@ if doc["bench"] == "cold_start":
     record_keys = record_keys + cold_start_keys
 if doc["bench"] == "fault_recovery":
     record_keys = record_keys + fault_recovery_keys
+if doc["bench"] == "micro_kernels":
+    record_keys = record_keys + micro_kernels_keys
 for i, record in enumerate(doc["records"]):
     missing = [k for k in record_keys if k not in record]
     if missing:
@@ -115,6 +121,9 @@ EOF
     fi
     if grep -q '"bench": "fault_recovery"' "$f"; then
       keys+=("${required_fault_recovery_record[@]}")
+    fi
+    if grep -q '"bench": "micro_kernels"' "$f"; then
+      keys+=("${required_micro_kernels_record[@]}")
     fi
     for key in "${keys[@]}"; do
       if ! grep -q "\"$key\"" "$f"; then

@@ -75,6 +75,8 @@ constexpr FlagSpec kFlagTable[] = {
      "(sites: store.read store.append store.flock cache.build "
      "pool.dispatch; keys: every after times prob seed delay_ms fail; "
      "';' separates specs)"},
+    {"--fast-math", "",
+     "allow reassociating SIMD reduction kernels (default: bit-exact)"},
     {"--quiet", "", "print only the result lines"},
     {"--help", "", "print this flag reference and exit"},
 };
@@ -92,6 +94,7 @@ struct Args {
   std::string store_path;              // empty = memory-only
   double deadline_seconds = 0.0;       // 0 = no deadline
   std::string inject_spec;             // empty = fault injection disarmed
+  bool fast_math = false;
   bool quiet = false;
   bool help = false;
 };
@@ -208,6 +211,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->discrete = true;
     } else if (flag == "--flip") {
       args->flip = true;
+    } else if (flag == "--fast-math") {
+      args->fast_math = true;
     } else if (flag == "--quiet") {
       args->quiet = true;
     } else if (flag == "--help") {
@@ -371,6 +376,9 @@ int main(int argc, char** argv) {
   // path wraps its own CancelToken below (Mine ignores the field).
   request.deadline_seconds = args.deadline_seconds;
   if (args.discrete) request.discretize = DiscretizeSpec{};
+  // Per-request opt-in reaches every mode (single, --async, --shared-cache)
+  // through the one MiningRequest they all share.
+  request.ga_solver.fast_math = args.fast_math;
 
   // Open (or create) the persistent store before any session exists, so
   // every mode warm-boots from it and writes built pipelines back.
