@@ -1,0 +1,252 @@
+// Multi-tenant scheduler throughput: mixed-tenant serving under fair-share
+// scheduling, and tail latency under 2× admission-controlled overload.
+//
+// Four tenants (distinct co-author snapshots, weights 3:1:1:1) share a
+// MiningService — its executors, worker pool and pipeline cache. Two
+// scenarios per executor count:
+//   sustained    every offered job is admitted; measures steady mixed-tenant
+//                throughput, latency percentiles and the weight-3 tenant's
+//                dispatch share.
+//   overload x2  twice the sustained job count is offered against bounded
+//                per-tenant queues and a service-wide budget; the admission
+//                controller sheds the excess and the p95/p99 rows show what
+//                the tail costs the jobs that were let in.
+// Every completed job is checked bit-identical to a fault-free synchronous
+// reference of its (tenant, request) pair — the `bit_identical` column is
+// asserted, not just reported.
+//
+// `--json out.json` emits the committed BENCH_multitenant.json record;
+// `--smoke` shrinks the datasets and cycle counts for the ctest
+// `bench_smoke` wiring (schema: check_bench_json.sh
+// required_multitenant_record).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/miner_session.h"
+#include "api/mining.h"
+#include "api/mining_service.h"
+#include "api/pipeline_cache.h"
+#include "bench_util.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+constexpr size_t kTenants = 4;
+
+// The per-tenant request variants cycled through a run; all carry an
+// affinity ranking so the bit-identity check is non-vacuous.
+std::vector<dcs::MiningRequest> RequestVariants() {
+  std::vector<dcs::MiningRequest> variants(3);
+  variants[0].measure = dcs::Measure::kGraphAffinity;
+  variants[1].measure = dcs::Measure::kBoth;
+  variants[1].alpha = 2.0;
+  variants[2].measure = dcs::Measure::kGraphAffinity;
+  variants[2].flip = true;
+  for (dcs::MiningRequest& request : variants) {
+    request.ga_solver.parallelism = 0;  // auto: share the session budget
+  }
+  return variants;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  using namespace dcs::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const uint64_t seed = 20180416;
+  std::printf("seed = %llu, hardware_concurrency = %u%s\n\n",
+              static_cast<unsigned long long>(seed),
+              std::thread::hardware_concurrency(),
+              args.smoke ? " (smoke mode)" : "");
+
+  // Four distinct tenant datasets; tenant 0 carries weight 3.
+  std::vector<CoauthorData> data;
+  for (size_t t = 0; t < kTenants; ++t) {
+    data.push_back(MakeDblpAnalog(seed + 31 * t,
+                                  /*num_authors=*/args.smoke ? 500 : 2000));
+  }
+  const uint32_t tenant_weights[kTenants] = {3, 1, 1, 1};
+  const std::vector<MiningRequest> variants = RequestVariants();
+  const size_t cycles = args.smoke ? 6 : 24;
+  const std::vector<uint32_t> executor_counts =
+      args.smoke ? std::vector<uint32_t>{2} : std::vector<uint32_t>{2, 4};
+
+  // Fault-free synchronous references per (tenant, variant): the
+  // bit-identity bar every completed job is held to, every cycle.
+  std::vector<std::vector<std::string>> expected(kTenants);
+  for (size_t t = 0; t < kTenants; ++t) {
+    Result<MinerSession> reference = MinerSession::Create(data[t].g1, data[t].g2);
+    DCS_CHECK(reference.ok()) << reference.status().ToString();
+    for (const MiningRequest& request : variants) {
+      Result<MiningResponse> mined = reference->Mine(request);
+      DCS_CHECK(mined.ok()) << mined.status().ToString();
+      expected[t].push_back(SerializeAffinityRanking(*mined));
+    }
+  }
+
+  JsonReporter reporter("multitenant", seed);
+  TablePrinter table("Multi-tenant service: mixed load across 4 tenants",
+                     {"Scenario", "Execs", "Offered", "Shed", "Jobs/s",
+                      "P95 ms", "P99 ms", "T0 share", "Ident"});
+
+  for (const uint32_t executors : executor_counts) {
+    for (const bool overload : {false, true}) {
+      MiningServiceOptions options;
+      options.num_executors = executors;
+      options.shared_cache = std::make_shared<PipelineCache>();
+      options.worker_pool =
+          std::make_shared<ThreadPool>(ThreadPool::DefaultConcurrency() - 1);
+      if (overload) {
+        // 2× the sustained job count is offered, but only roughly the
+        // sustained backlog is allowed to queue — the controller sheds the
+        // rest at Submit instead of letting the tail grow unboundedly.
+        options.max_queued_jobs = cycles / 2;
+        options.max_total_queued_jobs = 2 * cycles;
+      }
+      MiningService service(options);
+      for (size_t t = 0; t < kTenants; ++t) {
+        Result<MinerSession> session =
+            MinerSession::Create(data[t].g1, data[t].g2);
+        DCS_CHECK(session.ok()) << session.status().ToString();
+        Result<TenantId> tenant =
+            service.AddTenant(std::move(*session),
+                              TenantOptions{.weight = tenant_weights[t]});
+        DCS_CHECK(tenant.ok()) << tenant.status().ToString();
+      }
+
+      const size_t run_cycles = overload ? 2 * cycles : cycles;
+      const size_t offered = run_cycles * kTenants;
+      size_t shed = 0;
+      // (tenant, variant, id) of every admitted job.
+      std::vector<std::pair<std::pair<size_t, size_t>, JobId>> admitted;
+      admitted.reserve(offered);
+
+      WallTimer wall;
+      for (size_t cycle = 0; cycle < run_cycles; ++cycle) {
+        for (size_t t = 0; t < kTenants; ++t) {
+          const size_t variant = (cycle + t) % variants.size();
+          MiningRequest request = variants[variant];
+          request.priority = static_cast<int32_t>(cycle % 3) - 1;
+          Result<JobId> id =
+              service.Submit(static_cast<TenantId>(t), std::move(request));
+          if (!id.ok()) {
+            DCS_CHECK(id.status().code() == StatusCode::kOutOfRange ||
+                      id.status().IsResourceExhausted())
+                << id.status().ToString();
+            ++shed;
+            continue;
+          }
+          admitted.push_back({{t, variant}, *id});
+        }
+      }
+
+      std::vector<double> latencies_ms;
+      latencies_ms.reserve(admitted.size());
+      // (finish_index, tenant) pairs for the fair-share telemetry below.
+      std::vector<std::pair<uint64_t, size_t>> finish_order;
+      finish_order.reserve(admitted.size());
+      double queue_ms_total = 0.0;
+      uint64_t initializations = 0;
+      uint64_t pruned = 0;
+      double affinity_checksum = 0.0;
+      size_t identical = 0;
+      for (const auto& [key, id] : admitted) {
+        const auto [t, variant] = key;
+        Result<JobStatus> status = service.Wait(id);
+        DCS_CHECK(status.ok()) << status.status().ToString();
+        DCS_CHECK(status->state == JobState::kDone)
+            << "tenant " << t << " job " << id << " ended "
+            << JobStateToString(status->state) << ": "
+            << status->failure.ToString();
+        latencies_ms.push_back((status->queue_seconds + status->run_seconds) *
+                               1e3);
+        finish_order.push_back({status->finish_index, t});
+        queue_ms_total += status->queue_seconds * 1e3;
+        initializations += status->response.telemetry.initializations;
+        pruned += status->response.telemetry.pruned_seeds;
+        if (!status->response.graph_affinity.empty()) {
+          affinity_checksum += status->response.graph_affinity.front().value;
+        }
+        if (SerializeAffinityRanking(status->response) ==
+            expected[t][variant]) {
+          ++identical;
+        }
+      }
+      const double wall_ms = wall.Millis();
+      // The acceptance bar: every admitted job matched its reference.
+      DCS_CHECK(identical == admitted.size())
+          << identical << "/" << admitted.size() << " jobs bit-identical";
+
+      // Per-tenant share telemetry: the weight-3 tenant's fraction of the
+      // *first half* of finishes. Lifetime dispatch counts always converge
+      // to the admitted mix, so the weights only show while a backlog is
+      // contended — ~0.25 when the queues stay shallow (sustained), rising
+      // toward weight/(sum of weights) = 0.5 under overload.
+      std::sort(finish_order.begin(), finish_order.end());
+      size_t t0_early = 0;
+      const size_t half = finish_order.size() / 2;
+      for (size_t i = 0; i < half; ++i) {
+        if (finish_order[i].second == 0) ++t0_early;
+      }
+      const double t0_share =
+          half == 0 ? 0.0
+                    : static_cast<double>(t0_early) / static_cast<double>(half);
+
+      const double throughput = static_cast<double>(admitted.size()) /
+                                (wall_ms / 1e3);
+      const double mean_ms = MeanOf(latencies_ms);
+      const double p95_ms = P95Of(latencies_ms);
+      const double p99_ms = P99Of(latencies_ms);
+      const double mean_queue_ms =
+          admitted.empty() ? 0.0
+                           : queue_ms_total /
+                                 static_cast<double>(admitted.size());
+
+      const char* scenario = overload ? "overload x2" : "sustained";
+      std::string label = std::string(args.smoke ? "DBLP-tiny" : "DBLP") +
+                          " x4 tenants / " + scenario;
+      BenchRecord record{std::move(label), executors,       wall_ms,
+                         initializations,  pruned,          affinity_checksum};
+      record.extra = {
+          {"tenants", static_cast<double>(kTenants)},
+          {"offered_jobs", static_cast<double>(offered)},
+          {"admitted_jobs", static_cast<double>(admitted.size())},
+          {"shed_jobs", static_cast<double>(shed)},
+          {"throughput_jobs_per_s", throughput},
+          {"mean_latency_ms", mean_ms},
+          {"p95_latency_ms", p95_ms},
+          {"p99_latency_ms", p99_ms},
+          {"mean_queue_ms", mean_queue_ms},
+          {"tenant0_share", t0_share},
+          {"deadline_misses",
+           static_cast<double>(service.num_deadline_exceeded())},
+          {"bit_identical", identical == admitted.size() ? 1.0 : 0.0},
+      };
+      reporter.Add(std::move(record));
+      table.AddRow({scenario, TablePrinter::Fmt(uint64_t{executors}),
+                    TablePrinter::Fmt(static_cast<uint64_t>(offered)),
+                    TablePrinter::Fmt(static_cast<uint64_t>(shed)),
+                    TablePrinter::Fmt(throughput, 1),
+                    TablePrinter::Fmt(p95_ms, 2), TablePrinter::Fmt(p99_ms, 2),
+                    TablePrinter::Fmt(t0_share, 3),
+                    identical == admitted.size() ? "yes" : "NO"});
+      std::fflush(stdout);
+    }
+  }
+  table.Print();
+
+  if (!args.json_path.empty()) {
+    DCS_CHECK(reporter.WriteTo(args.json_path))
+        << "cannot write " << args.json_path;
+    std::printf("\nwrote %s\n", args.json_path.c_str());
+  }
+  return 0;
+}

@@ -73,6 +73,15 @@ inline double P95Of(std::vector<double> samples) {
   return samples[(samples.size() * 95 + 99) / 100 - 1];
 }
 
+/// Nearest-rank p99, same convention as P95Of; 0 when empty. Used by the
+/// overload rows of bench_multitenant, where the tail beyond p95 is the
+/// story.
+inline double P99Of(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  return samples[(samples.size() * 99 + 99) / 100 - 1];
+}
+
 /// Full-precision serialization of a response's DCSGA ranking — the
 /// bit-identity checksum the cross-session and streaming benches compare.
 inline std::string SerializeAffinityRanking(const MiningResponse& response) {

@@ -1,0 +1,289 @@
+/*
+ * dcs_c_api.h — the stable C ABI of the libdcs mining service.
+ *
+ * A plain-C99 export of the api/ facade for non-C++ front-ends: opaque
+ * handles, integer status codes mirroring dcs::StatusCode, and no C++
+ * types anywhere on the boundary. The shapes mirror the C++ surface:
+ * a dcs_service schedules N graph-pair tenants (dcs_service_add_tenant)
+ * behind per-tenant FIFO queues with cross-tenant priority scheduling,
+ * weighted-fair quotas and admission control; jobs are submitted
+ * asynchronously and observed through poll/wait snapshots. See
+ * src/api/mining_service.h for the full scheduling and determinism
+ * contract — the C surface adds nothing and removes nothing.
+ *
+ * Ownership rules:
+ *  - Every *_create / add / take function either returns DCS_OK and hands
+ *    the caller an owned handle (or value), or returns an error code and
+ *    touches nothing.
+ *  - Handles are released with their matching *_free, which takes a
+ *    pointer-to-handle and nulls it: freeing NULL or an already-freed
+ *    (nulled) handle is a well-defined no-op, so double-free is harmless.
+ *  - dcs_graph handles are *copied into* the tenant at
+ *    dcs_service_add_tenant; the caller keeps ownership and may free the
+ *    graph immediately afterwards.
+ *  - Strings returned by dcs_service_last_error are owned by the service
+ *    and valid until the next failing call on the same service from any
+ *    thread; copy them out before calling again. dcs_status_code_name /
+ *    dcs_job_state_name return static strings.
+ *  - A dcs_response (dcs_service_take_response) is an owned snapshot,
+ *    independent of the service; subgraph views point into the response
+ *    and stay valid until it is freed.
+ *
+ * Thread safety: a dcs_service may be called from any thread
+ * concurrently, except that destruction must not race other calls on the
+ * same handle (as for the C++ service). dcs_graph and dcs_response are
+ * immutable after creation; concurrent reads are safe.
+ */
+
+#ifndef DCS_INCLUDE_DCS_C_API_H_
+#define DCS_INCLUDE_DCS_C_API_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Status codes, numerically identical to dcs::StatusCode. */
+enum {
+  DCS_OK = 0,
+  DCS_INVALID_ARGUMENT = 1,
+  DCS_NOT_FOUND = 2,
+  DCS_ALREADY_EXISTS = 3,
+  DCS_OUT_OF_RANGE = 4, /* per-tenant queue backpressure at submit */
+  DCS_IO_ERROR = 5,
+  DCS_NOT_CONVERGED = 6,
+  DCS_INTERNAL = 7,
+  DCS_CANCELLED = 8,
+  DCS_DEADLINE_EXCEEDED = 9,
+  DCS_RESOURCE_EXHAUSTED = 10 /* service-wide admission budget at submit */
+};
+typedef int32_t dcs_status_code;
+
+/* Job states, numerically identical to dcs::JobState. */
+enum {
+  DCS_JOB_QUEUED = 0,
+  DCS_JOB_RUNNING = 1,
+  DCS_JOB_DONE = 2,
+  DCS_JOB_FAILED = 3,
+  DCS_JOB_CANCELLED = 4
+};
+
+/* Density-contrast measures, numerically identical to dcs::Measure. */
+enum {
+  DCS_MEASURE_AVERAGE_DEGREE = 0,
+  DCS_MEASURE_GRAPH_AFFINITY = 1,
+  DCS_MEASURE_BOTH = 2
+};
+
+/* Streaming-update sides, numerically identical to dcs::UpdateSide. */
+enum { DCS_UPDATE_G1 = 0, DCS_UPDATE_G2 = 1 };
+
+/* Opaque handles. */
+typedef struct dcs_graph dcs_graph;
+typedef struct dcs_service dcs_service;
+typedef struct dcs_response dcs_response;
+
+/*
+ * Service construction knobs; mirror dcs::MiningServiceOptions. Zero a
+ * field (or call dcs_service_options_init) for the documented default.
+ */
+typedef struct dcs_service_options {
+  /* Default per-tenant queue capacity; submit answers DCS_OUT_OF_RANGE
+   * beyond it. 0 = unbounded. */
+  size_t max_queued_jobs;
+  /* Service-wide queued-job budget across tenants; submit answers
+   * DCS_RESOURCE_EXHAUSTED beyond it. 0 = unbounded. */
+  size_t max_total_queued_jobs;
+  /* Service-wide budget on approximate queued request bytes; submit
+   * answers DCS_RESOURCE_EXHAUSTED beyond it. 0 = unbounded. */
+  size_t max_queued_request_bytes;
+  /* Executor threads draining the tenant queues; 0 behaves as 1. */
+  uint32_t num_executors;
+  /* Nonzero: the scheduler starts paused — submissions queue up but
+   * nothing dispatches until dcs_service_resume. Lets callers stage a
+   * backlog and observe one deterministic scheduling order. */
+  int32_t start_paused;
+  /* Terminal jobs retained for poll/wait; older ones are evicted and poll
+   * answers DCS_NOT_FOUND. 0 = retain everything. */
+  size_t max_finished_jobs;
+  /* Nonzero: all tenants share one pipeline cache, so equal datasets
+   * prepare each pipeline once across tenants. */
+  int32_t share_pipeline_cache;
+  /* Nonzero: all tenant sessions share one solver worker pool instead of
+   * spawning one pool per tenant. */
+  int32_t share_worker_pool;
+} dcs_service_options;
+
+/* Fills `options` with the defaults (all budgets unbounded, one executor,
+ * 4096 retained jobs, shared cache and pool off). */
+void dcs_service_options_init(dcs_service_options* options);
+
+/*
+ * One mining request; mirrors the dcs::MiningRequest fields the C surface
+ * exposes. Always initialize with dcs_mining_request_init, then override.
+ */
+typedef struct dcs_mining_request {
+  /* One of the DCS_MEASURE_* values. */
+  int32_t measure;
+  /* Scale of G1 in the difference D = A2 - alpha * A1; finite, > 0. */
+  double alpha;
+  /* Nonzero mines G1 - G2 instead of G2 - G1. */
+  int32_t flip;
+  /* Subgraphs to mine per measure; 1 = the paper's single-DCS setting. */
+  uint32_t top_k;
+  /* Cross-tenant scheduling priority (higher dispatches sooner); never
+   * reorders jobs within one tenant. */
+  int32_t priority;
+  /* Seconds from submit before the watchdog fails the job with
+   * DCS_DEADLINE_EXCEEDED; 0 = no deadline. */
+  double deadline_seconds;
+  /* Intra-request solver parallelism: 1 = sequential, 0 = auto (take the
+   * session's thread budget), k > 1 = exactly k seed shards. Mined
+   * subgraphs are bit-identical across all values. */
+  uint32_t parallelism;
+} dcs_mining_request;
+
+/* Fills `request` with the defaults (both measures, alpha 1.0, top-1,
+ * priority 0, no deadline, sequential solver). */
+void dcs_mining_request_init(dcs_mining_request* request);
+
+/* Point-in-time job snapshot; mirrors dcs::JobStatus. */
+typedef struct dcs_job_status {
+  uint64_t id;
+  uint32_t tenant;
+  /* One of the DCS_JOB_* values. */
+  int32_t state;
+  /* Failure detail when state == DCS_JOB_FAILED (e.g.
+   * DCS_DEADLINE_EXCEEDED); DCS_OK otherwise. */
+  dcs_status_code failure_code;
+  /* Seconds the job waited in its queue (0 while still queued). */
+  double queue_seconds;
+  /* Seconds the solve ran (0 unless the job reached DCS_JOB_RUNNING). */
+  double run_seconds;
+  /* 1-based position in the service-wide terminal order; 0 while the job
+   * is still queued or running. */
+  uint64_t finish_index;
+} dcs_job_status;
+
+/* One mined subgraph, viewed inside an owned dcs_response. */
+typedef struct dcs_subgraph_view {
+  /* Member vertices, ascending; points into the response, valid until
+   * dcs_response_free. */
+  const uint32_t* vertices;
+  size_t num_vertices;
+  /* The measure value: density difference for DCS_MEASURE_AVERAGE_DEGREE
+   * results, affinity difference for DCS_MEASURE_GRAPH_AFFINITY. */
+  double value;
+} dcs_subgraph_view;
+
+/* Static human-readable names ("OK", "Deadline exceeded", ...; "queued",
+ * "done", ...). Unknown values answer "unknown". */
+const char* dcs_status_code_name(dcs_status_code code);
+const char* dcs_job_state_name(int32_t state);
+
+/*
+ * Builds an immutable graph over `num_vertices` vertices from parallel
+ * edge arrays us/vs/weights of length num_edges (duplicate edges
+ * accumulate; self-loops, out-of-range endpoints and non-finite weights
+ * are rejected). On DCS_OK, *out_graph is an owned handle.
+ */
+dcs_status_code dcs_graph_create(uint32_t num_vertices, const uint32_t* us,
+                                 const uint32_t* vs, const double* weights,
+                                 size_t num_edges, dcs_graph** out_graph);
+
+/* Frees *graph and nulls it; NULL (or *graph == NULL) is a no-op. */
+void dcs_graph_free(dcs_graph** graph);
+
+/* Starts a service with no tenants. NULL options = defaults. */
+dcs_status_code dcs_service_create(const dcs_service_options* options,
+                                   dcs_service** out_service);
+
+/* Blocks until in-flight jobs finish (queued ones are cancelled), then
+ * frees *service and nulls it; NULL (or *service == NULL) is a no-op. */
+void dcs_service_free(dcs_service** service);
+
+/* Message of the last failing call on this service ("" when none yet);
+ * valid until the next failing call on the same service. NULL answers a
+ * static placeholder. */
+const char* dcs_service_last_error(const dcs_service* service);
+
+/*
+ * Registers a tenant mining the pair (g1, g2); both graphs are copied in,
+ * the caller keeps ownership. `weight` >= 1 is the weighted-fair share;
+ * `max_queued_jobs` overrides the service default (0 = inherit). On
+ * DCS_OK, *out_tenant is the dense tenant id.
+ */
+dcs_status_code dcs_service_add_tenant(dcs_service* service,
+                                       const dcs_graph* g1,
+                                       const dcs_graph* g2, uint32_t weight,
+                                       size_t max_queued_jobs,
+                                       uint32_t* out_tenant);
+
+/* Enqueues `request` on `tenant`'s queue; on DCS_OK, *out_job identifies
+ * the job for poll/wait/cancel. Admission errors: DCS_OUT_OF_RANGE
+ * (tenant queue full), DCS_RESOURCE_EXHAUSTED (service budget). */
+dcs_status_code dcs_service_submit(dcs_service* service, uint32_t tenant,
+                                   const dcs_mining_request* request,
+                                   uint64_t* out_job);
+
+/* Queues a fenced streaming weight update (side is a DCS_UPDATE_*
+ * value): it takes effect after every job `tenant` submitted before it
+ * and before every job submitted after it. */
+dcs_status_code dcs_service_apply_update(dcs_service* service,
+                                         uint32_t tenant, int32_t side,
+                                         uint32_t u, uint32_t v,
+                                         double delta);
+
+/* Non-blocking snapshot; DCS_NOT_FOUND for unknown or evicted ids. */
+dcs_status_code dcs_service_poll(dcs_service* service, uint64_t job,
+                                 dcs_job_status* out_status);
+
+/* Blocks until the job is terminal, then snapshots it. */
+dcs_status_code dcs_service_wait(dcs_service* service, uint64_t job,
+                                 dcs_job_status* out_status);
+
+/* Requests cancellation and snapshots the job: a queued job goes terminal
+ * DCS_JOB_CANCELLED immediately and never starts; a running one finishes
+ * cancelling asynchronously (wait for the terminal state). `out_status`
+ * may be NULL. */
+dcs_status_code dcs_service_cancel(dcs_service* service, uint64_t job,
+                                   dcs_job_status* out_status);
+
+/* Releases a scheduler created with start_paused; idempotent. */
+dcs_status_code dcs_service_resume(dcs_service* service);
+
+/* Blocks until every submitted job is terminal and every queued update is
+ * applied, across all tenants. A paused scheduler with a backlog never
+ * drains — resume first. */
+dcs_status_code dcs_service_drain(dcs_service* service);
+
+/*
+ * Waits for `job` and extracts its mined response as an owned snapshot.
+ * Fails with the job's failure code (or DCS_CANCELLED) when the job did
+ * not reach DCS_JOB_DONE; the response stays extractable again until the
+ * job is evicted.
+ */
+dcs_status_code dcs_service_take_response(dcs_service* service, uint64_t job,
+                                          dcs_response** out_response);
+
+/* Subgraphs mined for `measure` (DCS_MEASURE_AVERAGE_DEGREE or
+ * DCS_MEASURE_GRAPH_AFFINITY; anything else answers 0). */
+size_t dcs_response_num_subgraphs(const dcs_response* response,
+                                  int32_t measure);
+
+/* Views one ranked subgraph of `measure`; DCS_OUT_OF_RANGE past
+ * dcs_response_num_subgraphs. */
+dcs_status_code dcs_response_subgraph(const dcs_response* response,
+                                      int32_t measure, size_t index,
+                                      dcs_subgraph_view* out_view);
+
+/* Frees *response and nulls it; NULL (or *response == NULL) is a no-op. */
+void dcs_response_free(dcs_response** response);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* DCS_INCLUDE_DCS_C_API_H_ */

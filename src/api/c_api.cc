@@ -1,0 +1,390 @@
+// Implementation of the C ABI (include/dcs_c_api.h) over the api/ facade.
+//
+// The boundary rules live here: every opaque handle wraps exactly one C++
+// value, every entry point catches the NULL-handle cases before touching
+// anything, and no exception or C++ type escapes — a Status crossing the
+// boundary is flattened to its code, with the message parked in the
+// service's last-error slot.
+
+#include "dcs_c_api.h"
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "api/miner_session.h"
+#include "api/mining.h"
+#include "api/mining_service.h"
+#include "api/pipeline_cache.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+// The C header promises vertex arrays as uint32_t; keep that in lockstep
+// with the C++ vertex type.
+static_assert(std::is_same_v<dcs::VertexId, uint32_t>,
+              "dcs_c_api.h exposes VertexId as uint32_t");
+
+extern "C" {
+
+struct dcs_graph {
+  dcs::Graph graph;
+};
+
+struct dcs_service {
+  explicit dcs_service(dcs::MiningServiceOptions options)
+      : service(std::move(options)) {}
+
+  dcs::MiningService service;
+  std::mutex error_mutex;
+  std::string last_error;
+};
+
+struct dcs_response {
+  dcs::MiningResponse response;
+};
+
+}  // extern "C"
+
+namespace {
+
+// Flattens a Status to its code, parking the message for
+// dcs_service_last_error. `service` may be null (handle-validation
+// failures have nowhere to park the message).
+dcs_status_code FlattenStatus(dcs_service* service, const dcs::Status& status) {
+  if (status.ok()) return DCS_OK;
+  if (service != nullptr) {
+    std::lock_guard<std::mutex> lock(service->error_mutex);
+    service->last_error = status.ToString();
+  }
+  return static_cast<dcs_status_code>(status.code());
+}
+
+dcs_status_code InvalidHandle(dcs_service* service, const char* what) {
+  return FlattenStatus(service, dcs::Status::InvalidArgument(
+                                    std::string("null ") + what + " handle"));
+}
+
+// The C request carries a subset of MiningRequest; everything else keeps
+// its C++ default. Returns InvalidArgument for an unmapped measure value
+// so the error surfaces at submit time instead of as a failed job.
+dcs::Result<dcs::MiningRequest> ToRequest(const dcs_mining_request& c) {
+  dcs::MiningRequest request;
+  switch (c.measure) {
+    case DCS_MEASURE_AVERAGE_DEGREE:
+      request.measure = dcs::Measure::kAverageDegree;
+      break;
+    case DCS_MEASURE_GRAPH_AFFINITY:
+      request.measure = dcs::Measure::kGraphAffinity;
+      break;
+    case DCS_MEASURE_BOTH:
+      request.measure = dcs::Measure::kBoth;
+      break;
+    default:
+      return dcs::Status::InvalidArgument("unknown measure value " +
+                                          std::to_string(c.measure));
+  }
+  request.alpha = c.alpha;
+  request.flip = c.flip != 0;
+  request.top_k = c.top_k;
+  request.priority = c.priority;
+  request.deadline_seconds = c.deadline_seconds;
+  request.ga_solver.parallelism = c.parallelism;
+  return request;
+}
+
+void ToJobStatus(const dcs::JobStatus& status, dcs_job_status* out) {
+  out->id = status.id;
+  out->tenant = status.tenant;
+  out->state = static_cast<int32_t>(status.state);
+  out->failure_code = static_cast<dcs_status_code>(status.failure.code());
+  out->queue_seconds = status.queue_seconds;
+  out->run_seconds = status.run_seconds;
+  out->finish_index = status.finish_index;
+}
+
+const std::vector<dcs::RankedSubgraph>* SubgraphsFor(
+    const dcs_response* response, int32_t measure) {
+  switch (measure) {
+    case DCS_MEASURE_AVERAGE_DEGREE:
+      return &response->response.average_degree;
+    case DCS_MEASURE_GRAPH_AFFINITY:
+      return &response->response.graph_affinity;
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+const char* dcs_status_code_name(dcs_status_code code) {
+  if (code < 0 || code > DCS_RESOURCE_EXHAUSTED) return "unknown";
+  return dcs::StatusCodeToString(static_cast<dcs::StatusCode>(code));
+}
+
+const char* dcs_job_state_name(int32_t state) {
+  if (state < 0 || state > DCS_JOB_CANCELLED) return "unknown";
+  return dcs::JobStateToString(static_cast<dcs::JobState>(state));
+}
+
+void dcs_service_options_init(dcs_service_options* options) {
+  if (options == nullptr) return;
+  const dcs::MiningServiceOptions defaults;
+  options->max_queued_jobs = defaults.max_queued_jobs;
+  options->max_total_queued_jobs = defaults.max_total_queued_jobs;
+  options->max_queued_request_bytes = defaults.max_queued_request_bytes;
+  options->num_executors = defaults.num_executors;
+  options->start_paused = defaults.start_paused ? 1 : 0;
+  options->max_finished_jobs = defaults.max_finished_jobs;
+  options->share_pipeline_cache = 0;
+  options->share_worker_pool = 0;
+}
+
+void dcs_mining_request_init(dcs_mining_request* request) {
+  if (request == nullptr) return;
+  const dcs::MiningRequest defaults;
+  request->measure = DCS_MEASURE_BOTH;
+  request->alpha = defaults.alpha;
+  request->flip = defaults.flip ? 1 : 0;
+  request->top_k = defaults.top_k;
+  request->priority = defaults.priority;
+  request->deadline_seconds = defaults.deadline_seconds;
+  // Sequential by default: the C caller opts into intra-request
+  // parallelism explicitly, mirroring DcsgaOptions::parallelism == 1.
+  request->parallelism = 1;
+}
+
+dcs_status_code dcs_graph_create(uint32_t num_vertices, const uint32_t* us,
+                                 const uint32_t* vs, const double* weights,
+                                 size_t num_edges, dcs_graph** out_graph) {
+  if (out_graph == nullptr) return DCS_INVALID_ARGUMENT;
+  *out_graph = nullptr;
+  if (num_edges != 0 &&
+      (us == nullptr || vs == nullptr || weights == nullptr)) {
+    return DCS_INVALID_ARGUMENT;
+  }
+  std::vector<dcs::WeightedEdge> edges;
+  edges.reserve(num_edges);
+  for (size_t i = 0; i < num_edges; ++i) {
+    edges.push_back(dcs::WeightedEdge{us[i], vs[i], weights[i]});
+  }
+  dcs::Result<dcs::Graph> graph = dcs::BuildGraphFromEdges(
+      num_vertices, std::span<const dcs::WeightedEdge>(edges));
+  if (!graph.ok()) {
+    return static_cast<dcs_status_code>(graph.status().code());
+  }
+  *out_graph = new dcs_graph{std::move(*graph)};
+  return DCS_OK;
+}
+
+void dcs_graph_free(dcs_graph** graph) {
+  if (graph == nullptr || *graph == nullptr) return;
+  delete *graph;
+  *graph = nullptr;
+}
+
+dcs_status_code dcs_service_create(const dcs_service_options* options,
+                                   dcs_service** out_service) {
+  if (out_service == nullptr) return DCS_INVALID_ARGUMENT;
+  *out_service = nullptr;
+  dcs_service_options defaults;
+  dcs_service_options_init(&defaults);
+  if (options == nullptr) options = &defaults;
+  dcs::MiningServiceOptions opts;
+  opts.max_queued_jobs = options->max_queued_jobs;
+  opts.max_total_queued_jobs = options->max_total_queued_jobs;
+  opts.max_queued_request_bytes = options->max_queued_request_bytes;
+  opts.num_executors = options->num_executors;
+  opts.start_paused = options->start_paused != 0;
+  opts.max_finished_jobs = options->max_finished_jobs;
+  if (options->share_pipeline_cache != 0) {
+    opts.shared_cache = std::make_shared<dcs::PipelineCache>();
+  }
+  if (options->share_worker_pool != 0) {
+    opts.worker_pool = std::make_shared<dcs::ThreadPool>(
+        dcs::ThreadPool::DefaultConcurrency() - 1);
+  }
+  *out_service = new dcs_service(std::move(opts));
+  return DCS_OK;
+}
+
+void dcs_service_free(dcs_service** service) {
+  if (service == nullptr || *service == nullptr) return;
+  delete *service;
+  *service = nullptr;
+}
+
+const char* dcs_service_last_error(const dcs_service* service) {
+  if (service == nullptr) return "null service handle";
+  // The caller owns the race window (last_error is valid until the next
+  // failing call); the mutex only orders the string assignment itself.
+  std::lock_guard<std::mutex> lock(
+      const_cast<dcs_service*>(service)->error_mutex);
+  return service->last_error.c_str();
+}
+
+dcs_status_code dcs_service_add_tenant(dcs_service* service,
+                                       const dcs_graph* g1,
+                                       const dcs_graph* g2, uint32_t weight,
+                                       size_t max_queued_jobs,
+                                       uint32_t* out_tenant) {
+  if (service == nullptr) return InvalidHandle(nullptr, "service");
+  if (g1 == nullptr || g2 == nullptr) return InvalidHandle(service, "graph");
+  if (out_tenant == nullptr) {
+    return FlattenStatus(service, dcs::Status::InvalidArgument(
+                                      "null out_tenant pointer"));
+  }
+  dcs::Result<dcs::MinerSession> session =
+      dcs::MinerSession::Create(g1->graph, g2->graph);
+  if (!session.ok()) return FlattenStatus(service, session.status());
+  dcs::TenantOptions tenant_options;
+  tenant_options.weight = weight;
+  tenant_options.max_queued_jobs = max_queued_jobs;
+  dcs::Result<dcs::TenantId> tenant =
+      service->service.AddTenant(std::move(*session), tenant_options);
+  if (!tenant.ok()) return FlattenStatus(service, tenant.status());
+  *out_tenant = *tenant;
+  return DCS_OK;
+}
+
+dcs_status_code dcs_service_submit(dcs_service* service, uint32_t tenant,
+                                   const dcs_mining_request* request,
+                                   uint64_t* out_job) {
+  if (service == nullptr) return InvalidHandle(nullptr, "service");
+  if (request == nullptr || out_job == nullptr) {
+    return FlattenStatus(service, dcs::Status::InvalidArgument(
+                                      "null request or out_job pointer"));
+  }
+  dcs::Result<dcs::MiningRequest> mapped = ToRequest(*request);
+  if (!mapped.ok()) return FlattenStatus(service, mapped.status());
+  dcs::Result<dcs::JobId> job =
+      service->service.Submit(tenant, std::move(*mapped));
+  if (!job.ok()) return FlattenStatus(service, job.status());
+  *out_job = *job;
+  return DCS_OK;
+}
+
+dcs_status_code dcs_service_apply_update(dcs_service* service,
+                                         uint32_t tenant, int32_t side,
+                                         uint32_t u, uint32_t v,
+                                         double delta) {
+  if (service == nullptr) return InvalidHandle(nullptr, "service");
+  if (side != DCS_UPDATE_G1 && side != DCS_UPDATE_G2) {
+    return FlattenStatus(service,
+                         dcs::Status::InvalidArgument(
+                             "unknown update side " + std::to_string(side)));
+  }
+  return FlattenStatus(
+      service, service->service.ApplyUpdate(
+                   tenant, static_cast<dcs::UpdateSide>(side), u, v, delta));
+}
+
+dcs_status_code dcs_service_poll(dcs_service* service, uint64_t job,
+                                 dcs_job_status* out_status) {
+  if (service == nullptr) return InvalidHandle(nullptr, "service");
+  if (out_status == nullptr) {
+    return FlattenStatus(service, dcs::Status::InvalidArgument(
+                                      "null out_status pointer"));
+  }
+  dcs::Result<dcs::JobStatus> status = service->service.Poll(job);
+  if (!status.ok()) return FlattenStatus(service, status.status());
+  ToJobStatus(*status, out_status);
+  return DCS_OK;
+}
+
+dcs_status_code dcs_service_wait(dcs_service* service, uint64_t job,
+                                 dcs_job_status* out_status) {
+  if (service == nullptr) return InvalidHandle(nullptr, "service");
+  if (out_status == nullptr) {
+    return FlattenStatus(service, dcs::Status::InvalidArgument(
+                                      "null out_status pointer"));
+  }
+  dcs::Result<dcs::JobStatus> status = service->service.Wait(job);
+  if (!status.ok()) return FlattenStatus(service, status.status());
+  ToJobStatus(*status, out_status);
+  return DCS_OK;
+}
+
+dcs_status_code dcs_service_cancel(dcs_service* service, uint64_t job,
+                                   dcs_job_status* out_status) {
+  if (service == nullptr) return InvalidHandle(nullptr, "service");
+  dcs::Result<dcs::JobStatus> status = service->service.Cancel(job);
+  if (!status.ok()) return FlattenStatus(service, status.status());
+  if (out_status != nullptr) ToJobStatus(*status, out_status);
+  return DCS_OK;
+}
+
+dcs_status_code dcs_service_resume(dcs_service* service) {
+  if (service == nullptr) return InvalidHandle(nullptr, "service");
+  service->service.Resume();
+  return DCS_OK;
+}
+
+dcs_status_code dcs_service_drain(dcs_service* service) {
+  if (service == nullptr) return InvalidHandle(nullptr, "service");
+  service->service.Drain();
+  return DCS_OK;
+}
+
+dcs_status_code dcs_service_take_response(dcs_service* service, uint64_t job,
+                                          dcs_response** out_response) {
+  if (service == nullptr) return InvalidHandle(nullptr, "service");
+  if (out_response == nullptr) {
+    return FlattenStatus(service, dcs::Status::InvalidArgument(
+                                      "null out_response pointer"));
+  }
+  *out_response = nullptr;
+  dcs::Result<dcs::JobStatus> status = service->service.Wait(job);
+  if (!status.ok()) return FlattenStatus(service, status.status());
+  switch (status->state) {
+    case dcs::JobState::kDone:
+      break;
+    case dcs::JobState::kFailed:
+      return FlattenStatus(service, status->failure);
+    case dcs::JobState::kCancelled:
+      return FlattenStatus(
+          service, dcs::Status::Cancelled("job " + std::to_string(job) +
+                                          " was cancelled"));
+    default:
+      return FlattenStatus(service, dcs::Status::Internal(
+                                        "non-terminal job after Wait"));
+  }
+  *out_response = new dcs_response{std::move(status->response)};
+  return DCS_OK;
+}
+
+size_t dcs_response_num_subgraphs(const dcs_response* response,
+                                  int32_t measure) {
+  if (response == nullptr) return 0;
+  const std::vector<dcs::RankedSubgraph>* subgraphs =
+      SubgraphsFor(response, measure);
+  return subgraphs != nullptr ? subgraphs->size() : 0;
+}
+
+dcs_status_code dcs_response_subgraph(const dcs_response* response,
+                                      int32_t measure, size_t index,
+                                      dcs_subgraph_view* out_view) {
+  if (response == nullptr || out_view == nullptr) return DCS_INVALID_ARGUMENT;
+  const std::vector<dcs::RankedSubgraph>* subgraphs =
+      SubgraphsFor(response, measure);
+  if (subgraphs == nullptr) return DCS_INVALID_ARGUMENT;
+  if (index >= subgraphs->size()) return DCS_OUT_OF_RANGE;
+  const dcs::RankedSubgraph& subgraph = (*subgraphs)[index];
+  out_view->vertices = subgraph.vertices.data();
+  out_view->num_vertices = subgraph.vertices.size();
+  out_view->value = subgraph.value;
+  return DCS_OK;
+}
+
+void dcs_response_free(dcs_response** response) {
+  if (response == nullptr || *response == nullptr) return;
+  delete *response;
+  *response = nullptr;
+}
+
+}  // extern "C"

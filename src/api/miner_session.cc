@@ -163,6 +163,15 @@ void MinerSession::UsePipelineCache(std::shared_ptr<PipelineCache> cache) {
   private_cache_ = false;
 }
 
+void MinerSession::UseWorkerPool(std::shared_ptr<ThreadPool> pool) {
+  DCS_CHECK(pool != nullptr) << "UseWorkerPool needs a pool";
+  options_.worker_pool = std::move(pool);
+  // Any private pool spawned before the attach is dropped; it has no tasks
+  // in flight (the session is externally synchronized) and EnsurePool now
+  // always returns the shared pool.
+  pool_.reset();
+}
+
 void MinerSession::UseArtifactStore(std::shared_ptr<ArtifactStore> store) {
   DCS_CHECK(store != nullptr) << "UseArtifactStore needs a store";
   store_ = std::move(store);
@@ -580,6 +589,11 @@ size_t MinerSession::ParallelismBudget() const {
 }
 
 ThreadPool* MinerSession::EnsurePool(size_t concurrency) {
+  // A shared pool (SessionOptions::worker_pool / UseWorkerPool) is used
+  // as-is: its size is a service-level decision, and growing it here would
+  // race with the other sessions running on it. ParallelismBudget still
+  // bounds the shard fan-out of this session's solves.
+  if (options_.worker_pool != nullptr) return options_.worker_pool.get();
   const size_t target =
       std::max<size_t>(1, std::min(concurrency, ParallelismBudget()));
   // Replacing the pool is safe here: EnsurePool runs on the session thread

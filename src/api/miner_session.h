@@ -97,6 +97,16 @@ struct SessionOptions {
   /// Mine grants the whole budget to its one request. The pool is spawned
   /// lazily on the first batched or intra-parallel solve.
   uint32_t max_parallelism = 0;
+  /// Cross-session shared worker pool. Null (default) keeps the session's
+  /// private, lazily spawned pool — single-session behavior exactly.
+  /// Non-null makes every batched or intra-parallel solve run on the shared
+  /// pool instead: the multi-tenant MiningService attaches one pool to all
+  /// of its tenant sessions, so N tenants contend for one fixed set of
+  /// worker threads rather than spawning N private pools. max_parallelism
+  /// still caps how many seed shards one solve fans out, and responses are
+  /// bit-identical whichever pool executes them (see util/thread_pool.h —
+  /// RunTasks is safe to call concurrently from many sessions).
+  std::shared_ptr<ThreadPool> worker_pool;
   /// Magnitude below which an accumulated weight counts as cancelled when
   /// streaming updates are folded into the graphs.
   double zero_eps = 1e-12;
@@ -235,6 +245,12 @@ class MinerSession {
   /// republishes are written back asynchronously. See
   /// SessionOptions::artifact_store.
   void UseArtifactStore(std::shared_ptr<ArtifactStore> store);
+
+  /// \brief Runs all subsequent batched / intra-parallel solves on the
+  /// shared pool `pool` (non-null) instead of the session's private pool.
+  /// Used by the multi-tenant MiningService so tenant sessions share one
+  /// fixed worker set; see SessionOptions::worker_pool.
+  void UseWorkerPool(std::shared_ptr<ThreadPool> pool);
 
   /// The attached persistent store; null when the session is memory-only.
   const std::shared_ptr<ArtifactStore>& artifact_store() const {

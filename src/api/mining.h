@@ -138,6 +138,15 @@ struct MiningRequest {
   /// sequential mining bit-for-bit.
   bool warm_start = false;
 
+  /// Scheduling priority of the job under a multi-tenant MiningService
+  /// (api/mining_service.h): when several tenants have runnable work, the
+  /// scheduler dispatches the tenant whose head job has the highest
+  /// priority first (ties broken by the weighted-fair virtual clock).
+  /// Priority never reorders jobs *within* a tenant — each tenant's queue
+  /// stays strict FIFO, which is what keeps update fencing and per-tenant
+  /// bit-identity intact. Ignored by synchronous MinerSession::Mine.
+  int32_t priority = 0;
+
   /// Per-job deadline in seconds, measured from submission (so queue wait
   /// counts — the admission-control view). 0 = no deadline. Enforced by
   /// MiningService's watchdog, which fires the job's CancelToken at the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -19,6 +20,12 @@ namespace {
 bool HasDeadline(const MiningRequest& request) {
   return std::isfinite(request.deadline_seconds) &&
          request.deadline_seconds > 0.0;
+}
+
+// The degradation ladder is ordered kHealthy < kDegraded < kStoreOffline;
+// the service-level mirror reports the worst rung across tenants.
+HealthState WorseOf(HealthState a, HealthState b) {
+  return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
 }
 
 }  // namespace
@@ -39,20 +46,23 @@ const char* JobStateToString(JobState state) {
   return "unknown";
 }
 
-MiningService::MiningService(MinerSession session,
-                             MiningServiceOptions options)
-    : session_(std::move(session)), options_(options) {
-  // Attach before the executor exists — no solve can be in flight yet.
-  // Cache first, store second: the warm boot must hydrate the cache the
-  // service actually mines against.
-  if (options_.shared_cache != nullptr) {
-    session_.UsePipelineCache(options_.shared_cache);
+MiningService::MiningService(MiningServiceOptions options)
+    : options_(std::move(options)) {
+  options_.num_executors = std::max<uint32_t>(1, options_.num_executors);
+  paused_ = options_.start_paused;
+  executors_.reserve(options_.num_executors);
+  for (uint32_t i = 0; i < options_.num_executors; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
   }
-  if (options_.artifact_store != nullptr) {
-    session_.UseArtifactStore(options_.artifact_store);
-  }
-  executor_ = std::thread([this] { ExecutorLoop(); });
   watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+MiningService::MiningService(MinerSession session, MiningServiceOptions options)
+    : MiningService(std::move(options)) {
+  // Tenant 0 — the single-tenant shape. Registration cannot fail here: the
+  // service just started (not stopping) and the default weight is valid.
+  Result<TenantId> tenant = AddTenant(std::move(session), TenantOptions{});
+  DCS_CHECK(tenant.ok() && *tenant == 0) << tenant.status().ToString();
 }
 
 MiningService::~MiningService() {
@@ -60,17 +70,18 @@ MiningService::~MiningService() {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
     // Every queued job dies terminally cancelled; unapplied updates are
-    // dropped with the session (shutdown abandons the stream).
-    for (QueuedOp& op : queue_) {
-      if (op.job != nullptr && op.job->state == JobState::kQueued) {
-        op.job->state = JobState::kCancelled;
-        op.job->queue_seconds = op.job->since_submit.Seconds();
-        FinishLocked(op.job);
+    // dropped with their sessions (shutdown abandons the streams).
+    for (auto& tenant : tenants_) {
+      for (QueuedOp& op : tenant->queue) {
+        if (op.job != nullptr && op.job->state == JobState::kQueued) {
+          LeaveQueueLocked(tenant.get(), op.job.get());
+          op.job->state = JobState::kCancelled;
+          FinishLocked(op.job);
+        }
       }
+      tenant->queue.clear();
     }
-    queue_.clear();
-    num_queued_jobs_ = 0;
-    // The in-flight job (if any) is asked to stop; the executor observes
+    // The in-flight jobs (if any) are asked to stop; each executor observes
     // the token between seed chunks and records the terminal state before
     // exiting.
     for (auto& [id, job] : jobs_) {
@@ -80,7 +91,7 @@ MiningService::~MiningService() {
   work_available_.notify_all();
   job_finished_.notify_all();
   deadline_work_.notify_all();
-  executor_.join();
+  for (std::thread& executor : executors_) executor.join();
   watchdog_.join();
   // Every job is terminal now, so all Wait()ers are waking up. Let them get
   // back out of job_finished_.wait and off mutex_ before either is
@@ -90,20 +101,91 @@ MiningService::~MiningService() {
   waiters_done_.wait(lock, [this] { return active_waiters_ == 0; });
 }
 
-Result<JobId> MiningService::Submit(MiningRequest request) {
+Result<TenantId> MiningService::AddTenant(MinerSession session,
+                                          TenantOptions options) {
+  if (options.weight == 0) {
+    return Status::InvalidArgument("tenant weight must be >= 1");
+  }
+  // Attach service-level resources before the tenant becomes schedulable —
+  // no executor can touch the session until it is registered under the
+  // lock. Cache first, store second: the warm boot must hydrate the cache
+  // the service actually mines against.
+  if (options_.shared_cache != nullptr) {
+    session.UsePipelineCache(options_.shared_cache);
+  }
+  if (options_.artifact_store != nullptr) {
+    session.UseArtifactStore(options_.artifact_store);
+  }
+  if (options_.worker_pool != nullptr) {
+    session.UseWorkerPool(options_.worker_pool);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (stopping_) {
     return Status::Cancelled("mining service is shutting down");
   }
-  if (options_.max_queued_jobs != 0 &&
-      num_queued_jobs_ >= options_.max_queued_jobs) {
+  const TenantId id = static_cast<TenantId>(tenants_.size());
+  tenants_.push_back(
+      std::make_unique<Tenant>(id, std::move(session), options));
+  return id;
+}
+
+size_t MiningService::ApproxRequestBytes(const MiningRequest& request) {
+  // Deterministic and cheap: the fixed-size struct plus its string
+  // payloads. Close enough for a shed-load-early budget; it intentionally
+  // ignores allocator overhead.
+  return sizeof(MiningRequest) + request.ad_solver_name.size() +
+         request.ga_solver_name.size();
+}
+
+Result<JobId> MiningService::Submit(TenantId tenant_id,
+                                    MiningRequest request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) {
+    return Status::Cancelled("mining service is shutting down");
+  }
+  if (tenant_id >= tenants_.size()) {
+    return Status::InvalidArgument("unknown tenant id " +
+                                   std::to_string(tenant_id));
+  }
+  Tenant& tenant = *tenants_[tenant_id];
+  // Admission control, cheapest check first. Per-tenant backpressure keeps
+  // the historical OutOfRange signal; the service-wide job/byte budgets
+  // answer with kResourceExhausted so callers can tell "my queue is full"
+  // (drain your own work) from "the service is full" (shed load anywhere).
+  const size_t tenant_cap = tenant.options.max_queued_jobs != 0
+                                ? tenant.options.max_queued_jobs
+                                : options_.max_queued_jobs;
+  if (tenant_cap != 0 && tenant.num_queued_jobs >= tenant_cap) {
+    ++tenant.stats.admission_rejections;
+    ++num_admission_rejections_;
     return Status::OutOfRange(
-        "job queue full (" + std::to_string(num_queued_jobs_) +
+        "job queue full (" + std::to_string(tenant.num_queued_jobs) +
         " queued); retry after draining");
+  }
+  if (options_.max_total_queued_jobs != 0 &&
+      num_queued_jobs_ >= options_.max_total_queued_jobs) {
+    ++tenant.stats.admission_rejections;
+    ++num_admission_rejections_;
+    return Status::ResourceExhausted(
+        "service job budget exhausted (" + std::to_string(num_queued_jobs_) +
+        " queued across tenants); shed load and retry");
+  }
+  const size_t bytes = ApproxRequestBytes(request);
+  if (options_.max_queued_request_bytes != 0 &&
+      queued_request_bytes_ + bytes > options_.max_queued_request_bytes) {
+    ++tenant.stats.admission_rejections;
+    ++num_admission_rejections_;
+    return Status::ResourceExhausted(
+        "service byte budget exhausted (" +
+        std::to_string(queued_request_bytes_) + " of " +
+        std::to_string(options_.max_queued_request_bytes) +
+        " bytes queued); shed load and retry");
   }
   auto job = std::make_shared<Job>();
   job->id = next_job_id_++;
+  job->tenant = tenant_id;
   job->request = std::move(request);
+  job->approx_bytes = bytes;
   // The service owns cancellation for queued work: a caller-embedded
   // DcsgaOptions::cancel pointer could dangle before the executor runs the
   // job and would shadow the per-job token (making Cancel(id) a silent
@@ -111,8 +193,17 @@ Result<JobId> MiningService::Submit(MiningRequest request) {
   // cancellation path.
   job->request.ga_solver.cancel = nullptr;
   jobs_.emplace(job->id, job);
-  queue_.push_back(QueuedOp{job});
+  // Idle catch-up of the fair clock: a tenant rejoining after an idle
+  // stretch resumes at the active floor instead of replaying its banked
+  // credit and monopolizing the executors.
+  if (tenant.queue.empty() && !tenant.busy) {
+    tenant.vtime = MinActiveVtimeLocked(tenant, tenant.vtime);
+  }
+  tenant.queue.push_back(QueuedOp{job});
+  ++tenant.num_queued_jobs;
+  ++tenant.stats.submitted;
   ++num_queued_jobs_;
+  queued_request_bytes_ += bytes;
   ++num_submitted_;
   if (HasDeadline(job->request)) {
     // Register with the watchdog; waking it re-derives the sleep horizon,
@@ -124,39 +215,56 @@ Result<JobId> MiningService::Submit(MiningRequest request) {
   return job->id;
 }
 
-Status MiningService::ApplyUpdate(UpdateSide side, VertexId u, VertexId v,
-                                  double delta) {
-  // Eager validation (against the fixed vertex universe) keeps the deferred
-  // apply infallible, so a bad update is reported to its submitter instead
-  // of poisoning the queue.
-  DCS_RETURN_NOT_OK(
-      MinerSession::ValidateUpdate(session_.num_vertices(), u, v, delta));
+Result<JobId> MiningService::Submit(MiningRequest request) {
+  return Submit(TenantId{0}, std::move(request));
+}
+
+Status MiningService::ApplyUpdate(TenantId tenant_id, UpdateSide side,
+                                  VertexId u, VertexId v, double delta) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (stopping_) {
     return Status::Cancelled("mining service is shutting down");
   }
+  if (tenant_id >= tenants_.size()) {
+    return Status::InvalidArgument("unknown tenant id " +
+                                   std::to_string(tenant_id));
+  }
+  Tenant& tenant = *tenants_[tenant_id];
+  // Eager validation (against the tenant's fixed vertex universe) keeps the
+  // deferred apply infallible, so a bad update is reported to its submitter
+  // instead of poisoning the queue. num_vertices() is immutable, so reading
+  // it while the tenant's session mines is safe.
+  DCS_RETURN_NOT_OK(MinerSession::ValidateUpdate(tenant.session.num_vertices(),
+                                                 u, v, delta));
   QueuedOp op;
   op.side = side;
   op.u = u;
   op.v = v;
   op.delta = delta;
-  queue_.push_back(std::move(op));
+  tenant.queue.push_back(std::move(op));
   work_available_.notify_one();
   return Status::OK();
+}
+
+Status MiningService::ApplyUpdate(UpdateSide side, VertexId u, VertexId v,
+                                  double delta) {
+  return ApplyUpdate(TenantId{0}, side, u, v, delta);
 }
 
 // Fills the cheap JobStatus fields under the lock, then releases it for the
 // deep MiningResponse copy: a kDone job is terminal and never mutated again,
 // so copying its (potentially large) response outside the mutex is safe and
-// keeps pollers from stalling Submit and the executor's finish path.
+// keeps pollers from stalling Submit and the executors' finish paths.
 JobStatus MiningService::TakeSnapshot(std::unique_lock<std::mutex>* lock,
                                       const std::shared_ptr<Job>& job) const {
   JobStatus status;
   status.id = job->id;
+  status.tenant = job->tenant;
   status.state = job->state;
   status.failure = job->failure;
   status.queue_seconds = job->queue_seconds;
   status.run_seconds = job->run_seconds;
+  status.finish_index = job->finish_index;
   lock->unlock();
   if (status.state == JobState::kDone) status.response = job->response;
   return status;
@@ -214,14 +322,20 @@ Result<JobStatus> MiningService::Cancel(JobId id) {
   if (job->state == JobState::kQueued) {
     // Terminal immediately: the executor skips the stale queue entry, so a
     // cancelled queued job is guaranteed to never start.
+    LeaveQueueLocked(tenants_[job->tenant].get(), job.get());
     job->state = JobState::kCancelled;
-    job->queue_seconds = job->since_submit.Seconds();
-    DCS_CHECK(num_queued_jobs_ > 0);
-    --num_queued_jobs_;
     FinishLocked(job);
   }
   // A running job finishes cancelling asynchronously; terminal jobs no-op.
   return TakeSnapshot(&lock, job);
+}
+
+void MiningService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_available_.notify_all();
 }
 
 void MiningService::Drain() {
@@ -229,9 +343,30 @@ void MiningService::Drain() {
   // Same registration as Wait(): the destructor must not tear down
   // mutex_/job_finished_ while a drainer sleeps on them.
   ScopedWaiter waiter(this);
-  job_finished_.wait(lock, [this] {
-    return (queue_.empty() && !running_job_ && !executor_busy_) || stopping_;
-  });
+  job_finished_.wait(lock, [this] { return IdleLocked() || stopping_; });
+}
+
+bool MiningService::IdleLocked() const {
+  for (const auto& tenant : tenants_) {
+    if (tenant->busy || !tenant->queue.empty()) return false;
+  }
+  return num_running_jobs_ == 0;
+}
+
+size_t MiningService::num_tenants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_.size();
+}
+
+Result<TenantStats> MiningService::tenant_stats(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tenant >= tenants_.size()) {
+    return Status::InvalidArgument("unknown tenant id " +
+                                   std::to_string(tenant));
+  }
+  TenantStats stats = tenants_[tenant]->stats;
+  stats.virtual_time = tenants_[tenant]->vtime;
+  return stats;
 }
 
 uint64_t MiningService::num_submitted() const {
@@ -241,7 +376,7 @@ uint64_t MiningService::num_submitted() const {
 
 size_t MiningService::num_pending_jobs() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return num_queued_jobs_ + (running_job_ ? 1 : 0);
+  return num_queued_jobs_ + num_running_jobs_;
 }
 
 size_t MiningService::num_active_waiters() const {
@@ -254,6 +389,16 @@ uint64_t MiningService::num_deadline_exceeded() const {
   return num_deadline_exceeded_;
 }
 
+uint64_t MiningService::num_admission_rejections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_admission_rejections_;
+}
+
+size_t MiningService::queued_request_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_request_bytes_;
+}
+
 HealthState MiningService::health() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return health_;
@@ -261,29 +406,49 @@ HealthState MiningService::health() const {
 
 uint64_t MiningService::num_health_transitions() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return health_transitions_;
+  uint64_t total = 0;
+  for (const auto& tenant : tenants_) total += tenant->health_transitions;
+  return total;
 }
 
 uint64_t MiningService::num_store_write_errors() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return store_write_errors_;
+  uint64_t total = 0;
+  for (const auto& tenant : tenants_) total += tenant->store_write_errors;
+  return total;
 }
 
 uint64_t MiningService::num_store_retries() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return store_retries_;
+  uint64_t total = 0;
+  for (const auto& tenant : tenants_) total += tenant->store_retries;
+  return total;
+}
+
+void MiningService::LeaveQueueLocked(Tenant* tenant, Job* job) {
+  DCS_CHECK(job->state == JobState::kQueued);
+  job->queue_seconds = job->since_submit.Seconds();
+  DCS_CHECK(tenant->num_queued_jobs > 0);
+  --tenant->num_queued_jobs;
+  DCS_CHECK(num_queued_jobs_ > 0);
+  --num_queued_jobs_;
+  DCS_CHECK(queued_request_bytes_ >= job->approx_bytes);
+  queued_request_bytes_ -= job->approx_bytes;
+  tenant->stats.total_queue_seconds += job->queue_seconds;
+  tenant->stats.max_queue_seconds =
+      std::max(tenant->stats.max_queue_seconds, job->queue_seconds);
 }
 
 void MiningService::ExpireQueuedLocked(const std::shared_ptr<Job>& job) {
   DCS_CHECK(job->state == JobState::kQueued);
-  job->queue_seconds = job->since_submit.Seconds();
-  DCS_CHECK(num_queued_jobs_ > 0);
-  --num_queued_jobs_;
+  Tenant* tenant = tenants_[job->tenant].get();
+  LeaveQueueLocked(tenant, job.get());
   job->state = JobState::kFailed;
   job->failure = Status::DeadlineExceeded(
       "deadline of " + std::to_string(job->request.deadline_seconds) +
       "s elapsed before the job left the queue");
   ++num_deadline_exceeded_;
+  ++tenant->stats.deadline_exceeded;
   FinishLocked(job);
 }
 
@@ -310,7 +475,7 @@ void MiningService::WatchdogLoop() {
         continue;
       }
       if (state == JobState::kQueued) {
-        // Guaranteed to never start: the executor skips the stale queue_
+        // Guaranteed to never start: the executor skips the stale queue
         // entry exactly like a cancelled-while-queued job's.
         ExpireQueuedLocked(job);
       } else {
@@ -335,6 +500,22 @@ void MiningService::WatchdogLoop() {
 }
 
 void MiningService::FinishLocked(const std::shared_ptr<Job>& job) {
+  job->finish_index = ++finish_seq_;
+  TenantStats& stats = tenants_[job->tenant]->stats;
+  switch (job->state) {
+    case JobState::kDone:
+      ++stats.completed;
+      break;
+    case JobState::kFailed:
+      ++stats.failed;
+      break;
+    case JobState::kCancelled:
+      ++stats.cancelled;
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      DCS_CHECK(false) << "FinishLocked on a non-terminal job";
+  }
   finished_order_.push_back(job->id);
   if (options_.max_finished_jobs != 0) {
     while (finished_order_.size() > options_.max_finished_jobs) {
@@ -345,31 +526,73 @@ void MiningService::FinishLocked(const std::shared_ptr<Job>& job) {
   job_finished_.notify_all();
 }
 
-void MiningService::ExecutorLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  while (true) {
-    work_available_.wait(lock,
-                         [this] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stopping_) return;
-      continue;
+MiningService::Tenant* MiningService::PickTenantLocked() {
+  Tenant* best = nullptr;
+  int64_t best_priority = std::numeric_limits<int64_t>::min();
+  for (const auto& tenant : tenants_) {
+    if (tenant->busy || tenant->queue.empty()) continue;
+    const int64_t priority = HeadPriorityLocked(*tenant);
+    // Strict inequalities make ties resolve to the lowest tenant id — the
+    // iteration order — which is what keeps scheduling decisions
+    // deterministic for the fairness tests.
+    if (best == nullptr || priority > best_priority ||
+        (priority == best_priority && tenant->vtime < best->vtime)) {
+      best = tenant.get();
+      best_priority = priority;
     }
-    QueuedOp op = std::move(queue_.front());
-    queue_.pop_front();
+  }
+  return best;
+}
+
+int64_t MiningService::HeadPriorityLocked(const Tenant& tenant) const {
+  for (const QueuedOp& op : tenant.queue) {
+    if (op.job != nullptr && op.job->state == JobState::kQueued) {
+      return op.job->request.priority;
+    }
+  }
+  // Only fenced updates / stale entries: the queue still needs draining,
+  // but it never outranks a tenant with a live job.
+  return std::numeric_limits<int64_t>::min();
+}
+
+double MiningService::MinActiveVtimeLocked(const Tenant& except,
+                                           double fallback) const {
+  double floor = fallback;
+  bool have_active = false;
+  for (const auto& tenant : tenants_) {
+    if (tenant.get() == &except) continue;
+    if (!tenant->busy && tenant->queue.empty()) continue;
+    floor = have_active ? std::min(floor, tenant->vtime) : tenant->vtime;
+    have_active = true;
+  }
+  // Never rewind: catch-up only ever moves a rejoining tenant forward.
+  return std::max(fallback, floor);
+}
+
+void MiningService::RunTenantOnce(std::unique_lock<std::mutex>* lock,
+                                  Tenant* tenant) {
+  tenant->busy = true;
+  // Cascade the wakeup: this executor absorbed a notify to serve one
+  // tenant, but other tenants may be runnable too (a notify_one can land on
+  // an executor that was already between wait and re-pick). Waking one peer
+  // per dispatch guarantees every runnable tenant eventually has an
+  // executor without thundering the whole pool.
+  if (PickTenantLocked() != nullptr) work_available_.notify_one();
+  while (!tenant->queue.empty()) {
+    QueuedOp op = std::move(tenant->queue.front());
+    tenant->queue.pop_front();
 
     if (op.job == nullptr) {
-      // Fenced streaming update: applied strictly after the jobs submitted
-      // before it, strictly before those submitted after. Pre-validated, so
-      // a failure here is a library bug. executor_busy_ keeps Drain from
-      // returning inside the unlocked apply window.
-      executor_busy_ = true;
-      lock.unlock();
+      // Fenced streaming update: applied strictly after the jobs this
+      // tenant submitted before it, strictly before those submitted after.
+      // Pre-validated, so a failure here is a library bug. tenant->busy
+      // keeps Drain from returning — and other executors off this session —
+      // inside the unlocked apply window.
+      lock->unlock();
       const Status applied =
-          session_.ApplyUpdate(op.side, op.u, op.v, op.delta);
+          tenant->session.ApplyUpdate(op.side, op.u, op.v, op.delta);
       DCS_CHECK(applied.ok()) << applied.ToString();
-      lock.lock();
-      executor_busy_ = false;
-      if (queue_.empty()) job_finished_.notify_all();  // Drain watches this
+      lock->lock();
       continue;
     }
 
@@ -377,9 +600,6 @@ void MiningService::ExecutorLoop() {
     if (job->state != JobState::kQueued) {
       // Cancelled (or deadline-expired) while queued: the job went terminal
       // under Cancel() or the watchdog; this is just its stale queue entry.
-      // Draining it may empty the queue, so wake Drain() here too — its
-      // notify at finish time saw a non-empty queue.
-      if (queue_.empty()) job_finished_.notify_all();
       continue;
     }
     if (HasDeadline(job->request) &&
@@ -388,41 +608,48 @@ void MiningService::ExecutorLoop() {
       // watchdog's wakeup latency the job must still fail deterministically
       // instead of racing into a solve.
       ExpireQueuedLocked(job);
-      if (queue_.empty()) job_finished_.notify_all();
       continue;
     }
-    job->state = JobState::kRunning;
-    job->queue_seconds = job->since_submit.Seconds();
-    DCS_CHECK(num_queued_jobs_ > 0);
-    --num_queued_jobs_;
-    running_job_ = true;
 
-    lock.unlock();
+    LeaveQueueLocked(tenant, job.get());
+    job->state = JobState::kRunning;
+    ++tenant->stats.dispatched;
+    // Advance the fair clock at dispatch (not completion) so concurrent
+    // executors already see this tenant's consumed share while its job is
+    // still solving.
+    tenant->vtime += 1.0 / tenant->options.weight;
+    ++num_running_jobs_;
+
+    lock->unlock();
     WallTimer run_timer;
     // Demote solver exceptions to the Status contract (libdcs is
     // exception-free, registered solvers need not be): an escape here would
     // std::terminate the executor thread and take every queued job with it.
     Result<MiningResponse> mined = Status::Internal("not mined");
     try {
-      mined = session_.Mine(job->request, &job->cancel);
+      mined = tenant->session.Mine(job->request, &job->cancel);
     } catch (const std::exception& e) {
       mined = Status::Internal(std::string("solver threw: ") + e.what());
     } catch (...) {
       mined = Status::Internal("solver threw a non-std exception");
     }
     const double run_seconds = run_timer.Seconds();
-    // Ladder step on the executor thread (the session's only user once the
-    // service owns it), so the mirror below reflects write-back failures as
-    // soon as the store reported them — not one job late.
-    session_.RefreshHealth();
-    lock.lock();
+    // Ladder step on the executor thread (the session's only user while
+    // tenant->busy is held), so the mirror below reflects write-back
+    // failures as soon as the store reported them — not one job late.
+    tenant->session.RefreshHealth();
+    lock->lock();
 
-    running_job_ = false;
-    health_ = session_.health();
-    health_transitions_ = session_.num_health_transitions();
-    store_write_errors_ = session_.num_store_write_errors();
-    store_retries_ = session_.num_store_retries();
+    --num_running_jobs_;
+    tenant->health = tenant->session.health();
+    tenant->health_transitions = tenant->session.num_health_transitions();
+    tenant->store_write_errors = tenant->session.num_store_write_errors();
+    tenant->store_retries = tenant->session.num_store_retries();
+    HealthState worst = HealthState::kHealthy;
+    for (const auto& t : tenants_) worst = WorseOf(worst, t->health);
+    health_ = worst;
     job->run_seconds = run_seconds;
+    tenant->stats.total_run_seconds += run_seconds;
     if (mined.ok()) {
       job->state = JobState::kDone;
       job->response = std::move(*mined);
@@ -436,17 +663,47 @@ void MiningService::ExecutorLoop() {
             "deadline of " + std::to_string(job->request.deadline_seconds) +
             "s exceeded while running");
         ++num_deadline_exceeded_;
+        ++tenant->stats.deadline_exceeded;
       } else {
         job->state = JobState::kCancelled;
       }
     } else {
       // Failure propagation: a bad measure/solver id or invalid request
       // becomes a terminal failed job carrying the solver's status — the
-      // service itself never crashes and keeps draining the queue.
+      // service itself never crashes and keeps draining the queues.
       job->state = JobState::kFailed;
       job->failure = mined.status();
     }
     FinishLocked(job);
+    // One job per scheduling decision: releasing the tenant and re-picking
+    // is what lets priorities and the fair clock interleave tenants.
+    break;
+  }
+  tenant->busy = false;
+  if (!tenant->queue.empty()) {
+    // This tenant still has work (a job behind the one just run, or fenced
+    // updates); hand it to the next free executor through a fresh pick.
+    work_available_.notify_one();
+  }
+  // The queue may have emptied on a skip/update/expire path whose
+  // FinishLocked-time notify saw a non-empty queue (or that never finished
+  // a job at all) — Drain watches the all-idle condition, so re-check it
+  // here, after busy dropped.
+  if (IdleLocked()) job_finished_.notify_all();
+}
+
+void MiningService::ExecutorLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    Tenant* tenant = nullptr;
+    work_available_.wait(lock, [this, &tenant] {
+      if (stopping_) return true;
+      if (paused_) return false;
+      tenant = PickTenantLocked();
+      return tenant != nullptr;
+    });
+    if (stopping_) return;
+    RunTenantOnce(&lock, tenant);
   }
 }
 

@@ -29,6 +29,7 @@ enum class StatusCode : uint8_t {
   kInternal = 7,
   kCancelled = 8,
   kDeadlineExceeded = 9,
+  kResourceExhausted = 10,
 };
 
 /// \brief Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
@@ -74,6 +75,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -86,6 +90,9 @@ class Status {
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
   }
 
   /// The error message; empty for OK.

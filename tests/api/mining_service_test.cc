@@ -17,10 +17,12 @@
 #include <vector>
 
 #include "api/miner_session.h"
+#include "api/pipeline_cache.h"
 #include "api/solver_registry.h"
 #include "gen/random_graphs.h"
 #include "test_util.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace dcs {
@@ -598,6 +600,423 @@ TEST(MiningServiceTest, FinishedJobsAreEvictedBeyondTheRetentionCap) {
   EXPECT_TRUE(service.Poll(ids[1]).status().IsNotFound());
   EXPECT_EQ(service.Poll(ids[2])->state, JobState::kDone);
   EXPECT_EQ(service.Poll(ids[3])->state, JobState::kDone);
+}
+
+// --- multi-tenant scheduling ----------------------------------------------
+
+// Three distinct graph pairs used as tenants throughout this block.
+std::vector<std::pair<Graph, Graph>> TenantPairs() {
+  std::vector<std::pair<Graph, Graph>> pairs;
+  pairs.emplace_back(Fig1G1(), Fig1G2());
+  for (uint64_t seed : {7u, 19u}) {
+    Rng rng(seed);
+    Result<Graph> g2 = RandomSignedGraph(/*n=*/60, /*m=*/300,
+                                         /*positive_fraction=*/0.7,
+                                         /*magnitude_lo=*/0.5,
+                                         /*magnitude_hi=*/3.0, &rng);
+    DCS_CHECK(g2.ok());
+    pairs.emplace_back(MakeGraph(60, {}), std::move(*g2));
+  }
+  return pairs;
+}
+
+// The per-tenant job script: measures/alphas vary per slot, and a fenced
+// update lands mid-stream so fencing is load-bearing under contention.
+std::vector<MiningRequest> TenantScript(size_t tenant) {
+  std::vector<MiningRequest> requests(6);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].measure = (i + tenant) % 3 == 0 ? Measure::kBoth
+                          : (i + tenant) % 3 == 1
+                              ? Measure::kGraphAffinity
+                              : Measure::kAverageDegree;
+    requests[i].alpha = i % 2 == 0 ? 1.0 : 2.0;
+    requests[i].ga_solver.parallelism = 0;  // auto — exercises pool sharing
+  }
+  return requests;
+}
+
+bool ScriptUpdateAt(size_t i) { return i == 3; }
+
+// The acceptance bar of the multi-tenant scheduler: whatever the executor
+// count and whatever priorities the tenants use, each tenant's responses are
+// bit-identical to a *dedicated single-tenant service* replaying the same
+// per-tenant op order. Priority reorders dispatch between tenants only, so
+// it must never leak into results.
+TEST(MultiTenantTest, TenantsMatchDedicatedSingleTenantServices) {
+  auto pairs = TenantPairs();
+
+  // References: one dedicated single-tenant service per graph pair.
+  std::vector<std::vector<std::string>> expected(pairs.size());
+  for (size_t t = 0; t < pairs.size(); ++t) {
+    MiningService solo(MustCreate(pairs[t].first, pairs[t].second));
+    std::vector<JobId> ids;
+    const auto script = TenantScript(t);
+    for (size_t i = 0; i < script.size(); ++i) {
+      if (ScriptUpdateAt(i)) {
+        ASSERT_TRUE(solo.ApplyUpdate(UpdateSide::kG2, 1, 3, 2.5).ok());
+      }
+      Result<JobId> id = solo.Submit(script[i]);
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    for (JobId id : ids) {
+      Result<JobStatus> status = solo.Wait(id);
+      ASSERT_TRUE(status.ok());
+      ASSERT_EQ(status->state, JobState::kDone);
+      expected[t].push_back(
+          ::dcs::testing::SerializeSubgraphs(status->response));
+    }
+  }
+
+  for (uint32_t executors : {1u, 2u, 4u, 7u}) {
+    for (int permutation = 0; permutation < 2; ++permutation) {
+      MiningServiceOptions options;
+      options.num_executors = executors;
+      options.shared_cache = std::make_shared<PipelineCache>();
+      options.worker_pool =
+          std::make_shared<ThreadPool>(ThreadPool::DefaultConcurrency() - 1);
+      MiningService service(options);
+      for (auto& [g1, g2] : pairs) {
+        Result<TenantId> tenant = service.AddTenant(
+            MustCreate(g1, g2), TenantOptions{.weight = 1});
+        ASSERT_TRUE(tenant.ok());
+      }
+      std::vector<std::vector<JobId>> ids(pairs.size());
+      for (size_t i = 0; i < TenantScript(0).size(); ++i) {
+        for (size_t t = 0; t < pairs.size(); ++t) {
+          auto script = TenantScript(t);
+          if (ScriptUpdateAt(i)) {
+            ASSERT_TRUE(service
+                            .ApplyUpdate(static_cast<TenantId>(t),
+                                         UpdateSide::kG2, 1, 3, 2.5)
+                            .ok());
+          }
+          MiningRequest request = script[i];
+          request.priority =
+              static_cast<int32_t>((i * 7 + t * 3 + permutation) % 3) - 1;
+          Result<JobId> id =
+              service.Submit(static_cast<TenantId>(t), std::move(request));
+          ASSERT_TRUE(id.ok());
+          ids[t].push_back(*id);
+        }
+      }
+      for (size_t t = 0; t < pairs.size(); ++t) {
+        for (size_t i = 0; i < ids[t].size(); ++i) {
+          Result<JobStatus> status = service.Wait(ids[t][i]);
+          ASSERT_TRUE(status.ok());
+          ASSERT_EQ(status->state, JobState::kDone)
+              << "tenant " << t << " job " << i << ": "
+              << status->failure.ToString();
+          EXPECT_EQ(status->tenant, t);
+          EXPECT_EQ(::dcs::testing::SerializeSubgraphs(status->response),
+                    expected[t][i])
+              << "executors=" << executors << " permutation=" << permutation
+              << " tenant=" << t << " job=" << i;
+        }
+      }
+    }
+  }
+}
+
+// Priority picks between tenants; within a tenant the queue is strict FIFO.
+// A paused single-executor service dispatches a staged backlog in exactly
+// the documented order: max head priority, then min vtime, then lowest id.
+TEST(MultiTenantTest, PriorityOrdersDispatchBetweenTenants) {
+  MiningServiceOptions options;
+  options.start_paused = true;
+  MiningService service(options);
+  for (int t = 0; t < 3; ++t) {
+    ASSERT_TRUE(service.AddTenant(MustCreate(Fig1G1(), Fig1G2())).ok());
+  }
+  auto submit = [&](TenantId tenant, int32_t priority) {
+    MiningRequest request;
+    request.measure = Measure::kAverageDegree;
+    request.priority = priority;
+    Result<JobId> id = service.Submit(tenant, std::move(request));
+    DCS_CHECK(id.ok()) << id.status().ToString();
+    return *id;
+  };
+  // Backlog: A={0,0}, B={2,0}, C={1}. Expected dispatch order (all vtimes
+  // start 0): B's p2 head, C's p1 head, then A before B among the p0 heads
+  // (A's vtime 0 < B's 1), then A again (vtime tie 1, lowest id), then B.
+  const JobId a1 = submit(0, 0), a2 = submit(0, 0);
+  const JobId b1 = submit(1, 2), b2 = submit(1, 0);
+  const JobId c1 = submit(2, 1);
+  service.Resume();
+  service.Drain();
+  auto finish_of = [&](JobId id) {
+    Result<JobStatus> status = service.Poll(id);
+    DCS_CHECK(status.ok() && status->state == JobState::kDone);
+    return status->finish_index;
+  };
+  EXPECT_EQ(finish_of(b1), 1u);
+  EXPECT_EQ(finish_of(c1), 2u);
+  EXPECT_EQ(finish_of(a1), 3u);
+  EXPECT_EQ(finish_of(a2), 4u);
+  EXPECT_EQ(finish_of(b2), 5u);
+}
+
+// Weighted fairness: with weights 3:1 at equal priority, the dispatch order
+// of a staged backlog matches an in-test simulation of the virtual-clock
+// rule exactly (same arithmetic, same tie-break), and the final clocks land
+// where jobs/weight says they must.
+TEST(MultiTenantTest, WeightedFairSharesFollowTheVirtualClock) {
+  constexpr size_t kJobsPerTenant = 8;
+  const uint32_t weights[2] = {3, 1};
+
+  MiningServiceOptions options;
+  options.start_paused = true;
+  MiningService service(options);
+  for (uint32_t weight : weights) {
+    ASSERT_TRUE(service
+                    .AddTenant(MustCreate(Fig1G1(), Fig1G2()),
+                               TenantOptions{.weight = weight})
+                    .ok());
+  }
+  std::vector<std::vector<JobId>> ids(2);
+  for (size_t i = 0; i < kJobsPerTenant; ++i) {
+    for (TenantId t = 0; t < 2; ++t) {
+      MiningRequest request;
+      request.measure = Measure::kAverageDegree;
+      Result<JobId> id = service.Submit(t, std::move(request));
+      ASSERT_TRUE(id.ok());
+      ids[t].push_back(*id);
+    }
+  }
+  service.Resume();
+  service.Drain();
+
+  // Reference scheduler: min vtime wins, ties to the lowest id, clock
+  // advances by 1/weight — the same doubles in the same order as the
+  // service, so the comparison is exact, not approximate.
+  double vtime[2] = {0.0, 0.0};
+  size_t next_job[2] = {0, 0};
+  uint64_t expected_finish = 0;
+  while (next_job[0] < kJobsPerTenant || next_job[1] < kJobsPerTenant) {
+    int pick = -1;
+    for (int t = 0; t < 2; ++t) {
+      if (next_job[t] == kJobsPerTenant) continue;
+      if (pick == -1 || vtime[t] < vtime[pick]) pick = t;
+    }
+    vtime[pick] += 1.0 / weights[pick];
+    const JobId id = ids[pick][next_job[pick]++];
+    ++expected_finish;
+    Result<JobStatus> status = service.Poll(id);
+    ASSERT_TRUE(status.ok());
+    ASSERT_EQ(status->state, JobState::kDone);
+    EXPECT_EQ(status->finish_index, expected_finish)
+        << "tenant " << pick << " job " << next_job[pick] - 1;
+  }
+  for (TenantId t = 0; t < 2; ++t) {
+    Result<TenantStats> stats = service.tenant_stats(t);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->submitted, kJobsPerTenant);
+    EXPECT_EQ(stats->dispatched, kJobsPerTenant);
+    EXPECT_EQ(stats->completed, kJobsPerTenant);
+    EXPECT_EQ(stats->virtual_time, vtime[t]);
+    EXPECT_GT(stats->total_queue_seconds, 0.0);
+    EXPECT_GE(stats->max_queue_seconds, 0.0);
+  }
+}
+
+// Admission control, made deterministic by the paused scheduler: the
+// per-tenant cap rejects with OutOfRange, the service-wide job and byte
+// budgets with ResourceExhausted, and every rejection is counted. The byte
+// gauge returns to zero once the backlog drains.
+TEST(MultiTenantTest, AdmissionControlShedsLoadDeterministically) {
+  MiningRequest request;
+  request.measure = Measure::kAverageDegree;
+  const size_t per_job = MiningService::ApproxRequestBytes(request);
+  ASSERT_GT(per_job, 0u);
+
+  MiningServiceOptions options;
+  options.start_paused = true;
+  options.max_queued_jobs = 2;            // per-tenant default
+  options.max_total_queued_jobs = 3;      // service job budget
+  options.max_queued_request_bytes = 3 * per_job;  // never the binding limit
+  MiningService service(options);
+  ASSERT_TRUE(service.AddTenant(MustCreate(Fig1G1(), Fig1G2())).ok());
+  ASSERT_TRUE(service
+                  .AddTenant(MustCreate(Fig1G1(), Fig1G2()),
+                             TenantOptions{.max_queued_jobs = 4})
+                  .ok());
+
+  // Tenant 0: cap 2 — third submit is backpressure, not a budget breach.
+  ASSERT_TRUE(service.Submit(0, request).ok());
+  ASSERT_TRUE(service.Submit(0, request).ok());
+  Result<JobId> overflow = service.Submit(0, request);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(service.queued_request_bytes(), 2 * per_job);
+
+  // Tenant 1: its own cap is 4, but the third service-wide job breaches the
+  // global budget of 3 → ResourceExhausted.
+  ASSERT_TRUE(service.Submit(1, request).ok());
+  Result<JobId> exhausted = service.Submit(1, request);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_TRUE(exhausted.status().IsResourceExhausted());
+
+  EXPECT_EQ(service.num_admission_rejections(), 2u);
+  EXPECT_EQ(service.tenant_stats(0)->admission_rejections, 1u);
+  EXPECT_EQ(service.tenant_stats(1)->admission_rejections, 1u);
+
+  service.Resume();
+  service.Drain();
+  EXPECT_EQ(service.queued_request_bytes(), 0u);
+  EXPECT_TRUE(service.Submit(1, request).ok());
+  service.Drain();
+
+  // Byte budget alone: a fresh paused service where bytes bind before jobs.
+  MiningServiceOptions byte_options;
+  byte_options.start_paused = true;
+  byte_options.max_queued_request_bytes = per_job + per_job / 2;
+  MiningService byte_service(MustCreate(Fig1G1(), Fig1G2()), byte_options);
+  ASSERT_TRUE(byte_service.Submit(request).ok());
+  Result<JobId> byte_overflow = byte_service.Submit(request);
+  ASSERT_FALSE(byte_overflow.ok());
+  EXPECT_TRUE(byte_overflow.status().IsResourceExhausted());
+  byte_service.Resume();
+  byte_service.Drain();
+}
+
+TEST(MultiTenantTest, AddTenantAndLookupValidation) {
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()));
+  Result<TenantId> bad =
+      service.AddTenant(MustCreate(Fig1G1(), Fig1G2()), TenantOptions{.weight = 0});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(service.num_tenants(), 1u);
+  EXPECT_EQ(service.Submit(5, MiningRequest{}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.ApplyUpdate(5, UpdateSide::kG1, 0, 1, 1.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.tenant_stats(5).status().code(),
+            StatusCode::kInvalidArgument);
+  service.Drain();
+}
+
+// --- drain vs submit race (regression) ------------------------------------
+
+// A submitter racing Drain must observe either an accepted job that goes
+// terminal or an admission rejection — never a Submit that slips past a
+// Drain decision and then sleeps forever because the drained service lost
+// its wakeup. Rapid Drain calls run against a steady multi-threaded submit
+// stream; the test's own completion (plus a final accounting pass) is the
+// regression signal.
+TEST(MiningServiceTest, DrainRacingSubmitNeverLosesAJob) {
+  MiningServiceOptions options;
+  options.max_queued_jobs = 8;
+  options.num_executors = 2;
+  MiningService service(options);
+  for (int t = 0; t < 2; ++t) {
+    ASSERT_TRUE(service.AddTenant(MustCreate(Fig1G1(), Fig1G2())).ok());
+  }
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 40;
+  std::vector<std::vector<JobId>> accepted(kSubmitters);
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kPerThread; ++i) {
+        MiningRequest request;
+        request.measure = Measure::kAverageDegree;
+        Result<JobId> id =
+            service.Submit(static_cast<TenantId>(s % 2), std::move(request));
+        if (id.ok()) {
+          accepted[s].push_back(*id);
+        } else {
+          // Backpressure is the only acceptable refusal while running.
+          EXPECT_EQ(id.status().code(), StatusCode::kOutOfRange);
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread drainer([&] {
+    for (int i = 0; i < 50; ++i) {
+      service.Drain();
+    }
+  });
+  for (auto& thread : submitters) thread.join();
+  drainer.join();
+  service.Drain();
+
+  uint64_t terminal = 0;
+  for (const auto& ids : accepted) {
+    for (JobId id : ids) {
+      Result<JobStatus> status = service.Poll(id);
+      ASSERT_TRUE(status.ok());
+      EXPECT_EQ(status->state, JobState::kDone);
+      ++terminal;
+    }
+  }
+  EXPECT_EQ(terminal + static_cast<uint64_t>(rejected.load()),
+            static_cast<uint64_t>(kSubmitters) * kPerThread);
+  EXPECT_EQ(service.num_pending_jobs(), 0u);
+}
+
+// --- watchdog expiry vs cancel race (regression) --------------------------
+
+// Deadline-carrying jobs racing explicit Cancel calls: every job must land
+// in exactly one terminal state — kCancelled when the user won, kFailed
+// with kDeadlineExceeded when the watchdog did — and the per-tenant
+// terminal counters must add up to the submissions either way.
+TEST(MiningServiceTest, WatchdogExpiryRacingCancelIsTerminalExactlyOnce) {
+  RegisterTestSolvers();
+  constexpr int kJobs = 24;
+  MiningService service(MustCreate(Fig1G1(), Fig1G2()));
+  std::vector<JobId> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    MiningRequest request;
+    request.measure = Measure::kAverageDegree;
+    request.ad_solver_name = "cancel-waiting";  // runs until its token fires
+    request.deadline_seconds = 0.002 + 0.002 * (i % 4);
+    Result<JobId> id = service.Submit(std::move(request));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  // Race the watchdog from two directions at once.
+  std::thread canceller([&] {
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      (void)service.Cancel(ids[i]);
+    }
+  });
+  std::thread late_canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    for (size_t i = 1; i < ids.size(); i += 2) {
+      (void)service.Cancel(ids[i]);
+    }
+  });
+  canceller.join();
+  late_canceller.join();
+  service.Drain();
+
+  uint64_t cancelled = 0, deadline_failed = 0;
+  for (JobId id : ids) {
+    Result<JobStatus> status = service.Poll(id);
+    ASSERT_TRUE(status.ok());
+    ASSERT_TRUE(status->terminal());
+    if (status->state == JobState::kCancelled) {
+      ++cancelled;
+    } else {
+      ASSERT_EQ(status->state, JobState::kFailed);
+      EXPECT_EQ(status->failure.code(), StatusCode::kDeadlineExceeded);
+      ++deadline_failed;
+    }
+    EXPECT_GT(status->finish_index, 0u);
+  }
+  EXPECT_EQ(cancelled + deadline_failed, static_cast<uint64_t>(kJobs));
+  Result<TenantStats> stats = service.tenant_stats(0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cancelled, cancelled);
+  EXPECT_EQ(stats->failed, deadline_failed);
+  EXPECT_EQ(stats->deadline_exceeded, deadline_failed);
+  EXPECT_EQ(stats->cancelled + stats->failed + stats->completed,
+            stats->submitted);
+  EXPECT_EQ(service.num_deadline_exceeded(), deadline_failed);
 }
 
 }  // namespace

@@ -1,0 +1,318 @@
+/*
+ * C-ABI conformance test: consumes include/dcs_c_api.h from a pure C99
+ * translation unit (this file compiles with -std=c99, no C++ anywhere).
+ *
+ * Covers the full handle lifecycle — graph/service/response create and
+ * free, tenant registration, submit/poll/wait/cancel/drain, streaming
+ * updates, admission-control rejections, error strings — plus the
+ * hardening paths: NULL handles, NULL out-pointers, bad enum values,
+ * unknown ids, and double-free on every handle type.
+ *
+ * Exits 0 on success; prints the failing expectation and exits 1
+ * otherwise (the ctest `cabi` label wiring).
+ */
+
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include "dcs_c_api.h"
+
+static int g_failures = 0;
+
+#define EXPECT(cond)                                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond);    \
+      ++g_failures;                                                      \
+    }                                                                    \
+  } while (0)
+
+/* The paper's Fig. 1 pair (tests/test_util.h Fig1G1/Fig1G2), as flat
+ * C arrays. */
+static const uint32_t kG1Us[] = {1, 0, 2, 3, 0};
+static const uint32_t kG1Vs[] = {2, 3, 3, 4, 4};
+static const double kG1Ws[] = {2.0, 1.0, 3.0, 2.0, 2.0};
+
+static const uint32_t kG2Us[] = {0, 1, 0, 2, 3, 0};
+static const uint32_t kG2Vs[] = {1, 2, 3, 3, 4, 4};
+static const double kG2Ws[] = {4.0, 5.0, 2.0, 1.0, 6.0, 1.0};
+
+static void test_names(void) {
+  EXPECT(strcmp(dcs_status_code_name(DCS_OK), "OK") == 0);
+  EXPECT(strcmp(dcs_status_code_name(DCS_RESOURCE_EXHAUSTED),
+                "Resource exhausted") == 0);
+  EXPECT(strcmp(dcs_status_code_name(DCS_DEADLINE_EXCEEDED),
+                "Deadline exceeded") == 0);
+  EXPECT(strcmp(dcs_status_code_name(-1), "unknown") == 0);
+  EXPECT(strcmp(dcs_status_code_name(99), "unknown") == 0);
+  EXPECT(strcmp(dcs_job_state_name(DCS_JOB_QUEUED), "queued") == 0);
+  EXPECT(strcmp(dcs_job_state_name(DCS_JOB_DONE), "done") == 0);
+  EXPECT(strcmp(dcs_job_state_name(77), "unknown") == 0);
+}
+
+static void test_graph_errors(void) {
+  dcs_graph* graph = NULL;
+  const uint32_t self_u[] = {2};
+  const uint32_t self_v[] = {2};
+  const double w[] = {1.0};
+
+  EXPECT(dcs_graph_create(5, NULL, NULL, NULL, 1, &graph) ==
+         DCS_INVALID_ARGUMENT);
+  EXPECT(graph == NULL);
+  /* Self-loops are rejected by the graph builder. */
+  EXPECT(dcs_graph_create(5, self_u, self_v, w, 1, &graph) ==
+         DCS_INVALID_ARGUMENT);
+  EXPECT(graph == NULL);
+  /* NULL out-pointer is caught, not dereferenced. */
+  EXPECT(dcs_graph_create(5, kG1Us, kG1Vs, kG1Ws, 5, NULL) ==
+         DCS_INVALID_ARGUMENT);
+  /* An empty graph is valid. */
+  EXPECT(dcs_graph_create(3, NULL, NULL, NULL, 0, &graph) == DCS_OK);
+  EXPECT(graph != NULL);
+  dcs_graph_free(&graph);
+  EXPECT(graph == NULL);
+  /* Double-free and NULL-free are well-defined no-ops. */
+  dcs_graph_free(&graph);
+  dcs_graph_free(NULL);
+}
+
+static void test_null_handle_hardening(void) {
+  dcs_job_status status;
+  dcs_mining_request request;
+  dcs_subgraph_view view;
+  uint64_t job = 0;
+  uint32_t tenant = 0;
+  dcs_response* response = NULL;
+
+  dcs_mining_request_init(&request);
+  EXPECT(dcs_service_submit(NULL, 0, &request, &job) == DCS_INVALID_ARGUMENT);
+  EXPECT(dcs_service_poll(NULL, 1, &status) == DCS_INVALID_ARGUMENT);
+  EXPECT(dcs_service_wait(NULL, 1, &status) == DCS_INVALID_ARGUMENT);
+  EXPECT(dcs_service_cancel(NULL, 1, &status) == DCS_INVALID_ARGUMENT);
+  EXPECT(dcs_service_drain(NULL) == DCS_INVALID_ARGUMENT);
+  EXPECT(dcs_service_apply_update(NULL, 0, DCS_UPDATE_G1, 0, 1, 1.0) ==
+         DCS_INVALID_ARGUMENT);
+  EXPECT(dcs_service_add_tenant(NULL, NULL, NULL, 1, 0, &tenant) ==
+         DCS_INVALID_ARGUMENT);
+  EXPECT(dcs_service_take_response(NULL, 1, &response) ==
+         DCS_INVALID_ARGUMENT);
+  EXPECT(dcs_response_num_subgraphs(NULL, DCS_MEASURE_AVERAGE_DEGREE) == 0);
+  EXPECT(dcs_response_subgraph(NULL, DCS_MEASURE_AVERAGE_DEGREE, 0, &view) ==
+         DCS_INVALID_ARGUMENT);
+  EXPECT(strcmp(dcs_service_last_error(NULL), "null service handle") == 0);
+  /* Init helpers tolerate NULL. */
+  dcs_service_options_init(NULL);
+  dcs_mining_request_init(NULL);
+  dcs_service_free(NULL);
+  dcs_response_free(NULL);
+}
+
+static void test_end_to_end(void) {
+  dcs_service_options options;
+  dcs_service* service = NULL;
+  dcs_graph* g1 = NULL;
+  dcs_graph* g2 = NULL;
+  uint32_t tenant_a = 99;
+  uint32_t tenant_b = 99;
+  dcs_mining_request request;
+  dcs_job_status status;
+  uint64_t job = 0;
+  uint64_t job_b = 0;
+  dcs_response* response = NULL;
+  dcs_subgraph_view view;
+  size_t i;
+
+  dcs_service_options_init(&options);
+  EXPECT(options.num_executors == 1);
+  EXPECT(options.max_finished_jobs == 4096);
+  options.num_executors = 2;
+  options.share_pipeline_cache = 1;
+  options.share_worker_pool = 1;
+  EXPECT(dcs_service_create(&options, &service) == DCS_OK);
+  EXPECT(service != NULL);
+  EXPECT(strcmp(dcs_service_last_error(service), "") == 0);
+
+  EXPECT(dcs_graph_create(5, kG1Us, kG1Vs, kG1Ws, 5, &g1) == DCS_OK);
+  EXPECT(dcs_graph_create(5, kG2Us, kG2Vs, kG2Ws, 6, &g2) == DCS_OK);
+
+  /* Zero weight is rejected with a readable message. */
+  EXPECT(dcs_service_add_tenant(service, g1, g2, 0, 0, &tenant_a) ==
+         DCS_INVALID_ARGUMENT);
+  EXPECT(strstr(dcs_service_last_error(service), "weight") != NULL);
+
+  EXPECT(dcs_service_add_tenant(service, g1, g2, 3, 0, &tenant_a) == DCS_OK);
+  EXPECT(dcs_service_add_tenant(service, g1, g2, 1, 0, &tenant_b) == DCS_OK);
+  EXPECT(tenant_a == 0);
+  EXPECT(tenant_b == 1);
+  /* The graphs were copied in; the caller frees its handles now. */
+  dcs_graph_free(&g1);
+  dcs_graph_free(&g2);
+
+  /* Submit against an unknown tenant fails eagerly. */
+  dcs_mining_request_init(&request);
+  EXPECT(dcs_service_submit(service, 7, &request, &job) ==
+         DCS_INVALID_ARGUMENT);
+  EXPECT(strstr(dcs_service_last_error(service), "unknown tenant") != NULL);
+  /* Bad measure value fails at submit, not as a failed job. */
+  request.measure = 42;
+  EXPECT(dcs_service_submit(service, tenant_a, &request, &job) ==
+         DCS_INVALID_ARGUMENT);
+
+  /* A real job on each tenant; both mine the same pair, so the responses
+   * must match subgraph for subgraph. */
+  dcs_mining_request_init(&request);
+  request.measure = DCS_MEASURE_BOTH;
+  request.priority = 5;
+  EXPECT(dcs_service_submit(service, tenant_a, &request, &job) == DCS_OK);
+  EXPECT(dcs_service_submit(service, tenant_b, &request, &job_b) == DCS_OK);
+  EXPECT(job != 0 && job_b != 0 && job != job_b);
+
+  EXPECT(dcs_service_poll(service, job, &status) == DCS_OK);
+  EXPECT(status.id == job);
+  EXPECT(status.tenant == tenant_a);
+
+  EXPECT(dcs_service_wait(service, job, &status) == DCS_OK);
+  EXPECT(status.state == DCS_JOB_DONE);
+  EXPECT(status.failure_code == DCS_OK);
+  EXPECT(status.finish_index > 0);
+
+  /* Fenced update then drain: the service absorbs the whole stream. */
+  EXPECT(dcs_service_apply_update(service, tenant_a, DCS_UPDATE_G2, 0, 1,
+                                  2.5) == DCS_OK);
+  EXPECT(dcs_service_apply_update(service, tenant_a, 9, 0, 1, 2.5) ==
+         DCS_INVALID_ARGUMENT); /* bad side */
+  EXPECT(dcs_service_apply_update(service, tenant_a, DCS_UPDATE_G1, 3, 3,
+                                  1.0) == DCS_INVALID_ARGUMENT); /* loop */
+  EXPECT(dcs_service_drain(service) == DCS_OK);
+
+  /* Extract the finished responses and compare them. */
+  EXPECT(dcs_service_take_response(service, job, &response) == DCS_OK);
+  EXPECT(response != NULL);
+  {
+    dcs_response* response_b = NULL;
+    size_t n_ad = dcs_response_num_subgraphs(response,
+                                             DCS_MEASURE_AVERAGE_DEGREE);
+    size_t n_ga = dcs_response_num_subgraphs(response,
+                                             DCS_MEASURE_GRAPH_AFFINITY);
+    EXPECT(n_ad == 1);
+    EXPECT(n_ga == 1);
+    EXPECT(dcs_response_num_subgraphs(response, DCS_MEASURE_BOTH) == 0);
+    EXPECT(dcs_service_take_response(service, job_b, &response_b) == DCS_OK);
+    EXPECT(dcs_response_num_subgraphs(response_b,
+                                      DCS_MEASURE_AVERAGE_DEGREE) == n_ad);
+    /* Same pair, same request: per-tenant determinism means the mined
+     * vertices and values agree exactly. */
+    {
+      dcs_subgraph_view va;
+      dcs_subgraph_view vb;
+      EXPECT(dcs_response_subgraph(response, DCS_MEASURE_GRAPH_AFFINITY, 0,
+                                   &va) == DCS_OK);
+      EXPECT(dcs_response_subgraph(response_b, DCS_MEASURE_GRAPH_AFFINITY, 0,
+                                   &vb) == DCS_OK);
+      EXPECT(va.num_vertices > 0);
+      EXPECT(va.num_vertices == vb.num_vertices);
+      EXPECT(va.value == vb.value);
+      for (i = 0; i < va.num_vertices && i < vb.num_vertices; ++i) {
+        EXPECT(va.vertices[i] == vb.vertices[i]);
+        if (i > 0) EXPECT(va.vertices[i] > va.vertices[i - 1]);
+      }
+    }
+    dcs_response_free(&response_b);
+    EXPECT(response_b == NULL);
+  }
+  EXPECT(dcs_response_subgraph(response, DCS_MEASURE_GRAPH_AFFINITY, 17,
+                               &view) == DCS_OUT_OF_RANGE);
+  dcs_response_free(&response);
+  EXPECT(response == NULL);
+  dcs_response_free(&response); /* double-free no-op */
+
+  /* Cancelled jobs refuse extraction with DCS_CANCELLED. */
+  request.deadline_seconds = 0.0;
+  EXPECT(dcs_service_submit(service, tenant_b, &request, &job) == DCS_OK);
+  EXPECT(dcs_service_cancel(service, job, NULL) == DCS_OK);
+  EXPECT(dcs_service_wait(service, job, &status) == DCS_OK);
+  /* The job either finished before the cancel landed or was cancelled —
+   * both are terminal; extraction then either succeeds or reports it. */
+  EXPECT(status.state == DCS_JOB_DONE || status.state == DCS_JOB_CANCELLED);
+  if (status.state == DCS_JOB_CANCELLED) {
+    EXPECT(dcs_service_take_response(service, job, &response) ==
+           DCS_CANCELLED);
+    EXPECT(response == NULL);
+  }
+
+  /* Unknown job ids answer DCS_NOT_FOUND. */
+  EXPECT(dcs_service_poll(service, 0xDEAD, &status) == DCS_NOT_FOUND);
+  EXPECT(dcs_service_wait(service, 0xDEAD, &status) == DCS_NOT_FOUND);
+  EXPECT(dcs_service_cancel(service, 0xDEAD, &status) == DCS_NOT_FOUND);
+
+  dcs_service_free(&service);
+  EXPECT(service == NULL);
+  dcs_service_free(&service); /* double-free no-op */
+}
+
+static void test_admission_control(void) {
+  dcs_service_options options;
+  dcs_service* service = NULL;
+  dcs_graph* g1 = NULL;
+  dcs_graph* g2 = NULL;
+  uint32_t tenant_a = 0;
+  uint32_t tenant_b = 0;
+  dcs_mining_request request;
+  dcs_job_status status;
+  uint64_t jobs[2];
+  uint64_t job = 0;
+
+  dcs_service_options_init(&options);
+  /* Paused scheduler + a two-job service-wide budget: every admission
+   * decision below is deterministic — nothing dispatches until resume. */
+  options.start_paused = 1;
+  options.max_total_queued_jobs = 2;
+  options.max_queued_jobs = 1; /* per-tenant cap: 1 */
+  EXPECT(dcs_service_create(&options, &service) == DCS_OK);
+  EXPECT(dcs_graph_create(5, kG1Us, kG1Vs, kG1Ws, 5, &g1) == DCS_OK);
+  EXPECT(dcs_graph_create(5, kG2Us, kG2Vs, kG2Ws, 6, &g2) == DCS_OK);
+  EXPECT(dcs_service_add_tenant(service, g1, g2, 1, 0, &tenant_a) == DCS_OK);
+  /* tenant_b overrides the per-tenant cap to 2 — the service budget, not
+   * its own queue, must be what rejects its second job. */
+  EXPECT(dcs_service_add_tenant(service, g1, g2, 1, 2, &tenant_b) == DCS_OK);
+  dcs_graph_free(&g1);
+  dcs_graph_free(&g2);
+
+  dcs_mining_request_init(&request);
+  /* Per-tenant backpressure: tenant_a holds 1 queued job, the second is
+   * rejected with the OutOfRange backpressure signal. */
+  EXPECT(dcs_service_submit(service, tenant_a, &request, &jobs[0]) == DCS_OK);
+  EXPECT(dcs_service_submit(service, tenant_a, &request, &job) ==
+         DCS_OUT_OF_RANGE);
+  EXPECT(strstr(dcs_service_last_error(service), "queue full") != NULL);
+  /* Service-wide budget: tenant_b's first job fills the 2-job budget, its
+   * second sheds with DCS_RESOURCE_EXHAUSTED despite its own cap of 2. */
+  EXPECT(dcs_service_submit(service, tenant_b, &request, &jobs[1]) == DCS_OK);
+  EXPECT(dcs_service_submit(service, tenant_b, &request, &job) ==
+         DCS_RESOURCE_EXHAUSTED);
+  EXPECT(strstr(dcs_service_last_error(service), "budget") != NULL);
+
+  EXPECT(dcs_service_resume(service) == DCS_OK);
+  EXPECT(dcs_service_drain(service) == DCS_OK);
+  EXPECT(dcs_service_wait(service, jobs[0], &status) == DCS_OK);
+  EXPECT(status.state == DCS_JOB_DONE);
+  EXPECT(dcs_service_wait(service, jobs[1], &status) == DCS_OK);
+  EXPECT(status.state == DCS_JOB_DONE);
+  dcs_service_free(&service);
+}
+
+int main(void) {
+  test_names();
+  test_graph_errors();
+  test_null_handle_hardening();
+  test_end_to_end();
+  test_admission_control();
+  if (g_failures != 0) {
+    fprintf(stderr, "c_api_test: %d expectation(s) failed\n", g_failures);
+    return 1;
+  }
+  printf("c_api_test: all C-ABI expectations passed\n");
+  return 0;
+}

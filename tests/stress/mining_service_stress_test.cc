@@ -20,9 +20,11 @@
 #include <vector>
 
 #include "api/miner_session.h"
+#include "api/pipeline_cache.h"
 #include "gen/random_graphs.h"
 #include "test_util.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dcs {
 namespace {
@@ -220,6 +222,123 @@ TEST(MiningServiceStressTest, ConcurrentSubmittersGetExactResults) {
     }
   }
   EXPECT_EQ(service.num_submitted(), kThreads * kJobsPerThread);
+}
+
+// Part 3 — the multi-tenant acceptance scenario: four tenants over distinct
+// graph snapshots, each with its own scripted mix of jobs, fenced updates
+// and cancellations, submitted from four racing threads (one per tenant)
+// into a shared-pool, shared-cache, multi-executor service under priority
+// churn. Every finished job must stay bit-identical to the tenant's
+// synchronous replay — cross-tenant scheduling must never leak into
+// results.
+TEST(MiningServiceStressTest, MultiTenantMixedLoadStaysExactPerTenant) {
+  constexpr size_t kTenants = 4;
+  constexpr size_t kJobsPerTenant = 24;
+
+  // Per-tenant graph pairs (distinct seeds → distinct snapshots).
+  std::vector<std::pair<Graph, Graph>> pairs;
+  for (size_t t = 0; t < kTenants; ++t) {
+    Rng rng(5000 + t);
+    Result<Graph> g2 = RandomSignedGraph(/*n=*/100, /*m=*/700,
+                                         /*positive_fraction=*/0.7,
+                                         /*magnitude_lo=*/0.5,
+                                         /*magnitude_hi=*/3.0, &rng);
+    ASSERT_TRUE(g2.ok());
+    pairs.emplace_back(MakeGraph(100, {}), std::move(*g2));
+  }
+
+  // Scripts + synchronous references, per tenant.
+  std::vector<std::vector<MiningRequest>> scripts(kTenants);
+  std::vector<std::vector<bool>> update_before(kTenants);
+  std::vector<std::vector<bool>> try_cancel(kTenants);
+  std::vector<std::vector<std::string>> expected(kTenants);
+  for (size_t t = 0; t < kTenants; ++t) {
+    Rng rng(9100 + t);
+    MinerSession reference = MustCreate(pairs[t].first, pairs[t].second);
+    for (size_t i = 0; i < kJobsPerTenant; ++i) {
+      MiningRequest request = RandomRequest(&rng);
+      request.priority = static_cast<int32_t>(rng.NextBounded(3)) - 1;
+      scripts[t].push_back(request);
+      update_before[t].push_back(i % 7 == 3);
+      try_cancel[t].push_back(rng.NextBounded(8) == 0);
+      if (update_before[t][i]) {
+        ASSERT_TRUE(reference
+                        .ApplyUpdate(UpdateSide::kG2,
+                                     static_cast<VertexId>(i),
+                                     static_cast<VertexId>(i + 40), 2.5)
+                        .ok());
+      }
+      Result<MiningResponse> mined = reference.Mine(request);
+      ASSERT_TRUE(mined.ok());
+      expected[t].push_back(SerializeSubgraphs(*mined));
+    }
+  }
+
+  MiningServiceOptions options;
+  options.num_executors = 3;
+  options.shared_cache = std::make_shared<PipelineCache>();
+  options.worker_pool =
+      std::make_shared<ThreadPool>(ThreadPool::DefaultConcurrency() - 1);
+  MiningService service(options);
+  for (auto& [g1, g2] : pairs) {
+    Result<TenantId> tenant = service.AddTenant(MustCreate(g1, g2));
+    ASSERT_TRUE(tenant.ok());
+  }
+
+  std::vector<std::vector<JobId>> ids(kTenants);
+  {
+    std::vector<std::thread> submitters;
+    for (size_t t = 0; t < kTenants; ++t) {
+      submitters.emplace_back([&, t] {
+        for (size_t i = 0; i < kJobsPerTenant; ++i) {
+          if (update_before[t][i]) {
+            DCS_CHECK(service
+                          .ApplyUpdate(static_cast<TenantId>(t),
+                                       UpdateSide::kG2,
+                                       static_cast<VertexId>(i),
+                                       static_cast<VertexId>(i + 40), 2.5)
+                          .ok());
+          }
+          Result<JobId> id =
+              service.Submit(static_cast<TenantId>(t), scripts[t][i]);
+          DCS_CHECK(id.ok()) << id.status().ToString();
+          ids[t].push_back(*id);
+          if (try_cancel[t][i]) {
+            DCS_CHECK(service.Cancel(ids[t][i]).ok());
+          }
+        }
+      });
+    }
+    for (std::thread& submitter : submitters) submitter.join();
+  }
+
+  for (size_t t = 0; t < kTenants; ++t) {
+    size_t done = 0, cancelled = 0;
+    for (size_t i = 0; i < kJobsPerTenant; ++i) {
+      Result<JobStatus> status = service.Wait(ids[t][i]);
+      ASSERT_TRUE(status.ok());
+      EXPECT_EQ(status->tenant, t);
+      if (status->state == JobState::kCancelled) {
+        EXPECT_TRUE(try_cancel[t][i])
+            << "tenant " << t << " job " << i << " cancelled unasked";
+        ++cancelled;
+        continue;
+      }
+      ASSERT_EQ(status->state, JobState::kDone)
+          << "tenant " << t << " job " << i << ": "
+          << status->failure.ToString();
+      EXPECT_EQ(SerializeSubgraphs(status->response), expected[t][i])
+          << "tenant " << t << " job " << i
+          << " diverged from its synchronous reference";
+      ++done;
+    }
+    EXPECT_EQ(done + cancelled, kJobsPerTenant);
+    Result<TenantStats> stats = service.tenant_stats(static_cast<TenantId>(t));
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->submitted, kJobsPerTenant);
+    EXPECT_EQ(stats->completed + stats->failed + stats->cancelled,
+              kJobsPerTenant);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# C-ABI guard: include/dcs_c_api.h must stay consumable by a C89/C99
+# compiler. The c_api_c99 ctest target proves that by compilation; this
+# script catches the same violations statically (and reports *which*
+# construct leaked) so a broken header fails fast even in builds that
+# skipped the C test. Checks:
+#   1. No C++-only keywords (class, namespace, template, using,
+#      constexpr, nullptr, references).
+#   2. No // line comments (C99 allows them, but the header commits to
+#      /* */ so it also works under pedantic C89 consumers).
+#   3. No default arguments in prototypes.
+#   4. The extern "C" guard is present for C++ consumers.
+#
+# Usage: check_abi.sh [repo-root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+header="$root/include/dcs_c_api.h"
+failures=0
+
+fail() {
+  echo "check_abi: $1" >&2
+  failures=$((failures + 1))
+}
+
+if [[ ! -f "$header" ]]; then
+  echo "check_abi: missing $header" >&2
+  exit 1
+fi
+
+# Work on a comment-stripped copy so words inside /* */ prose (e.g. a doc
+# sentence mentioning "class") never trip the keyword scan. The stripped
+# file preserves line numbers: sed deletes comment *content*, not lines.
+stripped="$(mktemp)"
+trap 'rm -f "$stripped"' EXIT
+# Remove single-line /* ... */ first, then blank out the bodies of
+# multi-line comments while keeping the line structure.
+awk '
+  BEGIN { in_comment = 0 }
+  {
+    line = $0
+    out = ""
+    i = 1
+    while (i <= length(line)) {
+      two = substr(line, i, 2)
+      if (in_comment) {
+        if (two == "*/") { in_comment = 0; i += 2 } else { i += 1 }
+      } else if (two == "/*") {
+        in_comment = 1
+        i += 2
+      } else {
+        out = out substr(line, i, 1)
+        i += 1
+      }
+    }
+    print out
+  }
+' "$header" > "$stripped"
+
+# 1. C++-only keywords. \b word boundaries keep e.g. "subclass" (in an
+#    identifier) from matching. `using`/`typename`/`operator` round out
+#    the set; `new`/`delete` excluded (too common in prose-free macro
+#    names) — the C compile test still catches those.
+for kw in class namespace template constexpr nullptr typename \
+          static_cast reinterpret_cast const_cast dynamic_cast \
+          mutable; do
+  if grep -n -E "(^|[^A-Za-z0-9_])${kw}([^A-Za-z0-9_]|$)" "$stripped" \
+      | grep -v 'extern "C"' > /dev/null; then
+    line=$(grep -n -E "(^|[^A-Za-z0-9_])${kw}([^A-Za-z0-9_]|$)" "$stripped" | head -n 1)
+    fail "C++ keyword '${kw}' in dcs_c_api.h: ${line}"
+  fi
+done
+
+# 2. No // line comments (the header commits to /* */ only).
+if grep -n '//' "$stripped" | grep -v 'http://' | grep -v 'https://' > /dev/null; then
+  line=$(grep -n '//' "$stripped" | grep -v 'http://' | grep -v 'https://' | head -n 1)
+  fail "// comment in dcs_c_api.h (use /* */): ${line}"
+fi
+
+# 3. No default arguments: a '=' inside a prototype's parameter list.
+#    Heuristic: any line containing '(' ... '= ...' before the closing
+#    paren of a declaration. Enum/macro initializers live outside parens,
+#    so scanning for '= ' between parens on prototype lines is safe here.
+if grep -n -E '\([^)]*=[^)]*\)\s*;' "$stripped" > /dev/null; then
+  line=$(grep -n -E '\([^)]*=[^)]*\)\s*;' "$stripped" | head -n 1)
+  fail "default argument in prototype: ${line}"
+fi
+
+# 4. No C++ references in signatures: '&' adjacent to an identifier or
+#    comma/paren context. Address-of never appears in a header, so any
+#    '&' outside the preprocessor is suspect ('&&' in #if is fine).
+if grep -n '&' "$stripped" | grep -v '^\s*[0-9]*:#' | grep -v '&&' > /dev/null; then
+  line=$(grep -n '&' "$stripped" | grep -v -E '^[0-9]+:\s*#' | grep -v '&&' | head -n 1)
+  if [[ -n "$line" ]]; then
+    fail "reference (&) in dcs_c_api.h — pass pointers instead: ${line}"
+  fi
+fi
+
+# 5. The extern "C" guard must be present (on the raw header: it lives
+#    behind #ifdef __cplusplus, which the stripped copy preserves).
+if ! grep -q 'extern "C"' "$header"; then
+  fail 'missing extern "C" guard for C++ consumers'
+fi
+if ! grep -q '__cplusplus' "$header"; then
+  fail 'missing #ifdef __cplusplus around the extern "C" guard'
+fi
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "check_abi: FAILED ($failures violation(s))" >&2
+  exit 1
+fi
+echo "check_abi: OK"

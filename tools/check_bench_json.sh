@@ -32,6 +32,16 @@ required_fault_recovery_record=(injected_faults store_retries
                                 store_write_errors recovery_ms overhead_pct)
 required_micro_kernels_record=(edges cycles_per_edge cycles_per_edge_scalar
                                speedup bit_identical)
+required_multitenant_record=(tenants offered_jobs admitted_jobs shed_jobs
+                             throughput_jobs_per_s mean_latency_ms
+                             p95_latency_ms p99_latency_ms mean_queue_ms
+                             tenant0_share deadline_misses bit_identical)
+# Latency/timing fields must be real, finite and non-negative — a NaN or a
+# negative wall/percentile means the bench's timing math broke, and it used
+# to sail through both validation branches.
+timing_keys=(wall_ms mean_latency_ms p95_latency_ms p99_latency_ms
+             mean_queue_ms update_ms p95_update_ms rebuild_ms p95_rebuild_ms
+             first_response_ms recovery_ms)
 
 files=()
 if [ "${1:-}" = "--run" ]; then
@@ -68,8 +78,10 @@ for f in "${files[@]}"; do
         "${required_streaming_record[*]}" "${required_cold_start_record[*]}" \
         "${required_fault_recovery_record[*]}" \
         "${required_micro_kernels_record[*]}" \
+        "${required_multitenant_record[*]}" \
+        "${timing_keys[*]}" \
         << 'EOF'
-import json, sys
+import json, math, sys
 path, top_keys, record_keys = sys.argv[1], sys.argv[2].split(), sys.argv[3].split()
 async_keys = sys.argv[4].split()
 cache_keys = sys.argv[5].split()
@@ -77,6 +89,8 @@ streaming_keys = sys.argv[6].split()
 cold_start_keys = sys.argv[7].split()
 fault_recovery_keys = sys.argv[8].split()
 micro_kernels_keys = sys.argv[9].split()
+multitenant_keys = sys.argv[10].split()
+timing_keys = sys.argv[11].split()
 try:
     with open(path) as fh:
         doc = json.load(fh)
@@ -99,10 +113,20 @@ if doc["bench"] == "fault_recovery":
     record_keys = record_keys + fault_recovery_keys
 if doc["bench"] == "micro_kernels":
     record_keys = record_keys + micro_kernels_keys
+if doc["bench"] == "multitenant":
+    record_keys = record_keys + multitenant_keys
 for i, record in enumerate(doc["records"]):
     missing = [k for k in record_keys if k not in record]
     if missing:
         sys.exit(f"check_bench_json: {path}: record #{i} missing keys {missing}")
+    for key in timing_keys:
+        if key not in record:
+            continue
+        value = record[key]
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or math.isnan(value) or math.isinf(value) or value < 0:
+            sys.exit(f"check_bench_json: {path}: record #{i} field "
+                     f"'{key}' = {value!r} is not a finite non-negative number")
 EOF
     [ "$?" -eq 0 ] || status=1
   else
@@ -125,9 +149,25 @@ EOF
     if grep -q '"bench": "micro_kernels"' "$f"; then
       keys+=("${required_micro_kernels_record[@]}")
     fi
+    if grep -q '"bench": "multitenant"' "$f"; then
+      keys+=("${required_multitenant_record[@]}")
+    fi
     for key in "${keys[@]}"; do
       if ! grep -q "\"$key\"" "$f"; then
         echo "check_bench_json: $f: missing key \"$key\"" >&2
+        status=1
+      fi
+    done
+    # Mirror of the python3 branch's timing sanity: printf-style emitters
+    # render broken doubles as nan/inf tokens (invalid JSON, which grep
+    # alone would happily pass) and negative timings as a leading minus.
+    for key in "${timing_keys[@]}"; do
+      if grep -Eiq "\"$key\": *-?(nan|inf)" "$f"; then
+        echo "check_bench_json: $f: field \"$key\" is NaN/Inf" >&2
+        status=1
+      fi
+      if grep -Eq "\"$key\": *-[0-9]" "$f"; then
+        echo "check_bench_json: $f: field \"$key\" is negative" >&2
         status=1
       fi
     done

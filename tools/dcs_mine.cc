@@ -36,6 +36,7 @@
 #include "graph/io.h"
 #include "util/cancellation.h"
 #include "util/fault_injection.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -64,6 +65,11 @@ constexpr FlagSpec kFlagTable[] = {
     {"--shared-cache", "<n>",
      "mine through n concurrent sessions attached to one shared "
      "PipelineCache; prints per-session and cache telemetry"},
+    {"--tenants", "<n>",
+     "submit the request to n tenants of one multi-tenant MiningService "
+     "(shared executors, worker pool and pipeline cache); asserts all "
+     "tenant responses bit-identical and prints per-tenant scheduler "
+     "telemetry"},
     {"--store", "<path>",
      "attach a persistent artifact store: warm-boot prepared pipelines "
      "from <path> and write new ones back (created when missing)"},
@@ -91,6 +97,7 @@ struct Args {
   uint32_t topk = 1;
   bool async = false;
   uint32_t shared_cache_sessions = 0;  // 0 = single-session mode
+  uint32_t tenants = 0;                // 0 = single-tenant modes
   std::string store_path;              // empty = memory-only
   double deadline_seconds = 0.0;       // 0 = no deadline
   std::string inject_spec;             // empty = fault injection disarmed
@@ -195,6 +202,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                      value);
         return false;
       }
+    } else if (flag == "--tenants" && next_value(&value)) {
+      if (!ParseUint32Strict(value, &args->tenants) || args->tenants == 0) {
+        std::fprintf(stderr, "invalid tenant count for --tenants: '%s'\n",
+                     value);
+        return false;
+      }
     } else if (flag == "--store" && next_value(&value)) {
       args->store_path = value;
     } else if (flag == "--deadline" && next_value(&value)) {
@@ -242,6 +255,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->deadline_seconds > 0.0 && args->shared_cache_sessions > 0) {
     std::fprintf(stderr, "--deadline and --shared-cache are exclusive\n");
+    return false;
+  }
+  if (args->tenants > 0 &&
+      (args->async || args->shared_cache_sessions > 0)) {
+    std::fprintf(stderr,
+                 "--tenants subsumes --async and excludes --shared-cache\n");
     return false;
   }
   return true;
@@ -333,6 +352,89 @@ Result<MiningResponse> MineSharedCache(
   return std::move(responses[0]);
 }
 
+// The --tenants path: n tenants over copies of the same graphs, scheduled
+// by one multi-tenant MiningService sharing two executors, a worker pool
+// and a pipeline cache. The request is submitted to every tenant at
+// staggered priorities; every response must be bit-identical (priority
+// reorders dispatch between tenants, never results). Returns tenant 0's
+// response, or an error status. Health telemetry is reported through the
+// out-params, mirroring the --async path.
+Result<MiningResponse> MineMultiTenant(
+    const Args& args, const Graph& g1, const Graph& g2,
+    const MiningRequest& request, const std::shared_ptr<ArtifactStore>& store,
+    HealthState* health, uint64_t* health_transitions,
+    uint64_t* store_write_errors, uint64_t* store_retries) {
+  const uint32_t n = args.tenants;
+  MiningServiceOptions options;
+  options.num_executors = 2;
+  options.shared_cache = std::make_shared<PipelineCache>();
+  options.worker_pool =
+      std::make_shared<ThreadPool>(ThreadPool::DefaultConcurrency() - 1);
+  options.artifact_store = store;
+  MiningService service(options);
+  for (uint32_t i = 0; i < n; ++i) {
+    Result<MinerSession> session = MinerSession::Create(g1, g2);
+    if (!session.ok()) return session.status();
+    // Tenant 0 gets a double weight so the telemetry below shows the
+    // fair-share clocks diverging by design, not by accident.
+    Result<TenantId> tenant = service.AddTenant(
+        std::move(*session), TenantOptions{.weight = i == 0 ? 2u : 1u});
+    if (!tenant.ok()) return tenant.status();
+  }
+
+  std::vector<JobId> jobs(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    MiningRequest per_tenant = request;
+    per_tenant.priority = static_cast<int32_t>(i % 3) - 1;
+    Result<JobId> job = service.Submit(static_cast<TenantId>(i), per_tenant);
+    if (!job.ok()) return job.status();
+    jobs[i] = *job;
+  }
+
+  std::vector<MiningResponse> responses(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Result<JobStatus> status = service.Wait(jobs[i]);
+    if (!status.ok()) return status.status();
+    if (status->state != JobState::kDone) {
+      if (status->failure.IsDeadlineExceeded()) return status->failure;
+      return Status::Internal("tenant " + std::to_string(i) + " job ended " +
+                              JobStateToString(status->state) + ": " +
+                              status->failure.ToString());
+    }
+    responses[i] = std::move(status->response);
+  }
+  for (uint32_t i = 1; i < n; ++i) {
+    if (!SameRanking(responses[0].average_degree,
+                     responses[i].average_degree) ||
+        !SameRanking(responses[0].graph_affinity,
+                     responses[i].graph_affinity)) {
+      return Status::Internal("tenant " + std::to_string(i) +
+                              " diverged from tenant 0 — multi-tenant "
+                              "determinism violated");
+    }
+  }
+
+  if (!args.quiet) {
+    std::printf("# multi-tenant: %u tenants, 2 executors, shared pool + "
+                "cache; all responses bit-identical\n", n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Result<TenantStats> stats = service.tenant_stats(i);
+      if (!stats.ok()) continue;
+      std::printf(
+          "#   tenant %u: weight %u, %llu dispatched, vclock %.3f, "
+          "queued %.1f ms max\n",
+          i, i == 0 ? 2u : 1u,
+          static_cast<unsigned long long>(stats->dispatched),
+          stats->virtual_time, stats->max_queue_seconds * 1e3);
+    }
+  }
+  *health = service.health();
+  *health_transitions = service.num_health_transitions();
+  *store_write_errors = service.num_store_write_errors();
+  *store_retries = service.num_store_retries();
+  return std::move(responses[0]);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -406,7 +508,22 @@ int main(int argc, char** argv) {
   int exit_code = 0;
 
   Result<MiningResponse> response = Status::Internal("not mined");
-  if (args.shared_cache_sessions > 0) {
+  if (args.tenants > 0) {
+    response = MineMultiTenant(args, *g1, *g2, request, store, &health,
+                               &health_transitions, &store_write_errors,
+                               &store_retries);
+    if (!response.ok()) {
+      if (response.status().IsDeadlineExceeded()) {
+        std::fprintf(stderr, "mining failed: %s\n",
+                     response.status().ToString().c_str());
+        return 3;
+      }
+      std::fprintf(stderr, "multi-tenant mining failed: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    have_health = true;
+  } else if (args.shared_cache_sessions > 0) {
     response = MineSharedCache(args, *g1, *g2, request, store);
     if (!response.ok()) {
       std::fprintf(stderr, "shared-cache mining failed: %s\n",
