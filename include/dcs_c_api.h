@@ -114,11 +114,34 @@ typedef struct dcs_service_options {
   /* Nonzero: all tenant sessions share one solver worker pool instead of
    * spawning one pool per tenant. */
   int32_t share_worker_pool;
+  /* Path of the crash-consistent job journal; NULL or "" (the default) =
+   * no journal. Borrowed: the string must stay valid until
+   * dcs_service_create returns. With a journal, submit acks are durable
+   * (the Admitted record lands before the JobId is returned) and creating
+   * the service over an existing journal recovers its jobs — see
+   * dcs_service_num_recovered_jobs. Prefer dcs_service_options_set_journal
+   * over filling the journal fields directly. */
+  const char* journal_path;
+  /* Nonzero: fsync inside every journal append (an acked submit survives
+   * power loss). Zero (the default): group commit — appends are fsynced
+   * by a background flusher within journal_group_commit_ms. */
+  int32_t journal_durability_always;
+  /* Upper bound in milliseconds on how long a group-commit append stays
+   * un-fsynced; <= 0 keeps the default (5 ms). */
+  double journal_group_commit_ms;
 } dcs_service_options;
 
 /* Fills `options` with the defaults (all budgets unbounded, one executor,
- * 4096 retained jobs, shared cache and pool off). */
+ * 4096 retained jobs, shared cache and pool off, no journal). */
 void dcs_service_options_init(dcs_service_options* options);
+
+/* Configures the crash-consistent job journal in one call: path (borrowed,
+ * see journal_path), durability mode and group-commit interval. NULL
+ * `options` is a no-op. */
+void dcs_service_options_set_journal(dcs_service_options* options,
+                                     const char* path,
+                                     int32_t durability_always,
+                                     double group_commit_ms);
 
 /*
  * One mining request; mirrors the dcs::MiningRequest fields the C surface
@@ -250,6 +273,18 @@ dcs_status_code dcs_service_wait(dcs_service* service, uint64_t job,
  * may be NULL. */
 dcs_status_code dcs_service_cancel(dcs_service* service, uint64_t job,
                                    dcs_job_status* out_status);
+
+/* Jobs the service recovered from its journal at creation (terminal jobs
+ * re-exposed plus incomplete jobs awaiting their tenant's registration),
+ * in admission order. 0 without a journal (or with a fresh one), or for a
+ * NULL handle. */
+uint64_t dcs_service_num_recovered_jobs(const dcs_service* service);
+
+/* The `index`-th recovered job id (admission order); DCS_OUT_OF_RANGE at
+ * or past dcs_service_num_recovered_jobs. Poll/wait/take_response accept
+ * recovered ids exactly like freshly submitted ones. */
+dcs_status_code dcs_service_recovered_job(dcs_service* service,
+                                          uint64_t index, uint64_t* out_job);
 
 /* Releases a scheduler created with start_paused; idempotent. */
 dcs_status_code dcs_service_resume(dcs_service* service);

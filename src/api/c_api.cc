@@ -143,6 +143,19 @@ void dcs_service_options_init(dcs_service_options* options) {
   options->max_finished_jobs = defaults.max_finished_jobs;
   options->share_pipeline_cache = 0;
   options->share_worker_pool = 0;
+  options->journal_path = nullptr;
+  options->journal_durability_always = 0;
+  options->journal_group_commit_ms = 0.0;
+}
+
+void dcs_service_options_set_journal(dcs_service_options* options,
+                                     const char* path,
+                                     int32_t durability_always,
+                                     double group_commit_ms) {
+  if (options == nullptr) return;
+  options->journal_path = path;
+  options->journal_durability_always = durability_always;
+  options->journal_group_commit_ms = group_commit_ms;
 }
 
 void dcs_mining_request_init(dcs_mining_request* request) {
@@ -209,7 +222,41 @@ dcs_status_code dcs_service_create(const dcs_service_options* options,
     opts.worker_pool = std::make_shared<dcs::ThreadPool>(
         dcs::ThreadPool::DefaultConcurrency() - 1);
   }
+  if (options->journal_path != nullptr && options->journal_path[0] != '\0') {
+    opts.journal_path = options->journal_path;
+    opts.journal_options.durability =
+        options->journal_durability_always != 0
+            ? dcs::JournalDurability::kAlways
+            : dcs::JournalDurability::kGroupCommit;
+    if (options->journal_group_commit_ms > 0.0) {
+      opts.journal_options.flush_interval_ms =
+          options->journal_group_commit_ms;
+    }
+  }
   *out_service = new dcs_service(std::move(opts));
+  return DCS_OK;
+}
+
+uint64_t dcs_service_num_recovered_jobs(const dcs_service* service) {
+  if (service == nullptr) return 0;
+  return service->service.num_recovered_jobs();
+}
+
+dcs_status_code dcs_service_recovered_job(dcs_service* service,
+                                          uint64_t index, uint64_t* out_job) {
+  if (service == nullptr) return InvalidHandle(nullptr, "service");
+  if (out_job == nullptr) {
+    return FlattenStatus(service, dcs::Status::InvalidArgument(
+                                      "null out_job pointer"));
+  }
+  const std::vector<dcs::JobId> recovered = service->service.recovered_jobs();
+  if (index >= recovered.size()) {
+    return FlattenStatus(
+        service, dcs::Status::OutOfRange(
+                     "recovered-job index " + std::to_string(index) +
+                     " past " + std::to_string(recovered.size())));
+  }
+  *out_job = recovered[index];
   return DCS_OK;
 }
 

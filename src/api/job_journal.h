@@ -1,0 +1,15 @@
+// Facade re-export of the crash-consistent job journal.
+//
+// The store/ layer is internal like core/, but the write-ahead job journal
+// (JobJournal) is part of the deployment surface: tools (dcs_mine --journal,
+// dcs_store journal ...) open journals, inspect them and hand their paths to
+// services via MiningServiceOptions::journal_path. They include this header
+// instead of reaching into store/ so the layering rule — tools and examples
+// consume api/, graph/io.h and util/ only — stays greppable.
+
+#ifndef DCS_API_JOB_JOURNAL_H_
+#define DCS_API_JOB_JOURNAL_H_
+
+#include "store/job_journal.h"  // JobJournal, stats/fsck reports
+
+#endif  // DCS_API_JOB_JOURNAL_H_

@@ -252,6 +252,16 @@ struct MiningTelemetry {
   uint64_t kernel_simd_calls = 0;
   uint64_t kernel_scalar_calls = 0;
   bool kernel_simd_active = false;
+  /// Job-journal counters *after* this request (all 0 when the service runs
+  /// without MiningServiceOptions::journal_path — or outside a service).
+  /// Journal-lifetime: records appended through the service's handle, jobs
+  /// the service recovered at construction, and unreliable-tail truncation
+  /// events. Telemetry-only, like every counter above — and deliberately
+  /// *not* part of the journaled response content, so recovered responses
+  /// stay bit-identical to the mined subgraphs.
+  uint64_t journal_appends = 0;
+  uint64_t journal_recovered_jobs = 0;
+  uint64_t journal_truncations = 0;
 };
 
 /// \brief Response to one MiningRequest.

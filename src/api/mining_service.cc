@@ -28,6 +28,17 @@ HealthState WorseOf(HealthState a, HealthState b) {
   return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
 }
 
+// Reconstructs a recovered job's failure Status from its journaled integer
+// code. Codes outside the enum (written by a future format revision) demote
+// to kInternal instead of fabricating an out-of-range enum value.
+Status StatusFromJournal(uint32_t code, const std::string& message) {
+  if (code == 0 ||
+      code > static_cast<uint32_t>(StatusCode::kResourceExhausted)) {
+    return Status(StatusCode::kInternal, message);
+  }
+  return Status(static_cast<StatusCode>(code), message);
+}
+
 }  // namespace
 
 const char* JobStateToString(JobState state) {
@@ -50,6 +61,10 @@ MiningService::MiningService(MiningServiceOptions options)
     : options_(std::move(options)) {
   options_.num_executors = std::max<uint32_t>(1, options_.num_executors);
   paused_ = options_.start_paused;
+  // Recovery runs before any executor exists: replay mutates jobs_ and
+  // finished_order_ without the mutex, which is safe only while this
+  // constructor is the sole thread.
+  RecoverFromJournal();
   executors_.reserve(options_.num_executors);
   for (uint32_t i = 0; i < options_.num_executors; ++i) {
     executors_.emplace_back([this] { ExecutorLoop(); });
@@ -81,6 +96,19 @@ MiningService::~MiningService() {
       }
       tenant->queue.clear();
     }
+    // Recovered jobs whose tenant never re-registered die cancelled too —
+    // and are journaled as such, so the *next* recovery does not resubmit
+    // work this graceful shutdown already declined. They never entered any
+    // queue, so there are no gauges to release.
+    for (auto& [tenant_id, pending] : recovery_pending_) {
+      for (const std::shared_ptr<Job>& job : pending) {
+        if (job->state == JobState::kQueued) {
+          job->state = JobState::kCancelled;
+          FinishLocked(job);
+        }
+      }
+    }
+    recovery_pending_.clear();
     // The in-flight jobs (if any) are asked to stop; each executor observes
     // the token between seed chunks and records the terminal state before
     // exiting.
@@ -126,7 +154,156 @@ Result<TenantId> MiningService::AddTenant(MinerSession session,
   const TenantId id = static_cast<TenantId>(tenants_.size());
   tenants_.push_back(
       std::make_unique<Tenant>(id, std::move(session), options));
+  // Recovered incomplete jobs for this tenant id enter its queue *now*, in
+  // admission order, so they precede anything the caller submits next.
+  EnqueueRecoveredLocked(tenants_.back().get());
   return id;
+}
+
+void MiningService::RecoverFromJournal() {
+  if (options_.journal_path.empty()) return;
+  Result<std::shared_ptr<JobJournal>> opened =
+      JobJournal::Open(options_.journal_path, options_.journal_options);
+  if (!opened.ok()) {
+    // The service stays alive (Poll/Wait/AddTenant work) but refuses new
+    // admissions: an acked Submit must be journaled, and it cannot be.
+    journal_error_ = opened.status();
+    DCS_LOG(Warning) << "job journal " << options_.journal_path
+                     << " unavailable: " << journal_error_.ToString();
+    return;
+  }
+  journal_ = std::move(*opened);
+  Result<std::vector<JournalReplayJob>> replayed = journal_->Replay();
+  if (!replayed.ok()) {
+    journal_error_ = replayed.status();
+    journal_.reset();
+    DCS_LOG(Warning) << "job journal replay failed: "
+                     << journal_error_.ToString();
+    return;
+  }
+  // Converge a crashed-mid-append file back to fsck-clean now, not at the
+  // next append (which may never come).
+  (void)journal_->TruncateUnreliableTail();
+  JobId max_id = 0;
+  for (const JournalReplayJob& entry : *replayed) {
+    auto job = std::make_shared<Job>();
+    job->id = entry.admitted.job_id;
+    job->tenant = entry.admitted.tenant;
+    job->request = entry.admitted.request;
+    job->request.ga_solver.cancel = nullptr;  // recovery re-owns cancellation
+    job->approx_bytes = ApproxRequestBytes(job->request);
+    max_id = std::max(max_id, job->id);
+    admission_seq_ = std::max(admission_seq_, entry.admitted.admission_index);
+    recovered_job_ids_.push_back(job->id);
+    jobs_.emplace(job->id, job);
+    if (!entry.done) {
+      // Incomplete (admitted or started, never finished): parked until its
+      // tenant id re-registers, then resubmitted in admission order.
+      recovery_pending_[job->tenant].push_back(std::move(job));
+      continue;
+    }
+    // Terminal before the crash: re-exposed through Poll/Wait exactly-once,
+    // never re-run. kDone responses are bit-identical to the mined content
+    // (telemetry is process state and was never journaled).
+    const JournalDoneRecord& done = entry.done_record;
+    switch (done.state) {
+      case JournalTerminalState::kDone:
+        job->state = JobState::kDone;
+        job->response = done.response;
+        break;
+      case JournalTerminalState::kFailed:
+        job->state = JobState::kFailed;
+        job->failure = StatusFromJournal(done.status_code,
+                                         done.status_message);
+        break;
+      case JournalTerminalState::kCancelled:
+        job->state = JobState::kCancelled;
+        break;
+    }
+    job->finish_index = ++finish_seq_;
+    finished_order_.push_back(job->id);
+  }
+  if (max_id >= next_job_id_) next_job_id_ = max_id + 1;
+  if (options_.max_finished_jobs != 0) {
+    while (finished_order_.size() > options_.max_finished_jobs) {
+      jobs_.erase(finished_order_.front());
+      finished_order_.pop_front();
+    }
+  }
+  // Stamp the journal counters into recovered done responses, exactly as
+  // JournalDoneLocked does for freshly mined ones.
+  const JobJournalStats stats = journal_->stats();
+  for (const JobId id : recovered_job_ids_) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->state != JobState::kDone) continue;
+    MiningTelemetry& telemetry = it->second->response.telemetry;
+    telemetry.journal_appends = stats.appended_records;
+    telemetry.journal_recovered_jobs = recovered_job_ids_.size();
+    telemetry.journal_truncations = stats.truncations;
+  }
+}
+
+void MiningService::EnqueueRecoveredLocked(Tenant* tenant) {
+  const auto it = recovery_pending_.find(tenant->id);
+  if (it == recovery_pending_.end()) return;
+  if (tenant->queue.empty() && !tenant->busy) {
+    tenant->vtime = MinActiveVtimeLocked(*tenant, tenant->vtime);
+  }
+  for (std::shared_ptr<Job>& job : it->second) {
+    // Deadline clocks restart at recovery: the deadline is a latency bound
+    // on *this* process's handling, not a wall-clock appointment that may
+    // already have lapsed while no service existed.
+    job->since_submit.Restart();
+    tenant->queue.push_back(QueuedOp{job});
+    ++tenant->num_queued_jobs;
+    ++tenant->stats.submitted;
+    ++num_queued_jobs_;
+    queued_request_bytes_ += job->approx_bytes;
+    ++num_submitted_;
+    if (HasDeadline(job->request)) {
+      deadline_jobs_.push_back(job);
+      deadline_work_.notify_one();
+    }
+    work_available_.notify_one();
+  }
+  recovery_pending_.erase(it);
+}
+
+void MiningService::JournalDoneLocked(const std::shared_ptr<Job>& job) {
+  if (journal_ == nullptr) return;
+  JournalDoneRecord record;
+  record.job_id = job->id;
+  switch (job->state) {
+    case JobState::kDone:
+      record.state = JournalTerminalState::kDone;
+      record.has_response = true;
+      record.response = job->response;
+      break;
+    case JobState::kFailed:
+      record.state = JournalTerminalState::kFailed;
+      record.status_code = static_cast<uint32_t>(job->failure.code());
+      record.status_message = job->failure.message();
+      break;
+    case JobState::kCancelled:
+      record.state = JournalTerminalState::kCancelled;
+      record.status_code = static_cast<uint32_t>(StatusCode::kCancelled);
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      return;
+  }
+  if (!journal_->AppendDone(record).ok()) {
+    // Non-fatal: the job is terminal either way; the next recovery re-runs
+    // it and mines the bit-identical result again.
+    ++journal_append_errors_;
+  }
+  if (job->state == JobState::kDone) {
+    const JobJournalStats stats = journal_->stats();
+    MiningTelemetry& telemetry = job->response.telemetry;
+    telemetry.journal_appends = stats.appended_records;
+    telemetry.journal_recovered_jobs = recovered_job_ids_.size();
+    telemetry.journal_truncations = stats.truncations;
+  }
 }
 
 size_t MiningService::ApproxRequestBytes(const MiningRequest& request) {
@@ -142,6 +319,11 @@ Result<JobId> MiningService::Submit(TenantId tenant_id,
   std::lock_guard<std::mutex> lock(mutex_);
   if (stopping_) {
     return Status::Cancelled("mining service is shutting down");
+  }
+  if (!journal_error_.ok()) {
+    // A journal was configured but could not be opened: refusing admission
+    // beats acking work the journal cannot make durable.
+    return journal_error_;
   }
   if (tenant_id >= tenants_.size()) {
     return Status::InvalidArgument("unknown tenant id " +
@@ -192,6 +374,22 @@ Result<JobId> MiningService::Submit(TenantId tenant_id,
   // no-op for the seed loop), so it is stripped — Cancel(JobId) is the one
   // cancellation path.
   job->request.ga_solver.cancel = nullptr;
+  if (journal_ != nullptr) {
+    // Durable admission: the Admitted record lands (and, under kAlways,
+    // fsyncs) before the caller gets its JobId — acked implies journaled. A
+    // failed append fails the Submit with nothing admitted.
+    JournalAdmittedRecord record;
+    record.job_id = job->id;
+    record.tenant = tenant_id;
+    record.admission_index = admission_seq_ + 1;
+    record.request = job->request;
+    const Status appended = journal_->AppendAdmitted(record);
+    if (!appended.ok()) {
+      --next_job_id_;
+      return appended;
+    }
+    admission_seq_ = record.admission_index;
+  }
   jobs_.emplace(job->id, job);
   // Idle catch-up of the fair clock: a tenant rejoining after an idle
   // stretch resumes at the active floor instead of replaying its banked
@@ -384,6 +582,23 @@ size_t MiningService::num_active_waiters() const {
   return active_waiters_;
 }
 
+std::vector<JobId> MiningService::recovered_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovered_job_ids_;
+}
+
+uint64_t MiningService::num_recovered_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovered_job_ids_.size();
+}
+
+Result<JobJournalStats> MiningService::journal_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (journal_ != nullptr) return journal_->stats();
+  if (!journal_error_.ok()) return journal_error_;
+  return Status::NotFound("no job journal configured");
+}
+
 uint64_t MiningService::num_deadline_exceeded() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return num_deadline_exceeded_;
@@ -500,21 +715,29 @@ void MiningService::WatchdogLoop() {
 }
 
 void MiningService::FinishLocked(const std::shared_ptr<Job>& job) {
+  DCS_CHECK(job->state == JobState::kDone || job->state == JobState::kFailed ||
+            job->state == JobState::kCancelled)
+      << "FinishLocked on a non-terminal job";
   job->finish_index = ++finish_seq_;
-  TenantStats& stats = tenants_[job->tenant]->stats;
-  switch (job->state) {
-    case JobState::kDone:
-      ++stats.completed;
-      break;
-    case JobState::kFailed:
-      ++stats.failed;
-      break;
-    case JobState::kCancelled:
-      ++stats.cancelled;
-      break;
-    case JobState::kQueued:
-    case JobState::kRunning:
-      DCS_CHECK(false) << "FinishLocked on a non-terminal job";
+  JournalDoneLocked(job);
+  // A recovered job cancelled before its tenant re-registered has no Tenant
+  // object to account against — everything else updates its tenant's stats.
+  if (job->tenant < tenants_.size()) {
+    TenantStats& stats = tenants_[job->tenant]->stats;
+    switch (job->state) {
+      case JobState::kDone:
+        ++stats.completed;
+        break;
+      case JobState::kFailed:
+        ++stats.failed;
+        break;
+      case JobState::kCancelled:
+        ++stats.cancelled;
+        break;
+      case JobState::kQueued:
+      case JobState::kRunning:
+        break;
+    }
   }
   finished_order_.push_back(job->id);
   if (options_.max_finished_jobs != 0) {
@@ -619,6 +842,11 @@ void MiningService::RunTenantOnce(std::unique_lock<std::mutex>* lock,
     // still solving.
     tenant->vtime += 1.0 / tenant->options.weight;
     ++num_running_jobs_;
+    if (journal_ != nullptr && !journal_->AppendStarted(job->id).ok()) {
+      // Started is a dispatch hint, not an ack: losing it only costs the
+      // next recovery a re-run it would have done anyway.
+      ++journal_append_errors_;
+    }
 
     lock->unlock();
     WallTimer run_timer;

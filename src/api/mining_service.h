@@ -63,6 +63,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/job_journal.h"
 #include "api/miner_session.h"
 #include "api/mining.h"
 #include "util/cancellation.h"
@@ -213,6 +214,23 @@ struct MiningServiceOptions {
   /// (default) leaves each session its private pool. Responses are
   /// bit-identical either way.
   std::shared_ptr<ThreadPool> worker_pool;
+  /// Path of the crash-consistent job journal (api/job_journal.h). When
+  /// non-empty, the service appends an Admitted record *before* Submit
+  /// returns success (a failed append fails the Submit — acked implies
+  /// journaled), a Started record at dispatch and a Done record at finish;
+  /// on construction over an existing journal it *recovers*: Done jobs are
+  /// re-exposed through Poll/Wait without re-running (exactly-once, with
+  /// bit-identical response content), and incomplete jobs are resubmitted
+  /// in original admission order per tenant as each tenant id is
+  /// re-registered via AddTenant. Recovered jobs keep their original
+  /// JobIds; deadline clocks restart at recovery. Empty (default) = no
+  /// journal. If the journal cannot be opened, the constructor keeps the
+  /// service alive but every Submit fails with the open error — durable
+  /// admission is never silently dropped.
+  std::string journal_path;
+  /// Tuning of the journal opened for journal_path (durability mode, group
+  /// commit interval, retry budget).
+  JobJournalOptions journal_options;
 };
 
 /// \brief Asynchronous, multi-tenant mining facade over MinerSessions.
@@ -340,6 +358,15 @@ class MiningService {
   /// is covered by the teardown guarantee; the probe exists so tests can
   /// positively establish that instead of sleeping.
   size_t num_active_waiters() const;
+  /// \brief Jobs recovered from the journal at construction (terminal jobs
+  /// re-exposed plus incomplete jobs awaiting resubmission), in admission
+  /// order — the recovered-job enumeration the C ABI exports. Empty when no
+  /// journal (or a fresh one) was configured.
+  std::vector<JobId> recovered_jobs() const;
+  uint64_t num_recovered_jobs() const;
+  /// Counters of the attached journal; NotFound when the service runs
+  /// without one, or the journal's open error when it failed to open.
+  Result<JobJournalStats> journal_stats() const;
 
  private:
   // One submitted job. Owned by jobs_ (and finished_order_) via shared_ptr
@@ -459,9 +486,22 @@ class MiningService {
   // Fails a still-queued job with kDeadlineExceeded. Mutex held.
   void ExpireQueuedLocked(const std::shared_ptr<Job>& job);
   // Marks `job` terminal, stamps its finish_index, bumps the per-tenant
-  // terminal counters, records it for retention/eviction and wakes
-  // waiters. Mutex held.
+  // terminal counters, journals the Done record, records the job for
+  // retention/eviction and wakes waiters. Mutex held.
   void FinishLocked(const std::shared_ptr<Job>& job);
+  // Constructor-time journal recovery: opens options_.journal_path, replays
+  // it, re-exposes terminal jobs through jobs_ (without re-running them)
+  // and buffers incomplete jobs per tenant until AddTenant registers their
+  // tenant id. Runs before the executors start.
+  void RecoverFromJournal();
+  // Enqueues `tenant`'s buffered incomplete recovered jobs in admission
+  // order — called by AddTenant right after registration, so recovered work
+  // precedes anything the caller submits afterwards. Mutex held.
+  void EnqueueRecoveredLocked(Tenant* tenant);
+  // Appends `job`'s Done record (no-op without a journal; failures are
+  // counted, never job-fatal) and stamps the journal telemetry counters
+  // into a kDone job's response. Mutex held.
+  void JournalDoneLocked(const std::shared_ptr<Job>& job);
   // Builds the caller's snapshot; enters with `lock` held and releases it
   // before the deep response copy (terminal jobs are immutable).
   JobStatus TakeSnapshot(std::unique_lock<std::mutex>* lock,
@@ -486,6 +526,24 @@ class MiningService {
   // pruned as they go terminal or fire.
   std::vector<std::shared_ptr<Job>> deadline_jobs_;
   JobId next_job_id_ = 1;
+  // Crash-consistency journal (null when options_.journal_path is empty or
+  // the open failed — see journal_error_).
+  std::shared_ptr<JobJournal> journal_;
+  // Why the configured journal is unavailable; Submit refuses while set so
+  // durable admission is never silently dropped.
+  Status journal_error_;
+  // Service-wide admission sequence, journaled with every Admitted record;
+  // resumes above the largest recovered index.
+  uint64_t admission_seq_ = 0;
+  // Jobs recovered at construction, in admission order (terminal re-exposed
+  // plus incomplete pending), for recovered_jobs().
+  std::vector<JobId> recovered_job_ids_;
+  // Incomplete recovered jobs keyed by tenant id, awaiting their tenant's
+  // AddTenant registration; drained in admission order.
+  std::unordered_map<TenantId, std::vector<std::shared_ptr<Job>>>
+      recovery_pending_;
+  // Started/Done appends that failed (non-fatal, unlike Admitted appends).
+  uint64_t journal_append_errors_ = 0;
   uint64_t num_submitted_ = 0;
   uint64_t num_deadline_exceeded_ = 0;
   uint64_t num_admission_rejections_ = 0;

@@ -1,0 +1,976 @@
+#include "store/job_journal.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "util/checksum.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+
+namespace dcs {
+
+namespace {
+
+// ---- on-disk framing -------------------------------------------------------
+//
+// The PR 6 page format under the journal's own magic. Superblock layout:
+// magic u64 | version u32 | endian u32 | checksum u64 of the preceding 16
+// bytes | reserved u64. Page header layout: magic u32 | type u32 | job id
+// u64 (the key) | payload_bytes u64 | payload checksum u64.
+
+// "DCSJRNL1" as a little-endian u64.
+constexpr uint64_t kJournalMagic = 0x314C4E524A534344ull;
+// "PAGE" as a little-endian u32 (same frame magic as the artifact store —
+// the superblock magic is what distinguishes the two files).
+constexpr uint32_t kPageMagic = 0x45474150u;
+constexpr uint32_t kEndianTag = 0x01020304u;
+constexpr size_t kSuperblockBytes = 32;
+constexpr size_t kPageHeaderBytes = 32;
+
+void AppendU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool ReadU32(std::span<const uint8_t> bytes, size_t* cursor, uint32_t* v) {
+  if (bytes.size() - *cursor < 4) return false;
+  std::memcpy(v, bytes.data() + *cursor, 4);
+  *cursor += 4;
+  return true;
+}
+
+bool ReadU64(std::span<const uint8_t> bytes, size_t* cursor, uint64_t* v) {
+  if (bytes.size() - *cursor < 8) return false;
+  std::memcpy(v, bytes.data() + *cursor, 8);
+  *cursor += 8;
+  return true;
+}
+
+void AppendDoubleBits(double v, std::string* out) {
+  AppendU64(std::bit_cast<uint64_t>(v), out);
+}
+
+bool ReadDoubleBits(std::span<const uint8_t> bytes, size_t* cursor,
+                    double* v) {
+  uint64_t b = 0;
+  if (!ReadU64(bytes, cursor, &b)) return false;
+  *v = std::bit_cast<double>(b);
+  return true;
+}
+
+void AppendString(const std::string& s, std::string* out) {
+  AppendU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+bool ReadString(std::span<const uint8_t> bytes, size_t* cursor,
+                std::string* s) {
+  uint32_t len = 0;
+  if (!ReadU32(bytes, cursor, &len)) return false;
+  if (bytes.size() - *cursor < len) return false;
+  s->assign(reinterpret_cast<const char*>(bytes.data() + *cursor), len);
+  *cursor += len;
+  return true;
+}
+
+std::string SerializeSuperblock() {
+  std::string out;
+  out.reserve(kSuperblockBytes);
+  AppendU64(kJournalMagic, &out);
+  AppendU32(JobJournal::kFormatVersion, &out);
+  AppendU32(kEndianTag, &out);
+  AppendU64(PageChecksum(out.data(), out.size()), &out);
+  AppendU64(0, &out);  // reserved
+  DCS_CHECK(out.size() == kSuperblockBytes);
+  return out;
+}
+
+bool ValidSuperblock(std::span<const uint8_t> bytes, uint32_t* version) {
+  *version = 0;
+  if (bytes.size() < kSuperblockBytes) return false;
+  size_t cursor = 0;
+  uint64_t magic = 0, checksum = 0;
+  uint32_t file_version = 0, endian = 0;
+  ReadU64(bytes, &cursor, &magic);
+  ReadU32(bytes, &cursor, &file_version);
+  ReadU32(bytes, &cursor, &endian);
+  ReadU64(bytes, &cursor, &checksum);
+  if (magic != kJournalMagic || endian != kEndianTag ||
+      checksum != PageChecksum(bytes.data(), 16)) {
+    return false;
+  }
+  *version = file_version;
+  // A future format version is unreadable by construction: treat the whole
+  // file as untrusted rather than guessing at its layout.
+  return file_version == JobJournal::kFormatVersion;
+}
+
+std::string SerializePageHeader(uint32_t type, uint64_t job_id,
+                                const std::string& payload) {
+  std::string out;
+  out.reserve(kPageHeaderBytes);
+  AppendU32(kPageMagic, &out);
+  AppendU32(type, &out);
+  AppendU64(job_id, &out);
+  AppendU64(payload.size(), &out);
+  AppendU64(PageChecksum(payload.data(), payload.size()), &out);
+  DCS_CHECK(out.size() == kPageHeaderBytes);
+  return out;
+}
+
+struct PageHeader {
+  uint32_t type = 0;
+  uint64_t job_id = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t checksum = 0;
+};
+
+bool ParsePageHeader(std::span<const uint8_t> bytes, size_t* cursor,
+                     PageHeader* header) {
+  uint32_t magic = 0;
+  return ReadU32(bytes, cursor, &magic) && magic == kPageMagic &&
+         ReadU32(bytes, cursor, &header->type) &&
+         header->type >= JobJournal::kAdmittedRecord &&
+         header->type <= JobJournal::kDoneRecord &&
+         ReadU64(bytes, cursor, &header->job_id) &&
+         ReadU64(bytes, cursor, &header->payload_bytes) &&
+         ReadU64(bytes, cursor, &header->checksum);
+}
+
+// ---- advisory file locking / raw I/O ---------------------------------------
+//
+// The same flock discipline as the artifact store; the store.flock fault
+// site keeps covering the degraded-to-lockless path for both files.
+
+class ScopedFileLock {
+ public:
+  ScopedFileLock(int fd, int op) : fd_(fd) {
+    if (FaultHit(fault_sites::kStoreFlock)) {
+      fd_ = -1;
+      return;
+    }
+    while (flock(fd_, op) != 0 && errno == EINTR) {
+    }
+  }
+  ~ScopedFileLock() {
+    if (fd_ < 0) return;
+    while (flock(fd_, LOCK_UN) != 0 && errno == EINTR) {
+    }
+  }
+  ScopedFileLock(const ScopedFileLock&) = delete;
+  ScopedFileLock& operator=(const ScopedFileLock&) = delete;
+
+ private:
+  int fd_;
+};
+
+Result<uint64_t> FileSize(int fd) {
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    return Status::IoError(std::string("fstat failed: ") +
+                           std::strerror(errno));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status ReadExact(int fd, uint64_t offset, size_t size, uint8_t* out) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = pread(fd, out + done, size - done,
+                            static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) return Status::IoError("unexpected end of journal file");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteExact(int fd, uint64_t offset, const std::string& bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = pwrite(fd, bytes.data() + done, bytes.size() - done,
+                             static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pwrite failed: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status JournalTruncated(const char* what) {
+  return Status::InvalidArgument(std::string("journal ") + what +
+                                 " payload truncated");
+}
+
+// ---- record payloads -------------------------------------------------------
+
+Result<MiningRequest> DecodeRequestTail(std::span<const uint8_t> bytes,
+                                        size_t cursor) {
+  return JobJournal::DecodeRequest(bytes.subspan(cursor));
+}
+
+std::string SerializeAdmitted(const JournalAdmittedRecord& record) {
+  std::string out;
+  AppendU64(record.job_id, &out);
+  AppendU32(record.tenant, &out);
+  AppendU64(record.admission_index, &out);
+  out += JobJournal::EncodeRequest(record.request);
+  return out;
+}
+
+Result<JournalAdmittedRecord> ParseAdmitted(std::span<const uint8_t> bytes) {
+  JournalAdmittedRecord record;
+  size_t cursor = 0;
+  if (!ReadU64(bytes, &cursor, &record.job_id) ||
+      !ReadU32(bytes, &cursor, &record.tenant) ||
+      !ReadU64(bytes, &cursor, &record.admission_index)) {
+    return JournalTruncated("admitted");
+  }
+  DCS_ASSIGN_OR_RETURN(record.request, DecodeRequestTail(bytes, cursor));
+  return record;
+}
+
+std::string SerializeDone(const JournalDoneRecord& record,
+                          const std::string& response_content) {
+  std::string out;
+  AppendU64(record.job_id, &out);
+  AppendU32(static_cast<uint32_t>(record.state), &out);
+  AppendU32(record.status_code, &out);
+  AppendString(record.status_message, &out);
+  AppendU64(record.response_fingerprint, &out);
+  AppendU32(record.has_response ? 1 : 0, &out);
+  if (record.has_response) out += response_content;
+  return out;
+}
+
+Result<JournalDoneRecord> ParseDone(std::span<const uint8_t> bytes) {
+  JournalDoneRecord record;
+  size_t cursor = 0;
+  uint32_t state = 0, has_response = 0;
+  if (!ReadU64(bytes, &cursor, &record.job_id) ||
+      !ReadU32(bytes, &cursor, &state) ||
+      !ReadU32(bytes, &cursor, &record.status_code) ||
+      !ReadString(bytes, &cursor, &record.status_message) ||
+      !ReadU64(bytes, &cursor, &record.response_fingerprint) ||
+      !ReadU32(bytes, &cursor, &has_response)) {
+    return JournalTruncated("done");
+  }
+  if (state > static_cast<uint32_t>(JournalTerminalState::kCancelled) ||
+      has_response > 1) {
+    return Status::InvalidArgument("journal done payload fields invalid");
+  }
+  record.state = static_cast<JournalTerminalState>(state);
+  record.has_response = has_response != 0;
+  const std::span<const uint8_t> content = bytes.subspan(cursor);
+  if (!record.has_response) {
+    if (!content.empty()) {
+      return Status::InvalidArgument("journal done payload has trailing bytes");
+    }
+    return record;
+  }
+  // The fingerprint must match the stored content image — a checksum-valid
+  // frame whose embedded fingerprint disagrees is content rot, not ours.
+  if (PageChecksum(content.data(), content.size()) !=
+      record.response_fingerprint) {
+    return Status::InvalidArgument("journal done fingerprint mismatch");
+  }
+  DCS_ASSIGN_OR_RETURN(record.response,
+                       JobJournal::DecodeResponseContent(content));
+  return record;
+}
+
+void AppendRanking(const std::vector<RankedSubgraph>& ranking,
+                   std::string* out) {
+  AppendU32(static_cast<uint32_t>(ranking.size()), out);
+  for (const RankedSubgraph& subgraph : ranking) {
+    AppendU32(static_cast<uint32_t>(subgraph.vertices.size()), out);
+    for (const VertexId v : subgraph.vertices) AppendU32(v, out);
+    AppendU32(static_cast<uint32_t>(subgraph.weights.size()), out);
+    for (const double w : subgraph.weights) AppendDoubleBits(w, out);
+    AppendDoubleBits(subgraph.value, out);
+    AppendDoubleBits(subgraph.ratio_bound, out);
+    AppendU32(subgraph.positive_clique ? 1 : 0, out);
+  }
+}
+
+bool ParseRanking(std::span<const uint8_t> bytes, size_t* cursor,
+                  std::vector<RankedSubgraph>* ranking) {
+  uint32_t count = 0;
+  if (!ReadU32(bytes, cursor, &count)) return false;
+  // Element counts are bounded by the remaining payload before any resize,
+  // so a corrupt length cannot drive a huge allocation.
+  if (count > (bytes.size() - *cursor) / 4) return false;
+  ranking->resize(count);
+  for (RankedSubgraph& subgraph : *ranking) {
+    uint32_t nv = 0;
+    if (!ReadU32(bytes, cursor, &nv) ||
+        nv > (bytes.size() - *cursor) / 4) {
+      return false;
+    }
+    subgraph.vertices.resize(nv);
+    for (VertexId& v : subgraph.vertices) {
+      if (!ReadU32(bytes, cursor, &v)) return false;
+    }
+    uint32_t nw = 0;
+    if (!ReadU32(bytes, cursor, &nw) ||
+        nw > (bytes.size() - *cursor) / 8) {
+      return false;
+    }
+    subgraph.weights.resize(nw);
+    for (double& w : subgraph.weights) {
+      if (!ReadDoubleBits(bytes, cursor, &w)) return false;
+    }
+    uint32_t clique = 0;
+    if (!ReadDoubleBits(bytes, cursor, &subgraph.value) ||
+        !ReadDoubleBits(bytes, cursor, &subgraph.ratio_bound) ||
+        !ReadU32(bytes, cursor, &clique) || clique > 1) {
+      return false;
+    }
+    subgraph.positive_clique = clique != 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- request / response images ---------------------------------------------
+
+std::string JobJournal::EncodeRequest(const MiningRequest& request) {
+  std::string out;
+  AppendU32(static_cast<uint32_t>(request.measure), &out);
+  AppendDoubleBits(request.alpha, &out);
+  const uint8_t flags[8] = {
+      static_cast<uint8_t>(request.flip ? 1 : 0),
+      static_cast<uint8_t>(request.discretize ? 1 : 0),
+      static_cast<uint8_t>(request.clamp_weights_above ? 1 : 0),
+      static_cast<uint8_t>(request.disjoint ? 1 : 0),
+      static_cast<uint8_t>(request.warm_start ? 1 : 0),
+      static_cast<uint8_t>(request.ga_solver.collect_cliques ? 1 : 0),
+      static_cast<uint8_t>(request.ga_solver.assume_nonnegative ? 1 : 0),
+      static_cast<uint8_t>(request.ga_solver.fast_math ? 1 : 0)};
+  out.append(reinterpret_cast<const char*>(flags), sizeof(flags));
+  if (request.discretize) {
+    AppendDoubleBits(request.discretize->strong_pos, &out);
+    AppendDoubleBits(request.discretize->weak_pos, &out);
+    AppendDoubleBits(request.discretize->strong_neg, &out);
+    AppendDoubleBits(request.discretize->level_two, &out);
+    AppendDoubleBits(request.discretize->level_one, &out);
+  }
+  if (request.clamp_weights_above) {
+    AppendDoubleBits(*request.clamp_weights_above, &out);
+  }
+  AppendU32(request.top_k, &out);
+  AppendDoubleBits(request.min_density, &out);
+  AppendDoubleBits(request.min_affinity, &out);
+  const DcsgaOptions& ga = request.ga_solver;
+  AppendU32(static_cast<uint32_t>(ga.shrink), &out);
+  AppendDoubleBits(ga.seacd.descent.epsilon_scale, &out);
+  AppendU64(ga.seacd.descent.max_iterations, &out);
+  AppendU32(ga.seacd.max_rounds, &out);
+  AppendDoubleBits(ga.sea.replicator.objective_tolerance, &out);
+  AppendU64(ga.sea.replicator.max_sweeps, &out);
+  AppendU32(ga.sea.max_rounds, &out);
+  AppendDoubleBits(ga.refinement_descent.epsilon_scale, &out);
+  AppendU64(ga.refinement_descent.max_iterations, &out);
+  AppendU32(ga.parallelism, &out);
+  // ga.cancel is a borrowed pointer into the crashed process — by
+  // construction it is never serialized; recovery re-owns cancellation.
+  AppendU32(std::bit_cast<uint32_t>(request.priority), &out);
+  AppendDoubleBits(request.deadline_seconds, &out);
+  AppendString(request.ad_solver_name, &out);
+  AppendString(request.ga_solver_name, &out);
+  return out;
+}
+
+Result<MiningRequest> JobJournal::DecodeRequest(
+    std::span<const uint8_t> bytes) {
+  MiningRequest request;
+  size_t cursor = 0;
+  uint32_t measure = 0;
+  if (!ReadU32(bytes, &cursor, &measure) ||
+      !ReadDoubleBits(bytes, &cursor, &request.alpha)) {
+    return JournalTruncated("request");
+  }
+  if (measure > static_cast<uint32_t>(Measure::kBoth)) {
+    return Status::InvalidArgument("journal request measure out of range");
+  }
+  request.measure = static_cast<Measure>(measure);
+  if (bytes.size() - cursor < 8) return JournalTruncated("request");
+  const uint8_t* flags = bytes.data() + cursor;
+  cursor += 8;
+  for (size_t i = 0; i < 8; ++i) {
+    if (flags[i] > 1) {
+      return Status::InvalidArgument("journal request flags invalid");
+    }
+  }
+  request.flip = flags[0] != 0;
+  if (flags[1] != 0) {
+    DiscretizeSpec spec;
+    if (!ReadDoubleBits(bytes, &cursor, &spec.strong_pos) ||
+        !ReadDoubleBits(bytes, &cursor, &spec.weak_pos) ||
+        !ReadDoubleBits(bytes, &cursor, &spec.strong_neg) ||
+        !ReadDoubleBits(bytes, &cursor, &spec.level_two) ||
+        !ReadDoubleBits(bytes, &cursor, &spec.level_one)) {
+      return JournalTruncated("request");
+    }
+    request.discretize = spec;
+  }
+  if (flags[2] != 0) {
+    double clamp = 0.0;
+    if (!ReadDoubleBits(bytes, &cursor, &clamp)) {
+      return JournalTruncated("request");
+    }
+    request.clamp_weights_above = clamp;
+  }
+  request.disjoint = flags[3] != 0;
+  request.warm_start = flags[4] != 0;
+  request.ga_solver.collect_cliques = flags[5] != 0;
+  request.ga_solver.assume_nonnegative = flags[6] != 0;
+  request.ga_solver.fast_math = flags[7] != 0;
+  uint32_t shrink = 0, priority_bits = 0;
+  DcsgaOptions& ga = request.ga_solver;
+  if (!ReadU32(bytes, &cursor, &request.top_k) ||
+      !ReadDoubleBits(bytes, &cursor, &request.min_density) ||
+      !ReadDoubleBits(bytes, &cursor, &request.min_affinity) ||
+      !ReadU32(bytes, &cursor, &shrink) ||
+      !ReadDoubleBits(bytes, &cursor, &ga.seacd.descent.epsilon_scale) ||
+      !ReadU64(bytes, &cursor, &ga.seacd.descent.max_iterations) ||
+      !ReadU32(bytes, &cursor, &ga.seacd.max_rounds) ||
+      !ReadDoubleBits(bytes, &cursor,
+                      &ga.sea.replicator.objective_tolerance) ||
+      !ReadU64(bytes, &cursor, &ga.sea.replicator.max_sweeps) ||
+      !ReadU32(bytes, &cursor, &ga.sea.max_rounds) ||
+      !ReadDoubleBits(bytes, &cursor,
+                      &ga.refinement_descent.epsilon_scale) ||
+      !ReadU64(bytes, &cursor, &ga.refinement_descent.max_iterations) ||
+      !ReadU32(bytes, &cursor, &ga.parallelism) ||
+      !ReadU32(bytes, &cursor, &priority_bits) ||
+      !ReadDoubleBits(bytes, &cursor, &request.deadline_seconds) ||
+      !ReadString(bytes, &cursor, &request.ad_solver_name) ||
+      !ReadString(bytes, &cursor, &request.ga_solver_name)) {
+    return JournalTruncated("request");
+  }
+  if (shrink > static_cast<uint32_t>(ShrinkKind::kReplicator)) {
+    return Status::InvalidArgument("journal request shrink kind invalid");
+  }
+  ga.shrink = static_cast<ShrinkKind>(shrink);
+  request.priority = std::bit_cast<int32_t>(priority_bits);
+  if (cursor != bytes.size()) {
+    return Status::InvalidArgument("journal request has trailing bytes");
+  }
+  return request;
+}
+
+std::string JobJournal::EncodeResponseContent(const MiningResponse& response) {
+  std::string out;
+  AppendRanking(response.average_degree, &out);
+  AppendRanking(response.graph_affinity, &out);
+  return out;
+}
+
+Result<MiningResponse> JobJournal::DecodeResponseContent(
+    std::span<const uint8_t> bytes) {
+  MiningResponse response;
+  size_t cursor = 0;
+  if (!ParseRanking(bytes, &cursor, &response.average_degree) ||
+      !ParseRanking(bytes, &cursor, &response.graph_affinity) ||
+      cursor != bytes.size()) {
+    return Status::InvalidArgument("journal response content invalid");
+  }
+  return response;
+}
+
+uint64_t JobJournal::ResponseFingerprint(const MiningResponse& response) {
+  const std::string content = EncodeResponseContent(response);
+  return PageChecksum(content.data(), content.size());
+}
+
+// ---- open / scan -----------------------------------------------------------
+
+JobJournal::JobJournal(std::string path, JobJournalOptions options, int fd)
+    : path_(std::move(path)), options_(options), fd_(fd) {
+  if (options_.durability == JournalDurability::kGroupCommit) {
+    flusher_ = std::thread(&JobJournal::FlusherLoop, this);
+  }
+}
+
+Result<std::shared_ptr<JobJournal>> JobJournal::Open(
+    std::string path, JobJournalOptions options) {
+  const int flags = options.create_if_missing ? (O_RDWR | O_CREAT) : O_RDWR;
+  const int fd = ::open(path.c_str(), flags | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    const std::string reason = std::strerror(errno);
+    if (errno == ENOENT) {
+      return Status::NotFound("job journal " + path + ": " + reason);
+    }
+    return Status::IoError("cannot open job journal " + path + ": " + reason);
+  }
+  auto journal = std::shared_ptr<JobJournal>(
+      new JobJournal(std::move(path), options, fd));
+  {
+    std::lock_guard<std::mutex> lock(journal->mutex_);
+    journal->ScanLocked();
+  }
+  return journal;
+}
+
+JobJournal::~JobJournal() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    if (dirty_) (void)SyncLocked();  // final group-commit flush
+    ::close(fd_);
+  }
+  fd_ = -1;
+}
+
+void JobJournal::ScanLocked() {
+  frames_.clear();
+  admitted_records_ = started_records_ = done_records_ = 0;
+  ScopedFileLock file_lock(fd_, LOCK_SH);
+  Result<uint64_t> size = FileSize(fd_);
+  if (!size.ok()) {
+    reliable_end_ = 0;
+    tail_unreliable_ = true;
+    return;
+  }
+  if (*size == 0) {
+    // Brand-new file: the first append writes the superblock.
+    reliable_end_ = 0;
+    tail_unreliable_ = true;
+    return;
+  }
+
+  // Structural walk only — superblock plus the page-header chain. Payload
+  // checksums are verified where the bytes are used: Replay and Fsck.
+  uint8_t superblock[kSuperblockBytes];
+  uint32_t version = 0;
+  if (!ReadExact(fd_, 0, kSuperblockBytes, superblock).ok() ||
+      !ValidSuperblock(std::span<const uint8_t>(superblock, kSuperblockBytes),
+                       &version)) {
+    reliable_end_ = 0;
+    tail_unreliable_ = true;
+    ++corrupt_pages_;
+    return;
+  }
+
+  uint64_t cursor = kSuperblockBytes;
+  reliable_end_ = cursor;
+  tail_unreliable_ = false;
+  while (cursor < *size) {
+    const uint64_t record_offset = cursor;
+    uint8_t header_bytes[kPageHeaderBytes];
+    PageHeader header;
+    size_t header_cursor = 0;
+    if (*size - cursor < kPageHeaderBytes ||
+        !ReadExact(fd_, cursor, kPageHeaderBytes, header_bytes).ok() ||
+        !ParsePageHeader(
+            std::span<const uint8_t>(header_bytes, kPageHeaderBytes),
+            &header_cursor, &header) ||
+        header.payload_bytes > *size - cursor - kPageHeaderBytes) {
+      // A torn append or header garbage: everything from here on is
+      // unreachable. Stop indexing; the next append (or the recovery path's
+      // TruncateUnreliableTail) truncates.
+      ++corrupt_pages_;
+      tail_unreliable_ = true;
+      break;
+    }
+    cursor += kPageHeaderBytes + header.payload_bytes;
+    FrameInfo frame;
+    frame.offset = record_offset;
+    frame.payload_bytes = header.payload_bytes;
+    frame.type = header.type;
+    frame.job_id = header.job_id;
+    frames_.push_back(frame);
+    switch (header.type) {
+      case kAdmittedRecord:
+        ++admitted_records_;
+        break;
+      case kStartedRecord:
+        ++started_records_;
+        break;
+      default:
+        ++done_records_;
+    }
+    reliable_end_ = cursor;
+  }
+}
+
+// ---- append path -----------------------------------------------------------
+
+Status JobJournal::ResetFileLocked() {
+  if (ftruncate(fd_, 0) != 0) {
+    return Status::IoError(std::string("ftruncate failed: ") +
+                           std::strerror(errno));
+  }
+  DCS_RETURN_NOT_OK(WriteExact(fd_, 0, SerializeSuperblock()));
+  frames_.clear();
+  admitted_records_ = started_records_ = done_records_ = 0;
+  reliable_end_ = kSuperblockBytes;
+  tail_unreliable_ = false;
+  return Status::OK();
+}
+
+Status JobJournal::TruncateTailLocked() {
+  // Untrusted superblock (reliable_end_ == 0) rebuilds the whole file; a
+  // corrupt tail is truncated back to the last valid record.
+  if (reliable_end_ < kSuperblockBytes) {
+    Result<uint64_t> size = FileSize(fd_);
+    if (size.ok() && *size > 0) {
+      ++truncations_;
+      truncated_tail_bytes_ += *size;
+    }
+    return ResetFileLocked();
+  }
+  Result<uint64_t> size = FileSize(fd_);
+  if (size.ok() && *size > reliable_end_) {
+    ++truncations_;
+    truncated_tail_bytes_ += *size - reliable_end_;
+  }
+  if (ftruncate(fd_, static_cast<off_t>(reliable_end_)) != 0) {
+    return Status::IoError(std::string("ftruncate failed: ") +
+                           std::strerror(errno));
+  }
+  tail_unreliable_ = false;
+  return Status::OK();
+}
+
+Status JobJournal::SyncLocked() {
+  // The fsync is a durability point — the crash harness kills the process
+  // here — and a real fsync failure must surface (an acked Admitted record
+  // that never reached the platter is a broken promise under kAlways).
+  dirty_ = false;
+  if (FaultHit(fault_sites::kJournalFsync)) {
+    return FaultInjection::InjectedError(fault_sites::kJournalFsync);
+  }
+  if (fsync(fd_) != 0) {
+    return Status::IoError(std::string("fsync failed: ") +
+                           std::strerror(errno));
+  }
+  ++fsyncs_;
+  return Status::OK();
+}
+
+Status JobJournal::AppendLocked(uint32_t type, uint64_t job_id,
+                                const std::string& payload) {
+  if (fd_ < 0) return Status::IoError("job journal is closed");
+  ScopedFileLock file_lock(fd_, LOCK_EX);
+  if (tail_unreliable_) {
+    DCS_RETURN_NOT_OK(TruncateTailLocked());
+  }
+  // Another process may have appended since our scan; never overwrite its
+  // records — append at the true end of file.
+  DCS_ASSIGN_OR_RETURN(uint64_t end, FileSize(fd_));
+  const uint64_t write_offset = std::max(end, reliable_end_);
+  std::string frame = SerializePageHeader(type, job_id, payload);
+  frame += payload;
+  // Transient write failures — and the journal.append fault site — retry
+  // with deterministic exponential backoff before surfacing. The pwrite
+  // targets fixed offsets, so a retry over a partial write is idempotent.
+  Status wrote;
+  for (uint32_t attempt = 0;; ++attempt) {
+    wrote = FaultHit(fault_sites::kJournalAppend)
+                ? FaultInjection::InjectedError(fault_sites::kJournalAppend)
+                : WriteExact(fd_, write_offset, frame);
+    if (wrote.ok() || !wrote.IsIoError() ||
+        attempt >= options_.max_io_retries) {
+      break;
+    }
+    ++io_retries_;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.retry_backoff_ms * static_cast<double>(1u << attempt)));
+  }
+  DCS_RETURN_NOT_OK(wrote);
+  FrameInfo info;
+  info.offset = write_offset;
+  info.payload_bytes = payload.size();
+  info.type = type;
+  info.job_id = job_id;
+  frames_.push_back(info);
+  switch (type) {
+    case kAdmittedRecord:
+      ++admitted_records_;
+      break;
+    case kStartedRecord:
+      ++started_records_;
+      break;
+    default:
+      ++done_records_;
+  }
+  reliable_end_ = write_offset + frame.size();
+  ++appended_records_;
+  if (options_.durability == JournalDurability::kAlways) {
+    DCS_RETURN_NOT_OK(SyncLocked());
+  } else {
+    dirty_ = true;
+    flusher_cv_.notify_one();
+  }
+  return Status::OK();
+}
+
+Status JobJournal::AppendAdmitted(const JournalAdmittedRecord& record) {
+  const std::string payload = SerializeAdmitted(record);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AppendLocked(kAdmittedRecord, record.job_id, payload);
+}
+
+Status JobJournal::AppendStarted(uint64_t job_id) {
+  std::string payload;
+  AppendU64(job_id, &payload);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AppendLocked(kStartedRecord, job_id, payload);
+}
+
+Status JobJournal::AppendDone(const JournalDoneRecord& record) {
+  JournalDoneRecord stamped = record;
+  std::string content;
+  if (stamped.has_response) {
+    content = EncodeResponseContent(stamped.response);
+    stamped.response_fingerprint = PageChecksum(content.data(),
+                                                content.size());
+  } else {
+    stamped.response_fingerprint = 0;
+  }
+  const std::string payload = SerializeDone(stamped, content);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AppendLocked(kDoneRecord, record.job_id, payload);
+}
+
+// ---- replay ----------------------------------------------------------------
+
+Result<std::vector<JournalReplayJob>> JobJournal::Replay() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::IoError("job journal is closed");
+  ScopedFileLock file_lock(fd_, LOCK_SH);
+
+  std::unordered_map<uint64_t, size_t> by_job;  // job id -> out index
+  std::vector<JournalReplayJob> out;
+  for (const FrameInfo& frame : frames_) {
+    std::vector<uint8_t> bytes(kPageHeaderBytes +
+                               static_cast<size_t>(frame.payload_bytes));
+    PageHeader header;
+    size_t cursor = 0;
+    // Content verification happens here, where the bytes are used: the
+    // structural scan trusted nothing but framing. The journal.replay
+    // fault site models a record rotting between scan and replay (fail)
+    // or the process dying mid-replay (crash).
+    if (FaultHit(fault_sites::kJournalReplay) ||
+        !ReadExact(fd_, frame.offset, bytes.size(), bytes.data()).ok() ||
+        !ParsePageHeader(bytes, &cursor, &header) ||
+        header.type != frame.type || header.job_id != frame.job_id ||
+        header.payload_bytes != frame.payload_bytes ||
+        PageChecksum(bytes.data() + kPageHeaderBytes,
+                     static_cast<size_t>(frame.payload_bytes)) !=
+            header.checksum) {
+      // A rotted record reads as absent; later records are still framed
+      // independently, so the walk continues.
+      ++corrupt_pages_;
+      continue;
+    }
+    const std::span<const uint8_t> payload =
+        std::span<const uint8_t>(bytes).subspan(kPageHeaderBytes);
+    switch (frame.type) {
+      case kAdmittedRecord: {
+        Result<JournalAdmittedRecord> admitted = ParseAdmitted(payload);
+        if (!admitted.ok() || admitted->job_id != frame.job_id) {
+          ++corrupt_pages_;
+          break;
+        }
+        if (by_job.count(admitted->job_id) != 0) break;  // first wins
+        by_job.emplace(admitted->job_id, out.size());
+        JournalReplayJob job;
+        job.admitted = std::move(*admitted);
+        out.push_back(std::move(job));
+        break;
+      }
+      case kStartedRecord: {
+        uint64_t job_id = 0;
+        size_t payload_cursor = 0;
+        if (!ReadU64(payload, &payload_cursor, &job_id) ||
+            payload_cursor != payload.size() || job_id != frame.job_id) {
+          ++corrupt_pages_;
+          break;
+        }
+        const auto it = by_job.find(job_id);
+        if (it != by_job.end()) out[it->second].started = true;
+        break;
+      }
+      default: {
+        Result<JournalDoneRecord> done = ParseDone(payload);
+        if (!done.ok() || done->job_id != frame.job_id) {
+          ++corrupt_pages_;
+          break;
+        }
+        const auto it = by_job.find(done->job_id);
+        // Exactly-once: the first Done record per job is authoritative; a
+        // duplicate (possible if a crash landed between FinishLocked and
+        // the ack during a previous recovery) is ignored.
+        if (it != by_job.end() && !out[it->second].done) {
+          out[it->second].done = true;
+          out[it->second].done_record = std::move(*done);
+        }
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JournalReplayJob& a, const JournalReplayJob& b) {
+              return a.admitted.admission_index != b.admitted.admission_index
+                         ? a.admitted.admission_index <
+                               b.admitted.admission_index
+                         : a.admitted.job_id < b.admitted.job_id;
+            });
+  return out;
+}
+
+Status JobJournal::TruncateUnreliableTail() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::IoError("job journal is closed");
+  if (!tail_unreliable_) return Status::OK();
+  ScopedFileLock file_lock(fd_, LOCK_EX);
+  return TruncateTailLocked();
+}
+
+Status JobJournal::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::IoError("job journal is closed");
+  if (!dirty_) return Status::OK();
+  return SyncLocked();
+}
+
+// ---- introspection ---------------------------------------------------------
+
+JobJournalStats JobJournal::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobJournalStats stats;
+  stats.admitted_records = admitted_records_;
+  stats.started_records = started_records_;
+  stats.done_records = done_records_;
+  stats.appended_records = appended_records_;
+  stats.fsyncs = fsyncs_;
+  stats.corrupt_pages = corrupt_pages_;
+  stats.truncations = truncations_;
+  stats.truncated_tail_bytes = truncated_tail_bytes_;
+  stats.io_retries = io_retries_;
+  if (fd_ >= 0) {
+    Result<uint64_t> size = FileSize(fd_);
+    if (size.ok()) stats.file_bytes = *size;
+  }
+  return stats;
+}
+
+std::vector<JournalRecordInfo> JobJournal::ListRecords() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JournalRecordInfo> out;
+  out.reserve(frames_.size());
+  for (const FrameInfo& frame : frames_) {
+    JournalRecordInfo info;
+    info.type = frame.type;
+    info.job_id = frame.job_id;
+    info.offset = frame.offset;
+    info.payload_bytes = frame.payload_bytes;
+    out.push_back(info);
+  }
+  return out;
+}
+
+void JobJournal::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    flusher_cv_.wait(lock, [this] { return shutdown_ || dirty_; });
+    if (shutdown_) return;  // the destructor issues the final flush
+    // Bounded batching window: absorb appends for up to flush_interval_ms,
+    // then sync them in one fsync. Shutdown cuts the window short.
+    flusher_cv_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(options_.flush_interval_ms),
+        [this] { return shutdown_; });
+    if (shutdown_) return;
+    if (dirty_ && fd_ >= 0) {
+      // A failed group-commit fsync is not silent: Flush() surfaces it on
+      // demand, and kAlways exists for callers that need per-append
+      // guarantees.
+      (void)SyncLocked();
+    }
+  }
+}
+
+Result<JournalFsckReport> JobJournal::Fsck(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const std::string reason = std::strerror(errno);
+    if (errno == ENOENT) {
+      return Status::NotFound("job journal " + path + ": " + reason);
+    }
+    return Status::IoError("cannot open job journal " + path + ": " + reason);
+  }
+  JournalFsckReport report;
+  {
+    ScopedFileLock file_lock(fd, LOCK_SH);
+    Result<uint64_t> size = FileSize(fd);
+    if (!size.ok()) {
+      ::close(fd);
+      return size.status();
+    }
+    report.file_bytes = *size;
+    std::vector<uint8_t> bytes(static_cast<size_t>(*size));
+    Status read = ReadExact(fd, 0, bytes.size(), bytes.data());
+    ::close(fd);
+    if (!read.ok()) return read;
+
+    report.superblock_ok = ValidSuperblock(bytes, &report.format_version);
+    if (!report.superblock_ok) {
+      report.corrupt_pages = bytes.empty() ? 0 : 1;
+      report.unreliable_tail_bytes = bytes.size();
+      return report;
+    }
+    size_t cursor = kSuperblockBytes;
+    while (cursor < bytes.size()) {
+      PageHeader header;
+      const size_t record_offset = cursor;
+      if (!ParsePageHeader(bytes, &cursor, &header) ||
+          header.payload_bytes > bytes.size() - cursor ||
+          PageChecksum(bytes.data() + cursor,
+                       static_cast<size_t>(header.payload_bytes)) !=
+              header.checksum) {
+        ++report.corrupt_pages;
+        report.unreliable_tail_bytes = bytes.size() - record_offset;
+        break;
+      }
+      cursor += static_cast<size_t>(header.payload_bytes);
+      ++report.valid_records;
+    }
+  }
+  return report;
+}
+
+}  // namespace dcs

@@ -98,6 +98,25 @@ Result<FaultSpec> FaultInjection::Parse(const std::string& text) {
     return Status::InvalidArgument("fault spec '" + text +
                                    "' is missing its site name");
   }
+  // Text specs come from CLIs and test strings, where a typo'd site name
+  // would arm a hook no code ever hits — silently. Reject anything outside
+  // the registry; programmatic Arm() stays permissive for custom sites.
+  bool known = false;
+  for (const char* site : fault_sites::kKnownSites) {
+    if (spec.site == site) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    std::string valid;
+    for (const char* site : fault_sites::kKnownSites) {
+      if (!valid.empty()) valid += ", ";
+      valid += site;
+    }
+    return Status::InvalidArgument("unknown fault site '" + spec.site +
+                                   "'; valid sites: " + valid);
+  }
   size_t begin = colon == std::string::npos ? text.size() : colon + 1;
   while (begin < text.size()) {
     const size_t end = std::min(text.find(',', begin), text.size());
@@ -127,6 +146,10 @@ Result<FaultSpec> FaultInjection::Parse(const std::string& text) {
       uint64_t flag = 0;
       ok = ParseU64Field(value, &flag) && flag <= 1;
       spec.fail = flag != 0;
+    } else if (key == "crash") {
+      uint64_t flag = 0;
+      ok = ParseU64Field(value, &flag) && flag <= 1;
+      spec.crash = flag != 0;
     } else {
       return Status::InvalidArgument("unknown fault spec key '" + key + "'");
     }
@@ -150,6 +173,7 @@ bool FaultInjection::Hit(const char* site) {
   double delay_ms = 0.0;
   bool fail = false;
   bool fired = false;
+  bool crash = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = sites_.find(site);
@@ -176,11 +200,19 @@ bool FaultInjection::Hit(const char* site) {
     ++total_fires_;
     fired = true;
     fail = spec.fail;
+    crash = spec.crash;
     delay_ms = spec.delay_ms;
   }
   if (fired && delay_ms > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         delay_ms));
+  }
+  if (fired && crash) {
+    // The kill-at-fault-site action: die *here*, mid-operation, exactly as
+    // a power cut or SIGKILL would land at this point in the I/O. abort()
+    // (not exit) skips every destructor and atexit hook — no graceful
+    // flush, no journal Done records — which is the whole point.
+    std::abort();
   }
   return fail;
 }

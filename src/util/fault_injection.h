@@ -41,14 +41,25 @@
 namespace dcs {
 
 /// Canonical site names, so call sites, tests and `--inject` specs agree on
-/// spelling. A site string not listed here is legal (custom solvers may add
-/// their own); these are the ones libdcs itself checks.
+/// spelling. These are the sites libdcs itself checks; kKnownSites is the
+/// registry Parse validates text specs against. Custom solvers may still arm
+/// their own sites programmatically — Arm() stays permissive; only the
+/// text/CLI path rejects unknown names, because a typo there used to arm a
+/// dead hook silently.
 namespace fault_sites {
 inline constexpr const char kStoreRead[] = "store.read";
 inline constexpr const char kStoreAppend[] = "store.append";
 inline constexpr const char kStoreFlock[] = "store.flock";
 inline constexpr const char kCacheBuild[] = "cache.build";
 inline constexpr const char kPoolDispatch[] = "pool.dispatch";
+inline constexpr const char kJournalAppend[] = "journal.append";
+inline constexpr const char kJournalFsync[] = "journal.fsync";
+inline constexpr const char kJournalReplay[] = "journal.replay";
+
+/// Every site registered above, for Parse validation and `--inject` help.
+inline constexpr const char* const kKnownSites[] = {
+    kStoreRead,  kStoreAppend,   kStoreFlock,  kCacheBuild,
+    kPoolDispatch, kJournalAppend, kJournalFsync, kJournalReplay};
 }  // namespace fault_sites
 
 /// \brief The failure schedule of one armed site.
@@ -59,7 +70,10 @@ inline constexpr const char kPoolDispatch[] = "pool.dispatch";
 /// `seed`/site/hit-index) comes up, and the site has fired fewer than
 /// `times` times (0 = unlimited). A firing hit sleeps `delay_ms` first
 /// (latency injection — the lever for mid-I/O race tests), then reports
-/// failure unless `fail` is false (delay-only site).
+/// failure unless `fail` is false (delay-only site). With `crash` set, a
+/// firing hit abort()s the process after the delay instead of returning —
+/// the deterministic kill-at-fault-site lever of the crash-recovery
+/// harness (tests/crash).
 struct FaultSpec {
   std::string site;
   uint64_t every = 1;
@@ -69,6 +83,7 @@ struct FaultSpec {
   uint64_t seed = 0;
   double delay_ms = 0.0;
   bool fail = true;
+  bool crash = false;
 };
 
 /// \brief The process-global registry of armed fault sites. See the file
@@ -83,11 +98,15 @@ class FaultInjection {
 
   /// Parses and arms a `--inject` spec string; multiple sites separated by
   /// ';'. Grammar per site: `name[:key=value[,key=value...]]` with keys
-  /// every, after, times, prob, seed, delay_ms, fail — e.g.
+  /// every, after, times, prob, seed, delay_ms, fail, crash — e.g.
   /// `store.append:every=1,times=3;store.read:prob=0.5,seed=7`.
   Status ArmText(const std::string& text);
 
-  /// Parses one `name[:key=value,...]` spec without arming it.
+  /// Parses one `name[:key=value,...]` spec without arming it. The site
+  /// name must be one of fault_sites::kKnownSites — an unknown name fails
+  /// with InvalidArgument listing the valid sites, instead of arming a dead
+  /// hook silently. (Arm() itself accepts any non-empty site, so custom
+  /// solver sites stay reachable programmatically.)
   static Result<FaultSpec> Parse(const std::string& text);
 
   /// Disarms every site and zeroes all counters. The global armed flag

@@ -10,12 +10,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "api/job_journal.h"
 #include "api/miner_session.h"
 #include "api/pipeline_cache.h"
 #include "api/solver_registry.h"
@@ -1017,6 +1019,238 @@ TEST(MiningServiceTest, WatchdogExpiryRacingCancelIsTerminalExactlyOnce) {
   EXPECT_EQ(stats->cancelled + stats->failed + stats->completed,
             stats->submitted);
   EXPECT_EQ(service.num_deadline_exceeded(), deadline_failed);
+}
+
+// --- crash-consistent job journal ----------------------------------------
+
+std::string ServiceJournalPath(const char* name) {
+  return ::testing::TempDir() + "mining_service_journal_" + name + ".dcsj";
+}
+
+// A cheap request the counting solver serves, so recovery tests can tell
+// re-runs from re-exposed results.
+MiningRequest CountingRequest() {
+  MiningRequest request;
+  request.measure = Measure::kGraphAffinity;
+  request.ga_solver_name = "counting-solver";
+  request.ga_solver.parallelism = 1;
+  return request;
+}
+
+TEST(MiningServiceJournalTest, RecoveryIsExactlyOnceAndAdmissionOrdered) {
+  RegisterTestSolvers();
+  const std::string path = ServiceJournalPath("recovery");
+  std::filesystem::remove(path);
+  // A hand-built crash image: jobs 1 and 2 admitted (2 also started) but
+  // never finished; job 3 done with a known response; job 4 failed. This is
+  // exactly what a process killed mid-storm leaves behind.
+  MiningResponse done_response;
+  RankedSubgraph clique;
+  clique.vertices = {1, 2};
+  clique.weights = {0.5, 0.5};
+  clique.value = 1.25;
+  clique.positive_clique = true;
+  done_response.graph_affinity.push_back(clique);
+  {
+    Result<std::shared_ptr<JobJournal>> journal = JobJournal::Open(path);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    for (uint64_t id = 1; id <= 4; ++id) {
+      JournalAdmittedRecord admitted;
+      admitted.job_id = id;
+      admitted.tenant = 0;
+      admitted.admission_index = id;
+      admitted.request = CountingRequest();
+      ASSERT_TRUE((*journal)->AppendAdmitted(admitted).ok());
+    }
+    ASSERT_TRUE((*journal)->AppendStarted(2).ok());
+    JournalDoneRecord done;
+    done.job_id = 3;
+    done.state = JournalTerminalState::kDone;
+    done.has_response = true;
+    done.response = done_response;
+    ASSERT_TRUE((*journal)->AppendDone(done).ok());
+    JournalDoneRecord failed;
+    failed.job_id = 4;
+    failed.state = JournalTerminalState::kFailed;
+    failed.status_code = static_cast<uint32_t>(StatusCode::kNotFound);
+    failed.status_message = "no such solver";
+    ASSERT_TRUE((*journal)->AppendDone(failed).ok());
+    ASSERT_TRUE((*journal)->Flush().ok());
+  }
+
+  g_counting_runs.store(0);
+  {
+    MiningServiceOptions options;
+    options.journal_path = path;
+    options.start_paused = true;
+    MiningService service(options);
+    EXPECT_EQ(service.num_recovered_jobs(), 4u);
+    EXPECT_EQ(service.recovered_jobs(),
+              (std::vector<JobId>{1, 2, 3, 4}));
+    // Terminal jobs are visible before any tenant exists — exactly-once,
+    // with the journaled content re-exposed bit-identically.
+    Result<JobStatus> done = service.Poll(3);
+    ASSERT_TRUE(done.ok());
+    EXPECT_EQ(done->state, JobState::kDone);
+    EXPECT_EQ(testing::SerializeSubgraphs(done->response),
+              testing::SerializeSubgraphs(done_response));
+    Result<JobStatus> failed = service.Poll(4);
+    ASSERT_TRUE(failed.ok());
+    EXPECT_EQ(failed->state, JobState::kFailed);
+    EXPECT_EQ(failed->failure.code(), StatusCode::kNotFound);
+    EXPECT_NE(failed->failure.message().find("no such solver"),
+              std::string::npos);
+    // Incomplete jobs are parked until their tenant id re-registers...
+    Result<JobStatus> queued = service.Poll(1);
+    ASSERT_TRUE(queued.ok());
+    EXPECT_EQ(queued->state, JobState::kQueued);
+    ASSERT_TRUE(
+        service.AddTenant(MustCreate(Fig1G1(), Fig1G2())).ok());
+    service.Resume();
+    // ...then run in admission order: job 1 finishes before job 2.
+    Result<JobStatus> first = service.Wait(1);
+    Result<JobStatus> second = service.Wait(2);
+    ASSERT_TRUE(first.ok() && second.ok());
+    EXPECT_EQ(first->state, JobState::kDone);
+    EXPECT_EQ(second->state, JobState::kDone);
+    EXPECT_LT(first->finish_index, second->finish_index);
+    // Only the two incomplete jobs re-ran; the Done job never did.
+    EXPECT_EQ(g_counting_runs.load(), 2);
+    // Fresh submissions resume above the recovered id space.
+    Result<JobId> fresh = service.Submit(0, CountingRequest());
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(*fresh, 5u);
+    ASSERT_TRUE(service.Wait(*fresh).ok());
+    Result<JobJournalStats> stats = service.journal_stats();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GE(stats->appended_records, 5u);  // 2 started + 3 done at least
+    // The done job's telemetry carries the journal counters.
+    Result<JobStatus> mined = service.Wait(*fresh);
+    ASSERT_TRUE(mined.ok());
+    EXPECT_GT(mined->response.telemetry.journal_appends, 0u);
+    EXPECT_EQ(mined->response.telemetry.journal_recovered_jobs, 4u);
+  }
+  // After the graceful shutdown every admitted job has a Done record, so a
+  // second recovery resubmits nothing and the file fscks clean.
+  Result<JournalFsckReport> fsck = JobJournal::Fsck(path);
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_EQ(fsck->corrupt_pages, 0u);
+  EXPECT_EQ(fsck->unreliable_tail_bytes, 0u);
+  g_counting_runs.store(0);
+  {
+    MiningServiceOptions options;
+    options.journal_path = path;
+    MiningService service(options);
+    EXPECT_EQ(service.num_recovered_jobs(), 5u);
+    ASSERT_TRUE(service.AddTenant(MustCreate(Fig1G1(), Fig1G2())).ok());
+    service.Drain();
+    EXPECT_EQ(g_counting_runs.load(), 0);
+  }
+}
+
+TEST(MiningServiceJournalTest, DestructionDuringRecoveryCancelsParkedJobs) {
+  const std::string path = ServiceJournalPath("teardown");
+  std::filesystem::remove(path);
+  {
+    Result<std::shared_ptr<JobJournal>> journal = JobJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    for (uint64_t id = 1; id <= 2; ++id) {
+      JournalAdmittedRecord admitted;
+      admitted.job_id = id;
+      admitted.tenant = 5;  // a tenant this run never registers
+      admitted.admission_index = id;
+      admitted.request = CountingRequest();
+      ASSERT_TRUE((*journal)->AppendAdmitted(admitted).ok());
+    }
+    ASSERT_TRUE((*journal)->Flush().ok());
+  }
+  {
+    // The service is torn down while its recovered jobs are still parked
+    // waiting for tenant 5 — the destructor must cancel and journal them
+    // without touching the (nonexistent) tenant's stats.
+    MiningServiceOptions options;
+    options.journal_path = path;
+    MiningService service(options);
+    EXPECT_EQ(service.num_recovered_jobs(), 2u);
+    Result<JobStatus> parked = service.Poll(1);
+    ASSERT_TRUE(parked.ok());
+    EXPECT_EQ(parked->state, JobState::kQueued);
+  }
+  // The next recovery sees them terminal-cancelled, not resubmittable.
+  MiningServiceOptions options;
+  options.journal_path = path;
+  MiningService service(options);
+  EXPECT_EQ(service.num_recovered_jobs(), 2u);
+  for (JobId id : {JobId{1}, JobId{2}}) {
+    Result<JobStatus> status = service.Poll(id);
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(status->state, JobState::kCancelled);
+  }
+}
+
+TEST(MiningServiceJournalTest, UnopenableJournalFailsSubmitNotTheService) {
+  // A directory is never a valid journal file, so the open fails — the
+  // service must stay alive but refuse admissions with the open error.
+  MiningServiceOptions options;
+  options.journal_path = ::testing::TempDir();
+  MiningService service(options);
+  ASSERT_TRUE(service.AddTenant(MustCreate(Fig1G1(), Fig1G2())).ok());
+  Result<JobId> submitted = service.Submit(0, MiningRequest{});
+  ASSERT_FALSE(submitted.ok());
+  Result<JobJournalStats> stats = service.journal_stats();
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), submitted.status().code());
+}
+
+TEST(MiningServiceJournalTest, ResumeRacingConcurrentSubmitLosesNoJob) {
+  RegisterTestSolvers();
+  // Satellite regression: Resume() releasing a paused multi-tenant backlog
+  // must not race concurrent Submit()s into lost wakeups or dropped jobs.
+  MiningServiceOptions options;
+  options.start_paused = true;
+  options.num_executors = 4;
+  MiningService service(options);
+  constexpr int kTenants = 3;
+  constexpr int kStaged = 8;
+  constexpr int kRacing = 16;
+  for (int t = 0; t < kTenants; ++t) {
+    ASSERT_TRUE(service.AddTenant(MustCreate(Fig1G1(), Fig1G2())).ok());
+  }
+  std::vector<JobId> ids;
+  for (int t = 0; t < kTenants; ++t) {
+    for (int i = 0; i < kStaged; ++i) {
+      Result<JobId> id = service.Submit(t, CountingRequest());
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+  }
+  std::vector<JobId> raced(kTenants * kRacing, 0);
+  std::thread submitter([&service, &raced] {
+    for (int i = 0; i < kRacing; ++i) {
+      for (int t = 0; t < kTenants; ++t) {
+        Result<JobId> id = service.Submit(t, CountingRequest());
+        ASSERT_TRUE(id.ok());
+        raced[t * kRacing + i] = *id;
+      }
+    }
+  });
+  service.Resume();
+  submitter.join();
+  service.Drain();
+  ids.insert(ids.end(), raced.begin(), raced.end());
+  for (JobId id : ids) {
+    Result<JobStatus> status = service.Poll(id);
+    ASSERT_TRUE(status.ok()) << "job " << id;
+    EXPECT_EQ(status->state, JobState::kDone) << "job " << id;
+  }
+  uint64_t completed = 0;
+  for (int t = 0; t < kTenants; ++t) {
+    Result<TenantStats> stats = service.tenant_stats(t);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->submitted, stats->completed);
+    completed += stats->completed;
+  }
+  EXPECT_EQ(completed, ids.size());
 }
 
 }  // namespace

@@ -1,0 +1,230 @@
+// Crash-harness worker: the process the crash-recovery test kills.
+//
+// The parent (crash_recovery_test.cc) fork/execs this binary twice per
+// crash point:
+//
+//   crash_worker --journal P --mode storm  [--inject SPEC]
+//       Opens a journaled MiningService over P (kAlways durability, so
+//       every append is a deterministic journal.append + journal.fsync hit
+//       pair), submits kStormJobs probe jobs and waits for each. With an
+//       armed `crash` spec the process abort()s at the chosen fault-site
+//       hit, leaving whatever journal the crash schedule allowed.
+//
+//   crash_worker --mode recover --journal P  [--inject SPEC]
+//       First replays P directly and prints `incomplete <n>` — the jobs the
+//       crashed storm admitted but never finished. Then recovers a fresh
+//       service over P, re-registers tenant 0, drains, and prints one
+//       `result <id> <state> <fingerprint>` line per recovered job plus
+//       `solver_runs <n>` (the exactly-once oracle: recovery may re-run
+//       exactly the incomplete jobs, never a Done one). After the service
+//       shuts down gracefully it prints `fsck <superblock_ok> <corrupt>
+//       <tail_bytes>` from an offline check of P.
+//
+// The probe solver is a pure function of the journaled request (its value
+// encodes MiningRequest::priority), so the parent can assert recovered
+// responses are bit-identical to a fault-free control run by fingerprint
+// alone — any journal corruption of the request or response changes the
+// printed fingerprint.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/mining_service.h"
+#include "api/solver_registry.h"
+#include "store/job_journal.h"
+#include "test_util.h"
+#include "util/fault_injection.h"
+
+namespace dcs {
+namespace {
+
+constexpr int kStormJobs = 4;
+
+std::atomic<int> g_solver_runs{0};
+
+// Deterministic probe: the "mined" subgraph is a pure function of the
+// request's priority field, which the storm varies per job. A recovered
+// re-run therefore reproduces the exact bytes iff the journaled request
+// survived the crash intact.
+Result<std::vector<RankedSubgraph>> CrashProbeSolver(const SolverContext&,
+                                                     const MiningRequest& request,
+                                                     MiningTelemetry*) {
+  g_solver_runs.fetch_add(1);
+  RankedSubgraph subgraph;
+  subgraph.vertices = {0, 1, 2};
+  subgraph.weights = {0.25, 0.25, 0.5};
+  subgraph.value = 1.0 + static_cast<double>(request.priority) * 0.125;
+  subgraph.positive_clique = true;
+  return std::vector<RankedSubgraph>{subgraph};
+}
+
+MiningRequest ProbeRequest(int index) {
+  MiningRequest request;
+  request.measure = Measure::kGraphAffinity;
+  request.ga_solver_name = "crash-probe";
+  request.ga_solver.parallelism = 1;
+  request.priority = index;
+  return request;
+}
+
+MiningServiceOptions JournaledOptions(const std::string& journal_path) {
+  MiningServiceOptions options;
+  options.journal_path = journal_path;
+  // kAlways makes every append a deterministic journal.append +
+  // journal.fsync hit pair on the submitting/executing thread — the crash
+  // schedule indexes those hits.
+  options.journal_options.durability = JournalDurability::kAlways;
+  return options;
+}
+
+void PrintJob(const JobStatus& status) {
+  std::printf("result %llu %s %llu\n",
+              static_cast<unsigned long long>(status.id),
+              JobStateToString(status.state),
+              static_cast<unsigned long long>(
+                  JobJournal::ResponseFingerprint(status.response)));
+}
+
+int RunStorm(const std::string& journal_path) {
+  MiningService service(JournaledOptions(journal_path));
+  Status added =
+      service.AddTenant(MinerSession::Create(testing::Fig1G1(), testing::Fig1G2())
+                            .value())
+          .status();
+  if (!added.ok()) {
+    std::fprintf(stderr, "error: AddTenant: %s\n", added.ToString().c_str());
+    return 3;
+  }
+  std::vector<JobId> ids;
+  for (int i = 0; i < kStormJobs; ++i) {
+    Result<JobId> id = service.Submit(0, ProbeRequest(i));
+    if (!id.ok()) {
+      std::fprintf(stderr, "error: Submit: %s\n",
+                   id.status().ToString().c_str());
+      return 3;
+    }
+    ids.push_back(*id);
+  }
+  for (JobId id : ids) {
+    Result<JobStatus> status = service.Wait(id);
+    if (!status.ok() || status->state != JobState::kDone) {
+      std::fprintf(stderr, "error: job %llu did not finish done\n",
+                   static_cast<unsigned long long>(id));
+      return 3;
+    }
+    PrintJob(*status);
+  }
+  return 0;
+}
+
+int RunRecover(const std::string& journal_path) {
+  // Pre-recovery replay: how many admitted jobs lack a Done record. The
+  // handle is scoped out before the service opens the same file.
+  uint64_t incomplete = 0;
+  {
+    Result<std::shared_ptr<JobJournal>> journal = JobJournal::Open(journal_path);
+    if (!journal.ok()) {
+      std::fprintf(stderr, "error: open: %s\n",
+                   journal.status().ToString().c_str());
+      return 3;
+    }
+    Result<std::vector<JournalReplayJob>> jobs = (*journal)->Replay();
+    if (!jobs.ok()) {
+      std::fprintf(stderr, "error: replay: %s\n",
+                   jobs.status().ToString().c_str());
+      return 3;
+    }
+    for (const JournalReplayJob& job : *jobs) {
+      if (!job.done) ++incomplete;
+    }
+  }
+  std::printf("incomplete %llu\n", static_cast<unsigned long long>(incomplete));
+
+  g_solver_runs.store(0);
+  {
+    MiningService service(JournaledOptions(journal_path));
+    std::vector<JobId> recovered = service.recovered_jobs();
+    Status added = service
+                       .AddTenant(MinerSession::Create(testing::Fig1G1(),
+                                                       testing::Fig1G2())
+                                      .value())
+                       .status();
+    if (!added.ok()) {
+      std::fprintf(stderr, "error: AddTenant: %s\n", added.ToString().c_str());
+      return 3;
+    }
+    service.Drain();
+    for (JobId id : recovered) {
+      Result<JobStatus> status = service.Poll(id);
+      if (!status.ok()) {
+        std::fprintf(stderr, "error: poll %llu: %s\n",
+                     static_cast<unsigned long long>(id),
+                     status.status().ToString().c_str());
+        return 3;
+      }
+      PrintJob(*status);
+    }
+  }
+  std::printf("solver_runs %d\n", g_solver_runs.load());
+
+  Result<JournalFsckReport> fsck = JobJournal::Fsck(journal_path);
+  if (!fsck.ok()) {
+    std::fprintf(stderr, "error: fsck: %s\n",
+                 fsck.status().ToString().c_str());
+    return 3;
+  }
+  std::printf("fsck %d %llu %llu\n", fsck->superblock_ok ? 1 : 0,
+              static_cast<unsigned long long>(fsck->corrupt_pages),
+              static_cast<unsigned long long>(fsck->unreliable_tail_bytes));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string journal_path;
+  std::string mode;
+  std::string inject;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--journal" && i + 1 < argc) {
+      journal_path = argv[++i];
+    } else if (arg == "--mode" && i + 1 < argc) {
+      mode = argv[++i];
+    } else if (arg == "--inject" && i + 1 < argc) {
+      inject = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: crash_worker --journal PATH --mode storm|recover "
+                   "[--inject SPEC]\n");
+      return 2;
+    }
+  }
+  if (journal_path.empty() || (mode != "storm" && mode != "recover")) {
+    std::fprintf(stderr,
+                 "usage: crash_worker --journal PATH --mode storm|recover "
+                 "[--inject SPEC]\n");
+    return 2;
+  }
+  Status registered =
+      SolverRegistry::Global().Register("crash-probe", &CrashProbeSolver);
+  if (!registered.ok()) {
+    std::fprintf(stderr, "error: register: %s\n",
+                 registered.ToString().c_str());
+    return 3;
+  }
+  if (!inject.empty()) {
+    Status armed = FaultInjection::Global().ArmText(inject);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "error: inject: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+  }
+  return mode == "storm" ? RunStorm(journal_path) : RunRecover(journal_path);
+}
+
+}  // namespace
+}  // namespace dcs
+
+int main(int argc, char** argv) { return dcs::Main(argc, argv); }

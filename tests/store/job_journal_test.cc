@@ -1,0 +1,331 @@
+// JobJournal tests: request/response serialization round trips, the
+// append-then-reopen cycle, Replay's exactly-once fold, and the trust
+// model — a torn tail and a flipped bit must read as absent, be counted,
+// and converge back to fsck-clean via tail truncation.
+
+#include "store/job_journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/mining.h"
+#include "util/logging.h"
+
+namespace dcs {
+namespace {
+
+std::string JournalPath(const char* name) {
+  return ::testing::TempDir() + "job_journal_test_" + name + ".dcsj";
+}
+
+std::shared_ptr<JobJournal> OpenOrDie(const std::string& path,
+                                      JobJournalOptions options = {}) {
+  Result<std::shared_ptr<JobJournal>> journal =
+      JobJournal::Open(path, options);
+  DCS_CHECK(journal.ok()) << journal.status().ToString();
+  return std::move(journal).value();
+}
+
+std::span<const uint8_t> AsBytes(const std::string& bytes) {
+  return {reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()};
+}
+
+// A request exercising every serialized field, including both optionals.
+MiningRequest FullRequest() {
+  MiningRequest request;
+  request.measure = Measure::kGraphAffinity;
+  request.alpha = 1.625;
+  request.flip = true;
+  request.discretize = DiscretizeSpec{};
+  request.discretize->strong_pos = 6.5;
+  request.clamp_weights_above = 2.25;
+  request.top_k = 4;
+  request.disjoint = false;
+  request.min_density = 0.125;
+  request.min_affinity = 0.0625;
+  request.ga_solver.parallelism = 3;
+  request.warm_start = true;
+  request.priority = -7;
+  request.deadline_seconds = 12.5;
+  request.ad_solver_name = "dcsad";
+  request.ga_solver_name = "custom-ga";
+  return request;
+}
+
+MiningResponse SampleResponse() {
+  MiningResponse response;
+  RankedSubgraph ad;
+  ad.vertices = {0, 2, 3};
+  ad.value = 2.3333333333333335;
+  ad.ratio_bound = 0.5;
+  response.average_degree.push_back(ad);
+  RankedSubgraph ga;
+  ga.vertices = {1, 2};
+  ga.weights = {0.5, 0.5};
+  ga.value = 1.5000000000000002;
+  ga.positive_clique = true;
+  response.graph_affinity.push_back(ga);
+  // Telemetry must NOT round-trip: it is process state, not mined content.
+  response.telemetry.cd_iterations = 42;
+  return response;
+}
+
+TEST(JobJournalTest, RequestRoundTripsBitExactly) {
+  const MiningRequest request = FullRequest();
+  const std::string encoded = JobJournal::EncodeRequest(request);
+  Result<MiningRequest> decoded = JobJournal::DecodeRequest(AsBytes(encoded));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(JobJournal::EncodeRequest(*decoded), encoded);
+  EXPECT_EQ(decoded->measure, Measure::kGraphAffinity);
+  EXPECT_EQ(decoded->alpha, 1.625);
+  ASSERT_TRUE(decoded->discretize.has_value());
+  EXPECT_EQ(decoded->discretize->strong_pos, 6.5);
+  ASSERT_TRUE(decoded->clamp_weights_above.has_value());
+  EXPECT_EQ(*decoded->clamp_weights_above, 2.25);
+  EXPECT_EQ(decoded->priority, -7);
+  EXPECT_EQ(decoded->ga_solver_name, "custom-ga");
+  EXPECT_EQ(decoded->ga_solver.cancel, nullptr);
+}
+
+TEST(JobJournalTest, DecodeRequestRejectsGarbage) {
+  const std::string encoded = JobJournal::EncodeRequest(MiningRequest{});
+  // Truncation at every prefix length must fail, never crash or misparse.
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_FALSE(
+        JobJournal::DecodeRequest(AsBytes(encoded.substr(0, len))).ok())
+        << "accepted prefix of " << len;
+  }
+  // Trailing bytes are rejected too: a parse must consume the exact image.
+  EXPECT_FALSE(JobJournal::DecodeRequest(AsBytes(encoded + "x")).ok());
+  // Out-of-range measure enum.
+  std::string bad = encoded;
+  bad[0] = 7;
+  EXPECT_FALSE(JobJournal::DecodeRequest(AsBytes(bad)).ok());
+}
+
+TEST(JobJournalTest, ResponseContentRoundTripsWithoutTelemetry) {
+  const MiningResponse response = SampleResponse();
+  const std::string encoded = JobJournal::EncodeResponseContent(response);
+  Result<MiningResponse> decoded =
+      JobJournal::DecodeResponseContent(AsBytes(encoded));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(JobJournal::EncodeResponseContent(*decoded), encoded);
+  ASSERT_EQ(decoded->average_degree.size(), 1u);
+  EXPECT_EQ(decoded->average_degree[0].vertices,
+            (std::vector<VertexId>{0, 2, 3}));
+  EXPECT_EQ(decoded->average_degree[0].value, 2.3333333333333335);
+  ASSERT_EQ(decoded->graph_affinity.size(), 1u);
+  EXPECT_TRUE(decoded->graph_affinity[0].positive_clique);
+  // Telemetry is deliberately excluded from the image.
+  EXPECT_EQ(decoded->telemetry.cd_iterations, 0u);
+  EXPECT_EQ(JobJournal::ResponseFingerprint(response),
+            JobJournal::ResponseFingerprint(*decoded));
+}
+
+TEST(JobJournalTest, OpenCreatesAndMissingFailsWithoutCreate) {
+  const std::string path = JournalPath("open");
+  std::filesystem::remove(path);
+  {
+    auto journal = OpenOrDie(path);
+    EXPECT_EQ(journal->stats().admitted_records, 0u);
+  }
+  EXPECT_TRUE(std::filesystem::exists(path));
+  JobJournalOptions no_create;
+  no_create.create_if_missing = false;
+  Result<std::shared_ptr<JobJournal>> missing =
+      JobJournal::Open(JournalPath("does_not_exist"), no_create);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST(JobJournalTest, AppendReopenReplayFoldsExactlyOnce) {
+  const std::string path = JournalPath("replay");
+  std::filesystem::remove(path);
+  {
+    auto journal = OpenOrDie(path);
+    // Job 7: admitted, started, done (with a response). Job 9: admitted
+    // only. Job 11: admitted + failed. Admission order: 9 before 7.
+    JournalAdmittedRecord nine;
+    nine.job_id = 9;
+    nine.tenant = 1;
+    nine.admission_index = 1;
+    nine.request = FullRequest();
+    ASSERT_TRUE(journal->AppendAdmitted(nine).ok());
+
+    JournalAdmittedRecord seven;
+    seven.job_id = 7;
+    seven.tenant = 0;
+    seven.admission_index = 2;
+    ASSERT_TRUE(journal->AppendAdmitted(seven).ok());
+    ASSERT_TRUE(journal->AppendStarted(7).ok());
+    JournalDoneRecord done;
+    done.job_id = 7;
+    done.state = JournalTerminalState::kDone;
+    done.has_response = true;
+    done.response = SampleResponse();
+    ASSERT_TRUE(journal->AppendDone(done).ok());
+    // A second Done for job 7 must lose to the first (exactly-once).
+    JournalDoneRecord dupe = done;
+    dupe.response.average_degree.clear();
+    ASSERT_TRUE(journal->AppendDone(dupe).ok());
+
+    JournalAdmittedRecord eleven;
+    eleven.job_id = 11;
+    eleven.tenant = 0;
+    eleven.admission_index = 3;
+    ASSERT_TRUE(journal->AppendAdmitted(eleven).ok());
+    JournalDoneRecord failed;
+    failed.job_id = 11;
+    failed.state = JournalTerminalState::kFailed;
+    failed.status_code = 2;  // kNotFound
+    failed.status_message = "no such solver";
+    ASSERT_TRUE(journal->AppendDone(failed).ok());
+    // A Started record with no Admitted record is dropped by the fold.
+    ASSERT_TRUE(journal->AppendStarted(99).ok());
+    ASSERT_TRUE(journal->Flush().ok());
+  }
+
+  auto reopened = OpenOrDie(path);
+  const JobJournalStats stats = reopened->stats();
+  EXPECT_EQ(stats.admitted_records, 3u);
+  EXPECT_EQ(stats.started_records, 2u);
+  EXPECT_EQ(stats.done_records, 3u);
+  Result<std::vector<JournalReplayJob>> replayed = reopened->Replay();
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  ASSERT_EQ(replayed->size(), 3u);
+  // Admission order: 9 (index 1), 7 (index 2), 11 (index 3).
+  EXPECT_EQ((*replayed)[0].admitted.job_id, 9u);
+  EXPECT_FALSE((*replayed)[0].started);
+  EXPECT_FALSE((*replayed)[0].done);
+  EXPECT_EQ(JobJournal::EncodeRequest((*replayed)[0].admitted.request),
+            JobJournal::EncodeRequest(FullRequest()));
+  EXPECT_EQ((*replayed)[1].admitted.job_id, 7u);
+  EXPECT_TRUE((*replayed)[1].started);
+  ASSERT_TRUE((*replayed)[1].done);
+  ASSERT_TRUE((*replayed)[1].done_record.has_response);
+  // First Done wins: the response is the full one, bit-identical.
+  EXPECT_EQ(
+      JobJournal::EncodeResponseContent((*replayed)[1].done_record.response),
+      JobJournal::EncodeResponseContent(SampleResponse()));
+  EXPECT_EQ((*replayed)[2].admitted.job_id, 11u);
+  ASSERT_TRUE((*replayed)[2].done);
+  EXPECT_EQ((*replayed)[2].done_record.state, JournalTerminalState::kFailed);
+  EXPECT_EQ((*replayed)[2].done_record.status_code, 2u);
+  EXPECT_EQ((*replayed)[2].done_record.status_message, "no such solver");
+}
+
+TEST(JobJournalTest, TornTailReadsAsAbsentAndTruncatesClean) {
+  const std::string path = JournalPath("torn");
+  std::filesystem::remove(path);
+  {
+    auto journal = OpenOrDie(path);
+    JournalAdmittedRecord first;
+    first.job_id = 1;
+    first.admission_index = 1;
+    ASSERT_TRUE(journal->AppendAdmitted(first).ok());
+    JournalAdmittedRecord second;
+    second.job_id = 2;
+    second.admission_index = 2;
+    ASSERT_TRUE(journal->AppendAdmitted(second).ok());
+    ASSERT_TRUE(journal->Flush().ok());
+  }
+  // Tear the tail: chop 5 bytes off the last frame, as a crash mid-write
+  // would.
+  const uintmax_t size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);
+
+  Result<JournalFsckReport> before = JobJournal::Fsck(path);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->superblock_ok);
+  EXPECT_EQ(before->valid_records, 1u);
+  EXPECT_GT(before->unreliable_tail_bytes, 0u);
+
+  auto reopened = OpenOrDie(path);
+  Result<std::vector<JournalReplayJob>> replayed = reopened->Replay();
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed->size(), 1u);  // the torn job reads as absent
+  EXPECT_EQ((*replayed)[0].admitted.job_id, 1u);
+  // Recovery converges the file back to fsck-clean without an append.
+  ASSERT_TRUE(reopened->TruncateUnreliableTail().ok());
+  EXPECT_GE(reopened->stats().truncations, 1u);
+  EXPECT_GT(reopened->stats().truncated_tail_bytes, 0u);
+  Result<JournalFsckReport> after = JobJournal::Fsck(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->unreliable_tail_bytes, 0u);
+  EXPECT_EQ(after->valid_records, 1u);
+}
+
+TEST(JobJournalTest, FlippedPayloadBitReadsAsAbsent) {
+  const std::string path = JournalPath("bitflip");
+  std::filesystem::remove(path);
+  uint64_t first_offset = 0;
+  uint64_t first_payload = 0;
+  {
+    auto journal = OpenOrDie(path);
+    JournalAdmittedRecord first;
+    first.job_id = 1;
+    first.admission_index = 1;
+    ASSERT_TRUE(journal->AppendAdmitted(first).ok());
+    JournalAdmittedRecord second;
+    second.job_id = 2;
+    second.admission_index = 2;
+    ASSERT_TRUE(journal->AppendAdmitted(second).ok());
+    ASSERT_TRUE(journal->Flush().ok());
+    const std::vector<JournalRecordInfo> records = journal->ListRecords();
+    ASSERT_EQ(records.size(), 2u);
+    first_offset = records[0].offset;
+    first_payload = records[0].payload_bytes;
+  }
+  // Flip one payload bit of the *first* record: structure stays walkable,
+  // so the second record must survive while the first reads as absent.
+  {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    file.seekg(static_cast<std::streamoff>(first_offset + 32 +
+                                           first_payload / 2));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(static_cast<std::streamoff>(first_offset + 32 +
+                                           first_payload / 2));
+    file.write(&byte, 1);
+  }
+  Result<JournalFsckReport> fsck = JobJournal::Fsck(path);
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_EQ(fsck->corrupt_pages, 1u);
+
+  auto reopened = OpenOrDie(path);
+  Result<std::vector<JournalReplayJob>> replayed = reopened->Replay();
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed->size(), 1u);
+  EXPECT_EQ((*replayed)[0].admitted.job_id, 2u);
+  EXPECT_GE(reopened->stats().corrupt_pages, 1u);
+}
+
+TEST(JobJournalTest, AlwaysDurabilityFsyncsPerAppend) {
+  const std::string path = JournalPath("always");
+  std::filesystem::remove(path);
+  JobJournalOptions options;
+  options.durability = JournalDurability::kAlways;
+  auto journal = OpenOrDie(path, options);
+  JournalAdmittedRecord record;
+  record.job_id = 1;
+  record.admission_index = 1;
+  ASSERT_TRUE(journal->AppendAdmitted(record).ok());
+  ASSERT_TRUE(journal->AppendStarted(1).ok());
+  const JobJournalStats stats = journal->stats();
+  EXPECT_EQ(stats.appended_records, 2u);
+  EXPECT_GE(stats.fsyncs, 2u);
+  EXPECT_GT(stats.file_bytes, 32u);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -155,6 +155,40 @@ TEST_F(FaultInjectionTest, ParseRejectsMalformedSpecs) {
   }
 }
 
+TEST_F(FaultInjectionTest, ParseRejectsUnknownSitesListingTheRegistry) {
+  Result<FaultSpec> unknown = FaultInjection::Parse("stoer.append:every=2");
+  ASSERT_FALSE(unknown.ok());
+  // The error names the typo and lists every registered site, so the CLI
+  // user sees the valid spellings instead of arming a dead hook silently.
+  EXPECT_NE(unknown.status().message().find("stoer.append"),
+            std::string::npos);
+  for (const char* site : fault_sites::kKnownSites) {
+    EXPECT_NE(unknown.status().message().find(site), std::string::npos)
+        << site;
+  }
+  // Programmatic Arm() stays permissive: custom solver sites are legal.
+  FaultSpec custom;
+  custom.site = "mysolver.step";
+  EXPECT_TRUE(FaultInjection::Global().Arm(custom).ok());
+  EXPECT_TRUE(FaultHit("mysolver.step"));
+}
+
+TEST_F(FaultInjectionTest, ParseAcceptsTheCrashKeyAndJournalSites) {
+  Result<FaultSpec> spec =
+      FaultInjection::Parse("journal.append:crash=1,after=3,times=1");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->site, fault_sites::kJournalAppend);
+  EXPECT_TRUE(spec->crash);
+  EXPECT_EQ(spec->after, 3u);
+  EXPECT_EQ(spec->times, 1u);
+  EXPECT_TRUE(FaultInjection::Parse("journal.fsync").ok());
+  EXPECT_TRUE(FaultInjection::Parse("journal.replay").ok());
+  EXPECT_FALSE(FaultInjection::Parse("journal.append:crash=2").ok());
+  Result<FaultSpec> nocrash = FaultInjection::Parse("journal.append:crash=0");
+  ASSERT_TRUE(nocrash.ok());
+  EXPECT_FALSE(nocrash->crash);
+}
+
 TEST_F(FaultInjectionTest, ArmTextArmsMultipleSites) {
   ASSERT_TRUE(FaultInjection::Global()
                   .ArmText("store.append:times=1;cache.build:every=2")

@@ -36,6 +36,8 @@ required_multitenant_record=(tenants offered_jobs admitted_jobs shed_jobs
                              throughput_jobs_per_s mean_latency_ms
                              p95_latency_ms p99_latency_ms mean_queue_ms
                              tenant0_share deadline_misses bit_identical)
+required_crash_recovery_record=(journal_appends recovered_jobs overhead_pct
+                                recovery_ms bit_identical)
 # Latency/timing fields must be real, finite and non-negative — a NaN or a
 # negative wall/percentile means the bench's timing math broke, and it used
 # to sail through both validation branches.
@@ -79,6 +81,7 @@ for f in "${files[@]}"; do
         "${required_fault_recovery_record[*]}" \
         "${required_micro_kernels_record[*]}" \
         "${required_multitenant_record[*]}" \
+        "${required_crash_recovery_record[*]}" \
         "${timing_keys[*]}" \
         << 'EOF'
 import json, math, sys
@@ -90,7 +93,8 @@ cold_start_keys = sys.argv[7].split()
 fault_recovery_keys = sys.argv[8].split()
 micro_kernels_keys = sys.argv[9].split()
 multitenant_keys = sys.argv[10].split()
-timing_keys = sys.argv[11].split()
+crash_recovery_keys = sys.argv[11].split()
+timing_keys = sys.argv[12].split()
 try:
     with open(path) as fh:
         doc = json.load(fh)
@@ -115,6 +119,8 @@ if doc["bench"] == "micro_kernels":
     record_keys = record_keys + micro_kernels_keys
 if doc["bench"] == "multitenant":
     record_keys = record_keys + multitenant_keys
+if doc["bench"] == "crash_recovery":
+    record_keys = record_keys + crash_recovery_keys
 for i, record in enumerate(doc["records"]):
     missing = [k for k in record_keys if k not in record]
     if missing:
@@ -151,6 +157,9 @@ EOF
     fi
     if grep -q '"bench": "multitenant"' "$f"; then
       keys+=("${required_multitenant_record[@]}")
+    fi
+    if grep -q '"bench": "crash_recovery"' "$f"; then
+      keys+=("${required_crash_recovery_record[@]}")
     fi
     for key in "${keys[@]}"; do
       if ! grep -q "\"$key\"" "$f"; then

@@ -76,11 +76,15 @@ constexpr FlagSpec kFlagTable[] = {
     {"--deadline", "<seconds>",
      "per-job deadline measured from submission; an expired job fails "
      "with deadline-exceeded (exit code 3) and keeps no partial result"},
+    {"--journal", "<path>",
+     "attach a crash-consistent job journal: the request runs through a "
+     "journaled MiningService (created when missing), jobs left incomplete "
+     "by a crashed prior run are recovered first, and a '# journal' "
+     "telemetry line is printed"},
     {"--inject", "<spec>",
      "arm deterministic fault injection, e.g. store.append:every=2,times=3 "
-     "(sites: store.read store.append store.flock cache.build "
-     "pool.dispatch; keys: every after times prob seed delay_ms fail; "
-     "';' separates specs)"},
+     "(site list below; keys: every after times prob seed delay_ms fail "
+     "crash; ';' separates specs)"},
     {"--fast-math", "",
      "allow reassociating SIMD reduction kernels (default: bit-exact)"},
     {"--quiet", "", "print only the result lines"},
@@ -99,6 +103,7 @@ struct Args {
   uint32_t shared_cache_sessions = 0;  // 0 = single-session mode
   uint32_t tenants = 0;                // 0 = single-tenant modes
   std::string store_path;              // empty = memory-only
+  std::string journal_path;            // empty = no job journal
   double deadline_seconds = 0.0;       // 0 = no deadline
   std::string inject_spec;             // empty = fault injection disarmed
   bool fast_math = false;
@@ -114,8 +119,14 @@ void PrintUsage(const char* prog, std::FILE* out) {
     std::snprintf(left, sizeof(left), "%s %s", flag.name, flag.value);
     std::fprintf(out, "  %-26s %s\n", left, flag.help);
   }
+  // The site list is generated from the registry, so --help can never
+  // advertise a site FaultSpec::Parse would reject (or miss a new one).
+  std::fprintf(out, "\nfault sites for --inject:");
+  for (const char* site : fault_sites::kKnownSites) {
+    std::fprintf(out, " %s", site);
+  }
   std::fprintf(out,
-               "\ninput files use the dcs edge-list format (src/graph/io.h):"
+               "\n\ninput files use the dcs edge-list format (src/graph/io.h):"
                "\n  <num_vertices> header line, then \"<u> <v> <weight>\" per "
                "edge\n");
 }
@@ -210,6 +221,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
     } else if (flag == "--store" && next_value(&value)) {
       args->store_path = value;
+    } else if (flag == "--journal" && next_value(&value)) {
+      args->journal_path = value;
     } else if (flag == "--deadline" && next_value(&value)) {
       if (!ParseDoubleStrict(value, &args->deadline_seconds) ||
           args->deadline_seconds <= 0.0) {
@@ -261,6 +274,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       (args->async || args->shared_cache_sessions > 0)) {
     std::fprintf(stderr,
                  "--tenants subsumes --async and excludes --shared-cache\n");
+    return false;
+  }
+  if (!args->journal_path.empty() && args->shared_cache_sessions > 0) {
+    // The journal is a MiningService feature; the shared-cache mode mines
+    // through bare sessions with no admission to journal.
+    std::fprintf(stderr, "--journal and --shared-cache are exclusive\n");
     return false;
   }
   return true;
@@ -367,6 +386,7 @@ Result<MiningResponse> MineMultiTenant(
   const uint32_t n = args.tenants;
   MiningServiceOptions options;
   options.num_executors = 2;
+  options.journal_path = args.journal_path;
   options.shared_cache = std::make_shared<PipelineCache>();
   options.worker_pool =
       std::make_shared<ThreadPool>(ThreadPool::DefaultConcurrency() - 1);
@@ -549,17 +569,28 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (args.async) {
+    if (args.async || !args.journal_path.empty()) {
       // The async path: the same request goes through the MiningService job
       // queue — submit, poll the lifecycle, wait for the terminal snapshot.
-      MiningService service(std::move(*session));
+      // --journal routes the otherwise-synchronous mine through the same
+      // service so admission is journaled and a crashed prior run's
+      // incomplete jobs are recovered (and re-mined) before this one.
+      MiningServiceOptions service_options;
+      service_options.journal_path = args.journal_path;
+      MiningService service(std::move(*session), service_options);
+      if (!args.quiet && service.num_recovered_jobs() > 0) {
+        std::printf("# journal recovered %llu jobs from %s\n",
+                    static_cast<unsigned long long>(
+                        service.num_recovered_jobs()),
+                    args.journal_path.c_str());
+      }
       Result<JobId> job = service.Submit(request);
       if (!job.ok()) {
         std::fprintf(stderr, "submit failed: %s\n",
                      job.status().ToString().c_str());
         return 1;
       }
-      if (!args.quiet) {
+      if (args.async && !args.quiet) {
         std::printf("# submitted job %llu\n",
                     static_cast<unsigned long long>(*job));
         JobState last = JobState::kQueued;
@@ -580,7 +611,7 @@ int main(int argc, char** argv) {
                      final_status.status().ToString().c_str());
         return 1;
       }
-      if (!args.quiet) {
+      if (args.async && !args.quiet) {
         std::printf("# job state: %s (queued %.1f ms, ran %.1f ms)\n",
                     JobStateToString(final_status->state),
                     final_status->queue_seconds * 1e3,
@@ -690,6 +721,17 @@ int main(int argc, char** argv) {
         std::printf("# store write-back error: %s\n",
                     settled.ToString().c_str());
       }
+    }
+    if (!args.journal_path.empty()) {
+      // Journal counters travel in MiningTelemetry (stamped by the service
+      // when the job finished), so this line needs no live service handle.
+      std::printf(
+          "# journal: %llu appends, %llu recovered jobs, %llu truncations "
+          "(%s)\n",
+          static_cast<unsigned long long>(telemetry.journal_appends),
+          static_cast<unsigned long long>(telemetry.journal_recovered_jobs),
+          static_cast<unsigned long long>(telemetry.journal_truncations),
+          args.journal_path.c_str());
     }
     if (have_health) {
       std::printf(

@@ -1,35 +1,52 @@
-// dcs_store — inspect and check persistent artifact store files.
+// dcs_store — inspect and check persistent artifact store and job journal
+// files.
 //
 // Usage:
-//   dcs_store stat <path>   summarize the store (version, records, bytes)
-//   dcs_store fsck <path>   verify the superblock and every page checksum
-//   dcs_store ls <path>     list the indexed records, offset-ascending
+//   dcs_store stat <path>             summarize the store (version, records, bytes)
+//   dcs_store fsck [--quiet] <path>   verify the superblock and every page checksum
+//   dcs_store ls <path>               list the indexed records, offset-ascending
+//   dcs_store journal stat <path>     summarize a job journal (records by type)
+//   dcs_store journal fsck [--quiet] <path>
+//                                     verify the journal superblock and checksums
+//   dcs_store journal ls <path>       list the journal frames, offset-ascending
 //
-// `stat` and `ls` open a store handle (indexing only valid records, as a
-// session would see them); `fsck` is a read-only offline scan that reports
-// corruption without modifying the file — exit status 1 flags a store a
-// writer would truncate or rebuild. This tool consumes the api/ facade only
-// (see tools/check_layering.sh).
+// `stat` and `ls` open a handle (indexing only valid records, as a session
+// or service would see them); `fsck` is a read-only offline scan that
+// reports corruption without modifying the file. Exit codes are stable for
+// scripting: 0 = clean, 1 = corruption found (or the file is unreadable),
+// 2 = usage error. `--quiet` suppresses the report and leaves only the exit
+// code — `dcs_store fsck --quiet p || alert` is the scripted health check.
+// This tool consumes the api/ facade only (see tools/check_layering.sh).
 
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "api/artifact_store.h"
+#include "api/job_journal.h"
 
 namespace {
 
 using namespace dcs;
 
 void PrintUsage(const char* prog, std::FILE* out) {
-  std::fprintf(out,
-               "usage: %s <command> <path>\n\n"
-               "  stat <path>   summarize the store (version, records, bytes)\n"
-               "  fsck <path>   verify the superblock and every page checksum\n"
-               "  ls <path>     list the indexed records, offset-ascending\n",
-               prog);
+  std::fprintf(
+      out,
+      "usage: %s [journal] <command> [--quiet] <path>\n\n"
+      "  stat <path>             summarize the store (version, records, "
+      "bytes)\n"
+      "  fsck [--quiet] <path>   verify the superblock and every page "
+      "checksum\n"
+      "  ls <path>               list the indexed records, offset-ascending\n"
+      "  journal stat <path>     summarize a job journal (records by type)\n"
+      "  journal fsck [--quiet] <path>\n"
+      "                          verify the journal superblock and checksums\n"
+      "  journal ls <path>       list the journal frames, offset-ascending\n\n"
+      "exit codes: 0 clean, 1 corruption found or file unreadable, 2 usage\n",
+      prog);
 }
 
 // Opens a handle without creating the file: inspecting a path that does not
@@ -38,6 +55,13 @@ Result<std::shared_ptr<ArtifactStore>> OpenExisting(const std::string& path) {
   ArtifactStoreOptions options;
   options.create_if_missing = false;
   return ArtifactStore::Open(path, options);
+}
+
+Result<std::shared_ptr<JobJournal>> OpenExistingJournal(
+    const std::string& path) {
+  JobJournalOptions options;
+  options.create_if_missing = false;
+  return JobJournal::Open(path, options);
 }
 
 int RunStat(const std::string& path) {
@@ -60,12 +84,14 @@ int RunStat(const std::string& path) {
   return 0;
 }
 
-int RunFsck(const std::string& path) {
+int RunFsck(const std::string& path, bool quiet) {
   Result<ArtifactFsckReport> report = ArtifactStore::Fsck(path);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
   }
+  const bool clean = report->superblock_ok && report->corrupt_pages == 0;
+  if (quiet) return clean ? 0 : 1;
   std::printf("superblock:            %s\n",
               report->superblock_ok ? "ok" : "INVALID");
   if (report->superblock_ok) {
@@ -79,7 +105,6 @@ int RunFsck(const std::string& path) {
               static_cast<unsigned long long>(report->unreliable_tail_bytes));
   std::printf("file bytes:            %llu\n",
               static_cast<unsigned long long>(report->file_bytes));
-  const bool clean = report->superblock_ok && report->corrupt_pages == 0;
   std::printf("%s\n", clean ? "clean" : "NOT CLEAN (a writer would "
                                         "truncate or rebuild this store)");
   return clean ? 0 : 1;
@@ -102,18 +127,132 @@ int RunLs(const std::string& path) {
   return 0;
 }
 
+int RunJournalStat(const std::string& path) {
+  Result<std::shared_ptr<JobJournal>> journal = OpenExistingJournal(path);
+  if (!journal.ok()) {
+    std::fprintf(stderr, "%s\n", journal.status().ToString().c_str());
+    return 1;
+  }
+  const JobJournalStats stats = (*journal)->stats();
+  std::printf("journal:          %s\n", path.c_str());
+  std::printf("format version:   %u\n", JobJournal::kFormatVersion);
+  std::printf("admitted records: %llu\n",
+              static_cast<unsigned long long>(stats.admitted_records));
+  std::printf("started records:  %llu\n",
+              static_cast<unsigned long long>(stats.started_records));
+  std::printf("done records:     %llu\n",
+              static_cast<unsigned long long>(stats.done_records));
+  std::printf("incomplete jobs:  %llu\n",
+              static_cast<unsigned long long>(
+                  stats.admitted_records > stats.done_records
+                      ? stats.admitted_records - stats.done_records
+                      : 0));
+  std::printf("corrupt pages:    %llu\n",
+              static_cast<unsigned long long>(stats.corrupt_pages));
+  std::printf("file bytes:       %llu\n",
+              static_cast<unsigned long long>(stats.file_bytes));
+  return 0;
+}
+
+const char* JournalRecordTypeName(uint32_t type) {
+  switch (type) {
+    case JobJournal::kAdmittedRecord:
+      return "admitted";
+    case JobJournal::kStartedRecord:
+      return "started";
+    case JobJournal::kDoneRecord:
+      return "done";
+    default:
+      return "?";
+  }
+}
+
+int RunJournalFsck(const std::string& path, bool quiet) {
+  Result<JournalFsckReport> report = JobJournal::Fsck(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  // A journal with an unreliable tail is not corrupt in the scary sense —
+  // the next writer truncates it — but a scripted health check wants to
+  // know the last append never became durable, so it counts as not clean.
+  const bool clean = report->superblock_ok && report->corrupt_pages == 0 &&
+                     report->unreliable_tail_bytes == 0;
+  if (quiet) return clean ? 0 : 1;
+  std::printf("superblock:            %s\n",
+              report->superblock_ok ? "ok" : "INVALID");
+  if (report->superblock_ok) {
+    std::printf("format version:        %u\n", report->format_version);
+  }
+  std::printf("valid records:         %llu\n",
+              static_cast<unsigned long long>(report->valid_records));
+  std::printf("corrupt pages:         %llu\n",
+              static_cast<unsigned long long>(report->corrupt_pages));
+  std::printf("unreliable tail bytes: %llu\n",
+              static_cast<unsigned long long>(report->unreliable_tail_bytes));
+  std::printf("file bytes:            %llu\n",
+              static_cast<unsigned long long>(report->file_bytes));
+  std::printf("%s\n", clean ? "clean"
+                            : "NOT CLEAN (a writer would truncate the "
+                              "unreliable tail / skip corrupt frames)");
+  return clean ? 0 : 1;
+}
+
+int RunJournalLs(const std::string& path) {
+  Result<std::shared_ptr<JobJournal>> journal = OpenExistingJournal(path);
+  if (!journal.ok()) {
+    std::fprintf(stderr, "%s\n", journal.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-10s %12s %12s %12s\n", "type", "job", "offset", "payload");
+  for (const JournalRecordInfo& record : (*journal)->ListRecords()) {
+    std::printf("%-10s %12llu %12llu %12llu\n",
+                JournalRecordTypeName(record.type),
+                static_cast<unsigned long long>(record.job_id),
+                static_cast<unsigned long long>(record.offset),
+                static_cast<unsigned long long>(record.payload_bytes));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool journal = false;
+  if (!args.empty() && args[0] == "journal") {
+    journal = true;
+    args.erase(args.begin());
+  }
+  bool quiet = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--quiet" || *it == "-q") {
+      quiet = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (args.size() != 2) {
     PrintUsage(argv[0], stderr);
     return 2;
   }
-  const std::string command = argv[1];
-  const std::string path = argv[2];
-  if (command == "stat") return RunStat(path);
-  if (command == "fsck") return RunFsck(path);
-  if (command == "ls") return RunLs(path);
+  const std::string& command = args[0];
+  const std::string& path = args[1];
+  if (quiet && command != "fsck") {
+    std::fprintf(stderr, "--quiet only applies to fsck\n\n");
+    PrintUsage(argv[0], stderr);
+    return 2;
+  }
+  if (journal) {
+    if (command == "stat") return RunJournalStat(path);
+    if (command == "fsck") return RunJournalFsck(path, quiet);
+    if (command == "ls") return RunJournalLs(path);
+  } else {
+    if (command == "stat") return RunStat(path);
+    if (command == "fsck") return RunFsck(path, quiet);
+    if (command == "ls") return RunLs(path);
+  }
   std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
   PrintUsage(argv[0], stderr);
   return 2;
